@@ -1,0 +1,116 @@
+// A3 — key-server scalability (the SIGCOMM paper's capacity analysis):
+// unit costs are measured on this host (key encryption, GF(256) FEC
+// byte rate, HMAC authenticator), then fed to the analytic model to
+// answer "how often can a single server rekey a group of N users?".
+#include <chrono>
+#include <iostream>
+
+#include "analysis/scalability.h"
+#include "common/table.h"
+#include "crypto/keys.h"
+#include "fec/gf256.h"
+#include "fec/rse.h"
+
+using namespace rekey;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double measure_encrypt_us() {
+  crypto::KeyGenerator gen(1);
+  const auto kek = gen.next();
+  const auto plain = gen.next();
+  volatile std::uint8_t sink = 0;
+  const auto start = Clock::now();
+  constexpr int kIters = 5000;
+  for (int i = 0; i < kIters; ++i) {
+    const auto e = crypto::encrypt_key(kek, plain, 1,
+                                       static_cast<std::uint64_t>(i) + 1);
+    sink = sink ^ e.ciphertext[0];
+  }
+  const auto us = std::chrono::duration<double, std::micro>(
+                      Clock::now() - start)
+                      .count();
+  (void)sink;
+  return us / kIters;
+}
+
+double measure_fec_ns_per_byte() {
+  // One parity over a k=10 block of 1023-byte packets, repeatedly.
+  const fec::RseCoder coder(10);
+  std::vector<Bytes> data(10, Bytes(1023, 0x5A));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i][0] = static_cast<std::uint8_t>(i);
+  volatile std::uint8_t sink = 0;
+  const auto start = Clock::now();
+  constexpr int kIters = 300;
+  for (int i = 0; i < kIters; ++i) {
+    const Bytes p = coder.encode_one(data, i % coder.max_parity());
+    sink = sink ^ p[0];
+  }
+  const auto ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  (void)sink;
+  return ns / (kIters * 10.0 * 1023.0);  // per source byte processed
+}
+
+double measure_sign_us() {
+  crypto::KeyGenerator gen(2);
+  const auto key = gen.next();
+  Bytes msg(100 * 1027, 0x33);  // a full rekey message body
+  const auto start = Clock::now();
+  constexpr int kIters = 20;
+  volatile std::uint8_t sink = 0;
+  for (int i = 0; i < kIters; ++i) {
+    msg[0] = static_cast<std::uint8_t>(i);
+    sink = sink ^ crypto::message_authenticator(key, msg)[0];
+  }
+  const auto us = std::chrono::duration<double, std::micro>(
+                      Clock::now() - start)
+                      .count();
+  (void)sink;
+  return us / kIters;
+}
+
+}  // namespace
+
+int main() {
+  analysis::ServerCostParams params;
+  params.encrypt_per_key_us = measure_encrypt_us();
+  params.fec_per_byte_ns = measure_fec_ns_per_byte();
+  params.sign_us = measure_sign_us();
+
+  print_figure_header(std::cout, "A3 (unit costs)",
+                      "measured server unit costs on this host", "");
+  Table units({"operation", "cost"});
+  units.set_precision(3);
+  units.add_row({std::string("key encryption (us)"),
+                 params.encrypt_per_key_us});
+  units.add_row({std::string("FEC GF(256) per source byte (ns)"),
+                 params.fec_per_byte_ns});
+  units.add_row({std::string("message authenticator (us)"), params.sign_us});
+  units.print(std::cout);
+
+  print_figure_header(
+      std::cout, "A3",
+      "single-server rekeying capacity vs group size",
+      "J=0, L=N/4, d=4, k=10, rho=1.1, 1027-byte packets, 10 pkt/s pacing");
+  Table t({"N", "E[encs]", "E[pkts]", "cpu ms", "MB/msg", "pacing s",
+           "min interval s", "rekeys/hour"});
+  t.set_precision(2);
+  for (const std::size_t N :
+       {256u, 1024u, 4096u, 16384u, 65536u, 262144u, 1048576u}) {
+    const auto p = analysis::evaluate_scalability(N, 0, N / 4, 4, 10, 1.1,
+                                                  1027, 46, params);
+    t.add_row({static_cast<long long>(N), p.encryptions, p.enc_packets,
+               p.cpu_ms, p.bytes / 1e6, p.pacing_s, p.min_interval_s,
+               p.max_rekeys_per_hour});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nConclusion check (paper): processing is NOT the "
+               "bottleneck at paper scale — pacing/bandwidth dominate; a "
+               "single server sustains N=4096 with intervals of tens of "
+               "seconds, and the interval must grow linearly with N.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// A4 — micro-benchmarks (google-benchmark): the unit costs underlying the
+// paper's design choices. RSE parity encoding cost per block size k is the
+// basis of Fig 8 (right): per-parity time is Theta(k * packet bytes).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "fec/rse.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
+#include "packet/assign.h"
+
+namespace {
+
+using namespace rekey;
+
+std::vector<Bytes> random_block(int k, std::size_t len) {
+  Rng rng(static_cast<std::uint64_t>(k));
+  std::vector<Bytes> data(static_cast<std::size_t>(k));
+  for (auto& pkt : data) {
+    pkt.resize(len);
+    for (auto& b : pkt) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  }
+  return data;
+}
+
+void BM_RseEncodeOneParity(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const fec::RseCoder coder(k);
+  const auto data = random_block(k, 1023);
+  int idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coder.encode_one(data, idx));
+    idx = (idx + 1) % coder.max_parity();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * k *
+                          1023);
+}
+BENCHMARK(BM_RseEncodeOneParity)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_RseDecodeWorstCase(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const fec::RseCoder coder(k);
+  const auto data = random_block(k, 1023);
+  // All-parity decode: the most expensive case (full matrix inversion).
+  std::vector<fec::Shard> shards;
+  for (int p = 0; p < k; ++p)
+    shards.push_back({k + p, coder.encode_one(data, p)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coder.decode(shards));
+  }
+}
+BENCHMARK(BM_RseDecodeWorstCase)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_KeyEncryption(benchmark::State& state) {
+  crypto::KeyGenerator gen(1);
+  const auto kek = gen.next();
+  const auto plain = gen.next();
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::encrypt_key(kek, plain, 1, id++));
+  }
+}
+BENCHMARK(BM_KeyEncryption);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_ChaCha20_1KiB(benchmark::State& state) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  Bytes data(1024, 0xCD);
+  for (auto _ : state) {
+    crypto::ChaCha20 c(key, nonce);
+    c.apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_ChaCha20_1KiB);
+
+void BM_MarkingBatch(benchmark::State& state) {
+  // One batch (J=0, L=N/4) on an N-user tree, including encryption
+  // generation — the server's per-interval key-management cost.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(seed++);
+    tree::KeyTree kt(4, rng.next_u64());
+    kt.populate(n);
+    std::vector<tree::MemberId> leaves;
+    for (const auto pick : rng.sample_without_replacement(n, n / 4))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    state.ResumeTiming();
+    tree::Marker m(kt);
+    const auto upd = m.run({}, leaves);
+    benchmark::DoNotOptimize(tree::generate_rekey_payload(kt, upd, 1));
+  }
+}
+BENCHMARK(BM_MarkingBatch)->Arg(1024)->Arg(4096);
+
+void BM_UkaAssignment(benchmark::State& state) {
+  Rng rng(9);
+  tree::KeyTree kt(4, rng.next_u64());
+  kt.populate(4096);
+  std::vector<tree::MemberId> leaves;
+  for (const auto pick : rng.sample_without_replacement(4096, 1024))
+    leaves.push_back(static_cast<tree::MemberId>(pick));
+  tree::Marker m(kt);
+  const auto upd = m.run({}, leaves);
+  const auto payload = tree::generate_rekey_payload(kt, upd, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packet::assign_keys(payload, 1027));
+  }
+}
+BENCHMARK(BM_UkaAssignment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// AB3 (ablation) — interleaved vs sequential send order under burst loss.
+//
+// The paper (§5.1) interleaves packets across blocks so that two packets
+// of the same block are separated by ~num_blocks send slots and rarely
+// fall into the same loss burst. This ablation runs the identical
+// workload with both orders on the bursty (two-state Markov) links and on
+// memoryless links: interleaving should help only when losses are bursty.
+#include <iostream>
+
+#include "common/table.h"
+#include "sweep.h"
+
+using namespace rekey;
+using namespace rekey::bench;
+
+namespace {
+
+double overhead(bool interleave, bool burst, std::uint64_t seed) {
+  SweepConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.burst_loss = burst;
+  cfg.protocol.interleave = interleave;
+  cfg.protocol.adaptive_rho = false;
+  cfg.protocol.initial_rho = 1.0;
+  cfg.protocol.max_multicast_rounds = 0;
+  // Faster sending makes consecutive packets land within one burst, which
+  // is where the send order matters.
+  cfg.protocol.send_interval_ms = 10.0;
+  cfg.messages = 8;
+  cfg.seed = seed;
+  return run_sweep(cfg).mean_bandwidth_overhead();
+}
+
+}  // namespace
+
+int main() {
+  print_figure_header(
+      std::cout, "AB3",
+      "interleaved vs sequential send order: server bandwidth overhead",
+      "N=4096, L=N/4, k=10, rho=1, 100 pkt/s (bursts span packets), "
+      "8 messages/point");
+
+  Table t({"loss model", "interleaved", "sequential", "sequential/interleaved"});
+  t.set_precision(3);
+  for (const bool burst : {true, false}) {
+    const double inter = overhead(true, burst, 555);
+    const double seq = overhead(false, burst, 555);
+    t.add_row({std::string(burst ? "two-state Markov (bursty)"
+                                 : "Bernoulli (memoryless)"),
+               inter, seq, seq / inter});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: sequential order costs noticeably more under "
+               "bursty loss and about the same under memoryless loss.\n";
+  return 0;
+}

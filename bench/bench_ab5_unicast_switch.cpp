@@ -1,0 +1,65 @@
+// AB5 (ablation) — when to switch to unicast (paper §7.1). Compares
+// multicast-only, switch-after-1-round, switch-after-2-rounds, and the
+// size-based early switch: worst-case delivery latency (rounds + unicast
+// waves folded into duration) versus server bandwidth.
+#include <iostream>
+
+#include "common/table.h"
+#include "sweep.h"
+
+using namespace rekey;
+using namespace rekey::bench;
+
+namespace {
+
+struct Policy {
+  const char* name;
+  int max_rounds;
+  bool by_size;
+};
+
+}  // namespace
+
+int main() {
+  print_figure_header(
+      std::cout, "AB5",
+      "unicast switch policy: latency vs bandwidth trade-off",
+      "N=4096, L=N/4, k=10, adaptive rho (numNACK=20), alpha=20%, "
+      "8 messages/policy");
+
+  const Policy policies[] = {
+      {"multicast only", 0, false},
+      {"unicast after 1 round", 1, false},
+      {"unicast after 2 rounds", 2, false},
+      {"size-based early switch", 0, true},
+  };
+
+  Table t({"policy", "avg rounds", "bw overhead", "unicast users/msg",
+           "USR pkts/msg", "avg duration ms"});
+  t.set_precision(2);
+  for (const Policy& p : policies) {
+    SweepConfig cfg;
+    cfg.alpha = 0.2;
+    cfg.protocol.num_nack_target = 20;
+    cfg.protocol.max_multicast_rounds = p.max_rounds;
+    cfg.protocol.early_unicast_by_size = p.by_size;
+    cfg.messages = 8;
+    cfg.seed = 777;
+    const auto run = run_sweep(cfg);
+    double unicast = 0, usr = 0, dur = 0;
+    for (const auto& m : run.messages) {
+      unicast += static_cast<double>(m.unicast_users);
+      usr += static_cast<double>(m.usr_packets);
+      dur += m.duration_ms;
+    }
+    const double n = static_cast<double>(run.messages.size());
+    t.add_row({std::string(p.name), run.mean_rounds_to_all(),
+               run.mean_bandwidth_overhead(), unicast / n, usr / n,
+               dur / n});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: earlier unicast shortens the tail (fewer "
+               "rounds, shorter duration) at a tiny USR-packet cost; "
+               "multicast-only has the longest worst case.\n";
+  return 0;
+}

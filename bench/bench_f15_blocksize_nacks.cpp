@@ -1,0 +1,55 @@
+// F15 — NACK fluctuation vs block size under adaptive rho (protocol paper
+// Fig 15): round-1 NACKs per message for k in {1, 5, 10, 30, 50},
+// numNACK=20, alpha=20%. Very small k causes coarse rho steps and thus
+// larger swings (up to ~2x the target at k=1 or 5).
+#include <iostream>
+
+#include "common/table.h"
+#include "sweep.h"
+
+using namespace rekey;
+using namespace rekey::bench;
+
+namespace {
+
+void trace(double initial_rho) {
+  const std::size_t ks[] = {1, 5, 10, 30, 50};
+  Table t({"msg", "k=1", "k=5", "k=10", "k=30", "k=50"});
+  t.set_precision(0);
+  std::vector<std::vector<double>> series;
+  for (const std::size_t k : ks) {
+    SweepConfig cfg;
+    cfg.alpha = 0.2;
+    cfg.protocol.block_size = k;
+    cfg.protocol.initial_rho = initial_rho;
+    cfg.protocol.num_nack_target = 20;
+    cfg.protocol.max_multicast_rounds = 0;
+    cfg.messages = 25;
+    cfg.seed = static_cast<std::uint64_t>(k * 23 + initial_rho * 5);
+    const auto run = run_sweep(cfg);
+    std::vector<double> nacks;
+    for (const auto& m : run.messages)
+      nacks.push_back(static_cast<double>(m.round1_nacks));
+    series.push_back(std::move(nacks));
+  }
+  for (std::size_t i = 0; i < series[0].size(); ++i)
+    t.add_row({static_cast<long long>(i), series[0][i], series[1][i],
+               series[2][i], series[3][i], series[4][i]});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  print_figure_header(std::cout, "F15 (left)",
+                      "#NACKs per message for various k, initial rho=1",
+                      "N=4096, L=N/4, alpha=20%, numNACK=20, 25 messages");
+  trace(1.0);
+  print_figure_header(std::cout, "F15 (right)",
+                      "#NACKs per message for various k, initial rho=2",
+                      "same parameters");
+  trace(2.0);
+  std::cout << "\nShape check: k=1/k=5 series swing hardest (coarse rho "
+               "granularity); k>=10 stays closer to the target.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// F20 — the extra server bandwidth of adaptive proactive FEC versus
+// reactive-only, across group sizes (protocol paper Fig 20). The extra
+// overhead grows with N but stays below ~0.4 even at N=16384.
+#include <iostream>
+
+#include "common/table.h"
+#include "sweep.h"
+
+using namespace rekey;
+using namespace rekey::bench;
+
+namespace {
+
+double overhead(std::size_t N, std::size_t k, bool adaptive,
+                std::uint64_t seed) {
+  SweepConfig cfg;
+  cfg.group_size = N;
+  cfg.leaves = N / 4;
+  cfg.alpha = 0.2;
+  cfg.protocol.block_size = k;
+  cfg.protocol.adaptive_rho = adaptive;
+  cfg.protocol.initial_rho = 1.0;
+  cfg.protocol.num_nack_target = 20;
+  cfg.protocol.max_multicast_rounds = 0;
+  cfg.messages = N >= 8192 ? 4 : 8;
+  cfg.seed = seed;
+  return run_sweep(cfg).mean_bandwidth_overhead();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+  print_figure_header(
+      std::cout, "F20",
+      "server bandwidth overhead: adaptive rho vs fixed rho=1, by N",
+      "L=N/4, alpha=20%, numNACK=20; fewer messages at the largest N");
+
+  Table t({"k", "N=1024 adapt", "N=1024 rho1", "N=8192 adapt",
+           "N=8192 rho1", "N=16384 adapt", "N=16384 rho1"});
+  t.set_precision(3);
+  for (const std::size_t k : ks) {
+    std::vector<Table::Cell> row{static_cast<long long>(k)};
+    for (const std::size_t N : {1024u, 8192u, 16384u}) {
+      const std::uint64_t seed = k * 37 + N;
+      row.push_back(overhead(N, k, true, seed));
+      row.push_back(overhead(N, k, false, seed));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: adaptive-minus-reactive gap grows with N but "
+               "stays under ~0.4 at N=16384 (k >= 5).\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "sweep.h"
+
+#include <sstream>
+
+namespace rekey::bench {
+
+transport::RunMetrics run_sweep(const SweepConfig& config) {
+  simnet::TopologyConfig tc;
+  tc.num_users = config.group_size;
+  tc.alpha = config.alpha;
+  tc.p_high = config.p_high;
+  tc.p_low = config.p_low;
+  tc.p_source = config.p_source;
+  tc.burst_loss = config.burst_loss;
+  simnet::Topology topology(tc, config.seed ^ 0x70504F);
+
+  transport::RhoController rho(config.protocol, config.seed ^ 0x52484F);
+  transport::RekeySession session(topology, config.protocol, rho);
+
+  transport::WorkloadConfig wc;
+  wc.group_size = config.group_size;
+  wc.joins = config.joins;
+  wc.leaves = config.leaves;
+  wc.degree = config.degree;
+  wc.packet_size = config.protocol.packet_size;
+
+  transport::RunMetrics run;
+  for (int i = 0; i < config.messages; ++i) {
+    auto msg = transport::generate_message(
+        wc, config.seed + static_cast<std::uint64_t>(i) * 7919,
+        static_cast<std::uint32_t>(i));
+    run.messages.push_back(session.run_message(
+        msg.payload, std::move(msg.assignment), msg.old_ids));
+  }
+  return run;
+}
+
+std::string alpha_label(double alpha) {
+  std::ostringstream os;
+  os << "alpha=" << alpha * 100 << "%";
+  return os.str();
+}
+
+}  // namespace rekey::bench

@@ -1,0 +1,49 @@
+// Shared experiment driver for the figure benches: runs a sequence of
+// rekey messages with a persistent topology and RhoController (as in the
+// paper, where adaptation state carries across messages) and aggregates
+// the metrics the figures plot.
+//
+// Paper default parameters (§5.2): N=4096, d=4, J=0, L=N/4, alpha=20%,
+// p_high=20%, p_low=2%, p_source=1%, 10 packets/s, 1027-byte ENC packets,
+// k=10, numNACK=20. Message counts are trimmed relative to the paper's 25
+// on the heaviest sweeps so the whole harness finishes in minutes; each
+// bench states its count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/metrics.h"
+#include "transport/session.h"
+#include "transport/workload.h"
+
+namespace rekey::bench {
+
+struct SweepConfig {
+  std::size_t group_size = 4096;
+  std::size_t joins = 0;
+  std::size_t leaves = 1024;  // N/4
+  unsigned degree = 4;
+
+  transport::ProtocolConfig protocol;  // k, rho, numNACK, rounds, ...
+
+  double alpha = 0.20;
+  double p_high = 0.20;
+  double p_low = 0.02;
+  double p_source = 0.01;
+  bool burst_loss = true;
+
+  int messages = 10;
+  std::uint64_t seed = 1;
+};
+
+// Runs `messages` independent batches through one persistent session
+// (topology + rho controller state carry across messages).
+transport::RunMetrics run_sweep(const SweepConfig& config);
+
+// Convenience: the paper's alpha sweep {0, 20%, 40%, 100%}.
+inline const double kAlphas[] = {0.0, 0.2, 0.4, 1.0};
+
+std::string alpha_label(double alpha);
+
+}  // namespace rekey::bench

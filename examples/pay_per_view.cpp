@@ -1,0 +1,81 @@
+// Pay-per-view broadcast: the paper's motivating workload at scale.
+//
+// A 4096-subscriber group with heavy churn (hundreds of subscriptions
+// expire per interval, new ones arrive) rekeyed over the simulated
+// Internet topology: 20% of receivers sit behind 20%-loss links, the rest
+// at 2%, with a 1%-loss source link and bursty (two-state Markov) losses.
+// The full multicast + proactive-FEC + unicast protocol delivers every
+// interval's keys; the report shows the transport doing its job.
+//
+// Build & run:  ./build/examples/pay_per_view
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/service.h"
+
+using namespace rekey;
+
+int main() {
+  core::ServiceConfig config;
+  config.degree = 4;
+  config.protocol.block_size = 10;
+  config.protocol.num_nack_target = 20;
+  config.protocol.max_multicast_rounds = 2;  // then unicast stragglers
+  config.protocol.deadline_rounds = 2;
+  core::GroupKeyService service(config);
+
+  constexpr std::size_t kSubscribers = 4096;
+  auto members = service.bootstrap_members(kSubscribers);
+
+  simnet::TopologyConfig net;
+  net.num_users = kSubscribers + 2048;  // headroom: churn lets the roster grow
+  net.alpha = 0.20;
+  net.p_high = 0.20;
+  net.p_low = 0.02;
+  net.p_source = 0.01;
+  simnet::Topology topology(net, /*seed=*/2026);
+
+  std::printf("pay-per-view: %zu subscribers, tree height %u\n\n",
+              service.group_size(), service.tree().height());
+  std::printf(
+      "%4s %6s %6s %8s %8s %7s %7s %9s %8s %9s\n", "ivl", "leave", "join",
+      "encs", "packets", "rho", "rounds", "NACKs(r1)", "unicast", "missed");
+
+  Rng rng(7);
+  for (int interval = 0; interval < 8; ++interval) {
+    // Churn: ~5% of subscribers cancel, a similar number sign up.
+    rng.shuffle(members);
+    const std::size_t cancels = 150 + rng.next_in(0, 100);
+    for (std::size_t i = 0; i < cancels; ++i)
+      service.request_leave(members[members.size() - 1 - i]);
+    members.resize(members.size() - cancels);
+    const std::size_t signups = 150 + rng.next_in(0, 100);
+    for (std::size_t i = 0; i < signups; ++i) {
+      const auto m = service.register_member();
+      service.request_join(m);
+      members.push_back(m);
+    }
+
+    const auto report = service.rekey_interval_over(topology);
+    const auto& t = *report.transport;
+    std::printf("%4u %6zu %6zu %8zu %8zu %7.2f %7d %9zu %8zu %9zu\n",
+                report.msg_id, report.leaves, report.joins,
+                report.encryptions, t.multicast_sent, t.rho_used,
+                t.multicast_rounds, t.round1_nacks, t.unicast_users,
+                t.deadline_misses);
+
+    // The whole point: every subscriber ends the interval with the key.
+    std::size_t synced = 0;
+    for (const auto m : members)
+      synced += *service.member(m).group_key() == service.group_key();
+    if (synced != members.size()) {
+      std::printf("!! %zu/%zu subscribers out of sync\n", synced,
+                  members.size());
+      return 1;
+    }
+  }
+  std::printf("\nall %zu subscribers tracked the group key through every "
+              "interval\n",
+              members.size());
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "analysis/batch_cost.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace rekey::analysis {
+
+double log_choose(std::size_t n, std::size_t k) {
+  REKEY_ENSURE(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double prob_no_departure(std::size_t N, std::size_t L, std::size_t m) {
+  REKEY_ENSURE(L <= N && m <= N);
+  if (L == 0) return 1.0;
+  if (m + L > N) return 0.0;
+  return std::exp(log_choose(N - m, L) - log_choose(N, L));
+}
+
+double prob_all_departed(std::size_t N, std::size_t L, std::size_t m) {
+  REKEY_ENSURE(L <= N && m <= N);
+  if (m > L) return 0.0;
+  return std::exp(log_choose(N - m, L - m) - log_choose(N, L));
+}
+
+namespace {
+
+// Height of the full balanced tree holding N users.
+unsigned tree_height(std::size_t N, unsigned d) {
+  unsigned h = 1;
+  std::size_t cap = d;
+  while (cap < N) {
+    cap *= d;
+    ++h;
+  }
+  return h;
+}
+
+// Exact expectation for the J <= L regime.
+double expected_j_le_l(std::size_t N, std::size_t J, std::size_t L,
+                       unsigned d) {
+  const unsigned h = tree_height(N, d);
+  // Replaced slots do not prune; only the L - J pure leaves can.
+  // "x changed" = any departure among x's leaves (replacement or removal).
+  // "c survives" (internal) = not all of c's leaves are *pure* leaves;
+  // since replaced slots survive, c dies only if all its leaves are among
+  // the L - J removals. Removals are a uniform subset of the L departures,
+  // which are uniform over N, so the m removals-only event has the same
+  // hypergeometric form with L' = L - J... conditioned jointly with "x
+  // changed". We use the decomposition
+  //   P(edge) = P(c survives) - P(x unchanged)
+  // where "x unchanged" = no departure among x's M leaves, and
+  //   P(c survives) = 1 - P(all m of c's leaves are pure removals).
+  const std::size_t pure = L - J;
+  double total = 0.0;
+  std::size_t nodes_at_level = 1;  // root level
+  for (unsigned level = 0; level < h; ++level) {
+    // children of a level-`level` node span m leaves each.
+    std::size_t m = 1;
+    for (unsigned i = 0; i + level + 1 < h; ++i) m *= d;
+    const std::size_t M = m * d;
+    // P(all m leaves of c are pure removals): choose departures such that
+    // c's m leaves all depart AND all m are among the unreplaced ones.
+    // Departed slots are uniform; of the L departed, the J smallest-id are
+    // replaced. Exact treatment of "smallest-id" correlates with position;
+    // the standard analysis (and ours) uses the symmetric approximation
+    // that each departed slot is replaced with probability J/L,
+    // independently of location:
+    //   P(c dies) = P(all m depart) * P(all m unreplaced | depart)
+    //            ~= prob_all_departed * prod_{i<m} (L-J-i)/(L-i).
+    double p_all_unreplaced = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (L - i == 0) {
+        p_all_unreplaced = 0.0;
+        break;
+      }
+      p_all_unreplaced *= pure > i
+                              ? static_cast<double>(pure - i) /
+                                    static_cast<double>(L - i)
+                              : 0.0;
+    }
+    const double p_c_dies = prob_all_departed(N, L, m) * p_all_unreplaced;
+    const double p_edge =
+        (1.0 - p_c_dies) - prob_no_departure(N, L, M);
+    total += static_cast<double>(nodes_at_level) * d *
+             std::max(0.0, p_edge);
+    nodes_at_level *= d;
+  }
+  return total;
+}
+
+// Deterministic fill/split model for the J > L regime on a full tree:
+// L slots are replaced in place; the remaining J - L joins split
+// ceil((J-L)/(d-1)) consecutive u-nodes, each split producing a new
+// k-node with d children, plus the changed ancestors of both the replaced
+// slots (random) and the split range (contiguous).
+double expected_j_gt_l(std::size_t N, std::size_t J, std::size_t L,
+                       unsigned d) {
+  const unsigned h = tree_height(N, d);
+  const std::size_t extra = J - L;
+  const std::size_t splits = (extra + d - 2) / (d - 1);
+
+  // Replaced slots contribute like the J = L regime on L replacements.
+  double total = L > 0 ? expected_j_le_l(N, L, L, d) : 0.0;
+
+  // Split nodes: d encryptions each.
+  total += static_cast<double>(splits * d);
+
+  // Ancestors of the contiguous split range: at height i above the leaves
+  // roughly splits / d^i changed nodes, each with d children; stop at the
+  // root. (These partially overlap the replaced slots' ancestors; the
+  // overlap is second-order for the J >> L workloads this regime covers.)
+  double width = static_cast<double>(splits);
+  for (unsigned i = 1; i <= h && width > 0; ++i) {
+    width = std::ceil(width / d);
+    total += width * d;
+    if (width <= 1.0) {
+      // Remaining path straight to the root.
+      if (i < h) total += static_cast<double>((h - i)) * d;
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double expected_encryptions(std::size_t N, std::size_t J, std::size_t L,
+                            unsigned d) {
+  REKEY_ENSURE(d >= 2);
+  REKEY_ENSURE(L <= N);
+  if (J == 0 && L == 0) return 0.0;
+  if (J <= L) return expected_j_le_l(N, J, L, d);
+  return expected_j_gt_l(N, J, L, d);
+}
+
+double duplication_overhead_bound(std::size_t N, unsigned d,
+                                  std::size_t capacity) {
+  const unsigned h = tree_height(N, d);
+  if (h <= 1) return 0.0;
+  return static_cast<double>(h - 1) / static_cast<double>(capacity);
+}
+
+double expected_enc_packets(std::size_t N, std::size_t J, std::size_t L,
+                            unsigned d, std::size_t capacity) {
+  REKEY_ENSURE(capacity >= 1);
+  const double encs = expected_encryptions(N, J, L, d);
+  const double dup = duplication_overhead_bound(N, d, capacity);
+  return encs * (1.0 + dup) / static_cast<double>(capacity);
+}
+
+}  // namespace rekey::analysis

@@ -1,0 +1,47 @@
+// Analytic cost model of periodic batch rekeying — the "performance
+// analysis" core of the SIGCOMM 2001 paper: how many encryptions a batch of
+// J joins and L leaves costs on a key tree of N users and degree d.
+//
+// For J <= L on an initially full, balanced tree the expectation is exact:
+// leaves depart uniformly without replacement, so subtree-survival events
+// are hypergeometric. For each edge (x, c) with c spanning m leaves and x
+// spanning M = d*m:
+//
+//   P(edge in rekey subtree) = P(c survives) - P(x has no change)
+//
+// because "x changed" requires a departure (or replacement) under x, and a
+// surviving c implies a surviving x. Pure-leave (J=0) and replace (J=L)
+// regimes differ only in whether subtrees can be pruned. For J > L the
+// extra joins fill and split deterministically; expected_encryptions
+// handles that regime with the deterministic fill/split count.
+#pragma once
+
+#include <cstddef>
+
+namespace rekey::analysis {
+
+// ln C(n, k); 0 for k<0 or k>n handled by callers.
+double log_choose(std::size_t n, std::size_t k);
+
+// P(a fixed set of m leaves contains no departed leaf | L of N depart).
+double prob_no_departure(std::size_t N, std::size_t L, std::size_t m);
+
+// P(all m leaves of a fixed set depart | L of N depart).
+double prob_all_departed(std::size_t N, std::size_t L, std::size_t m);
+
+// Expected number of encryptions in the rekey subtree for a batch (J, L)
+// on a full balanced d-ary tree with N = d^h users. Exact for J <= L;
+// deterministic fill/split model for J > L.
+double expected_encryptions(std::size_t N, std::size_t J, std::size_t L,
+                            unsigned d);
+
+// Expected number of ENC packets given the per-packet encryption capacity
+// (46 for 1027-byte packets), including a duplication-overhead estimate.
+double expected_enc_packets(std::size_t N, std::size_t J, std::size_t L,
+                            unsigned d, std::size_t capacity);
+
+// The paper's empirical duplication bound: (log_d N - 1) / capacity.
+double duplication_overhead_bound(std::size_t N, unsigned d,
+                                  std::size_t capacity);
+
+}  // namespace rekey::analysis

@@ -1,0 +1,45 @@
+#include "analysis/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/batch_cost.h"
+#include "common/ensure.h"
+
+namespace rekey::analysis {
+
+ScalabilityPoint evaluate_scalability(std::size_t N, std::size_t J,
+                                      std::size_t L, unsigned d,
+                                      std::size_t k, double rho,
+                                      std::size_t packet_size,
+                                      std::size_t capacity,
+                                      const ServerCostParams& params) {
+  REKEY_ENSURE(k >= 1 && rho >= 1.0);
+  ScalabilityPoint p;
+  p.group_size = N;
+  p.encryptions = expected_encryptions(N, J, L, d);
+  p.enc_packets = expected_enc_packets(N, J, L, d, capacity);
+
+  const double blocks = std::ceil(p.enc_packets / static_cast<double>(k));
+  const double parities =
+      blocks * std::ceil((rho - 1.0) * static_cast<double>(k));
+  const double packets = blocks * static_cast<double>(k) + parities;
+
+  // CPU: encryptions + FEC encode (k source bytes per parity byte) + sign.
+  const double fec_bytes = parities * static_cast<double>(k) *
+                           static_cast<double>(packet_size);
+  p.cpu_ms = p.encryptions * params.encrypt_per_key_us / 1e3 +
+             fec_bytes * params.fec_per_byte_ns / 1e6 +
+             params.sign_us / 1e3;
+
+  p.bytes = packets * static_cast<double>(packet_size);
+  const double bw_s = p.bytes * 8.0 / params.bandwidth_bps;
+  p.pacing_s = packets * params.send_interval_ms / 1e3;
+
+  p.min_interval_s = std::max({p.cpu_ms / 1e3, bw_s, p.pacing_s});
+  p.max_rekeys_per_hour =
+      p.min_interval_s > 0.0 ? 3600.0 / p.min_interval_s : 0.0;
+  return p;
+}
+
+}  // namespace rekey::analysis

@@ -1,0 +1,43 @@
+// Key-server scalability model (the SIGCOMM paper's capacity analysis):
+// given measured unit costs — key encryption, RSE parity byte, message
+// signing — and the server's bandwidth budget, how fast can a group of N
+// users be rekeyed, and what is the smallest sustainable rekey interval?
+//
+// The A3 bench feeds this model with unit costs measured on the host by
+// the micro-benchmarks, reproducing the paper's "a single server can
+// support groups of size X at interval T" conclusions.
+#pragma once
+
+#include <cstddef>
+
+namespace rekey::analysis {
+
+struct ServerCostParams {
+  double encrypt_per_key_us = 2.0;   // one {k'}_k encryption
+  double fec_per_byte_ns = 1.0;      // GF(256) multiply-accumulate per byte
+  double sign_us = 5000.0;           // one rekey-message signature
+  double bandwidth_bps = 10e6;       // server multicast budget
+  double send_interval_ms = 100.0;   // pacing (10 pkt/s in the paper)
+};
+
+struct ScalabilityPoint {
+  std::size_t group_size = 0;
+  double encryptions = 0.0;       // expected per message
+  double enc_packets = 0.0;       // expected per message
+  double cpu_ms = 0.0;            // server processing per message
+  double bytes = 0.0;             // multicast bytes per message
+  double pacing_s = 0.0;          // wall time to push packets at the rate
+  double min_interval_s = 0.0;    // smallest sustainable rekey interval
+  double max_rekeys_per_hour = 0.0;
+};
+
+// Evaluate the model at one group size for a J/L batch with block size k,
+// proactivity rho, and packet/capacity parameters.
+ScalabilityPoint evaluate_scalability(std::size_t N, std::size_t J,
+                                      std::size_t L, unsigned d,
+                                      std::size_t k, double rho,
+                                      std::size_t packet_size,
+                                      std::size_t capacity,
+                                      const ServerCostParams& params);
+
+}  // namespace rekey::analysis

@@ -1,0 +1,91 @@
+#include "analysis/transport_model.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace rekey::analysis {
+
+double combined_loss(double p_source, double p_receiver) {
+  return 1.0 - (1.0 - p_source) * (1.0 - p_receiver);
+}
+
+double prob_at_least(std::size_t n, double p_success, std::size_t need) {
+  REKEY_ENSURE(p_success >= 0.0 && p_success <= 1.0);
+  if (need == 0) return 1.0;
+  if (need > n) return 0.0;
+  // Sum the binomial pmf from `need` to n in log space per term.
+  double total = 0.0;
+  const double lp = std::log(p_success);
+  const double lq = std::log1p(-p_success);
+  for (std::size_t i = need; i <= n; ++i) {
+    if (p_success == 0.0) break;
+    if (p_success == 1.0) {
+      total = 1.0;
+      break;
+    }
+    const double lc = std::lgamma(static_cast<double>(n) + 1.0) -
+                      std::lgamma(static_cast<double>(i) + 1.0) -
+                      std::lgamma(static_cast<double>(n - i) + 1.0);
+    total += std::exp(lc + static_cast<double>(i) * lp +
+                      static_cast<double>(n - i) * lq);
+  }
+  return std::min(1.0, total);
+}
+
+double round1_failure_prob(std::size_t k, std::size_t proactive, double p) {
+  // Own packet lost, and fewer than k of the other k + a - 1 arrive.
+  const double own_lost = p;
+  const double others_ok =
+      prob_at_least(k + proactive - 1, 1.0 - p, k);
+  return own_lost * (1.0 - others_ok);
+}
+
+double expected_round1_nacks(std::size_t n_users, double alpha, double p_high,
+                             double p_low, double p_source, std::size_t k,
+                             std::size_t proactive) {
+  const double ph = combined_loss(p_source, p_high);
+  const double pl = combined_loss(p_source, p_low);
+  const double n_high = alpha * static_cast<double>(n_users);
+  const double n_low = static_cast<double>(n_users) - n_high;
+  // A NACK is seen by the server only if the reverse path delivers it.
+  const double fail_high = round1_failure_prob(k, proactive, ph) * (1.0 - ph);
+  const double fail_low = round1_failure_prob(k, proactive, pl) * (1.0 - pl);
+  return n_high * fail_high + n_low * fail_low;
+}
+
+double needs_more_than_rounds(std::size_t k, std::size_t proactive, double p,
+                              int rounds) {
+  REKEY_ENSURE(rounds >= 0);
+  if (rounds == 0) return 1.0;
+  // Round 1 as modelled above. Each later round resupplies the user's
+  // outstanding need a; the user clears it when all a parities (plus any
+  // extra the block aggregate carries — ignored, making this slightly
+  // pessimistic) arrive... the expected outstanding need is small, so we
+  // model rounds >= 2 as independent trials needing a single representative
+  // retransmission batch of E[a | failure] parities, any k of which would
+  // do. We approximate E[a | failure] with 1 + p*k/2.
+  double prob = round1_failure_prob(k, proactive, p);
+  const std::size_t retrans =
+      static_cast<std::size_t>(std::ceil(1.0 + p * static_cast<double>(k) / 2.0));
+  for (int r = 2; r <= rounds; ++r) {
+    // Fails again if not all of its missing parities arrive; with `retrans`
+    // packets resent and needing all of its own missing ones (~1 expected),
+    // the per-round clear probability is P(at least 1 of retrans arrives)
+    // raised to the representative need of 1.
+    const double clear = prob_at_least(retrans, 1.0 - p, 1);
+    prob *= (1.0 - clear);
+  }
+  return prob;
+}
+
+double expected_user_rounds(std::size_t k, std::size_t proactive, double p,
+                            int max_rounds) {
+  // E[R] = sum_{r>=0} P(R > r).
+  double e = 0.0;
+  for (int r = 0; r < max_rounds; ++r)
+    e += needs_more_than_rounds(k, proactive, p, r);
+  return e;
+}
+
+}  // namespace rekey::analysis

@@ -1,0 +1,41 @@
+// Analytic models of the rekey transport under memoryless (Bernoulli)
+// loss: per-user round-1 failure probability, the expected NACK count the
+// server sees, and the distribution of rounds a user needs. These are the
+// SIGCOMM paper's style of transport analysis; the A2 bench validates them
+// against the packet-level simulator run with Bernoulli links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rekey::analysis {
+
+// End-to-end per-packet loss probability across source + receiver link.
+double combined_loss(double p_source, double p_receiver);
+
+// P(Bin(n, p_success) >= need): at least `need` of n packets arrive.
+double prob_at_least(std::size_t n, double p_success, std::size_t need);
+
+// P(a user cannot recover after one round): its own ENC packet is lost AND
+// fewer than k of the block's k + a packets arrived (a = proactive
+// parities per block).
+double round1_failure_prob(std::size_t k, std::size_t proactive, double p);
+
+// Expected NACKs after round 1 for a heterogeneous population: alpha*N
+// users at p_high, the rest at p_low, behind a p_source source link. NACKs
+// themselves traverse the reverse path and can be lost.
+double expected_round1_nacks(std::size_t n_users, double alpha, double p_high,
+                             double p_low, double p_source, std::size_t k,
+                             std::size_t proactive);
+
+// P(a user needs more than r rounds), modelling each later round as the
+// server supplying exactly the missing parities (amax semantics) so the
+// user fails again only if its fresh need is not met.
+double needs_more_than_rounds(std::size_t k, std::size_t proactive, double p,
+                              int rounds);
+
+// Expected number of rounds needed by one user (capped at max_rounds).
+double expected_user_rounds(std::size_t k, std::size_t proactive, double p,
+                            int max_rounds = 30);
+
+}  // namespace rekey::analysis

@@ -1,0 +1,42 @@
+// Lightweight invariant checking used across librekey.
+//
+// REKEY_ENSURE is for preconditions and invariants that indicate a
+// programming error when violated. It throws (rather than aborts) so tests
+// can assert on violations, and it is kept on in release builds: all uses
+// are on control paths, never in per-byte inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rekey {
+
+class EnsureError : public std::logic_error {
+ public:
+  explicit EnsureError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ENSURE failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw EnsureError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rekey
+
+#define REKEY_ENSURE(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::rekey::detail::ensure_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define REKEY_ENSURE_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::rekey::detail::ensure_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace rekey {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  REKEY_ENSURE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  REKEY_ENSURE(cells.size() == headers_.size());
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const auto& c : cells) {
+    if (const auto* s = std::get_if<std::string>(&c)) {
+      row.push_back(*s);
+    } else if (const auto* d = std::get_if<double>(&c)) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(precision_) << *d;
+      row.push_back(os.str());
+    } else {
+      row.push_back(std::to_string(std::get<long long>(c)));
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+         << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) rule += "  ";
+    rule += std::string(widths[i], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void print_figure_header(std::ostream& os, const std::string& id,
+                         const std::string& caption,
+                         const std::string& params) {
+  os << "\n== " << id << ": " << caption << "\n";
+  if (!params.empty()) os << "   [" << params << "]\n";
+  os << '\n';
+}
+
+}  // namespace rekey

@@ -1,0 +1,39 @@
+// ASCII table and series printers for the benchmark harness.
+//
+// Every bench binary regenerates one figure of the paper; these helpers
+// print the same rows/series the paper plots, in aligned columns that are
+// easy to diff and to feed to a plotting script.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rekey {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  using Cell = std::variant<std::string, double, long long>;
+  void add_row(std::vector<Cell> cells);
+
+  // Fixed-point precision for double cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 3;
+};
+
+// Prints a figure banner: experiment id, caption, and the parameter line
+// the paper prints above each plot.
+void print_figure_header(std::ostream& os, const std::string& id,
+                         const std::string& caption,
+                         const std::string& params);
+
+}  // namespace rekey

@@ -1,0 +1,11 @@
+#include "core/member.h"
+
+namespace rekey::core {
+
+GroupMember::GroupMember(
+    tree::MemberId id, tree::NodeId slot, unsigned degree,
+    std::span<const std::pair<tree::NodeId, crypto::SymmetricKey>>
+        registration_keys)
+    : id_(id), view_(id, slot, degree, registration_keys) {}
+
+}  // namespace rekey::core

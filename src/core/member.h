@@ -1,0 +1,47 @@
+// A group member as seen by an application: its stable member id and a
+// UserKeyView that tracks the keys it holds as rekey messages are applied.
+//
+// Members created at group bootstrap are handed their full path keys by
+// the registration component (the paper assumes an authenticated channel,
+// e.g. SSL); members joining later receive only their individual key at
+// registration — the rekey message of the interval they join in carries
+// their entire path (every ancestor of a new slot is a changed k-node).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "keytree/user_view.h"
+
+namespace rekey::core {
+
+class GroupMember {
+ public:
+  GroupMember(tree::MemberId id, tree::NodeId slot, unsigned degree,
+              std::span<const std::pair<tree::NodeId, crypto::SymmetricKey>>
+                  registration_keys);
+
+  tree::MemberId id() const { return id_; }
+  tree::NodeId current_slot() const { return view_.id(); }
+
+  // The group key as currently known (nullopt until the first rekey
+  // message, for members joining mid-stream).
+  std::optional<crypto::SymmetricKey> group_key() const {
+    return view_.group_key();
+  }
+
+  // Apply the encryptions this member extracted from a rekey message (or
+  // received in a USR packet). Returns the number of keys learned.
+  std::size_t apply_rekey(std::uint32_t msg_id, tree::NodeId max_kid,
+                          std::span<const tree::Encryption> encryptions) {
+    return view_.apply(msg_id, max_kid, encryptions);
+  }
+
+  const tree::UserKeyView& view() const { return view_; }
+
+ private:
+  tree::MemberId id_;
+  tree::UserKeyView view_;
+};
+
+}  // namespace rekey::core

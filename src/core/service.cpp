@@ -1,0 +1,184 @@
+#include "core/service.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "keytree/snapshot.h"
+#include "packet/assign.h"
+
+namespace rekey::core {
+
+GroupKeyService::GroupKeyService(const ServiceConfig& config)
+    : config_(config),
+      tree_(config.degree, config.key_seed),
+      rho_(config.protocol, config.key_seed ^ 0x5EED) {}
+
+tree::MemberId GroupKeyService::register_member() { return next_member_++; }
+
+std::vector<tree::MemberId> GroupKeyService::bootstrap_members(std::size_t n) {
+  REKEY_ENSURE_MSG(tree_.empty(), "bootstrap requires an empty group");
+  const tree::MemberId first = next_member_;
+  tree_.populate(n, first);
+  next_member_ += static_cast<tree::MemberId>(n);
+
+  std::vector<tree::MemberId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const tree::MemberId m = first + static_cast<tree::MemberId>(i);
+    const tree::NodeId slot = tree_.slot_of(m);
+    const auto keys = tree_.keys_for_slot(slot);
+    members_.emplace(m, GroupMember(m, slot, config_.degree, keys));
+    out.push_back(m);
+  }
+  return out;
+}
+
+void GroupKeyService::request_join(tree::MemberId m) {
+  REKEY_ENSURE_MSG(m < next_member_, "member not registered");
+  REKEY_ENSURE_MSG(!tree_.has_member(m), "member already in the group");
+  REKEY_ENSURE_MSG(
+      std::find(pending_joins_.begin(), pending_joins_.end(), m) ==
+          pending_joins_.end(),
+      "join already pending");
+  pending_joins_.push_back(m);
+}
+
+void GroupKeyService::request_leave(tree::MemberId m) {
+  REKEY_ENSURE_MSG(tree_.has_member(m), "member not in the group");
+  REKEY_ENSURE_MSG(
+      std::find(pending_leaves_.begin(), pending_leaves_.end(), m) ==
+          pending_leaves_.end(),
+      "leave already pending");
+  pending_leaves_.push_back(m);
+}
+
+GroupMember& GroupKeyService::member(tree::MemberId m) {
+  const auto it = members_.find(m);
+  REKEY_ENSURE_MSG(it != members_.end(), "unknown member");
+  return it->second;
+}
+
+const GroupMember& GroupKeyService::member(tree::MemberId m) const {
+  const auto it = members_.find(m);
+  REKEY_ENSURE_MSG(it != members_.end(), "unknown member");
+  return it->second;
+}
+
+IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
+  IntervalReport report;
+  report.msg_id = next_msg_id_;
+  report.joins = pending_joins_.size();
+  report.leaves = pending_leaves_.size();
+  if (pending_joins_.empty() && pending_leaves_.empty()) return report;
+
+  tree::Marker marker(tree_);
+  const tree::BatchUpdate update = marker.run(pending_joins_, pending_leaves_);
+  pending_joins_.clear();
+  pending_leaves_.clear();
+
+  // Departed members lose their views; joined members get fresh ones with
+  // only their individual key (path keys arrive via the rekey message).
+  for (const auto& [m, slot] : update.departed) members_.erase(m);
+  for (const auto& [m, slot] : update.joined) {
+    const std::pair<tree::NodeId, crypto::SymmetricKey> cred{
+        slot, tree_.node(slot).key};
+    members_.emplace(
+        m, GroupMember(m, slot, config_.degree, std::span(&cred, 1)));
+  }
+
+  const tree::RekeyPayload payload =
+      tree::generate_rekey_payload(tree_, update, next_msg_id_);
+  report.encryptions = payload.encryptions.size();
+
+  packet::Assignment assignment =
+      packet::assign_keys(payload, config_.protocol.packet_size);
+  report.enc_packets = assignment.packets.size();
+  report.duplication_overhead = assignment.duplication_overhead();
+
+  if (topology == nullptr) {
+    // Ideal in-process delivery: every view filters the full list.
+    for (auto& [m, member] : members_)
+      member.apply_rekey(payload.msg_id, payload.max_kid,
+                         payload.encryptions);
+  } else {
+    // Full protocol over the simulated network.
+    const std::vector<tree::NodeId> slots = tree_.user_slots();
+    std::map<tree::NodeId, tree::NodeId> old_of_new;
+    for (const auto& [old_slot, new_slot] : update.moved)
+      old_of_new.emplace(new_slot, old_slot);
+    std::vector<std::uint16_t> old_ids;
+    old_ids.reserve(slots.size());
+    for (const tree::NodeId slot : slots) {
+      const auto it = old_of_new.find(slot);
+      old_ids.push_back(static_cast<std::uint16_t>(
+          it == old_of_new.end() ? slot : it->second));
+    }
+
+    transport::RekeySession session(*topology, config_.protocol, rho_);
+    auto metrics = session.run_message(
+        payload, std::move(assignment), old_ids,
+        [&](std::size_t u, const transport::UserTransport& state) {
+          const tree::NodeId slot = slots[u];
+          const tree::MemberId m = tree_.node(slot).member;
+          std::vector<tree::Encryption> encs;
+          encs.reserve(state.entries().size());
+          for (const packet::EncEntry& e : state.entries())
+            encs.push_back(packet::to_tree_encryption(e, config_.degree));
+          member(m).apply_rekey(payload.msg_id, payload.max_kid, encs);
+        });
+    report.transport = std::move(metrics);
+  }
+
+  ++next_msg_id_;
+  return report;
+}
+
+Bytes GroupKeyService::snapshot() const {
+  ByteWriter w;
+  w.put_u32(next_member_);
+  w.put_u32(next_msg_id_);
+  const Bytes tree_blob = tree::snapshot_tree(tree_);
+  w.put_u32(static_cast<std::uint32_t>(tree_blob.size()));
+  w.put_bytes(tree_blob);
+  return std::move(w).take();
+}
+
+std::optional<GroupKeyService> GroupKeyService::restore(
+    const Bytes& blob, const ServiceConfig& config) {
+  try {
+    ByteReader r(blob);
+    const std::uint32_t next_member = r.get_u32();
+    const std::uint32_t next_msg = r.get_u32();
+    const std::uint32_t tree_len = r.get_u32();
+    if (r.remaining() != tree_len) return std::nullopt;
+    const Bytes tree_blob = r.get_bytes(tree_len);
+    auto restored_tree =
+        tree::restore_tree(tree_blob, config.key_seed ^ next_msg);
+    if (!restored_tree.has_value()) return std::nullopt;
+    if (restored_tree->degree() != config.degree) return std::nullopt;
+
+    GroupKeyService svc(config);
+    svc.tree_ = std::move(*restored_tree);
+    svc.next_member_ = next_member;
+    svc.next_msg_id_ = next_msg;
+    // Rebuild member objects with full path keys — the server holds every
+    // key, so reconstruction is exact.
+    for (const tree::NodeId slot : svc.tree_.user_slots()) {
+      const tree::MemberId m = svc.tree_.node(slot).member;
+      const auto keys = svc.tree_.keys_for_slot(slot);
+      svc.members_.emplace(m, GroupMember(m, slot, config.degree, keys));
+    }
+    return svc;
+  } catch (const EnsureError&) {
+    return std::nullopt;
+  }
+}
+
+IntervalReport GroupKeyService::rekey_interval() { return run_batch(nullptr); }
+
+IntervalReport GroupKeyService::rekey_interval_over(
+    simnet::Topology& topology) {
+  return run_batch(&topology);
+}
+
+}  // namespace rekey::core

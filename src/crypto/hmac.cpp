@@ -1,0 +1,44 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace rekey::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const auto d = Sha256::hash(key);
+    std::memcpy(block.data(), d.data(), d.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+bool tags_equal(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace rekey::crypto

@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace rekey::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+// Constant-time comparison of equal-length tags.
+bool tags_equal(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b);
+
+}  // namespace rekey::crypto

@@ -1,0 +1,100 @@
+#include "crypto/keys.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace rekey::crypto {
+
+namespace {
+
+// Expand a 16-byte key-tree key into the 32-byte ChaCha20 key and derive
+// the 12-byte nonce from (msg_id, enc_id).
+struct CipherParams {
+  std::array<std::uint8_t, ChaCha20::kKeySize> key;
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce;
+};
+
+CipherParams derive_params(const SymmetricKey& kek, std::uint32_t msg_id,
+                           std::uint64_t enc_id) {
+  CipherParams p;
+  // key = SHA256("kdf" || kek)
+  Sha256 kdf;
+  static const std::uint8_t label[] = {'k', 'd', 'f'};
+  kdf.update(label);
+  kdf.update(kek.bytes);
+  const auto digest = kdf.finish();
+  std::memcpy(p.key.data(), digest.data(), p.key.size());
+
+  p.nonce = {};
+  for (int i = 0; i < 4; ++i)
+    p.nonce[i] = static_cast<std::uint8_t>(msg_id >> (24 - 8 * i));
+  for (int i = 0; i < 8; ++i)
+    p.nonce[4 + i] = static_cast<std::uint8_t>(enc_id >> (56 - 8 * i));
+  return p;
+}
+
+std::uint16_t compute_tag(const SymmetricKey& kek,
+                          std::span<const std::uint8_t> ciphertext,
+                          std::uint32_t msg_id, std::uint64_t enc_id) {
+  std::array<std::uint8_t, 12 + SymmetricKey::kSize> msg{};
+  for (int i = 0; i < 4; ++i)
+    msg[i] = static_cast<std::uint8_t>(msg_id >> (24 - 8 * i));
+  for (int i = 0; i < 8; ++i)
+    msg[4 + i] = static_cast<std::uint8_t>(enc_id >> (56 - 8 * i));
+  std::memcpy(msg.data() + 12, ciphertext.data(), ciphertext.size());
+  const auto mac = hmac_sha256(kek.bytes, msg);
+  return static_cast<std::uint16_t>(mac[0] << 8 | mac[1]);
+}
+
+}  // namespace
+
+EncryptedKey encrypt_key(const SymmetricKey& kek, const SymmetricKey& plain,
+                         std::uint32_t msg_id, std::uint64_t enc_id) {
+  const auto params = derive_params(kek, msg_id, enc_id);
+  EncryptedKey out;
+  out.ciphertext = plain.bytes;
+  ChaCha20 cipher(params.key, params.nonce);
+  cipher.apply(out.ciphertext);
+  out.tag = compute_tag(kek, out.ciphertext, msg_id, enc_id);
+  return out;
+}
+
+std::optional<SymmetricKey> decrypt_key(const SymmetricKey& kek,
+                                        const EncryptedKey& enc,
+                                        std::uint32_t msg_id,
+                                        std::uint64_t enc_id) {
+  if (compute_tag(kek, enc.ciphertext, msg_id, enc_id) != enc.tag)
+    return std::nullopt;
+  const auto params = derive_params(kek, msg_id, enc_id);
+  SymmetricKey plain;
+  plain.bytes = enc.ciphertext;
+  ChaCha20 cipher(params.key, params.nonce);
+  cipher.apply(plain.bytes);
+  return plain;
+}
+
+KeyGenerator::KeyGenerator(std::uint64_t master_seed) {
+  std::array<std::uint8_t, 8> seed_bytes;
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<std::uint8_t>(master_seed >> (56 - 8 * i));
+  master_ = Sha256::hash(seed_bytes);
+}
+
+SymmetricKey KeyGenerator::next() {
+  std::array<std::uint8_t, 8> ctr;
+  for (int i = 0; i < 8; ++i)
+    ctr[i] = static_cast<std::uint8_t>(counter_ >> (56 - 8 * i));
+  ++counter_;
+  const auto mac = hmac_sha256(master_, ctr);
+  SymmetricKey k;
+  std::memcpy(k.bytes.data(), mac.data(), k.bytes.size());
+  return k;
+}
+
+Sha256::Digest message_authenticator(const SymmetricKey& auth_key,
+                                     std::span<const std::uint8_t> message) {
+  return hmac_sha256(auth_key.bytes, message);
+}
+
+}  // namespace rekey::crypto

@@ -1,0 +1,70 @@
+// Key material and the key-encryption primitive {k'}_k.
+//
+// Every key in the key tree (group key, auxiliary keys, individual keys) is
+// a 16-byte symmetric key. A rekey message carries "encryptions": a new key
+// encrypted under another key. On the wire an encryption entry is
+//
+//     4-byte encryption id | 16-byte ciphertext | 2-byte integrity tag
+//
+// i.e. 22 bytes — which yields the paper's 46 encryptions per 1027-byte ENC
+// packet. The ChaCha20 nonce is derived deterministically from the rekey
+// message id and the encryption id, so no IV travels on the wire; the tag is
+// a truncated HMAC that lets a user detect a corrupted or mis-keyed entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace rekey::crypto {
+
+struct SymmetricKey {
+  static constexpr std::size_t kSize = 16;
+  std::array<std::uint8_t, kSize> bytes{};
+
+  friend bool operator==(const SymmetricKey&, const SymmetricKey&) = default;
+};
+
+struct EncryptedKey {
+  std::array<std::uint8_t, SymmetricKey::kSize> ciphertext{};
+  std::uint16_t tag = 0;
+
+  friend bool operator==(const EncryptedKey&, const EncryptedKey&) = default;
+};
+
+// Encrypt `plain` under `kek` for (rekey message `msg_id`, encryption
+// `enc_id`). The (msg_id, enc_id) pair must be unique per kek, which the
+// protocol guarantees: each key encrypts at most one key per rekey message.
+EncryptedKey encrypt_key(const SymmetricKey& kek, const SymmetricKey& plain,
+                         std::uint32_t msg_id, std::uint64_t enc_id);
+
+// Decrypt and verify; returns nullopt when the tag does not match (wrong
+// key, wrong ids, or corruption).
+std::optional<SymmetricKey> decrypt_key(const SymmetricKey& kek,
+                                        const EncryptedKey& enc,
+                                        std::uint32_t msg_id,
+                                        std::uint64_t enc_id);
+
+// Deterministic key generator: derives an endless sequence of fresh keys
+// from a master secret via HMAC-SHA256, so a simulation run is reproducible.
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(std::uint64_t master_seed);
+
+  SymmetricKey next();
+
+ private:
+  std::array<std::uint8_t, 32> master_{};
+  std::uint64_t counter_ = 0;
+};
+
+// Authenticator over an entire rekey message; stands in for the paper's
+// digital signature (DESIGN.md §4, substitution 4).
+Sha256::Digest message_authenticator(const SymmetricKey& auth_key,
+                                     std::span<const std::uint8_t> message);
+
+}  // namespace rekey::crypto

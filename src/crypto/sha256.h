@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the key server for key derivation and (via HMAC) for packet
+// integrity tags and the rekey-message authenticator that stands in for the
+// paper's digital signature (see DESIGN.md §4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rekey::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  Digest finish();  // may be called once; resets are not supported
+
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace rekey::crypto

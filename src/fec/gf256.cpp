@@ -1,0 +1,86 @@
+#include "fec/gf256.h"
+
+#include <array>
+
+#include "common/ensure.h"
+
+namespace rekey::fec {
+
+namespace {
+
+struct Tables {
+  // exp_ is doubled so mul can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_;
+  std::array<std::uint16_t, 256> log_;
+
+  Tables() {
+    constexpr unsigned kPoly = 0x11D;
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // unused; log(0) is rejected by callers
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[t.log_[a] + t.log_[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) {
+  REKEY_ENSURE_MSG(a != 0, "inverse of zero in GF(256)");
+  const auto& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
+  REKEY_ENSURE_MSG(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[(static_cast<unsigned long long>(t.log_[a]) * e) % 255];
+}
+
+std::uint8_t GF256::exp(unsigned e) { return tables().exp_[e % 255]; }
+
+unsigned GF256::log(std::uint8_t a) {
+  REKEY_ENSURE_MSG(a != 0, "log of zero in GF(256)");
+  return tables().log_[a];
+}
+
+void GF256::add_scaled(std::span<std::uint8_t> dst,
+                       std::span<const std::uint8_t> src, std::uint8_t c) {
+  REKEY_ENSURE(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const unsigned lc = t.log_[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp_[lc + t.log_[s]];
+  }
+}
+
+}  // namespace rekey::fec

@@ -1,0 +1,32 @@
+// Arithmetic over GF(2^8) with the AES/Rizzo polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), via exp/log tables. This is the field underlying the
+// Reed-Solomon erasure coder used for PARITY packets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rekey::fec {
+
+class GF256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // characteristic 2: add == subtract == XOR
+  }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);  // b != 0
+  static std::uint8_t inv(std::uint8_t a);                  // a != 0
+  static std::uint8_t pow(std::uint8_t a, unsigned e);
+
+  // dst[i] ^= c * src[i] — the hot loop of encode/decode.
+  static void add_scaled(std::span<std::uint8_t> dst,
+                         std::span<const std::uint8_t> src, std::uint8_t c);
+
+  // Exponential of the generator alpha=2: alpha^e with e taken mod 255.
+  static std::uint8_t exp(unsigned e);
+  // Discrete log base alpha of a != 0.
+  static unsigned log(std::uint8_t a);
+};
+
+}  // namespace rekey::fec

@@ -1,0 +1,86 @@
+#include "fec/matrix.h"
+
+#include "common/ensure.h"
+#include "fec/gf256.h"
+
+namespace rekey::fec {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {
+  REKEY_ENSURE(rows > 0 && cols > 0);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+std::uint8_t& Matrix::at(std::size_t r, std::size_t c) {
+  REKEY_ENSURE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::uint8_t Matrix::at(std::size_t r, std::size_t c) const {
+  REKEY_ENSURE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  REKEY_ENSURE(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) =
+            GF256::add(out.at(i, j), GF256::mul(a, other.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  REKEY_ENSURE(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t p = a.at(col, col);
+    if (p != 1) {
+      const std::uint8_t pinv = GF256::inv(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(col, j) = GF256::mul(a.at(col, j), pinv);
+        inv.at(col, j) = GF256::mul(inv.at(col, j), pinv);
+      }
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(r, j) = GF256::add(a.at(r, j), GF256::mul(f, a.at(col, j)));
+        inv.at(r, j) =
+            GF256::add(inv.at(r, j), GF256::mul(f, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace rekey::fec

@@ -1,0 +1,111 @@
+#include "fec/rse.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "fec/gf256.h"
+#include "fec/matrix.h"
+
+namespace rekey::fec {
+
+RseCoder::RseCoder(int k) : k_(k) {
+  REKEY_ENSURE_MSG(k >= 1 && k <= 128, "block size out of range");
+}
+
+std::uint8_t RseCoder::coeff(int parity_index, int data_index) const {
+  // Cauchy element 1 / (x_r + y_c) with x_r = k + parity_index,
+  // y_c = data_index; the two index sets are disjoint so x_r != y_c.
+  const std::uint8_t x = static_cast<std::uint8_t>(k_ + parity_index);
+  const std::uint8_t y = static_cast<std::uint8_t>(data_index);
+  return GF256::inv(GF256::add(x, y));
+}
+
+Bytes RseCoder::encode_one(std::span<const Bytes> data,
+                           int parity_index) const {
+  REKEY_ENSURE(static_cast<int>(data.size()) == k_);
+  REKEY_ENSURE_MSG(parity_index >= 0 && parity_index < max_parity(),
+                   "parity index exhausted for this block size");
+  const std::size_t len = data[0].size();
+  Bytes out(len, 0);
+  for (int c = 0; c < k_; ++c) {
+    REKEY_ENSURE_MSG(data[c].size() == len, "unequal packet sizes in block");
+    GF256::add_scaled(out, data[c], coeff(parity_index, c));
+  }
+  return out;
+}
+
+std::vector<Bytes> RseCoder::encode(std::span<const Bytes> data, int first,
+                                    int count) const {
+  std::vector<Bytes> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) out.push_back(encode_one(data, first + j));
+  return out;
+}
+
+std::optional<std::vector<Bytes>> RseCoder::decode(
+    std::span<const Shard> shards) const {
+  // Pick k distinct shards, preferring data shards (identity rows are free).
+  std::vector<const Shard*> chosen;
+  std::vector<bool> have_data(static_cast<std::size_t>(k_), false);
+  std::vector<bool> seen_index(256, false);
+
+  for (const Shard& s : shards) {
+    REKEY_ENSURE(s.index >= 0 && s.index < k_ + max_parity());
+    if (s.index < k_ && !seen_index[static_cast<std::size_t>(s.index)]) {
+      seen_index[static_cast<std::size_t>(s.index)] = true;
+      have_data[static_cast<std::size_t>(s.index)] = true;
+      chosen.push_back(&s);
+    }
+  }
+  for (const Shard& s : shards) {
+    if (static_cast<int>(chosen.size()) >= k_) break;
+    if (s.index >= k_ && !seen_index[static_cast<std::size_t>(s.index)]) {
+      seen_index[static_cast<std::size_t>(s.index)] = true;
+      chosen.push_back(&s);
+    }
+  }
+  if (static_cast<int>(chosen.size()) < k_) return std::nullopt;
+
+  const std::size_t len = chosen[0]->payload.size();
+  for (const Shard* s : chosen)
+    REKEY_ENSURE_MSG(s->payload.size() == len, "unequal shard sizes");
+
+  const bool all_data =
+      std::all_of(have_data.begin(), have_data.end(), [](bool b) { return b; });
+  std::vector<Bytes> result(static_cast<std::size_t>(k_));
+  if (all_data) {
+    for (const Shard* s : chosen)
+      if (s->index < k_)
+        result[static_cast<std::size_t>(s->index)] = s->payload;
+    return result;
+  }
+
+  // Build the k x k system: row i of M is the generator row of chosen[i].
+  Matrix m(static_cast<std::size_t>(k_), static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    const int idx = chosen[static_cast<std::size_t>(i)]->index;
+    if (idx < k_) {
+      m.at(static_cast<std::size_t>(i), static_cast<std::size_t>(idx)) = 1;
+    } else {
+      for (int c = 0; c < k_; ++c)
+        m.at(static_cast<std::size_t>(i), static_cast<std::size_t>(c)) =
+            coeff(idx - k_, c);
+    }
+  }
+  const auto inv = m.inverted();
+  REKEY_ENSURE_MSG(inv.has_value(), "MDS violated: decode matrix singular");
+
+  // data[r] = sum_i inv[r][i] * chosen[i].payload
+  for (int r = 0; r < k_; ++r) {
+    Bytes row(len, 0);
+    for (int i = 0; i < k_; ++i) {
+      GF256::add_scaled(row, chosen[static_cast<std::size_t>(i)]->payload,
+                        inv->at(static_cast<std::size_t>(r),
+                                static_cast<std::size_t>(i)));
+    }
+    result[static_cast<std::size_t>(r)] = std::move(row);
+  }
+  return result;
+}
+
+}  // namespace rekey::fec

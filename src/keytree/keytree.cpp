@@ -1,0 +1,157 @@
+#include "keytree/keytree.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace rekey::tree {
+
+KeyTree::KeyTree(unsigned degree, std::uint64_t key_seed)
+    : degree_(degree), keygen_(key_seed) {
+  REKEY_ENSURE_MSG(degree >= 2, "key tree degree must be >= 2");
+}
+
+void KeyTree::populate(std::size_t n, MemberId first_member) {
+  REKEY_ENSURE_MSG(empty(), "populate requires an empty tree");
+  if (n == 0) return;
+
+  // Smallest height whose leaf level can hold n users. A single user still
+  // gets a k-node root above it so the root always carries the group key.
+  unsigned height = 1;
+  std::size_t capacity = degree_;
+  while (capacity < n) {
+    capacity *= degree_;
+    ++height;
+  }
+
+  const NodeId first_leaf = first_id_at_level(height, degree_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId slot = first_leaf + i;
+    Node u;
+    u.kind = NodeKind::UNode;
+    u.key = keygen_.next();
+    u.member = first_member + static_cast<MemberId>(i);
+    nodes_.emplace(slot, u);
+    unode_ids_.insert(slot);
+    slot_of_member_.emplace(u.member, slot);
+    // Create missing ancestors as k-nodes.
+    NodeId id = slot;
+    while (id != kRootId) {
+      id = parent_of(id, degree_);
+      if (nodes_.count(id)) break;
+      Node k;
+      k.kind = NodeKind::KNode;
+      k.key = keygen_.next();
+      nodes_.emplace(id, k);
+      knode_ids_.insert(id);
+    }
+  }
+}
+
+KeyTree KeyTree::from_nodes(unsigned degree, std::uint64_t key_seed,
+                            const std::map<NodeId, Node>& nodes) {
+  KeyTree t(degree, key_seed);
+  for (const auto& [id, n] : nodes) {
+    t.nodes_.emplace(id, n);
+    if (n.kind == NodeKind::KNode) {
+      t.knode_ids_.insert(id);
+    } else {
+      t.unode_ids_.insert(id);
+      const auto [it, inserted] = t.slot_of_member_.emplace(n.member, id);
+      (void)it;
+      REKEY_ENSURE_MSG(inserted, "duplicate member in node data");
+    }
+  }
+  t.check_invariants();
+  return t;
+}
+
+const Node& KeyTree::node(NodeId id) const {
+  const auto it = nodes_.find(id);
+  REKEY_ENSURE_MSG(it != nodes_.end(), "node does not exist (n-node)");
+  return it->second;
+}
+
+std::optional<NodeId> KeyTree::max_knode_id() const {
+  if (knode_ids_.empty()) return std::nullopt;
+  return *knode_ids_.rbegin();
+}
+
+std::vector<NodeId> KeyTree::user_slots() const {
+  return {unode_ids_.begin(), unode_ids_.end()};
+}
+
+NodeId KeyTree::slot_of(MemberId m) const {
+  const auto it = slot_of_member_.find(m);
+  REKEY_ENSURE_MSG(it != slot_of_member_.end(), "unknown member");
+  return it->second;
+}
+
+bool KeyTree::has_member(MemberId m) const {
+  return slot_of_member_.count(m) != 0;
+}
+
+const crypto::SymmetricKey& KeyTree::group_key() const {
+  const Node& root = node(kRootId);
+  REKEY_ENSURE_MSG(root.kind == NodeKind::KNode, "root is not a k-node");
+  return root.key;
+}
+
+std::vector<std::pair<NodeId, crypto::SymmetricKey>> KeyTree::keys_for_slot(
+    NodeId slot) const {
+  std::vector<std::pair<NodeId, crypto::SymmetricKey>> keys;
+  for (const NodeId id : path_to_root(slot, degree_))
+    keys.emplace_back(id, node(id).key);
+  return keys;
+}
+
+unsigned KeyTree::height() const {
+  if (nodes_.empty()) return 0;
+  // u-nodes have the largest ids, and ids grow with depth within the
+  // expanded tree, so the deepest node is the one with the largest id.
+  const NodeId deepest = nodes_.rbegin()->first;
+  return level_of(deepest, degree_);
+}
+
+void KeyTree::check_invariants() const {
+  // Bookkeeping sets match the node map.
+  REKEY_ENSURE(knode_ids_.size() + unode_ids_.size() == nodes_.size());
+  for (const auto& [id, n] : nodes_) {
+    if (n.kind == NodeKind::KNode) {
+      REKEY_ENSURE(knode_ids_.count(id) == 1);
+    } else {
+      REKEY_ENSURE(unode_ids_.count(id) == 1);
+      REKEY_ENSURE(slot_of_member_.at(n.member) == id);
+    }
+    // I1: parent exists and is a k-node.
+    if (id != kRootId) {
+      const auto pit = nodes_.find(parent_of(id, degree_));
+      REKEY_ENSURE_MSG(pit != nodes_.end(), "orphan node");
+      REKEY_ENSURE_MSG(pit->second.kind == NodeKind::KNode,
+                       "parent is not a k-node");
+    }
+  }
+  REKEY_ENSURE(slot_of_member_.size() == unode_ids_.size());
+
+  // I2: every k-node has a u-node descendant. Equivalent check: every
+  // k-node has at least one child, and (inductively, leaves of the k-node
+  // subgraph must be u-nodes' parents) every childless node is a u-node.
+  for (const NodeId id : knode_ids_) {
+    bool has_child = false;
+    for (unsigned j = 0; j < degree_ && !has_child; ++j)
+      has_child = nodes_.count(child_of(id, j, degree_)) != 0;
+    REKEY_ENSURE_MSG(has_child, "k-node with no children");
+  }
+
+  // I3 + I4.
+  if (!knode_ids_.empty() && !unode_ids_.empty()) {
+    const NodeId nk = *knode_ids_.rbegin();
+    const NodeId min_u = *unode_ids_.begin();
+    const NodeId max_u = *unode_ids_.rbegin();
+    REKEY_ENSURE_MSG(nk < min_u, "Lemma 4.1 violated");
+    REKEY_ENSURE_MSG(max_u <= nk * degree_ + degree_,
+                     "u-node beyond d*nk+d");
+  }
+}
+
+}  // namespace rekey::tree

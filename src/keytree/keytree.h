@@ -1,0 +1,102 @@
+// The logical key hierarchy (LKH) key tree (paper §2.1).
+//
+// The tree is a d-ary hierarchy whose root holds the group key, internal
+// k-nodes hold auxiliary keys, and u-nodes (always below every k-node in id
+// order — Lemma 4.1) hold users' individual keys. n-nodes of the expanded
+// tree are represented implicitly: an id with no entry is an n-node.
+//
+// Structural invariants maintained across batches (checked by
+// KeyTree::check_invariants and enforced in tests):
+//   I1  every non-root node's parent exists and is a k-node;
+//   I2  every k-node has at least one u-node descendant;
+//   I3  (Lemma 4.1) max k-node id < min u-node id;
+//   I4  every u-node id lies in (nk, d*nk + d] where nk = max k-node id.
+//
+// Mutation happens only through the marking algorithm (keytree/marking.h),
+// which is the paper's batch-rekeying update.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "keytree/ids.h"
+
+namespace rekey::tree {
+
+// Stable identity of a group member across tree restructurings. Slots
+// (NodeIds) move when the marking algorithm splits nodes; MemberIds do not.
+using MemberId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t { KNode, UNode };
+
+struct Node {
+  NodeKind kind = NodeKind::KNode;
+  crypto::SymmetricKey key;
+  MemberId member = 0;  // meaningful only for u-nodes
+};
+
+class KeyTree {
+ public:
+  // An empty tree of the given degree; keys are drawn deterministically
+  // from key_seed so runs are reproducible.
+  KeyTree(unsigned degree, std::uint64_t key_seed);
+
+  // Build the initial tree for members [first_member, first_member + n):
+  // height ceil(log_d n), users packed into the leftmost leaf slots.
+  // Requires an empty tree.
+  void populate(std::size_t n, MemberId first_member = 0);
+
+  unsigned degree() const { return degree_; }
+  std::size_t num_users() const { return slot_of_member_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  bool contains(NodeId id) const { return nodes_.count(id) != 0; }
+  const Node& node(NodeId id) const;
+  // nullopt when the tree is empty or holds a single u-node at the root.
+  std::optional<NodeId> max_knode_id() const;
+
+  // Sorted u-node ids.
+  std::vector<NodeId> user_slots() const;
+  NodeId slot_of(MemberId m) const;
+  bool has_member(MemberId m) const;
+
+  // The group key (root key). Requires a non-empty tree with a k-node root.
+  const crypto::SymmetricKey& group_key() const;
+
+  // All keys a user at `slot` holds: its individual key plus every k-node
+  // key on the path to the root (paper §2.1).
+  std::vector<std::pair<NodeId, crypto::SymmetricKey>> keys_for_slot(
+      NodeId slot) const;
+
+  // Tree height = level of the deepest node (0 for a root-only tree).
+  unsigned height() const;
+
+  // Verifies I1-I4; throws EnsureError on violation.
+  void check_invariants() const;
+
+  crypto::KeyGenerator& key_generator() { return keygen_; }
+
+  // Read-only iteration over all nodes, ordered by id (snapshots, tests).
+  const std::map<NodeId, Node>& nodes() const { return nodes_; }
+
+  // Rebuild a tree from node data (snapshot restore). Validates the
+  // structural invariants; throws EnsureError on inconsistent input.
+  static KeyTree from_nodes(unsigned degree, std::uint64_t key_seed,
+                            const std::map<NodeId, Node>& nodes);
+
+ private:
+  friend class Marker;  // the marking algorithm mutates the tree
+
+  unsigned degree_;
+  crypto::KeyGenerator keygen_;
+  std::map<NodeId, Node> nodes_;
+  std::set<NodeId> knode_ids_;
+  std::set<NodeId> unode_ids_;
+  std::map<MemberId, NodeId> slot_of_member_;
+};
+
+}  // namespace rekey::tree

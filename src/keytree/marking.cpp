@@ -1,0 +1,225 @@
+#include "keytree/marking.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::tree {
+
+NodeId Marker::place_user(MemberId m, NodeId slot) {
+  REKEY_ENSURE(tree_.nodes_.count(slot) == 0);
+  Node u;
+  u.kind = NodeKind::UNode;
+  u.key = tree_.keygen_.next();
+  u.member = m;
+  tree_.nodes_.emplace(slot, u);
+  tree_.unode_ids_.insert(slot);
+  tree_.slot_of_member_.emplace(m, slot);
+  return slot;
+}
+
+void Marker::remove_user_slot(NodeId slot) {
+  const auto it = tree_.nodes_.find(slot);
+  REKEY_ENSURE(it != tree_.nodes_.end() &&
+               it->second.kind == NodeKind::UNode);
+  tree_.slot_of_member_.erase(it->second.member);
+  tree_.unode_ids_.erase(slot);
+  tree_.nodes_.erase(it);
+}
+
+void Marker::prune_upwards(NodeId from_parent) {
+  NodeId id = from_parent;
+  while (true) {
+    const auto it = tree_.nodes_.find(id);
+    if (it == tree_.nodes_.end() || it->second.kind != NodeKind::KNode) return;
+    bool has_child = false;
+    for (unsigned j = 0; j < tree_.degree_ && !has_child; ++j)
+      has_child = tree_.nodes_.count(child_of(id, j, tree_.degree_)) != 0;
+    if (has_child) return;
+    tree_.knode_ids_.erase(id);
+    tree_.nodes_.erase(it);
+    if (id == kRootId) return;
+    id = parent_of(id, tree_.degree_);
+  }
+}
+
+void Marker::create_ancestors(NodeId slot, BatchUpdate& upd) {
+  NodeId id = slot;
+  while (id != kRootId) {
+    id = parent_of(id, tree_.degree_);
+    if (tree_.nodes_.count(id)) {
+      REKEY_ENSURE(tree_.nodes_.at(id).kind == NodeKind::KNode);
+      return;  // existing ancestors are all present (invariant I1)
+    }
+    Node k;
+    k.kind = NodeKind::KNode;
+    k.key = tree_.keygen_.next();
+    tree_.nodes_.emplace(id, k);
+    tree_.knode_ids_.insert(id);
+    upd.changed_knodes.insert(id);
+  }
+}
+
+void Marker::split_first_user(BatchUpdate& upd,
+                              std::vector<NodeId>& free_slots) {
+  REKEY_ENSURE(free_slots.empty());
+  const auto nk = tree_.max_knode_id();
+  REKEY_ENSURE_MSG(nk.has_value(), "split on an empty tree");
+  const NodeId s = *nk + 1;
+  const auto it = tree_.nodes_.find(s);
+  REKEY_ENSURE_MSG(it != tree_.nodes_.end() &&
+                       it->second.kind == NodeKind::UNode,
+                   "split target is not a u-node");
+
+  // The user at s descends to s's leftmost child; s becomes a k-node.
+  const Node user = it->second;
+  const NodeId dest = child_of(s, 0, tree_.degree_);
+  tree_.unode_ids_.erase(s);
+  tree_.nodes_.erase(it);
+  tree_.nodes_.emplace(dest, user);
+  tree_.unode_ids_.insert(dest);
+  tree_.slot_of_member_[user.member] = dest;
+
+  Node k;
+  k.kind = NodeKind::KNode;
+  k.key = tree_.keygen_.next();
+  tree_.nodes_.emplace(s, k);
+  tree_.knode_ids_.insert(s);
+  upd.changed_knodes.insert(s);
+  upd.moved[s] = dest;
+  // If the relocated user joined in this very batch, report its final slot.
+  const auto jit = upd.joined.find(user.member);
+  if (jit != upd.joined.end()) jit->second = dest;
+
+  // d-1 fresh sibling slots, stored descending so pop_back yields the
+  // smallest id first ("in order from low to high").
+  for (unsigned j = tree_.degree_ - 1; j >= 1; --j)
+    free_slots.push_back(child_of(s, j, tree_.degree_));
+}
+
+BatchUpdate Marker::run(std::span<const MemberId> joins,
+                        std::span<const MemberId> leaves) {
+  BatchUpdate upd;
+
+  for (const MemberId m : joins)
+    REKEY_ENSURE_MSG(!tree_.has_member(m), "join of an existing member");
+  for (const MemberId m : leaves)
+    REKEY_ENSURE_MSG(tree_.has_member(m), "leave of an unknown member");
+
+  // Bootstrap: an empty tree is (re)built directly; every k-node is new and
+  // therefore changed.
+  if (tree_.empty()) {
+    REKEY_ENSURE(leaves.empty());
+    if (joins.empty()) return upd;
+    unsigned height = 1;
+    std::size_t capacity = tree_.degree_;
+    while (capacity < joins.size()) {
+      capacity *= tree_.degree_;
+      ++height;
+    }
+    const NodeId first_leaf = first_id_at_level(height, tree_.degree_);
+    for (std::size_t i = 0; i < joins.size(); ++i) {
+      const NodeId slot = first_leaf + i;
+      place_user(joins[i], slot);
+      create_ancestors(slot, upd);
+      upd.joined.emplace(joins[i], slot);
+    }
+    upd.max_kid = tree_.max_knode_id().value_or(0);
+    return upd;
+  }
+
+  const std::size_t J = joins.size();
+  const std::size_t L = leaves.size();
+
+  std::vector<NodeId> departed;
+  departed.reserve(L);
+  for (const MemberId m : leaves) {
+    const NodeId slot = tree_.slot_of(m);
+    departed.push_back(slot);
+    upd.departed.emplace(m, slot);
+  }
+  std::sort(departed.begin(), departed.end());
+
+  std::vector<NodeId> changed_slots;
+
+  // Replace the min(J, L) smallest-id departed slots with joins. The new
+  // member gets a fresh individual key (the old one is known to the
+  // departed user).
+  const std::size_t replaced = std::min(J, L);
+  for (std::size_t i = 0; i < replaced; ++i) {
+    const NodeId slot = departed[i];
+    remove_user_slot(slot);
+    place_user(joins[i], slot);
+    upd.joined.emplace(joins[i], slot);
+    changed_slots.push_back(slot);
+  }
+
+  if (J < L) {
+    // Remaining departures become n-nodes; childless k-nodes are pruned.
+    for (std::size_t i = J; i < L; ++i) {
+      const NodeId slot = departed[i];
+      remove_user_slot(slot);
+      changed_slots.push_back(slot);
+      if (slot != kRootId) prune_upwards(parent_of(slot, tree_.degree_));
+    }
+  } else if (J > L) {
+    // Free n-node slots in (nk, d*nk+d], ascending; stored descending so
+    // pop_back is the smallest.
+    std::vector<NodeId> free_slots;
+    {
+      const auto nk = tree_.max_knode_id();
+      REKEY_ENSURE(nk.has_value());
+      const NodeId lo = *nk + 1;
+      const NodeId hi = *nk * tree_.degree_ + tree_.degree_;
+      std::vector<NodeId> ascending;
+      NodeId next = lo;
+      for (auto it = tree_.unode_ids_.lower_bound(lo);
+           it != tree_.unode_ids_.end() && *it <= hi; ++it) {
+        for (NodeId id = next; id < *it; ++id) ascending.push_back(id);
+        next = *it + 1;
+      }
+      for (NodeId id = next; id <= hi; ++id) ascending.push_back(id);
+      free_slots.assign(ascending.rbegin(), ascending.rend());
+    }
+
+    for (std::size_t i = L; i < J; ++i) {
+      if (free_slots.empty()) split_first_user(upd, free_slots);
+      const NodeId slot = free_slots.back();
+      free_slots.pop_back();
+      place_user(joins[i], slot);
+      create_ancestors(slot, upd);
+      upd.joined.emplace(joins[i], slot);
+      changed_slots.push_back(slot);
+    }
+  }
+
+  // Users relocated by splits count as changed slots too.
+  for (const auto& [old_slot, new_slot] : upd.moved)
+    changed_slots.push_back(new_slot);
+
+  // Every existing k-node on a path from a changed slot to the root gets a
+  // fresh key. (Ancestors pruned away no longer exist and need none.)
+  for (const NodeId slot : changed_slots) {
+    NodeId id = slot;
+    while (id != kRootId) {
+      id = parent_of(id, tree_.degree_);
+      const auto it = tree_.nodes_.find(id);
+      if (it != tree_.nodes_.end() && it->second.kind == NodeKind::KNode)
+        upd.changed_knodes.insert(id);
+    }
+  }
+  for (const NodeId x : upd.changed_knodes) {
+    const auto it = tree_.nodes_.find(x);
+    // A k-node can have been marked changed (created during placement) and
+    // pruned afterwards only in the J<L path, which never creates nodes;
+    // so every changed k-node still exists.
+    REKEY_ENSURE(it != tree_.nodes_.end() &&
+                 it->second.kind == NodeKind::KNode);
+    it->second.key = tree_.keygen_.next();
+  }
+
+  upd.max_kid = tree_.max_knode_id().value_or(0);
+  return upd;
+}
+
+}  // namespace rekey::tree

@@ -1,0 +1,64 @@
+// The marking algorithm: periodic batch rekeying (paper §2.2, Appendix B).
+//
+// At the end of a rekey interval the key server has collected J join and L
+// leave requests. The marking algorithm updates the key tree:
+//
+//   J = L : departed u-nodes are replaced by joined users;
+//   J < L : the J smallest-id departed slots are replaced, the remaining
+//           L-J become n-nodes, and k-nodes left without u-descendants are
+//           pruned (become n-nodes);
+//   J > L : departed slots are replaced first, then extra joins fill
+//           n-node slots with ids in (nk, d*nk+d] from low to high; when
+//           those run out, the u-node with id nk+1 is split — it becomes a
+//           k-node and its user moves to its leftmost child — freeing d-1
+//           sibling slots, repeatedly.
+//
+// Every k-node on a path from a changed slot to the root receives a fresh
+// key; the rekey subtree (keytree/rekey_subtree.h) is derived from this
+// changed set.
+#pragma once
+
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "keytree/keytree.h"
+
+namespace rekey::tree {
+
+// Outcome of one batch, consumed by encryption generation and by tests.
+struct BatchUpdate {
+  // k-nodes whose keys were refreshed (includes newly created k-nodes).
+  std::set<NodeId> changed_knodes;
+  // Members placed this batch, with their slots.
+  std::map<MemberId, NodeId> joined;
+  // Members removed this batch, with their former slots.
+  std::map<MemberId, NodeId> departed;
+  // Users relocated by splitting: old slot -> new slot.
+  std::map<NodeId, NodeId> moved;
+  // Maximum k-node id after the batch (the ENC packet maxKID field).
+  NodeId max_kid = 0;
+};
+
+class Marker {
+ public:
+  explicit Marker(KeyTree& tree) : tree_(tree) {}
+
+  // Applies one batch. `joins` are fresh member ids (must not be in the
+  // tree); `leaves` are current member ids. Returns the update summary.
+  BatchUpdate run(std::span<const MemberId> joins,
+                  std::span<const MemberId> leaves);
+
+ private:
+  NodeId place_user(MemberId m, NodeId slot);           // create u-node
+  void remove_user_slot(NodeId slot);                   // u-node -> n-node
+  void prune_upwards(NodeId from_parent);               // drop empty k-nodes
+  void create_ancestors(NodeId slot, BatchUpdate& upd); // n-node -> k-node
+  void split_first_user(BatchUpdate& upd,
+                        std::vector<NodeId>& free_slots);
+
+  KeyTree& tree_;
+};
+
+}  // namespace rekey::tree

@@ -1,0 +1,79 @@
+#include "keytree/rekey_subtree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/ensure.h"
+
+namespace rekey::tree {
+
+RekeyPayload generate_rekey_payload(const KeyTree& tree,
+                                    const BatchUpdate& update,
+                                    std::uint32_t msg_id) {
+  RekeyPayload out;
+  out.msg_id = msg_id;
+  out.degree = tree.degree();
+  out.max_kid = update.max_kid;
+  const unsigned d = tree.degree();
+
+  // Labels: a changed k-node above any departed or split-relocated slot is
+  // Replace; one whose changes are joins only is Join.
+  for (const NodeId x : update.changed_knodes) out.labels[x] = Label::Join;
+  auto taint = [&](NodeId slot) {
+    NodeId id = slot;
+    while (id != kRootId) {
+      id = parent_of(id, d);
+      const auto it = out.labels.find(id);
+      if (it != out.labels.end()) it->second = Label::Replace;
+    }
+  };
+  for (const auto& [member, slot] : update.departed) taint(slot);
+  for (const auto& [old_slot, new_slot] : update.moved) {
+    taint(old_slot);
+    // The split node itself hides a relocation from users beneath it.
+    const auto it = out.labels.find(old_slot);
+    if (it != out.labels.end()) it->second = Label::Replace;
+  }
+
+  // Encryptions, deepest changed k-nodes first (bottom-up traversal).
+  std::vector<NodeId> order(update.changed_knodes.begin(),
+                            update.changed_knodes.end());
+  std::sort(order.begin(), order.end(), std::greater<NodeId>());
+
+  std::unordered_map<NodeId, std::uint32_t> index_of_enc;
+  for (const NodeId x : order) {
+    const crypto::SymmetricKey& new_key = tree.node(x).key;
+    for (unsigned j = 0; j < d; ++j) {
+      const NodeId c = child_of(x, j, d);
+      if (!tree.contains(c)) continue;  // n-node
+      Encryption e;
+      e.enc_id = c;
+      e.target_id = x;
+      e.payload = crypto::encrypt_key(tree.node(c).key, new_key, msg_id, c);
+      index_of_enc.emplace(c, static_cast<std::uint32_t>(
+                                  out.encryptions.size()));
+      out.encryptions.push_back(e);
+    }
+  }
+
+  // Which encryptions each user needs: for every node c on the user's path
+  // (excluding the root), the encryption with id c exists iff parent(c)
+  // changed. Changed sets are upward-closed, so these form the top segment
+  // of the path; we record them bottom-up so a receiver can decrypt in
+  // order with the keys it already holds.
+  for (const NodeId slot : tree.user_slots()) {
+    std::vector<std::uint32_t> needs;
+    for (NodeId c = slot; c != kRootId; c = parent_of(c, d)) {
+      if (update.changed_knodes.count(parent_of(c, d))) {
+        const auto it = index_of_enc.find(c);
+        REKEY_ENSURE_MSG(it != index_of_enc.end(),
+                         "missing encryption for an existing child");
+        needs.push_back(it->second);
+      }
+    }
+    if (!needs.empty()) out.user_needs.emplace(slot, std::move(needs));
+  }
+  return out;
+}
+
+}  // namespace rekey::tree

@@ -1,0 +1,57 @@
+// Rekey subtree construction and encryption generation (paper §2.1, §2.2,
+// Appendix B).
+//
+// The rekey subtree consists of the k-nodes whose keys changed in a batch,
+// their direct children, and the connecting edges. For every edge
+// (changed k-node x, child c) the server emits the encryption
+// {newkey(x)}_{key(c)} — where key(c) is c's new key if c is itself a
+// changed k-node, or c's (possibly brand-new) individual key if c is a
+// u-node. The encryption's id is c's node id: each node's key encrypts at
+// most one key per rekey message, so the id is unique and self-describing
+// (the target is always the parent's key).
+//
+// Appendix-B labels (Unchanged / Join / Leave / Replace) are also computed:
+// a changed k-node is labelled Join when the only changes beneath it are
+// joins, Replace when some user beneath departed or was relocated by a
+// split. They are diagnostic here (encryption generation does not depend on
+// them) but are exercised by tests and by the analysis module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "keytree/marking.h"
+
+namespace rekey::tree {
+
+enum class Label : std::uint8_t { Join, Replace };
+
+struct Encryption {
+  NodeId enc_id = 0;     // id of the encrypting node (the child c)
+  NodeId target_id = 0;  // id of the node whose new key is carried (parent)
+  crypto::EncryptedKey payload;
+};
+
+struct RekeyPayload {
+  std::uint32_t msg_id = 0;
+  unsigned degree = 4;
+  NodeId max_kid = 0;
+  // Bottom-up generation order (deepest subtrees first).
+  std::vector<Encryption> encryptions;
+  // For every current user slot: indices into `encryptions` it needs,
+  // ordered bottom-up along its path. Users with no changed ancestor have
+  // no entry.
+  std::map<NodeId, std::vector<std::uint32_t>> user_needs;
+  // Appendix-B labels of the changed k-nodes.
+  std::map<NodeId, Label> labels;
+};
+
+// Generates the rekey message payload for a batch that was just applied to
+// `tree` (whose keys are already the *new* keys).
+RekeyPayload generate_rekey_payload(const KeyTree& tree,
+                                    const BatchUpdate& update,
+                                    std::uint32_t msg_id);
+
+}  // namespace rekey::tree

@@ -1,0 +1,128 @@
+#include "keytree/snapshot.h"
+
+#include <cstring>
+
+#include "common/ensure.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace rekey::tree {
+
+namespace {
+
+constexpr std::uint32_t kTreeMagic = 0x524B5453;  // "RKTS"
+constexpr std::uint32_t kViewMagic = 0x524B5653;  // "RKVS"
+constexpr std::uint8_t kVersion = 1;
+
+void append_digest(Bytes& blob) {
+  const auto digest = crypto::Sha256::hash(blob);
+  blob.insert(blob.end(), digest.begin(), digest.end());
+}
+
+// Strips and checks the SHA-256 trailer; nullopt on mismatch.
+std::optional<std::span<const std::uint8_t>> checked_body(const Bytes& blob) {
+  if (blob.size() < crypto::Sha256::kDigestSize) return std::nullopt;
+  const std::size_t body_len = blob.size() - crypto::Sha256::kDigestSize;
+  const std::span<const std::uint8_t> body(blob.data(), body_len);
+  const auto digest = crypto::Sha256::hash(body);
+  if (!crypto::tags_equal(digest,
+                          std::span(blob.data() + body_len,
+                                    crypto::Sha256::kDigestSize)))
+    return std::nullopt;
+  return body;
+}
+
+}  // namespace
+
+Bytes snapshot_tree(const KeyTree& tree) {
+  ByteWriter w;
+  w.put_u32(kTreeMagic);
+  w.put_u8(kVersion);
+  w.put_u8(static_cast<std::uint8_t>(tree.degree()));
+  w.put_u32(static_cast<std::uint32_t>(tree.nodes().size()));
+  for (const auto& [id, n] : tree.nodes()) {
+    w.put_u64(id);
+    w.put_u8(static_cast<std::uint8_t>(n.kind));
+    w.put_u32(n.kind == NodeKind::UNode ? n.member : 0);
+    w.put_bytes(n.key.bytes);
+  }
+  Bytes blob = std::move(w).take();
+  append_digest(blob);
+  return blob;
+}
+
+std::optional<KeyTree> restore_tree(const Bytes& blob,
+                                    std::uint64_t key_seed) {
+  const auto body = checked_body(blob);
+  if (!body) return std::nullopt;
+  try {
+    ByteReader r(*body);
+    if (r.get_u32() != kTreeMagic) return std::nullopt;
+    if (r.get_u8() != kVersion) return std::nullopt;
+    const unsigned degree = r.get_u8();
+    const std::uint32_t count = r.get_u32();
+    std::map<NodeId, Node> nodes;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId id = r.get_u64();
+      Node n;
+      n.kind = static_cast<NodeKind>(r.get_u8());
+      if (n.kind != NodeKind::KNode && n.kind != NodeKind::UNode)
+        return std::nullopt;
+      n.member = r.get_u32();
+      const Bytes key = r.get_bytes(crypto::SymmetricKey::kSize);
+      std::copy(key.begin(), key.end(), n.key.bytes.begin());
+      if (!nodes.emplace(id, n).second) return std::nullopt;
+    }
+    if (r.remaining() != 0) return std::nullopt;
+    return KeyTree::from_nodes(degree, key_seed, nodes);
+  } catch (const EnsureError&) {
+    // Truncated fields or invariant violations: a corrupt snapshot.
+    return std::nullopt;
+  }
+}
+
+Bytes snapshot_view(const UserKeyView& view, unsigned degree) {
+  ByteWriter w;
+  w.put_u32(kViewMagic);
+  w.put_u8(kVersion);
+  w.put_u8(static_cast<std::uint8_t>(degree));
+  w.put_u32(view.member());
+  w.put_u64(view.id());
+  w.put_u32(static_cast<std::uint32_t>(view.keys().size()));
+  for (const auto& [id, key] : view.keys()) {
+    w.put_u64(id);
+    w.put_bytes(key.bytes);
+  }
+  Bytes blob = std::move(w).take();
+  append_digest(blob);
+  return blob;
+}
+
+std::optional<UserKeyView> restore_view(const Bytes& blob) {
+  const auto body = checked_body(blob);
+  if (!body) return std::nullopt;
+  try {
+    ByteReader r(*body);
+    if (r.get_u32() != kViewMagic) return std::nullopt;
+    if (r.get_u8() != kVersion) return std::nullopt;
+    const unsigned degree = r.get_u8();
+    const MemberId member = r.get_u32();
+    const NodeId slot = r.get_u64();
+    const std::uint32_t count = r.get_u32();
+    std::vector<std::pair<NodeId, crypto::SymmetricKey>> keys;
+    keys.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId id = r.get_u64();
+      crypto::SymmetricKey key;
+      const Bytes bytes = r.get_bytes(crypto::SymmetricKey::kSize);
+      std::copy(bytes.begin(), bytes.end(), key.bytes.begin());
+      keys.emplace_back(id, key);
+    }
+    if (r.remaining() != 0) return std::nullopt;
+    return UserKeyView(member, slot, degree, keys);
+  } catch (const EnsureError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace rekey::tree

@@ -1,0 +1,33 @@
+// Key-tree and member-view snapshots.
+//
+// A key server must survive restarts without re-keying the whole group:
+// the tree (structure + key material + member bindings) serializes to a
+// self-describing byte blob and restores to an identical tree. Member
+// views snapshot the same way, so a client can persist its key state
+// across reconnects. Blobs are versioned and integrity-checked with a
+// SHA-256 trailer; they contain raw key material, so at-rest encryption
+// is the caller's responsibility (out of scope here, as in the paper).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "keytree/keytree.h"
+#include "keytree/user_view.h"
+
+namespace rekey::tree {
+
+// Serialize the full key tree (degree, nodes, member bindings).
+Bytes snapshot_tree(const KeyTree& tree);
+
+// Restore; nullopt when the blob is truncated, corrupt, or of an
+// unknown version. `key_seed` seeds the generator for *future* keys.
+std::optional<KeyTree> restore_tree(const Bytes& blob,
+                                    std::uint64_t key_seed);
+
+// Serialize a member's key view (member id, slot, held keys).
+Bytes snapshot_view(const UserKeyView& view, unsigned degree);
+
+std::optional<UserKeyView> restore_view(const Bytes& blob);
+
+}  // namespace rekey::tree

@@ -1,0 +1,62 @@
+#include "keytree/user_view.h"
+
+#include "common/ensure.h"
+
+namespace rekey::tree {
+
+UserKeyView::UserKeyView(
+    MemberId member, NodeId slot, unsigned degree,
+    std::span<const std::pair<NodeId, crypto::SymmetricKey>> keys)
+    : member_(member), slot_(slot), degree_(degree) {
+  for (const auto& [id, key] : keys) keys_.emplace(id, key);
+  REKEY_ENSURE_MSG(keys_.count(slot_) == 1,
+                   "view must include the individual key");
+}
+
+void UserKeyView::update_slot(NodeId max_kid) {
+  const auto derived = derive_new_user_id(slot_, max_kid, degree_);
+  REKEY_ENSURE_MSG(derived.has_value(), "Theorem 4.2 id derivation failed");
+  if (*derived == slot_) return;
+  // The individual key travels with the user to its new slot; the old slot
+  // is now a k-node whose fresh key arrives via the rekey message.
+  const auto it = keys_.find(slot_);
+  REKEY_ENSURE(it != keys_.end());
+  const crypto::SymmetricKey individual = it->second;
+  keys_.erase(it);
+  keys_.emplace(*derived, individual);
+  slot_ = *derived;
+}
+
+std::size_t UserKeyView::apply(std::uint32_t msg_id, NodeId max_kid,
+                               std::span<const Encryption> encryptions) {
+  update_slot(max_kid);
+  std::size_t learned = 0;
+  // Encryptions arrive in bottom-up generation order, so a single pass
+  // suffices: a path key learned from one entry unlocks the next one up.
+  for (const Encryption& e : encryptions) {
+    // Only ancestors of our slot matter; everything else is other users'.
+    if (!is_ancestor(e.enc_id, slot_, degree_)) continue;
+    const auto kit = keys_.find(e.enc_id);
+    if (kit == keys_.end()) continue;
+    const auto plain =
+        crypto::decrypt_key(kit->second, e.payload, msg_id, e.enc_id);
+    if (!plain.has_value()) continue;  // stale key or corrupted entry
+    auto [tit, inserted] = keys_.insert_or_assign(e.target_id, *plain);
+    (void)tit;
+    ++learned;
+    (void)inserted;
+  }
+  return learned;
+}
+
+std::optional<crypto::SymmetricKey> UserKeyView::key_at(NodeId id) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<crypto::SymmetricKey> UserKeyView::group_key() const {
+  return key_at(kRootId);
+}
+
+}  // namespace rekey::tree

@@ -1,0 +1,63 @@
+// A group member's view of the key tree: the keys it holds (its individual
+// key plus the k-node keys on its path to the root), its current user id,
+// and the logic to apply a rekey message.
+//
+// The member re-derives its id from the maxKID field of any ENC packet
+// (Theorem 4.2) and decrypts, bottom-up, every encryption whose encrypting
+// key it holds. The per-encryption integrity tag makes stale-key decryption
+// attempts fail cleanly, so the member can simply offer every encryption in
+// its ENC packet to the view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "keytree/rekey_subtree.h"
+
+namespace rekey::tree {
+
+class UserKeyView {
+ public:
+  // State handed over by the registration component: the member's slot and
+  // individual key, plus the current keys on its path to the root.
+  UserKeyView(MemberId member, NodeId slot, unsigned degree,
+              std::span<const std::pair<NodeId, crypto::SymmetricKey>> keys);
+
+  MemberId member() const { return member_; }
+  NodeId id() const { return slot_; }
+
+  // Re-derive this user's id from the advertised maximum k-node id
+  // (Theorem 4.2). Safe to call repeatedly; moves the individual key when
+  // the slot changed because of splits.
+  void update_slot(NodeId max_kid);
+
+  // Apply the encryptions of a rekey message (typically the contents of
+  // this user's ENC or USR packet). Returns the number of path keys newly
+  // learned. Encryptions that do not concern this user, or that were
+  // produced under keys this user does not hold, are ignored.
+  std::size_t apply(std::uint32_t msg_id, NodeId max_kid,
+                    std::span<const Encryption> encryptions);
+
+  // The key this view holds for a node, if any.
+  std::optional<crypto::SymmetricKey> key_at(NodeId id) const;
+
+  // The group key (root key) as currently known.
+  std::optional<crypto::SymmetricKey> group_key() const;
+
+  std::size_t num_keys() const { return keys_.size(); }
+
+  // Read-only iteration over the held keys (snapshots, tests).
+  const std::map<NodeId, crypto::SymmetricKey>& keys() const {
+    return keys_;
+  }
+
+ private:
+  MemberId member_;
+  NodeId slot_;
+  unsigned degree_;
+  std::map<NodeId, crypto::SymmetricKey> keys_;
+};
+
+}  // namespace rekey::tree

@@ -1,0 +1,55 @@
+// The User-oriented Key Assignment algorithm (UKA, paper §4.3).
+//
+// UKA packs the encryptions of a rekey message into ENC packets so that
+// *all* encryptions needed by any single user land in one packet: users are
+// sorted by id and the longest prefix whose (de-duplicated) union of
+// encryptions fits is cut into a packet. Successive packets therefore cover
+// disjoint, increasing <frmID, toID> user-id ranges — the property that
+// makes block-id estimation possible (Appendix D).
+//
+// The cost of the guarantee is duplication: encryptions shared by users in
+// different packets are carried in each such packet. duplication_overhead
+// reports the paper's Fig-7 metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "keytree/rekey_subtree.h"
+#include "packet/wire.h"
+
+namespace rekey::packet {
+
+struct Assignment {
+  std::vector<EncPacket> packets;
+  std::size_t total_entries = 0;       // sum of entries over packets
+  std::size_t unique_encryptions = 0;  // encryptions in the rekey subtree
+
+  // (total_entries - unique) / unique — the paper's duplication overhead.
+  double duplication_overhead() const;
+};
+
+// Builds ENC packets (block ids and sequence numbers still unset; the
+// block partitioner fills those in). Every user with at least one needed
+// encryption appears in exactly one packet's range.
+Assignment assign_keys(const tree::RekeyPayload& payload,
+                       std::size_t packet_size = kDefaultPacketSize);
+
+// Baseline comparator: the *sequential* (encryption-oriented) assignment
+// the paper argues against. Encryptions are packed in generation order
+// with no duplication, so the message is minimal — but a user's
+// encryptions can be spread over several packets, and the single-packet
+// guarantee (and with it the <frmID,toID> range discipline that block-id
+// estimation relies on) is lost. Returned packets carry the *span* of
+// users touched per packet (ranges overlap between packets).
+Assignment assign_keys_sequential(
+    const tree::RekeyPayload& payload,
+    std::size_t packet_size = kDefaultPacketSize);
+
+// For baseline analysis: how many distinct packets of `assignment` does
+// each user need to collect all of its encryptions? Index-aligned with
+// payload.user_needs iteration order.
+std::vector<std::size_t> packets_needed_per_user(
+    const tree::RekeyPayload& payload, const Assignment& assignment);
+
+}  // namespace rekey::packet

@@ -1,0 +1,66 @@
+#include "packet/estimate.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::packet {
+
+BlockIdEstimator::BlockIdEstimator(std::uint16_t my_id, std::size_t k,
+                                   unsigned degree)
+    : my_id_(my_id), k_(k), degree_(degree) {
+  REKEY_ENSURE(k >= 1);
+}
+
+void BlockIdEstimator::observe(const EncHeader& pkt) {
+  if (pkt.duplicate) return;  // replayed header: not usable for estimation
+  const std::uint32_t blk = pkt.block_id;
+  const std::uint32_t seq = pkt.seq;
+
+  if (pkt.frm_id <= my_id_ && my_id_ <= pkt.to_id) {
+    bounded_ = true;
+    low_ = high_ = blk;
+    found_own_ = true;
+    return;
+  }
+
+  // Compute the tentative new bounds, then commit only if consistent: a
+  // corrupted or forged header must not poison the estimate (consistent
+  // packet streams never collapse the range).
+  std::uint32_t new_low = low_;
+  std::uint32_t new_high = high_;
+  if (my_id_ > pkt.to_id) {
+    // My packet was generated after this one.
+    if (seq == k_ - 1) {
+      new_low = std::max(new_low, blk + 1);
+    } else {
+      new_low = std::max(new_low, blk);
+    }
+    // Appendix D step 6: at most d*(maxKID+1) - toID further ENC packets
+    // can exist (one user per packet in the worst case), so my block id is
+    // at most blk + ceil((that - packets remaining in blk) / k).
+    const std::uint64_t max_user = static_cast<std::uint64_t>(degree_) *
+                                   (static_cast<std::uint64_t>(pkt.max_kid) + 1);
+    const std::uint64_t after = max_user > pkt.to_id ? max_user - pkt.to_id : 0;
+    const std::uint64_t rest_in_block = k_ - 1 - seq;
+    const std::uint64_t extra =
+        after > rest_in_block
+            ? (after - rest_in_block + k_ - 1) / k_
+            : 0;
+    new_high = std::min<std::uint32_t>(
+        new_high, static_cast<std::uint32_t>(blk + extra));
+  } else {
+    // my_id_ < pkt.frm_id: my packet was generated before this one.
+    if (seq == 0) {
+      new_high = std::min(new_high, blk == 0 ? 0 : blk - 1);
+    } else {
+      new_high = std::min(new_high, blk);
+    }
+  }
+  if (new_low > new_high) return;  // inconsistent observation: ignore
+  bounded_ = true;
+  low_ = new_low;
+  high_ = new_high;
+}
+
+}  // namespace rekey::packet

@@ -1,0 +1,50 @@
+// Block-id estimation (paper Appendix D).
+//
+// When a user loses its specific ENC packet it still must NACK the right
+// block. Because UKA emits packets in increasing, disjoint <frmID, toID>
+// ranges, every *received* ENC packet narrows the range of blocks the lost
+// packet can be in:
+//   - a packet covering my id pins the block exactly;
+//   - a packet "before" me (m > toID) raises the lower bound;
+//   - a packet "after" me (m < frmID) lowers the upper bound;
+//   - the maxKID field bounds the number of packets that can follow any
+//     received packet, bounding `high` even if nothing after me arrives.
+// Duplicate ENC packets (last-block filler) are excluded — their headers
+// replay an earlier packet's range at a later sequence position.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/wire.h"
+
+namespace rekey::packet {
+
+class BlockIdEstimator {
+ public:
+  // my_id: this user's (current) id; k: block size; degree: key tree degree.
+  BlockIdEstimator(std::uint16_t my_id, std::size_t k, unsigned degree);
+
+  // Feed any received ENC packet of the message (header is sufficient).
+  void observe(const EncHeader& pkt);
+
+  // True once any packet has been observed (high is bounded from then on).
+  bool bounded() const { return bounded_; }
+  bool exact() const { return bounded_ && low_ == high_; }
+  std::uint32_t low() const { return low_; }
+  std::uint32_t high() const { return high_; }
+
+  // Did a packet covering my id arrive? (Then no recovery is needed at all;
+  // kept here so the user protocol can reuse the observation pass.)
+  bool found_own_packet() const { return found_own_; }
+
+ private:
+  std::uint16_t my_id_;
+  std::size_t k_;
+  unsigned degree_;
+  std::uint32_t low_ = 0;
+  std::uint32_t high_ = 0xFFFFFFFF;
+  bool bounded_ = false;
+  bool found_own_ = false;
+};
+
+}  // namespace rekey::packet

@@ -1,0 +1,199 @@
+#include "packet/wire.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::packet {
+
+namespace {
+
+void put_entry(ByteWriter& w, const EncEntry& e) {
+  REKEY_ENSURE_MSG(e.enc_id != 0, "encryption id 0 is reserved for padding");
+  w.put_u32(e.enc_id);
+  w.put_bytes(e.enc.ciphertext);
+  w.put_u16(e.enc.tag);
+}
+
+EncEntry get_entry(ByteReader& r, std::uint32_t enc_id) {
+  EncEntry e;
+  e.enc_id = enc_id;
+  const Bytes ct = r.get_bytes(crypto::SymmetricKey::kSize);
+  std::copy(ct.begin(), ct.end(), e.enc.ciphertext.begin());
+  e.enc.tag = r.get_u16();
+  return e;
+}
+
+// Reads <encryption, id> entries until zero padding or end of buffer.
+std::vector<EncEntry> get_entries(ByteReader& r) {
+  std::vector<EncEntry> out;
+  while (r.remaining() >= kEntrySize) {
+    const std::uint32_t id = r.get_u32();
+    if (id == 0) break;  // padding
+    out.push_back(get_entry(r, id));
+  }
+  return out;
+}
+
+}  // namespace
+
+tree::Encryption to_tree_encryption(const EncEntry& e, unsigned degree) {
+  tree::Encryption t;
+  t.enc_id = e.enc_id;
+  t.target_id = tree::parent_of(e.enc_id, degree);
+  t.payload = e.enc;
+  return t;
+}
+
+EncEntry to_wire_entry(const tree::Encryption& e) {
+  EncEntry w;
+  REKEY_ENSURE_MSG(e.enc_id <= 0xFFFFFFFFull, "encryption id overflow");
+  w.enc_id = static_cast<std::uint32_t>(e.enc_id);
+  w.enc = e.payload;
+  return w;
+}
+
+Bytes EncPacket::serialize(std::size_t packet_size) const {
+  REKEY_ENSURE(msg_id < 64);
+  REKEY_ENSURE(seq < 128);
+  REKEY_ENSURE_MSG(kEncHeaderSize + entries.size() * kEntrySize <= packet_size,
+                   "too many encryptions for the packet size");
+  ByteWriter w;
+  w.put_bits(static_cast<std::uint32_t>(PacketType::Enc), 2);
+  w.put_bits(msg_id, 6);
+  w.put_u16(block_id);
+  w.put_bits(duplicate ? 1 : 0, 1);
+  w.put_bits(seq, 7);
+  w.put_u16(max_kid);
+  w.put_u16(frm_id);
+  w.put_u16(to_id);
+  for (const EncEntry& e : entries) put_entry(w, e);
+  w.pad_to(packet_size);
+  return std::move(w).take();
+}
+
+std::optional<EncPacket> EncPacket::parse(const Bytes& wire) {
+  if (wire.size() < kEncHeaderSize) return std::nullopt;
+  ByteReader r(wire);
+  if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Enc))
+    return std::nullopt;
+  EncPacket p;
+  p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
+  p.block_id = r.get_u16();
+  p.duplicate = r.get_bits(1) != 0;
+  p.seq = static_cast<std::uint8_t>(r.get_bits(7));
+  p.max_kid = r.get_u16();
+  p.frm_id = r.get_u16();
+  p.to_id = r.get_u16();
+  p.entries = get_entries(r);
+  return p;
+}
+
+Bytes ParityPacket::serialize() const {
+  REKEY_ENSURE(msg_id < 64);
+  ByteWriter w;
+  w.put_bits(static_cast<std::uint32_t>(PacketType::Parity), 2);
+  w.put_bits(msg_id, 6);
+  w.put_u16(block_id);
+  w.put_u8(parity_seq);
+  w.put_bytes(fec);
+  return std::move(w).take();
+}
+
+std::optional<ParityPacket> ParityPacket::parse(const Bytes& wire) {
+  if (wire.size() < kFecOffset) return std::nullopt;
+  ByteReader r(wire);
+  if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Parity))
+    return std::nullopt;
+  ParityPacket p;
+  p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
+  p.block_id = r.get_u16();
+  p.parity_seq = r.get_u8();
+  p.fec = r.get_bytes(r.remaining());
+  return p;
+}
+
+Bytes UsrPacket::serialize() const {
+  REKEY_ENSURE(msg_id < 64);
+  ByteWriter w;
+  w.put_bits(static_cast<std::uint32_t>(PacketType::Usr), 2);
+  w.put_bits(msg_id, 6);
+  w.put_u16(new_user_id);
+  w.put_u16(max_kid);
+  for (const EncEntry& e : entries) put_entry(w, e);
+  return std::move(w).take();
+}
+
+std::optional<UsrPacket> UsrPacket::parse(const Bytes& wire) {
+  if (wire.size() < 5) return std::nullopt;
+  ByteReader r(wire);
+  if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Usr))
+    return std::nullopt;
+  UsrPacket p;
+  p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
+  p.new_user_id = r.get_u16();
+  p.max_kid = r.get_u16();
+  p.entries = get_entries(r);
+  return p;
+}
+
+Bytes NackPacket::serialize() const {
+  REKEY_ENSURE(msg_id < 64);
+  ByteWriter w;
+  w.put_bits(static_cast<std::uint32_t>(PacketType::Nack), 2);
+  w.put_bits(msg_id, 6);
+  for (const NackEntry& e : entries) {
+    w.put_u8(e.parities_needed);
+    w.put_u16(e.block_id);
+    w.put_u8(e.max_shard_seen);
+  }
+  return std::move(w).take();
+}
+
+std::optional<NackPacket> NackPacket::parse(const Bytes& wire) {
+  if (wire.empty()) return std::nullopt;
+  ByteReader r(wire);
+  if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Nack))
+    return std::nullopt;
+  NackPacket p;
+  p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
+  while (r.remaining() >= 4) {
+    NackEntry e;
+    e.parities_needed = r.get_u8();
+    e.block_id = r.get_u16();
+    e.max_shard_seen = r.get_u8();
+    p.entries.push_back(e);
+  }
+  return p;
+}
+
+std::optional<PacketType> peek_type(const Bytes& wire) {
+  if (wire.empty()) return std::nullopt;
+  return static_cast<PacketType>(wire[0] >> 6);
+}
+
+std::optional<EncHeader> parse_enc_header(const Bytes& wire) {
+  if (wire.size() < kEncHeaderSize || peek_type(wire) != PacketType::Enc)
+    return std::nullopt;
+  EncHeader h;
+  h.msg_id = wire[0] & 0x3F;
+  h.block_id = static_cast<std::uint16_t>(wire[1] << 8 | wire[2]);
+  h.duplicate = (wire[3] & 0x80) != 0;
+  h.seq = wire[3] & 0x7F;
+  h.max_kid = static_cast<std::uint16_t>(wire[4] << 8 | wire[5]);
+  h.frm_id = static_cast<std::uint16_t>(wire[6] << 8 | wire[7]);
+  h.to_id = static_cast<std::uint16_t>(wire[8] << 8 | wire[9]);
+  return h;
+}
+
+std::optional<ParityHeader> parse_parity_header(const Bytes& wire) {
+  if (wire.size() < kFecOffset || peek_type(wire) != PacketType::Parity)
+    return std::nullopt;
+  ParityHeader h;
+  h.msg_id = wire[0] & 0x3F;
+  h.block_id = static_cast<std::uint16_t>(wire[1] << 8 | wire[2]);
+  h.parity_seq = wire[3];
+  return h;
+}
+
+}  // namespace rekey::packet

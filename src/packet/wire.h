@@ -1,0 +1,136 @@
+// Wire formats of the four protocol packets (paper Fig 5 and Appendix A).
+//
+//   ENC    — encrypted new keys for a contiguous range of users
+//   PARITY — RSE parity over the FEC-covered region of a block's ENC packets
+//   USR    — one straggler's encryptions, unicast
+//   NACK   — per-block parity counts a user still needs
+//
+// Layout choices relative to the paper (documented deviations):
+//  * Block id is 16 bits rather than 8: the paper's own Fig 16 sweeps to
+//    N=16384 with k=1, which needs >255 blocks. The ENC header grows from
+//    9 to 10 bytes, and a 1027-byte ENC packet still carries the paper's
+//    46 encryptions (10 + 46*22 = 1022 <= 1027).
+//  * The "duplicate" flag of §5.1 lives in the top bit of the 8-bit
+//    sequence-number field (so block size is limited to 128, far above the
+//    paper's k <= 50 sweep).
+//  * An encryption entry is <id:4, ciphertext:16, tag:2> = 22 bytes; ids
+//    are never 0 on the wire (the root is never an encrypting key), so
+//    zero padding is unambiguous, as the paper notes.
+//
+// PARITY packets protect the ENC bytes from offset kFecOffset (maxKID
+// onward — "fields 5 to 8"), so ENC and PARITY packets have equal size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/keys.h"
+#include "keytree/rekey_subtree.h"
+
+namespace rekey::packet {
+
+enum class PacketType : std::uint8_t { Enc = 0, Parity = 1, Usr = 2, Nack = 3 };
+
+constexpr std::size_t kDefaultPacketSize = 1027;  // the paper's ENC size
+constexpr std::size_t kEncHeaderSize = 10;
+constexpr std::size_t kEntrySize = 22;  // 4 id + 16 ciphertext + 2 tag
+constexpr std::size_t kFecOffset = 4;   // FEC covers maxKID onward
+
+// Max encryptions per ENC packet of a given size (46 for 1027 bytes).
+constexpr std::size_t max_entries(std::size_t packet_size) {
+  return (packet_size - kEncHeaderSize) / kEntrySize;
+}
+
+struct EncEntry {
+  std::uint32_t enc_id = 0;  // id of the encrypting node; never 0 on wire
+  crypto::EncryptedKey enc;
+
+  friend bool operator==(const EncEntry&, const EncEntry&) = default;
+};
+
+// Recover the full Encryption (the target is always the parent's key).
+tree::Encryption to_tree_encryption(const EncEntry& e, unsigned degree);
+EncEntry to_wire_entry(const tree::Encryption& e);
+
+struct EncPacket {
+  std::uint8_t msg_id = 0;  // 6 bits
+  std::uint16_t block_id = 0;
+  std::uint8_t seq = 0;  // 7 bits: sequence within the block
+  bool duplicate = false;
+  std::uint16_t max_kid = 0;
+  std::uint16_t frm_id = 0;  // users in [frm_id, to_id] are served here
+  std::uint16_t to_id = 0;
+  std::vector<EncEntry> entries;
+
+  Bytes serialize(std::size_t packet_size = kDefaultPacketSize) const;
+  static std::optional<EncPacket> parse(const Bytes& wire);
+};
+
+struct ParityPacket {
+  std::uint8_t msg_id = 0;
+  std::uint16_t block_id = 0;
+  std::uint8_t parity_seq = 0;  // parity index within the block's code
+  Bytes fec;                    // packet_size - kFecOffset bytes
+
+  Bytes serialize() const;
+  static std::optional<ParityPacket> parse(const Bytes& wire);
+};
+
+struct UsrPacket {
+  std::uint8_t msg_id = 0;
+  std::uint16_t new_user_id = 0;
+  std::uint16_t max_kid = 0;
+  std::vector<EncEntry> entries;
+
+  Bytes serialize() const;
+  static std::optional<UsrPacket> parse(const Bytes& wire);
+};
+
+struct NackEntry {
+  std::uint8_t parities_needed = 0;
+  std::uint16_t block_id = 0;
+  // Highest shard index received in this block (ENC seq, or k+parity_seq).
+  // Appendix A proposes carrying this (after Rubenstein et al.) so the
+  // server can tell whether packets already in flight satisfy the request;
+  // the eager (event-driven) transport mode relies on it, the round-based
+  // mode ignores it.
+  std::uint8_t max_shard_seen = 0;
+
+  friend bool operator==(const NackEntry&, const NackEntry&) = default;
+};
+
+struct NackPacket {
+  std::uint8_t msg_id = 0;
+  std::vector<NackEntry> entries;
+
+  Bytes serialize() const;
+  static std::optional<NackPacket> parse(const Bytes& wire);
+};
+
+// Inspect the 2-bit type tag of any serialized packet.
+std::optional<PacketType> peek_type(const Bytes& wire);
+
+// Header-only views: the receive path classifies hundreds of packets per
+// round and only fully parses the few it actually consumes, so these avoid
+// copying entry lists / parity payloads.
+struct EncHeader {
+  std::uint8_t msg_id = 0;
+  std::uint16_t block_id = 0;
+  std::uint8_t seq = 0;
+  bool duplicate = false;
+  std::uint16_t max_kid = 0;
+  std::uint16_t frm_id = 0;
+  std::uint16_t to_id = 0;
+};
+std::optional<EncHeader> parse_enc_header(const Bytes& wire);
+
+struct ParityHeader {
+  std::uint8_t msg_id = 0;
+  std::uint16_t block_id = 0;
+  std::uint8_t parity_seq = 0;
+};
+std::optional<ParityHeader> parse_parity_header(const Bytes& wire);
+
+}  // namespace rekey::packet

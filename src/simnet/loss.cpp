@@ -1,0 +1,40 @@
+#include "simnet/loss.h"
+
+#include "common/ensure.h"
+
+namespace rekey::simnet {
+
+GilbertLoss::GilbertLoss(double p, Rng rng, double cycle_ms)
+    : p_(p),
+      mean_loss_ms_(cycle_ms * p),
+      mean_ok_ms_(cycle_ms * (1.0 - p)),
+      rng_(rng) {
+  REKEY_ENSURE(p >= 0.0 && p <= 1.0);
+  if (p_ <= 0.0 || p_ >= 1.0) return;  // degenerate; lost() shortcuts
+  // Start in the stationary distribution.
+  in_loss_ = rng_.next_bool(p_);
+  next_transition_ms_ =
+      rng_.next_exponential(in_loss_ ? mean_loss_ms_ : mean_ok_ms_);
+}
+
+void GilbertLoss::advance_to(double t_ms) {
+  while (next_transition_ms_ <= t_ms) {
+    in_loss_ = !in_loss_;
+    next_transition_ms_ +=
+        rng_.next_exponential(in_loss_ ? mean_loss_ms_ : mean_ok_ms_);
+  }
+}
+
+bool GilbertLoss::lost(double t_ms) {
+  if (p_ <= 0.0) return false;
+  if (p_ >= 1.0) return true;
+  advance_to(t_ms);
+  return in_loss_;
+}
+
+std::unique_ptr<LossProcess> make_loss(bool burst, double p, Rng rng) {
+  if (burst) return std::make_unique<GilbertLoss>(p, rng);
+  return std::make_unique<BernoulliLoss>(p, rng);
+}
+
+}  // namespace rekey::simnet

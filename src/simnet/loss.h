@@ -1,0 +1,62 @@
+// Link loss processes.
+//
+// The paper's evaluation drives links with a two-state continuous-time
+// Markov chain (following Nonnenmacher et al.): at loss rate p, the mean
+// burst-loss duration is 100*p ms and the mean loss-free duration is
+// 100*(1-p) ms, giving a 100 ms mean cycle and stationary loss probability
+// exactly p. A memoryless Bernoulli process is provided as the baseline
+// used by the analytic transport models.
+//
+// Processes are queried at (weakly) increasing times — packets on a link
+// are sent in time order — and advance their internal state lazily.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace rekey::simnet {
+
+class LossProcess {
+ public:
+  virtual ~LossProcess() = default;
+  // Is a transmission at time t_ms (weakly increasing across calls) lost?
+  virtual bool lost(double t_ms) = 0;
+  virtual double loss_rate() const = 0;
+};
+
+class BernoulliLoss final : public LossProcess {
+ public:
+  BernoulliLoss(double p, Rng rng) : p_(p), rng_(rng) {}
+  bool lost(double) override { return rng_.next_bool(p_); }
+  double loss_rate() const override { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+class GilbertLoss final : public LossProcess {
+ public:
+  // p: stationary loss rate; cycle_ms: mean burst + mean gap (100 in the
+  // paper). p == 0 or p == 1 degenerate to always-ok / always-lost.
+  GilbertLoss(double p, Rng rng, double cycle_ms = 100.0);
+
+  bool lost(double t_ms) override;
+  double loss_rate() const override { return p_; }
+
+ private:
+  void advance_to(double t_ms);
+
+  double p_;
+  double mean_loss_ms_;
+  double mean_ok_ms_;
+  Rng rng_;
+  bool in_loss_ = false;
+  double next_transition_ms_ = 0.0;
+};
+
+// Factory matching the experiment configuration.
+std::unique_ptr<LossProcess> make_loss(bool burst, double p, Rng rng);
+
+}  // namespace rekey::simnet

@@ -1,0 +1,60 @@
+#include "simnet/topology.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::simnet {
+
+Topology::Topology(const TopologyConfig& config, std::uint64_t seed)
+    : config_(config) {
+  REKEY_ENSURE(config.num_users >= 1);
+  REKEY_ENSURE(config.alpha >= 0.0 && config.alpha <= 1.0);
+  Rng rng(seed);
+
+  src_down_ = make_loss(config.burst_loss, config.p_source, rng.fork());
+  src_up_ = make_loss(config.burst_loss, config.p_source, rng.fork());
+
+  // Exactly floor(alpha * N) high-loss users, spread uniformly.
+  const std::size_t num_high =
+      static_cast<std::size_t>(config.alpha * config.num_users);
+  std::vector<std::uint64_t> picks =
+      rng.sample_without_replacement(config.num_users, num_high);
+  high_loss_.assign(config.num_users, false);
+  for (const std::uint64_t u : picks) high_loss_[u] = true;
+
+  user_down_.reserve(config.num_users);
+  user_up_.reserve(config.num_users);
+  backbone_delay_ms_.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    const double p = high_loss_[u] ? config.p_high : config.p_low;
+    user_down_.push_back(make_loss(config.burst_loss, p, rng.fork()));
+    user_up_.push_back(make_loss(config.burst_loss, p, rng.fork()));
+    const double bb = config.backbone_min_ms +
+                      rng.next_double() *
+                          (config.backbone_max_ms - config.backbone_min_ms);
+    backbone_delay_ms_.push_back(bb);
+  }
+  const double max_bb = backbone_delay_ms_.empty()
+                            ? 0.0
+                            : *std::max_element(backbone_delay_ms_.begin(),
+                                                backbone_delay_ms_.end());
+  max_delay_ms_ = 2.0 * config.edge_delay_ms + max_bb;
+}
+
+bool Topology::user_lost(std::size_t user, double t_ms) {
+  REKEY_ENSURE(user < user_down_.size());
+  return user_down_[user]->lost(t_ms);
+}
+
+bool Topology::user_uplink_lost(std::size_t user, double t_ms) {
+  REKEY_ENSURE(user < user_up_.size());
+  return user_up_[user]->lost(t_ms);
+}
+
+double Topology::delay_ms(std::size_t user) const {
+  REKEY_ENSURE(user < backbone_delay_ms_.size());
+  return 2.0 * config_.edge_delay_ms + backbone_delay_ms_[user];
+}
+
+}  // namespace rekey::simnet

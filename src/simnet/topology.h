@@ -1,0 +1,71 @@
+// The evaluation topology (paper §5.2, after Nonnenmacher et al.): the key
+// server reaches a loss-free backbone through a source link; every user
+// hangs off the backbone on its own receiver link. A fraction alpha of the
+// users are "high-loss" (p_high), the rest low-loss (p_low); the source
+// link has loss rate p_source. Each direction of each link gets an
+// independent loss process.
+//
+// The topology is passive: the transport layer asks it, per packet, whether
+// the source link or a given user's link dropped the packet at a given
+// time, and what the propagation delays are. This keeps the inner
+// simulation loop tight (no per-packet-per-user event scheduling).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "simnet/loss.h"
+
+namespace rekey::simnet {
+
+struct TopologyConfig {
+  std::size_t num_users = 4096;
+  double alpha = 0.20;     // fraction of high-loss users
+  double p_high = 0.20;    // their receiver-link loss rate
+  double p_low = 0.02;     // everyone else's
+  double p_source = 0.01;  // source-link loss rate
+  bool burst_loss = true;  // two-state Markov (paper) vs Bernoulli
+  // One-way propagation delays (ms). Users get a uniform backbone delay in
+  // [backbone_min_ms, backbone_max_ms]; links add edge_delay_ms each.
+  double backbone_min_ms = 20.0;
+  double backbone_max_ms = 80.0;
+  double edge_delay_ms = 5.0;
+};
+
+class Topology {
+ public:
+  Topology(const TopologyConfig& config, std::uint64_t seed);
+
+  std::size_t num_users() const { return config_.num_users; }
+  const TopologyConfig& config() const { return config_; }
+
+  // Downstream (server -> users).
+  bool source_lost(double t_ms) { return src_down_->lost(t_ms); }
+  bool user_lost(std::size_t user, double t_ms);
+
+  // Upstream (user -> server), independent processes.
+  bool user_uplink_lost(std::size_t user, double t_ms);
+  bool source_uplink_lost(double t_ms) { return src_up_->lost(t_ms); }
+
+  // One-way server->user delay; symmetric paths.
+  double delay_ms(std::size_t user) const;
+  double max_delay_ms() const { return max_delay_ms_; }
+  double rtt_ms(std::size_t user) const { return 2.0 * delay_ms(user); }
+  double max_rtt_ms() const { return 2.0 * max_delay_ms_; }
+
+  bool is_high_loss(std::size_t user) const { return high_loss_[user]; }
+
+ private:
+  TopologyConfig config_;
+  std::unique_ptr<LossProcess> src_down_;
+  std::unique_ptr<LossProcess> src_up_;
+  std::vector<std::unique_ptr<LossProcess>> user_down_;
+  std::vector<std::unique_ptr<LossProcess>> user_up_;
+  std::vector<double> backbone_delay_ms_;
+  std::vector<bool> high_loss_;
+  double max_delay_ms_ = 0.0;
+};
+
+}  // namespace rekey::simnet

@@ -1,0 +1,20 @@
+#include "transport/config.h"
+
+#include "common/ensure.h"
+#include "packet/wire.h"
+
+namespace rekey::transport {
+
+void ProtocolConfig::validate() const {
+  REKEY_ENSURE(block_size >= 1 && block_size <= 127);
+  REKEY_ENSURE(initial_rho >= 1.0);
+  REKEY_ENSURE(num_nack_target >= 0);
+  REKEY_ENSURE(max_nack >= num_nack_target);
+  REKEY_ENSURE(max_multicast_rounds >= 0);
+  REKEY_ENSURE(usr_initial_duplicates >= 1);
+  REKEY_ENSURE(packet_size > packet::kEncHeaderSize + packet::kEntrySize);
+  REKEY_ENSURE(send_interval_ms > 0.0);
+  REKEY_ENSURE(max_rounds_cap >= 1);
+}
+
+}  // namespace rekey::transport

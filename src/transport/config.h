@@ -1,0 +1,53 @@
+// Protocol configuration for the rekey transport (server and users).
+//
+// Defaults follow the paper's evaluation: k=10, 1027-byte ENC packets,
+// 10 packets/s send rate, NACK target numNACK=20.
+#pragma once
+
+#include <cstddef>
+
+namespace rekey::transport {
+
+struct ProtocolConfig {
+  // FEC block size k (paper §5). Limited to 127 by the wire format.
+  std::size_t block_size = 10;
+  // Initial proactivity factor rho; parities per block = ceil((rho-1)*k).
+  double initial_rho = 1.0;
+  // Run the AdjustRho adaptation (paper §6.2) after round 1 of each
+  // message. When false, rho stays fixed at initial_rho.
+  bool adaptive_rho = true;
+  // Target number of NACKs (numNACK) and its upper bound (maxNACK).
+  int num_nack_target = 20;
+  int max_nack = 100;
+  // Adapt numNACK from deadline misses (paper §6.2 heuristics). Only
+  // meaningful when deadline_rounds > 0.
+  bool adapt_num_nack = false;
+
+  // Multicast rounds before switching to unicast; 0 = multicast only
+  // (rounds repeat until every user recovers).
+  int max_multicast_rounds = 0;
+  // Optional early switch: unicast as soon as the USR bytes owed are no
+  // larger than the parity bytes the next multicast round would send
+  // (paper §7.1).
+  bool early_unicast_by_size = false;
+  // Initial number of duplicate USR packets per straggler (Fig 22).
+  int usr_initial_duplicates = 2;
+
+  // Soft real-time deadline in rounds (0 = no deadline accounting).
+  int deadline_rounds = 0;
+
+  // Wire and pacing parameters.
+  std::size_t packet_size = 1027;
+  double send_interval_ms = 100.0;  // 10 packets/s
+  double round_slack_ms = 50.0;     // timeout slack beyond max RTT
+
+  // Interleave packets across blocks when sending (paper §5.1).
+  bool interleave = true;
+
+  // Safety cap for multicast-only mode.
+  int max_rounds_cap = 200;
+
+  void validate() const;  // throws EnsureError on nonsense
+};
+
+}  // namespace rekey::transport

@@ -1,0 +1,54 @@
+// Per-message and per-run metrics, matching the quantities the paper plots:
+// server bandwidth overhead h'/h, NACKs after round 1, rounds needed per
+// user, deadline misses, unicast volume.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace rekey::transport {
+
+struct MessageMetrics {
+  std::size_t enc_packets = 0;      // h: real ENC packets (UKA output)
+  std::size_t slots = 0;            // ENC slots actually sent (incl. dups)
+  std::size_t multicast_sent = 0;   // h': all multicast ENC+PARITY packets
+  std::size_t proactive_parities = 0;
+  std::size_t reactive_parities = 0;
+  std::size_t round1_nacks = 0;     // NACK packets received after round 1
+  std::size_t total_nacks = 0;
+  double rho_used = 1.0;            // rho in effect for this message
+  int num_nack_target = 0;          // numNACK in effect for this message
+  int multicast_rounds = 0;         // rounds actually executed
+  std::size_t users = 0;            // users needing encryptions
+  // users recovering in multicast round r (1-based).
+  std::map<int, std::size_t> recovered_in_round;
+  std::size_t unicast_users = 0;
+  std::size_t usr_packets = 0;
+  std::size_t deadline_misses = 0;
+  double duration_ms = 0.0;
+
+  // h'/h — the paper's server bandwidth overhead.
+  double bandwidth_overhead() const;
+  // Mean multicast rounds needed by a user (unicast recoveries count as
+  // multicast_rounds + 1, the paper's "needs more rounds" bucket).
+  double mean_user_rounds() const;
+  // Rounds until every user recovered (multicast-only runs).
+  int rounds_to_all() const;
+};
+
+// Aggregates over a run of rekey messages.
+struct RunMetrics {
+  std::vector<MessageMetrics> messages;
+
+  double mean_bandwidth_overhead() const;
+  double mean_round1_nacks() const;
+  double mean_rounds_to_all() const;
+  double mean_user_rounds() const;
+  // Fraction of users (over all messages) recovering in round r exactly;
+  // r = multicast_rounds+1 bucket holds unicast recoveries.
+  std::map<int, double> round_distribution() const;
+  std::size_t total_deadline_misses() const;
+};
+
+}  // namespace rekey::transport

@@ -1,0 +1,192 @@
+#include "transport/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace rekey::transport {
+
+RhoController::RhoController(const ProtocolConfig& config, std::uint64_t seed)
+    : config_(config),
+      proactive_parities_(static_cast<int>(std::ceil(
+          (config.initial_rho - 1.0) * static_cast<double>(config.block_size) -
+          1e-9))),
+      num_nack_(config.num_nack_target),
+      rng_(seed) {
+  config.validate();
+  if (proactive_parities_ < 0) proactive_parities_ = 0;
+}
+
+double RhoController::rho() const {
+  return 1.0 + static_cast<double>(proactive_parities_) /
+                   static_cast<double>(config_.block_size);
+}
+
+void RhoController::on_round1_feedback(std::vector<std::uint8_t> A) {
+  const int n = static_cast<int>(A.size());
+  if (n > num_nack_) {
+    // More NACKs than targeted: raise rho so that the (numNACK+1)-th
+    // neediest user of this round would have been satisfied proactively.
+    std::sort(A.begin(), A.end(), std::greater<std::uint8_t>());
+    proactive_parities_ += A[static_cast<std::size_t>(num_nack_)];
+    // Keep at least k reactive parity indices in the code's index space.
+    const int cap = std::max(1, 256 - 2 * static_cast<int>(config_.block_size));
+    proactive_parities_ = std::min(proactive_parities_, cap);
+  } else if (n < num_nack_ && num_nack_ > 0) {
+    // Fewer than targeted: rho may be too high; back off one parity with
+    // probability (numNACK - 2*|A|) / numNACK.
+    const double prob =
+        std::max(0.0, static_cast<double>(num_nack_ - 2 * n) /
+                          static_cast<double>(num_nack_));
+    if (rng_.next_bool(prob))
+      proactive_parities_ = std::max(0, proactive_parities_ - 1);
+  }
+}
+
+void RhoController::on_deadline_report(std::size_t misses) {
+  if (misses == 0) {
+    num_nack_ = std::min(num_nack_ + 1, config_.max_nack);
+  } else {
+    num_nack_ = std::max(num_nack_ - static_cast<int>(misses), 0);
+  }
+}
+
+ServerTransport::ServerTransport(const ProtocolConfig& config,
+                                 const tree::RekeyPayload& payload,
+                                 packet::Assignment assignment,
+                                 int proactive_parities, std::uint8_t msg_id)
+    : config_(config),
+      payload_(payload),
+      msg_id_(msg_id),
+      num_enc_packets_(assignment.packets.size()),
+      partition_(assignment.packets.empty() ? 1 : assignment.packets.size(),
+                 config.block_size),
+      coder_(static_cast<int>(config.block_size)),
+      proactive_parities_(proactive_parities) {
+  REKEY_ENSURE_MSG(!assignment.packets.empty(),
+                   "rekey message with no ENC packets");
+  REKEY_ENSURE(proactive_parities >= 0);
+
+  // Assign block ids / sequence numbers and serialize every slot.
+  slot_wires_.resize(partition_.num_slots());
+  block_regions_.resize(partition_.num_blocks());
+  for (std::size_t b = 0; b < partition_.num_blocks(); ++b) {
+    block_regions_[b].resize(config.block_size);
+    for (std::size_t s = 0; s < config.block_size; ++s) {
+      const fec::BlockSlot slot = partition_.slot(b, s);
+      packet::EncPacket pkt = assignment.packets[slot.packet];
+      pkt.block_id = static_cast<std::uint16_t>(b);
+      pkt.seq = static_cast<std::uint8_t>(s);
+      pkt.duplicate = slot.duplicate;
+      Bytes wire = pkt.serialize(config.packet_size);
+      block_regions_[b][s].assign(wire.begin() + packet::kFecOffset,
+                                  wire.end());
+      slot_wires_[b * config.block_size + s] = std::move(wire);
+    }
+  }
+  next_parity_.assign(partition_.num_blocks(), 0);
+  amax_.assign(partition_.num_blocks(), 0);
+}
+
+Bytes ServerTransport::make_parity(std::size_t block, int parity_index) const {
+  packet::ParityPacket p;
+  p.msg_id = msg_id_;
+  p.block_id = static_cast<std::uint16_t>(block);
+  p.parity_seq = static_cast<std::uint8_t>(parity_index);
+  p.fec = coder_.encode_one(block_regions_[block], parity_index);
+  return p.serialize();
+}
+
+std::vector<Bytes> ServerTransport::round_packets(int round) {
+  std::vector<Bytes> out;
+  const std::size_t nb = partition_.num_blocks();
+  const std::size_t k = config_.block_size;
+
+  if (round == 1) {
+    // ENC slots, interleaved across blocks (or block-sequential).
+    const auto order = config_.interleave ? partition_.interleaved_order()
+                                          : partition_.sequential_order();
+    out.reserve(order.size() + nb * static_cast<std::size_t>(
+                                        proactive_parities_));
+    for (const fec::BlockSlot& s : order)
+      out.push_back(slot_wires_[s.block * k + s.seq]);
+    // Proactive parities, interleaved the same way.
+    for (int p = 0; p < proactive_parities_; ++p)
+      for (std::size_t b = 0; b < nb; ++b)
+        out.push_back(make_parity(b, next_parity_[b]++));
+    return out;
+  }
+
+  // Reactive round: amax[b] fresh parities per block.
+  int max_amax = 0;
+  for (std::size_t b = 0; b < nb; ++b)
+    max_amax = std::max(max_amax, static_cast<int>(amax_[b]));
+  for (int p = 0; p < max_amax; ++p) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (static_cast<int>(amax_[b]) <= p) continue;
+      // Fresh parity indices; wrap around if a pathological run exhausts
+      // the code (re-sent parities are still useful to whoever lost them).
+      if (next_parity_[b] >= coder_.max_parity()) next_parity_[b] = 0;
+      out.push_back(make_parity(b, next_parity_[b]++));
+    }
+  }
+  std::fill(amax_.begin(), amax_.end(), 0);
+  return out;
+}
+
+void ServerTransport::accept_nack(
+    std::size_t user, const std::vector<packet::NackEntry>& entries) {
+  REKEY_ENSURE(!entries.empty());
+  std::uint8_t worst = 0;
+  for (const packet::NackEntry& e : entries) {
+    // A user whose block estimate is a range may request parities for
+    // block ids beyond the message's real block count (the Appendix-D
+    // upper bound assumes one user per packet); those are ignored.
+    if (e.block_id < partition_.num_blocks())
+      amax_[e.block_id] = std::max(amax_[e.block_id], e.parities_needed);
+    worst = std::max(worst, e.parities_needed);
+  }
+  feedback_.push_back(worst);
+  nackers_.insert(user);
+}
+
+std::vector<std::uint8_t> ServerTransport::take_feedback() {
+  std::vector<std::uint8_t> out;
+  out.swap(feedback_);
+  return out;
+}
+
+std::size_t ServerTransport::pending_parities() const {
+  std::size_t total = 0;
+  for (const std::uint8_t a : amax_) total += a;
+  return total;
+}
+
+Bytes ServerTransport::fresh_parity(std::size_t block) {
+  REKEY_ENSURE(block < partition_.num_blocks());
+  if (next_parity_[block] >= coder_.max_parity()) next_parity_[block] = 0;
+  return make_parity(block, next_parity_[block]++);
+}
+
+std::size_t ServerTransport::shards_scheduled(std::size_t block) const {
+  REKEY_ENSURE(block < partition_.num_blocks());
+  return config_.block_size + static_cast<std::size_t>(next_parity_[block]);
+}
+
+packet::UsrPacket ServerTransport::usr_for(std::uint16_t new_id) const {
+  packet::UsrPacket usr;
+  usr.msg_id = msg_id_;
+  usr.new_user_id = new_id;
+  usr.max_kid = static_cast<std::uint16_t>(payload_.max_kid);
+  const auto it = payload_.user_needs.find(new_id);
+  REKEY_ENSURE_MSG(it != payload_.user_needs.end(),
+                   "USR requested for a user with no pending keys");
+  usr.entries.reserve(it->second.size());
+  for (const std::uint32_t idx : it->second)
+    usr.entries.push_back(
+        packet::to_wire_entry(payload_.encryptions[idx]));
+  return usr;
+}
+
+}  // namespace rekey::transport

@@ -1,0 +1,214 @@
+#include "transport/session.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::transport {
+
+RekeySession::RekeySession(simnet::Topology& topology,
+                           const ProtocolConfig& config,
+                           RhoController& controller)
+    : topology_(topology), config_(config), controller_(controller) {
+  config.validate();
+}
+
+MessageMetrics RekeySession::run_message(
+    const tree::RekeyPayload& payload, packet::Assignment assignment,
+    std::span<const std::uint16_t> old_ids, const RecoveredFn& on_recovered) {
+  const std::size_t n_users = old_ids.size();
+  REKEY_ENSURE(topology_.num_users() >= n_users);
+
+  const std::uint8_t msg_id = next_msg_id_;
+  next_msg_id_ = static_cast<std::uint8_t>((next_msg_id_ + 1) % 64);
+
+  MessageMetrics m;
+  m.enc_packets = assignment.packets.size();
+  m.users = n_users;
+  m.rho_used = controller_.rho();
+  m.num_nack_target = controller_.num_nack_target();
+
+  ServerTransport server(config_, payload, std::move(assignment),
+                         controller_.proactive_parities(), msg_id);
+  m.slots = server.num_slots();
+
+  PacketPool pool;
+  std::vector<UserTransport> users;
+  users.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u)
+    users.emplace_back(old_ids[u], config_.block_size,
+                       static_cast<unsigned>(payload.degree), &pool);
+
+  const double start_ms = clock_ms_;
+  double t = start_ms;
+  std::size_t unrecovered = n_users;
+  int round = 0;
+  bool to_unicast = false;
+
+  auto notify = [&](std::size_t u) {
+    if (on_recovered) on_recovered(u, users[u]);
+  };
+
+  while (unrecovered > 0) {
+    ++round;
+    REKEY_ENSURE_MSG(round <= config_.max_rounds_cap,
+                     "multicast did not converge within the round cap");
+
+    std::vector<Bytes> wires = server.round_packets(round);
+    if (round == 1) {
+      m.proactive_parities = wires.size() - server.num_slots();
+    } else {
+      m.reactive_parities += wires.size();
+    }
+
+    // Multicast: one shared source-link draw per packet, then each
+    // still-unrecovered user's own receiver link at its arrival time.
+    for (Bytes& w : wires) {
+      const std::size_t idx = pool.size();
+      pool.push_back(std::move(w));
+      ++m.multicast_sent;
+      const double ts = t;
+      t += config_.send_interval_ms;
+      if (topology_.source_lost(ts)) continue;
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (users[u].recovered()) continue;
+        const double ta = ts + topology_.delay_ms(u);
+        if (!topology_.user_lost(u, ta)) users[u].on_packet(idx, round);
+      }
+    }
+
+    // Round end: users that did not get their specific packet try to
+    // decode; the rest NACK. NACKs traverse user uplink + source uplink.
+    std::size_t nacks_received = 0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (users[u].recovered()) continue;
+      const auto entries = users[u].end_of_round(round);
+      if (users[u].recovered()) continue;  // decoded at round end
+      const double tn = t + topology_.delay_ms(u);
+      if (topology_.user_uplink_lost(u, tn)) continue;
+      if (topology_.source_uplink_lost(tn + topology_.delay_ms(u))) continue;
+      server.accept_nack(u, entries);
+      ++nacks_received;
+      ++m.total_nacks;
+    }
+    if (round == 1) {
+      m.round1_nacks = nacks_received;
+      auto feedback = server.take_feedback();
+      if (config_.adaptive_rho)
+        controller_.on_round1_feedback(std::move(feedback));
+    } else {
+      server.take_feedback();  // only round-1 feedback drives AdjustRho
+    }
+
+    // Account recoveries of this round.
+    std::size_t recovered_now = 0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (users[u].recovered() && users[u].recovery_round() == round) {
+        ++recovered_now;
+        notify(u);
+      }
+    }
+    if (recovered_now > 0) m.recovered_in_round[round] = recovered_now;
+    unrecovered -= recovered_now;
+    m.multicast_rounds = round;
+    t += topology_.max_rtt_ms() + config_.round_slack_ms;
+
+    if (unrecovered == 0) break;
+    if (config_.max_multicast_rounds > 0 &&
+        round >= config_.max_multicast_rounds) {
+      to_unicast = true;
+      break;
+    }
+    if (config_.early_unicast_by_size) {
+      // §7.1: switch early when the USR bytes owed do not exceed the
+      // parity bytes the next round would multicast.
+      std::size_t usr_bytes = 0;
+      for (const std::size_t u : server.straggler_set()) {
+        const auto new_id = tree::derive_new_user_id(
+            old_ids[u], payload.max_kid, payload.degree);
+        const auto it = payload.user_needs.find(new_id.value());
+        const std::size_t needs =
+            it == payload.user_needs.end() ? 0 : it->second.size();
+        usr_bytes += 5 + packet::kEntrySize * needs + 28;  // + UDP/IP
+      }
+      const std::size_t parity_bytes =
+          server.pending_parities() * config_.packet_size;
+      if (usr_bytes > 0 && usr_bytes <= parity_bytes) {
+        to_unicast = true;
+        break;
+      }
+    }
+  }
+
+  // Unicast phase (paper Fig 22): lockstep waves so shared loss processes
+  // see monotone time. Every wave, unknown stragglers NACK; known ones
+  // receive an escalating number of duplicate USR packets.
+  if (to_unicast && unrecovered > 0) {
+    std::vector<std::size_t> stragglers;
+    for (std::size_t u = 0; u < n_users; ++u)
+      if (!users[u].recovered()) stragglers.push_back(u);
+    m.unicast_users = stragglers.size();
+
+    std::vector<int> dups(n_users, config_.usr_initial_duplicates);
+    int waves = 0;
+    while (!stragglers.empty()) {
+      REKEY_ENSURE_MSG(++waves <= 10000, "unicast did not converge");
+      std::vector<std::size_t> still;
+      double ts = t;
+      for (const std::size_t u : stragglers) {
+        if (!server.knows_user(u)) {
+          // Wake-up NACK until the server learns about this user.
+          ++m.total_nacks;
+          const double tn = ts + topology_.delay_ms(u);
+          if (!topology_.user_uplink_lost(u, tn) &&
+              !topology_.source_uplink_lost(tn + topology_.delay_ms(u))) {
+            server.accept_nack(u, users[u].end_of_round(round));
+          }
+          still.push_back(u);
+          ts += 0.1;
+          continue;
+        }
+        const std::uint16_t new_id = static_cast<std::uint16_t>(
+            tree::derive_new_user_id(old_ids[u], payload.max_kid,
+                                     static_cast<unsigned>(payload.degree))
+                .value());
+        bool got = false;
+        for (int i = 0; i < dups[u]; ++i) {
+          ++m.usr_packets;
+          const double tsend = ts + 0.1 * i;
+          if (!topology_.source_lost(tsend) &&
+              !topology_.user_lost(u, tsend + topology_.delay_ms(u)))
+            got = true;
+        }
+        if (got) {
+          users[u].on_usr(server.usr_for(new_id));
+          REKEY_ENSURE(users[u].recovered());
+          notify(u);
+        } else {
+          ++dups[u];
+          still.push_back(u);
+        }
+        ts += 0.1 * dups[u];
+      }
+      stragglers.swap(still);
+      t = ts + topology_.max_rtt_ms() + config_.round_slack_ms;
+    }
+  }
+
+  // Deadline accounting: a user meets the deadline iff it recovered in a
+  // multicast round <= deadline_rounds.
+  if (config_.deadline_rounds > 0) {
+    std::size_t met = 0;
+    for (const auto& [round_no, count] : m.recovered_in_round)
+      if (round_no <= config_.deadline_rounds) met += count;
+    m.deadline_misses = n_users - met;
+    if (config_.adapt_num_nack)
+      controller_.on_deadline_report(m.deadline_misses);
+  }
+
+  m.duration_ms = t - start_ms;
+  clock_ms_ = t + config_.round_slack_ms;
+  return m;
+}
+
+}  // namespace rekey::transport

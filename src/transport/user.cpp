@@ -1,0 +1,205 @@
+#include "transport/user.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+#include "fec/rse.h"
+#include "keytree/ids.h"
+
+namespace rekey::transport {
+
+namespace {
+
+// Decoded FEC region of an ENC packet: maxKID, frmID, toID, entries.
+struct DecodedRegion {
+  std::uint16_t max_kid = 0;
+  std::uint16_t frm_id = 0;
+  std::uint16_t to_id = 0;
+  std::vector<packet::EncEntry> entries;
+};
+
+DecodedRegion parse_region(const Bytes& region) {
+  REKEY_ENSURE(region.size() >= 6);
+  ByteReader r(region);
+  DecodedRegion d;
+  d.max_kid = r.get_u16();
+  d.frm_id = r.get_u16();
+  d.to_id = r.get_u16();
+  while (r.remaining() >= packet::kEntrySize) {
+    const std::uint32_t id = r.get_u32();
+    if (id == 0) break;  // padding
+    packet::EncEntry e;
+    e.enc_id = id;
+    const Bytes ct = r.get_bytes(crypto::SymmetricKey::kSize);
+    std::copy(ct.begin(), ct.end(), e.enc.ciphertext.begin());
+    e.enc.tag = r.get_u16();
+    d.entries.push_back(e);
+  }
+  return d;
+}
+
+}  // namespace
+
+UserTransport::UserTransport(std::uint16_t old_id, std::size_t k,
+                             unsigned degree, const PacketPool* pool)
+    : id_(old_id), k_(k), degree_(degree), pool_(pool) {
+  REKEY_ENSURE(pool != nullptr);
+}
+
+bool UserTransport::note_max_kid(std::uint16_t max_kid) {
+  if (id_updated_) return true;
+  const auto derived = tree::derive_new_user_id(id_, max_kid, degree_);
+  // An undecodable maxKID means a corrupted packet (Theorem 4.2 guarantees
+  // derivability from genuine headers): ignore it.
+  if (!derived.has_value() || *derived > 0xFFFF) return false;
+  max_kid_ = max_kid;
+  id_ = static_cast<std::uint16_t>(*derived);
+  id_updated_ = true;
+  estimator_.emplace(id_, k_, degree_);
+  return true;
+}
+
+void UserTransport::prune_out_of_range() {
+  if (!estimator_ || !estimator_->bounded()) return;
+  const std::uint32_t lo = estimator_->low();
+  const std::uint32_t hi = estimator_->high();
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->first < lo || it->first > hi) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UserTransport::on_packet(std::size_t pool_index, int round) {
+  if (recovered_) return;
+  const Bytes& wire = (*pool_)[pool_index];
+  const auto type = packet::peek_type(wire);
+  if (!type) return;
+
+  if (*type == packet::PacketType::Enc) {
+    const auto h = packet::parse_enc_header(wire);
+    if (!h) return;
+    if (!note_max_kid(h->max_kid)) return;  // corrupt header
+    if (h->frm_id <= id_ && id_ <= h->to_id) {
+      // My specific packet.
+      const auto pkt = packet::EncPacket::parse(wire);
+      REKEY_ENSURE(pkt.has_value());
+      entries_ = pkt->entries;
+      recovered_ = true;
+      recovery_round_ = round;
+      blocks_.clear();
+      return;
+    }
+    estimator_->observe(*h);
+    prune_out_of_range();
+    if (h->seq + 1u >= k_)
+      complete_through_ =
+          std::max(complete_through_, static_cast<std::int64_t>(h->block_id));
+    if (h->block_id >= estimator_->low() &&
+        h->block_id <= estimator_->high()) {
+      blocks_[h->block_id].push_back(
+          {h->seq, static_cast<std::uint32_t>(pool_index)});
+    }
+    return;
+  }
+
+  if (*type == packet::PacketType::Parity) {
+    const auto h = packet::parse_parity_header(wire);
+    if (!h) return;
+    // Parities follow the last ENC slot wave: every block is complete.
+    complete_through_ = std::numeric_limits<std::int64_t>::max();
+    const bool in_range =
+        !estimator_ || !estimator_->bounded() ||
+        (h->block_id >= estimator_->low() &&
+         h->block_id <= estimator_->high());
+    if (in_range) {
+      blocks_[h->block_id].push_back(
+          {static_cast<std::uint32_t>(k_ + h->parity_seq),
+           static_cast<std::uint32_t>(pool_index)});
+    }
+    return;
+  }
+}
+
+void UserTransport::on_usr(const packet::UsrPacket& usr) {
+  if (recovered_) return;
+  max_kid_ = usr.max_kid;
+  id_ = usr.new_user_id;
+  id_updated_ = true;
+  entries_ = usr.entries;
+  recovered_ = true;
+  blocks_.clear();
+}
+
+bool UserTransport::try_decode_block(std::uint32_t block, int round) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end() || it->second.size() < k_) return false;
+
+  std::vector<fec::Shard> shards;
+  shards.reserve(it->second.size());
+  for (const StoredShard& s : it->second) {
+    const Bytes& wire = (*pool_)[s.pool_index];
+    fec::Shard shard;
+    shard.index = static_cast<int>(s.shard);
+    shard.payload.assign(wire.begin() + packet::kFecOffset, wire.end());
+    shards.push_back(std::move(shard));
+  }
+  const fec::RseCoder coder(static_cast<int>(k_));
+  const auto decoded = coder.decode(shards);
+  if (!decoded.has_value()) return false;
+
+  for (const Bytes& region : *decoded) {
+    const DecodedRegion d = parse_region(region);
+    note_max_kid(d.max_kid);
+    if (d.frm_id <= id_ && id_ <= d.to_id) {
+      entries_ = d.entries;
+      recovered_ = true;
+      recovery_round_ = round;
+      blocks_.clear();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<packet::NackEntry> UserTransport::end_of_round(int round) {
+  if (recovered_) return {};
+
+  if (!estimator_ || !estimator_->bounded()) {
+    // Nothing usable arrived: wake-up NACK so the server learns about us.
+    packet::NackEntry e;
+    e.parities_needed = static_cast<std::uint8_t>(k_);
+    e.block_id = 0;
+    return {e};
+  }
+
+  std::vector<packet::NackEntry> needs;
+  for (std::uint32_t blk = estimator_->low(); blk <= estimator_->high();
+       ++blk) {
+    const auto it = blocks_.find(blk);
+    const std::size_t have = it == blocks_.end() ? 0 : it->second.size();
+    if (have >= k_) {
+      if (try_decode_block(blk, round)) return {};
+      continue;  // decodable block that is not mine
+    }
+    packet::NackEntry e;
+    e.parities_needed = static_cast<std::uint8_t>(k_ - have);
+    e.block_id = static_cast<std::uint16_t>(blk);
+    if (it != blocks_.end()) {
+      std::uint32_t max_shard = 0;
+      for (const StoredShard& s : it->second)
+        max_shard = std::max(max_shard, s.shard);
+      e.max_shard_seen =
+          static_cast<std::uint8_t>(std::min<std::uint32_t>(max_shard, 255));
+    }
+    needs.push_back(e);
+  }
+  REKEY_ENSURE_MSG(!needs.empty(),
+                   "all candidate blocks decoded but own packet missing");
+  return needs;
+}
+
+}  // namespace rekey::transport

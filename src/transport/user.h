@@ -1,0 +1,102 @@
+// The user (receiver) protocol for one rekey message (paper Fig 27).
+//
+// During a round a user classifies incoming packets: its own ENC packet
+// (frmID <= id <= toID) means immediate success; other ENC packets feed the
+// block-id estimator; ENC and PARITY packets of candidate blocks are
+// retained (by reference into the session's packet pool) for FEC decoding.
+// At each round end the user tries to decode every candidate block with >=
+// k shards; if its packet is still missing it emits NACK entries — one
+// <parities needed, block> pair per candidate block.
+//
+// A user that received *nothing* cannot bound its block range; it emits a
+// conservative wake-up NACK for block 0 so the server learns it exists
+// (the server's unicast fallback then covers it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "packet/estimate.h"
+#include "packet/wire.h"
+
+namespace rekey::transport {
+
+// Packets live in a per-message pool owned by the session; users hold
+// indices, so N users retaining the same packet costs N*4 bytes, not N KB.
+using PacketPool = std::vector<Bytes>;
+
+class UserTransport {
+ public:
+  // old_id: the user's id before this rekey message; k: block size;
+  // degree: key tree degree; pool: the session packet pool.
+  UserTransport(std::uint16_t old_id, std::size_t k, unsigned degree,
+                const PacketPool* pool);
+
+  // Deliver the packet stored at pool[pool_index]. `round` is the current
+  // multicast round (1-based), used for latency accounting.
+  void on_packet(std::size_t pool_index, int round);
+
+  // Deliver a unicast USR packet.
+  void on_usr(const packet::UsrPacket& usr);
+
+  // Round-end processing (paper Fig 27 "when timeout"): attempt FEC
+  // decoding, then report the NACK entries still needed (empty when
+  // recovered).
+  std::vector<packet::NackEntry> end_of_round(int round);
+
+  bool recovered() const { return recovered_; }
+  // Multicast round in which recovery happened (1-based); 0 if not yet.
+  int recovery_round() const { return recovery_round_; }
+
+  // This user's current id: updated from the first maxKID seen.
+  std::uint16_t current_id() const { return id_; }
+  std::uint16_t max_kid() const { return max_kid_; }
+
+  // Eager-mode loss detection. With interleaved sending the ENC slots go
+  // out wave by wave (seq 0 of every block, then seq 1, ...), so receiving
+  // block b's seq-(k-1) slot proves the initial shards of every block
+  // <= b have been sent, and any parity proves it for all blocks. A user
+  // "detects a loss" (paper Appendix A) once every block that could hold
+  // its packet is provably complete yet still undecodable.
+  bool initial_pass_complete() const {
+    return estimator_.has_value() && estimator_->bounded() &&
+           complete_through_ >= static_cast<std::int64_t>(estimator_->high());
+  }
+
+  // After recovery: the user's encryption entries (empty when the rekey
+  // message carried nothing for this user).
+  const std::vector<packet::EncEntry>& entries() const { return entries_; }
+
+ private:
+  // Updates this user's id from an advertised maxKID; false (packet
+  // ignored) when the id cannot be derived, i.e. the header is corrupt.
+  bool note_max_kid(std::uint16_t max_kid);
+  void prune_out_of_range();
+  bool try_decode_block(std::uint32_t block, int round);
+
+  std::uint16_t id_;
+  std::size_t k_;
+  unsigned degree_;
+  const PacketPool* pool_;
+
+  bool id_updated_ = false;
+  std::uint16_t max_kid_ = 0;
+  std::optional<packet::BlockIdEstimator> estimator_;
+
+  // Per candidate block: pool indices of its shards, ENC slots and
+  // parities alike (shard index = seq for ENC, k + parity_seq for PARITY).
+  struct StoredShard {
+    std::uint32_t shard;
+    std::uint32_t pool_index;
+  };
+  std::map<std::uint32_t, std::vector<StoredShard>> blocks_;
+
+  bool recovered_ = false;
+  std::int64_t complete_through_ = -1;  // last provably-complete block id
+  int recovery_round_ = 0;
+  std::vector<packet::EncEntry> entries_;
+};
+
+}  // namespace rekey::transport

@@ -1,0 +1,162 @@
+// Block-id estimation tests (paper Appendix D): exactness when the
+// neighbour conditions hold, range correctness under arbitrary loss, and
+// the maxKID-derived upper bound.
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "packet/estimate.h"
+
+namespace rekey::packet {
+namespace {
+
+// Build a synthetic message: `n` ENC packets each serving exactly 4 user
+// ids, partitioned into blocks of k. Returns headers in slot order.
+struct SyntheticMessage {
+  std::vector<EncHeader> headers;  // index = block * k + seq (no dups)
+  std::size_t k;
+  unsigned degree = 4;
+};
+
+SyntheticMessage make_message(std::size_t n_packets, std::size_t k,
+                              std::uint16_t first_user = 100,
+                              std::uint16_t users_per_packet = 4) {
+  SyntheticMessage m;
+  m.k = k;
+  std::uint16_t next = first_user;
+  const std::size_t blocks = (n_packets + k - 1) / k;
+  const std::uint16_t last_user = static_cast<std::uint16_t>(
+      first_user + n_packets * users_per_packet - 1);
+  // maxKID consistent with ids: users in (nk, 4nk+4] -> nk >= last/4.
+  const std::uint16_t max_kid = last_user / 4 + 1;
+  for (std::size_t i = 0; i < n_packets; ++i) {
+    EncHeader h;
+    h.block_id = static_cast<std::uint16_t>(i / k);
+    h.seq = static_cast<std::uint8_t>(i % k);
+    h.frm_id = next;
+    next = static_cast<std::uint16_t>(next + users_per_packet);
+    h.to_id = static_cast<std::uint16_t>(next - 1);
+    h.max_kid = max_kid;
+    m.headers.push_back(h);
+  }
+  (void)blocks;
+  return m;
+}
+
+TEST(Estimate, OwnPacketPinsBlock) {
+  const auto msg = make_message(30, 10);
+  BlockIdEstimator est(/*my_id=*/msg.headers[17].frm_id, 10, 4);
+  est.observe(msg.headers[3]);
+  est.observe(msg.headers[17]);
+  EXPECT_TRUE(est.exact());
+  EXPECT_TRUE(est.found_own_packet());
+  EXPECT_EQ(est.low(), 1u);
+}
+
+TEST(Estimate, UnboundedBeforeAnyPacket) {
+  BlockIdEstimator est(500, 10, 4);
+  EXPECT_FALSE(est.bounded());
+}
+
+TEST(Estimate, NeighboursPinExactly) {
+  // Appendix D: receiving one packet of Sl and one of Su pins block i.
+  const auto msg = make_message(30, 10);
+  const std::size_t lost = 14;  // block 1, seq 4
+  const std::uint16_t me = msg.headers[lost].frm_id;
+  BlockIdEstimator est(me, 10, 4);
+  est.observe(msg.headers[lost - 1]);  // in Sl
+  est.observe(msg.headers[lost + 1]);  // in Su
+  EXPECT_TRUE(est.exact());
+  EXPECT_EQ(est.low(), 1u);
+  EXPECT_FALSE(est.found_own_packet());
+}
+
+TEST(Estimate, LastSeqOfPreviousBlockRaisesLow) {
+  const auto msg = make_message(30, 10);
+  const std::size_t lost = 10;  // block 1, seq 0
+  const std::uint16_t me = msg.headers[lost].frm_id;
+  BlockIdEstimator est(me, 10, 4);
+  est.observe(msg.headers[9]);  // block 0, seq 9 == k-1: low becomes 1
+  EXPECT_GE(est.low(), 1u);
+  est.observe(msg.headers[11]);  // block 1, seq 1 > 0: high <= 1
+  EXPECT_TRUE(est.exact());
+}
+
+TEST(Estimate, FirstSeqOfNextBlockLowersHigh) {
+  const auto msg = make_message(30, 10);
+  const std::size_t lost = 9;  // block 0, seq 9
+  const std::uint16_t me = msg.headers[lost].frm_id;
+  BlockIdEstimator est(me, 10, 4);
+  est.observe(msg.headers[10]);  // block 1, seq 0: high <= 0
+  EXPECT_TRUE(est.bounded());
+  EXPECT_EQ(est.high(), 0u);
+}
+
+TEST(Estimate, DuplicatesIgnored) {
+  const auto msg = make_message(30, 10);
+  EncHeader dup = msg.headers[9];  // would trigger the seq==k-1 rule
+  dup.duplicate = true;
+  const std::uint16_t me = msg.headers[10].frm_id;
+  BlockIdEstimator est(me, 10, 4);
+  est.observe(dup);
+  EXPECT_FALSE(est.bounded());
+}
+
+TEST(Estimate, MaxKidBoundsHighWithoutLaterPackets) {
+  const auto msg = make_message(30, 10);
+  const std::uint16_t me = msg.headers[29].frm_id;  // last packet's user
+  BlockIdEstimator est(me, 10, 4);
+  est.observe(msg.headers[0]);  // only the first packet
+  EXPECT_TRUE(est.bounded());
+  EXPECT_GE(est.high(), 2u);  // truth is block 2
+  EXPECT_LT(est.high(), 0xFFFFFFFFu);
+}
+
+// Property: under any random loss pattern, the surviving packets' estimate
+// always brackets the true block.
+class EstimateLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimateLossSweep, RangeAlwaysContainsTruth) {
+  const double loss = GetParam();
+  Rng rng(static_cast<std::uint64_t>(loss * 1000) + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 5 + rng.next_in(0, 40);
+    const std::size_t k = 1 + rng.next_in(0, 14);
+    const auto msg = make_message(n, k);
+    const std::size_t lost = rng.next_in(0, n - 1);
+    const std::uint32_t true_block = msg.headers[lost].block_id;
+    const std::uint16_t me = static_cast<std::uint16_t>(
+        msg.headers[lost].frm_id + rng.next_in(0, 3));
+
+    BlockIdEstimator est(me, k, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == lost) continue;  // own packet always lost in this property
+      if (rng.next_bool(loss)) continue;
+      est.observe(msg.headers[i]);
+    }
+    if (!est.bounded()) continue;  // nothing received
+    EXPECT_LE(est.low(), true_block) << "n=" << n << " k=" << k;
+    EXPECT_GE(est.high(), true_block) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, EstimateLossSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9));
+
+TEST(Estimate, InterleavedReceptionNarrowsQuickly) {
+  // With interleaved sending, the seq-0 packets of every block arrive
+  // first; after observing them all, the range collapses to one block.
+  const auto msg = make_message(40, 10);  // 4 blocks
+  const std::size_t lost = 25;            // block 2, seq 5
+  const std::uint16_t me = msg.headers[lost].frm_id;
+  BlockIdEstimator est(me, 10, 4);
+  for (std::size_t b = 0; b < 4; ++b)
+    est.observe(msg.headers[b * 10]);  // all seq-0 packets
+  // Block 3's seq-0 packet has frm > me -> high <= 2; block 2 seq 0 has
+  // to < me and seq 0 < k-1 -> low >= 2.
+  EXPECT_TRUE(est.exact());
+  EXPECT_EQ(est.low(), 2u);
+}
+
+}  // namespace
+}  // namespace rekey::packet

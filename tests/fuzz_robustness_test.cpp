@@ -1,0 +1,136 @@
+// Robustness ("fuzz") tests: the wire parsers and the receiver state
+// machine must survive arbitrary byte soup — returning nullopt or simply
+// ignoring garbage, never crashing or throwing on network input.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "packet/estimate.h"
+#include "packet/wire.h"
+#include "transport/user.h"
+
+namespace rekey {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  return b;
+}
+
+TEST(Fuzz, ParsersNeverThrowOnRandomInput) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Bytes wire = random_bytes(rng, rng.next_in(0, 64));
+    EXPECT_NO_THROW({
+      (void)packet::EncPacket::parse(wire);
+      (void)packet::ParityPacket::parse(wire);
+      (void)packet::UsrPacket::parse(wire);
+      (void)packet::NackPacket::parse(wire);
+      (void)packet::parse_enc_header(wire);
+      (void)packet::parse_parity_header(wire);
+      (void)packet::peek_type(wire);
+    });
+  }
+}
+
+TEST(Fuzz, ParsersNeverThrowOnPacketSizedRandomInput) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Bytes wire = random_bytes(rng, 1027);
+    EXPECT_NO_THROW({
+      (void)packet::EncPacket::parse(wire);
+      (void)packet::ParityPacket::parse(wire);
+      (void)packet::UsrPacket::parse(wire);
+      (void)packet::NackPacket::parse(wire);
+    });
+  }
+}
+
+TEST(Fuzz, BitflippedEncPacketsParseOrRejectCleanly) {
+  // Start from a valid packet and flip bits: parse must not throw, and if
+  // it succeeds the result must be internally consistent enough to print.
+  packet::EncPacket p;
+  p.msg_id = 5;
+  p.block_id = 3;
+  p.seq = 2;
+  p.max_kid = 100;
+  p.frm_id = 101;
+  p.to_id = 120;
+  crypto::KeyGenerator gen(1);
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    packet::EncEntry e;
+    e.enc_id = i;
+    const auto k = gen.next();
+    std::copy(k.bytes.begin(), k.bytes.end(), e.enc.ciphertext.begin());
+    p.entries.push_back(e);
+  }
+  const Bytes base = p.serialize(512);
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes wire = base;
+    const std::size_t flips = 1 + rng.next_in(0, 7);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_in(0, wire.size() - 1);
+      wire[pos] ^= static_cast<std::uint8_t>(1u << rng.next_in(0, 7));
+    }
+    EXPECT_NO_THROW((void)packet::EncPacket::parse(wire));
+  }
+}
+
+TEST(Fuzz, UserTransportIgnoresGarbagePackets) {
+  Rng rng(4);
+  transport::PacketPool pool;
+  for (int i = 0; i < 500; ++i)
+    pool.push_back(random_bytes(rng, rng.next_in(0, 1027)));
+  transport::UserTransport u(/*old_id=*/100, /*k=*/10, /*degree=*/4, &pool);
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    EXPECT_NO_THROW(u.on_packet(i, 1));
+  // With nothing intelligible received, the round ends in a NACK (random
+  // bytes can in principle masquerade as this user's ENC packet — the
+  // integrity tags reject the garbage keys downstream — so only the
+  // not-recovered case is asserted on).
+  if (!u.recovered()) {
+    std::vector<packet::NackEntry> nack;
+    EXPECT_NO_THROW(nack = u.end_of_round(1));
+    EXPECT_FALSE(nack.empty());
+  }
+}
+
+TEST(Fuzz, EstimatorToleratesInconsistentHeaders) {
+  // Random (but type-correct) ENC headers: inconsistent observations are
+  // dropped, low() <= high() always holds, and observe never throws.
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    packet::BlockIdEstimator est(/*my_id=*/500, /*k=*/10, /*degree=*/4);
+    for (int i = 0; i < 20; ++i) {
+      packet::EncHeader h;
+      h.block_id = static_cast<std::uint16_t>(rng.next_in(0, 40));
+      h.seq = static_cast<std::uint8_t>(rng.next_in(0, 9));
+      h.frm_id = static_cast<std::uint16_t>(rng.next_in(0, 1000));
+      h.to_id = static_cast<std::uint16_t>(h.frm_id + rng.next_in(0, 50));
+      h.max_kid = static_cast<std::uint16_t>(rng.next_in(125, 2000));
+      EXPECT_NO_THROW(est.observe(h));
+      EXPECT_LE(est.low(), est.high());
+    }
+  }
+}
+
+TEST(Fuzz, TruncatedUsrAndNackHandled) {
+  packet::UsrPacket usr;
+  usr.msg_id = 9;
+  usr.new_user_id = 44;
+  crypto::KeyGenerator gen(6);
+  packet::EncEntry e;
+  e.enc_id = 7;
+  const auto k = gen.next();
+  std::copy(k.bytes.begin(), k.bytes.end(), e.enc.ciphertext.begin());
+  usr.entries.push_back(e);
+  const Bytes full = usr.serialize();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const Bytes wire(full.begin(), full.begin() + cut);
+    EXPECT_NO_THROW((void)packet::UsrPacket::parse(wire));
+  }
+}
+
+}  // namespace
+}  // namespace rekey

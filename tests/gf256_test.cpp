@@ -1,0 +1,146 @@
+// GF(2^8) field tests: axioms over parameter sweeps, exp/log consistency,
+// and the add_scaled hot path.
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "fec/gf256.h"
+
+namespace rekey::fec {
+namespace {
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x55, 0xAA), 0xFF);
+  EXPECT_EQ(GF256::add(0x13, 0x13), 0x00);
+}
+
+TEST(GF256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1),
+              static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256, MulCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+  }
+}
+
+TEST(GF256, MulAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c),
+              GF256::mul(a, GF256::mul(b, c)));
+  }
+}
+
+TEST(GF256, Distributive) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+TEST(GF256, EveryNonzeroHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1)
+        << "a=" << a;
+  }
+}
+
+TEST(GF256, InverseOfZeroThrows) {
+  EXPECT_THROW(GF256::inv(0), EnsureError);
+  EXPECT_THROW(GF256::div(1, 0), EnsureError);
+  EXPECT_THROW(GF256::log(0), EnsureError);
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.next_in(1, 255));
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+  }
+}
+
+TEST(GF256, ExpLogRoundtrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(GF256::exp(GF256::log(static_cast<std::uint8_t>(a))),
+              static_cast<std::uint8_t>(a));
+  }
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // alpha = 2 generates the multiplicative group: 255 distinct powers.
+  std::vector<bool> seen(256, false);
+  for (unsigned e = 0; e < 255; ++e) {
+    const auto v = GF256::exp(e);
+    EXPECT_FALSE(seen[v]) << "repeat at e=" << e;
+    seen[v] = true;
+  }
+  EXPECT_FALSE(seen[0]);
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_in(1, 255));
+    const unsigned e = static_cast<unsigned>(rng.next_in(0, 600));
+    std::uint8_t expect = 1;
+    for (unsigned j = 0; j < e; ++j) expect = GF256::mul(expect, a);
+    EXPECT_EQ(GF256::pow(a, e), expect);
+  }
+}
+
+TEST(GF256, AddScaledMatchesScalarLoop) {
+  Rng rng(6);
+  std::vector<std::uint8_t> dst(257), src(257);
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  for (const std::uint8_t c : {0, 1, 2, 97, 255}) {
+    auto expect = dst;
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      expect[i] = GF256::add(expect[i],
+                             GF256::mul(c, src[i]));
+    auto got = dst;
+    GF256::add_scaled(got, src, static_cast<std::uint8_t>(c));
+    EXPECT_EQ(got, expect) << "c=" << int(c);
+  }
+}
+
+TEST(GF256, AddScaledSizeMismatchThrows) {
+  std::vector<std::uint8_t> a(4), b(5);
+  EXPECT_THROW(GF256::add_scaled(a, b, 3), EnsureError);
+}
+
+class GF256FieldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GF256FieldSweep, RowOfMultiplicationTableIsPermutation) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  std::vector<bool> seen(256, false);
+  for (int b = 0; b < 256; ++b) {
+    const auto v = GF256::mul(a, static_cast<std::uint8_t>(b));
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NonzeroElements, GF256FieldSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 97, 128, 254,
+                                           255));
+
+}  // namespace
+}  // namespace rekey::fec

@@ -1,0 +1,285 @@
+// Marking-algorithm tests (paper §2.2, Appendix B): the three batch
+// regimes, splitting, pruning, Lemma 4.1 preservation, Theorem 4.2
+// consistency, and randomized multi-batch property sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "keytree/marking.h"
+
+namespace rekey::tree {
+namespace {
+
+std::vector<MemberId> ids(std::initializer_list<MemberId> l) { return l; }
+
+TEST(Marking, EqualJoinLeaveReplacesInPlace) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  const NodeId slot3 = t.slot_of(3);
+  Marker m(t);
+  const auto upd = m.run(ids({100}), ids({3}));
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 16u);
+  EXPECT_FALSE(t.has_member(3));
+  EXPECT_EQ(t.slot_of(100), slot3);
+  EXPECT_EQ(upd.joined.at(100), slot3);
+  EXPECT_EQ(upd.departed.at(3), slot3);
+  EXPECT_TRUE(upd.moved.empty());
+  // Changed k-nodes: path from slot3 to root (2 nodes in a height-2 tree).
+  EXPECT_EQ(upd.changed_knodes.size(), 2u);
+  EXPECT_TRUE(upd.changed_knodes.count(kRootId));
+}
+
+TEST(Marking, ReplacedUserGetsFreshIndividualKey) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  const NodeId slot = t.slot_of(3);
+  const crypto::SymmetricKey old_key = t.node(slot).key;
+  Marker m(t);
+  m.run(ids({100}), ids({3}));
+  EXPECT_NE(t.node(slot).key, old_key);
+}
+
+TEST(Marking, PureLeaveRemovesAndPrunes) {
+  KeyTree t(4, 1);
+  t.populate(16);  // users 5..20, k-nodes 0..4
+  Marker m(t);
+  // Remove all four users under k-node 1 (slots 5, 6, 7, 8 = members 0-3).
+  const auto upd = m.run({}, ids({0, 1, 2, 3}));
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 12u);
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_FALSE(t.contains(1));  // pruned k-node
+  // Only the root changed (node 1 is gone, nodes 2-4 untouched).
+  EXPECT_EQ(upd.changed_knodes, std::set<NodeId>{kRootId});
+}
+
+TEST(Marking, PureLeavePartialSubtree) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  Marker m(t);
+  const auto upd = m.run({}, ids({0, 1}));  // slots 5, 6 leave
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 14u);
+  EXPECT_TRUE(t.contains(1));  // still has children 7, 8
+  EXPECT_EQ(upd.changed_knodes, (std::set<NodeId>{0, 1}));
+}
+
+TEST(Marking, LeaveEverybody) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  std::vector<MemberId> all;
+  for (MemberId i = 0; i < 16; ++i) all.push_back(i);
+  Marker m(t);
+  const auto upd = m.run({}, all);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(upd.changed_knodes.empty());
+  t.check_invariants();
+}
+
+TEST(Marking, MoreLeavesThanJoinsReplacesSmallestIds) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  Marker m(t);
+  // members 2 (slot 7) and 9 (slot 14) leave; one join must take slot 7.
+  const auto upd = m.run(ids({50}), ids({9, 2}));
+  t.check_invariants();
+  EXPECT_EQ(t.slot_of(50), 7u);
+  EXPECT_FALSE(t.contains(14));
+  EXPECT_EQ(upd.joined.at(50), 7u);
+}
+
+TEST(Marking, JoinsFillFreeSlots) {
+  KeyTree t(4, 1);
+  t.populate(6);  // height 2, users at 5..10, nk = parent(10) = 2
+  Marker m(t);
+  const auto upd = m.run(ids({50, 51}), {});
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 8u);
+  // Free n-node slots in (nk, d*nk+d] = (2, 12], low to high: 3, 4 (the
+  // unexpanded level-1 positions), then 11, 12.
+  EXPECT_EQ(t.slot_of(50), 3u);
+  EXPECT_EQ(t.slot_of(51), 4u);
+  EXPECT_TRUE(upd.moved.empty());
+}
+
+TEST(Marking, JoinCreatesAncestorKNodesOrFillsLeafGaps) {
+  KeyTree t(4, 1);
+  t.populate(6);  // nk = 2; free slots in (2, 12]: 3, 4, 11, 12
+  Marker m(t);
+  const auto upd = m.run(ids({50, 51, 52, 53}), {});
+  t.check_invariants();
+  EXPECT_EQ(t.slot_of(52), 11u);
+  EXPECT_EQ(t.slot_of(53), 12u);
+  // Their parent k-node 2 was already present and must be rekeyed.
+  EXPECT_TRUE(upd.changed_knodes.count(2));
+  // Lemma 4.1 still holds with users at mixed levels.
+  EXPECT_LT(t.max_knode_id().value(), 3u);
+}
+
+TEST(Marking, JoinSplitsWhenFull) {
+  KeyTree t(4, 1);
+  t.populate(16);  // full: nk=4, users 5..20, no free slots
+  Marker m(t);
+  const auto upd = m.run(ids({50}), {});
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 17u);
+  // Node 5 splits: its user (member 0) moves to 21, the join lands at 22.
+  EXPECT_EQ(upd.moved.at(5), 21u);
+  EXPECT_EQ(t.slot_of(0), 21u);
+  EXPECT_EQ(t.slot_of(50), 22u);
+  EXPECT_EQ(t.node(5).kind, NodeKind::KNode);
+  EXPECT_EQ(t.max_knode_id().value(), 5u);
+  EXPECT_TRUE(upd.changed_knodes.count(5));
+}
+
+TEST(Marking, ManyJoinsMultipleSplits) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  Marker m(t);
+  std::vector<MemberId> js;
+  for (MemberId i = 0; i < 7; ++i) js.push_back(100 + i);
+  const auto upd = m.run(js, {});  // 7 joins need ceil(7/3)=3 splits
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 23u);
+  EXPECT_EQ(upd.moved.size(), 3u);
+  EXPECT_EQ(t.max_knode_id().value(), 7u);
+}
+
+TEST(Marking, JoinsAfterLeavesReuseSlotsFirst) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  Marker m(t);
+  const auto upd = m.run(ids({50, 51}), ids({7}));
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 17u);
+  // 50 replaces member 7's slot (12); 51 splits node 5.
+  EXPECT_EQ(t.slot_of(50), 12u);
+  EXPECT_EQ(upd.moved.size(), 1u);
+}
+
+TEST(Marking, EmptyBatchIsNoop) {
+  KeyTree t(4, 1);
+  t.populate(8);
+  const auto key = t.group_key();
+  Marker m(t);
+  const auto upd = m.run({}, {});
+  EXPECT_TRUE(upd.changed_knodes.empty());
+  EXPECT_EQ(t.group_key(), key);
+}
+
+TEST(Marking, BootstrapFromEmptyTree) {
+  KeyTree t(4, 1);
+  Marker m(t);
+  const auto upd = m.run(ids({1, 2, 3, 4, 5}), {});
+  t.check_invariants();
+  EXPECT_EQ(t.num_users(), 5u);
+  EXPECT_EQ(upd.joined.size(), 5u);
+  EXPECT_FALSE(upd.changed_knodes.empty());
+}
+
+TEST(Marking, GroupKeyAlwaysChangesOnAnyBatch) {
+  KeyTree t(4, 1);
+  t.populate(64);
+  for (int i = 0; i < 5; ++i) {
+    const auto before = t.group_key();
+    Marker m(t);
+    m.run(ids({static_cast<MemberId>(100 + i)}),
+          ids({static_cast<MemberId>(i)}));
+    EXPECT_NE(t.group_key(), before);
+  }
+}
+
+TEST(Marking, UnchangedSubtreeKeysStay) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  const auto aux4 = t.node(4).key;  // subtree of users 17..20
+  Marker m(t);
+  m.run(ids({50}), ids({0}));  // change in subtree 1 only
+  EXPECT_EQ(t.node(4).key, aux4);
+  EXPECT_NE(t.node(1).key, t.node(4).key);
+}
+
+TEST(Marking, JoinOfExistingMemberThrows) {
+  KeyTree t(4, 1);
+  t.populate(4);
+  Marker m(t);
+  EXPECT_THROW(m.run(ids({2}), {}), EnsureError);
+}
+
+TEST(Marking, LeaveOfUnknownMemberThrows) {
+  KeyTree t(4, 1);
+  t.populate(4);
+  Marker m(t);
+  EXPECT_THROW(m.run({}, ids({99})), EnsureError);
+}
+
+TEST(Marking, Theorem42HoldsForAllUsersAfterBatch) {
+  KeyTree t(4, 1);
+  t.populate(16);
+  // Record pre-batch slots of survivors.
+  std::map<MemberId, NodeId> before;
+  for (MemberId i = 0; i < 16; ++i) before[i] = t.slot_of(i);
+  Marker m(t);
+  std::vector<MemberId> js;
+  for (MemberId i = 0; i < 9; ++i) js.push_back(100 + i);
+  const auto upd = m.run(js, ids({3, 4}));
+  t.check_invariants();
+  for (const auto& [member, old_slot] : before) {
+    if (member == 3 || member == 4) continue;
+    const auto derived = derive_new_user_id(old_slot, upd.max_kid, 4);
+    ASSERT_TRUE(derived.has_value()) << "member " << member;
+    EXPECT_EQ(*derived, t.slot_of(member)) << "member " << member;
+  }
+}
+
+// Randomized churn: many consecutive batches with random J/L; after every
+// batch the structural invariants (including Lemma 4.1) must hold, and
+// Theorem 4.2 must re-derive every survivor's slot.
+class ChurnSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChurnSweep, InvariantsAndTheoremUnderChurn) {
+  const unsigned d = GetParam();
+  Rng rng(d * 1000 + 17);
+  KeyTree t(d, 5);
+  t.populate(50);
+  MemberId next = 50;
+  for (int batch = 0; batch < 30; ++batch) {
+    // Random leaves from current members.
+    std::vector<MemberId> members;
+    for (const NodeId s : t.user_slots()) members.push_back(t.node(s).member);
+    const std::size_t L =
+        static_cast<std::size_t>(rng.next_in(0, members.size() / 2));
+    rng.shuffle(members);
+    std::vector<MemberId> leaves(members.begin(), members.begin() + L);
+    const std::size_t J = static_cast<std::size_t>(rng.next_in(0, 30));
+    std::vector<MemberId> joins;
+    for (std::size_t j = 0; j < J; ++j) joins.push_back(next++);
+
+    std::map<MemberId, NodeId> before;
+    for (const MemberId mm : members) before[mm] = t.slot_of(mm);
+
+    Marker m(t);
+    const auto upd = m.run(joins, leaves);
+    t.check_invariants();
+
+    const std::set<MemberId> left(leaves.begin(), leaves.end());
+    for (const auto& [member, old_slot] : before) {
+      if (left.count(member)) {
+        EXPECT_FALSE(t.has_member(member));
+        continue;
+      }
+      const auto derived = derive_new_user_id(old_slot, upd.max_kid, d);
+      ASSERT_TRUE(derived.has_value());
+      EXPECT_EQ(*derived, t.slot_of(member));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ChurnSweep, ::testing::Values(2u, 3u, 4u));
+
+}  // namespace
+}  // namespace rekey::tree

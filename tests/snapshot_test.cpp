@@ -1,0 +1,149 @@
+// Snapshot/restore tests: the key server's crash-recovery path and the
+// member-side key persistence.
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
+#include "keytree/snapshot.h"
+
+namespace rekey::tree {
+namespace {
+
+KeyTree churned_tree(std::uint64_t seed) {
+  Rng rng(seed);
+  KeyTree t(4, rng.next_u64());
+  t.populate(64);
+  // A couple of batches so the tree has history (splits, holes).
+  Marker m(t);
+  m.run(std::vector<MemberId>{100, 101, 102}, std::vector<MemberId>{3});
+  Marker m2(t);
+  m2.run(std::vector<MemberId>{}, std::vector<MemberId>{7, 8, 9, 10});
+  return t;
+}
+
+TEST(TreeSnapshot, RoundtripPreservesEverything) {
+  const KeyTree original = churned_tree(1);
+  const Bytes blob = snapshot_tree(original);
+  const auto restored = restore_tree(blob, /*key_seed=*/99);
+  ASSERT_TRUE(restored.has_value());
+  restored->check_invariants();
+  EXPECT_EQ(restored->degree(), original.degree());
+  EXPECT_EQ(restored->num_users(), original.num_users());
+  EXPECT_EQ(restored->group_key(), original.group_key());
+  ASSERT_EQ(restored->nodes().size(), original.nodes().size());
+  for (const auto& [id, n] : original.nodes()) {
+    ASSERT_TRUE(restored->contains(id));
+    EXPECT_EQ(restored->node(id).kind, n.kind);
+    EXPECT_EQ(restored->node(id).key, n.key);
+    if (n.kind == NodeKind::UNode) {
+      EXPECT_EQ(restored->node(id).member, n.member);
+    }
+  }
+}
+
+TEST(TreeSnapshot, RestoredTreeKeepsWorking) {
+  KeyTree original = churned_tree(2);
+  const Bytes blob = snapshot_tree(original);
+  auto restored = restore_tree(blob, 7);
+  ASSERT_TRUE(restored.has_value());
+  // A batch on the restored tree must behave like one on any live tree.
+  Marker m(*restored);
+  const auto upd = m.run(std::vector<MemberId>{200}, std::vector<MemberId>{5});
+  restored->check_invariants();
+  const auto payload = generate_rekey_payload(*restored, upd, 9);
+  EXPECT_FALSE(payload.encryptions.empty());
+  EXPECT_EQ(payload.user_needs.size(), restored->num_users());
+}
+
+TEST(TreeSnapshot, CorruptionDetected) {
+  const KeyTree original = churned_tree(3);
+  Bytes blob = snapshot_tree(original);
+  for (const std::size_t pos :
+       {std::size_t{0}, blob.size() / 2, blob.size() - 1}) {
+    Bytes bad = blob;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(restore_tree(bad, 1).has_value()) << "pos " << pos;
+  }
+}
+
+TEST(TreeSnapshot, TruncationDetected) {
+  const KeyTree original = churned_tree(4);
+  const Bytes blob = snapshot_tree(original);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{10}, blob.size() - 1}) {
+    const Bytes cut(blob.begin(), blob.begin() + len);
+    EXPECT_FALSE(restore_tree(cut, 1).has_value()) << "len " << len;
+  }
+}
+
+TEST(TreeSnapshot, WrongMagicRejected) {
+  const KeyTree original = churned_tree(5);
+  Bytes blob = snapshot_view(
+      UserKeyView(1, original.user_slots()[0], 4,
+                  original.keys_for_slot(original.user_slots()[0])),
+      4);
+  EXPECT_FALSE(restore_tree(blob, 1).has_value());
+}
+
+TEST(ViewSnapshot, RoundtripPreservesKeys) {
+  const KeyTree t = churned_tree(6);
+  const NodeId slot = t.user_slots()[5];
+  const UserKeyView view(t.node(slot).member, slot, 4, t.keys_for_slot(slot));
+  const Bytes blob = snapshot_view(view, 4);
+  const auto restored = restore_view(blob);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->member(), view.member());
+  EXPECT_EQ(restored->id(), view.id());
+  EXPECT_EQ(restored->keys(), view.keys());
+  EXPECT_EQ(restored->group_key(), view.group_key());
+}
+
+TEST(ViewSnapshot, RestoredViewStillDecrypts) {
+  KeyTree t(4, 11);
+  t.populate(16);
+  const NodeId slot = t.slot_of(6);
+  const UserKeyView before(6, slot, 4, t.keys_for_slot(slot));
+  const Bytes blob = snapshot_view(before, 4);
+
+  Marker m(t);
+  const auto upd = m.run({}, std::vector<MemberId>{3});
+  const auto payload = generate_rekey_payload(t, upd, 2);
+
+  auto view = restore_view(blob);
+  ASSERT_TRUE(view.has_value());
+  view->apply(payload.msg_id, payload.max_kid, payload.encryptions);
+  EXPECT_EQ(view->group_key().value(), t.group_key());
+}
+
+TEST(ViewSnapshot, CorruptionDetected) {
+  const KeyTree t = churned_tree(8);
+  const NodeId slot = t.user_slots()[0];
+  const UserKeyView view(t.node(slot).member, slot, 4, t.keys_for_slot(slot));
+  Bytes blob = snapshot_view(view, 4);
+  blob[blob.size() / 2] ^= 0x80;
+  EXPECT_FALSE(restore_view(blob).has_value());
+}
+
+TEST(FromNodes, RejectsInconsistentData) {
+  std::map<NodeId, Node> nodes;
+  Node u;
+  u.kind = NodeKind::UNode;
+  u.member = 1;
+  nodes.emplace(5, u);  // orphan u-node: no k-node ancestors
+  EXPECT_THROW(KeyTree::from_nodes(4, 1, nodes), EnsureError);
+}
+
+TEST(FromNodes, RejectsDuplicateMembers) {
+  KeyTree t(4, 1);
+  t.populate(4);
+  auto nodes = t.nodes();
+  // Give two u-nodes the same member id.
+  Node dup = nodes.at(1);
+  nodes.at(2) = dup;
+  EXPECT_THROW(KeyTree::from_nodes(4, 1, nodes), EnsureError);
+}
+
+}  // namespace
+}  // namespace rekey::tree

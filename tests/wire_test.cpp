@@ -1,0 +1,221 @@
+// Wire-format tests for the four packet types: roundtrips, header peeks,
+// padding semantics, and size accounting (the paper's 46 encryptions per
+// 1027-byte ENC packet).
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "crypto/keys.h"
+#include "packet/wire.h"
+
+namespace rekey::packet {
+namespace {
+
+EncEntry make_entry(std::uint32_t id, std::uint64_t seed) {
+  crypto::KeyGenerator gen(seed);
+  EncEntry e;
+  e.enc_id = id;
+  const auto k = gen.next();
+  std::copy(k.bytes.begin(), k.bytes.end(), e.enc.ciphertext.begin());
+  e.enc.tag = static_cast<std::uint16_t>(seed * 7919);
+  return e;
+}
+
+TEST(Wire, CapacityMatchesPaper) {
+  EXPECT_EQ(max_entries(1027), 46u);
+  EXPECT_EQ(kEntrySize, 22u);
+}
+
+TEST(Wire, EncRoundtrip) {
+  EncPacket p;
+  p.msg_id = 13;
+  p.block_id = 777;
+  p.seq = 9;
+  p.duplicate = true;
+  p.max_kid = 5461;
+  p.frm_id = 5462;
+  p.to_id = 6000;
+  for (std::uint32_t i = 1; i <= 46; ++i) p.entries.push_back(make_entry(i, i));
+
+  const Bytes wire = p.serialize(1027);
+  EXPECT_EQ(wire.size(), 1027u);
+  const auto back = EncPacket::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->msg_id, p.msg_id);
+  EXPECT_EQ(back->block_id, p.block_id);
+  EXPECT_EQ(back->seq, p.seq);
+  EXPECT_EQ(back->duplicate, p.duplicate);
+  EXPECT_EQ(back->max_kid, p.max_kid);
+  EXPECT_EQ(back->frm_id, p.frm_id);
+  EXPECT_EQ(back->to_id, p.to_id);
+  EXPECT_EQ(back->entries, p.entries);
+}
+
+TEST(Wire, EncPaddingStopsAtZeroId) {
+  EncPacket p;
+  p.msg_id = 1;
+  p.entries.push_back(make_entry(5, 1));
+  const Bytes wire = p.serialize(200);
+  const auto back = EncPacket::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entries.size(), 1u);
+}
+
+TEST(Wire, EncZeroIdRejectedOnSerialize) {
+  EncPacket p;
+  p.entries.push_back(make_entry(0, 1));
+  EXPECT_THROW(p.serialize(200), EnsureError);
+}
+
+TEST(Wire, EncOverflowRejected) {
+  EncPacket p;
+  for (std::uint32_t i = 1; i <= 47; ++i) p.entries.push_back(make_entry(i, i));
+  EXPECT_THROW(p.serialize(1027), EnsureError);
+}
+
+TEST(Wire, EncHeaderPeekMatchesFullParse) {
+  EncPacket p;
+  p.msg_id = 63;
+  p.block_id = 65535;
+  p.seq = 127;
+  p.duplicate = false;
+  p.max_kid = 1;
+  p.frm_id = 2;
+  p.to_id = 3;
+  p.entries.push_back(make_entry(9, 9));
+  const Bytes wire = p.serialize(100);
+  const auto h = parse_enc_header(wire);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->msg_id, 63);
+  EXPECT_EQ(h->block_id, 65535);
+  EXPECT_EQ(h->seq, 127);
+  EXPECT_FALSE(h->duplicate);
+  EXPECT_EQ(h->max_kid, 1);
+  EXPECT_EQ(h->frm_id, 2);
+  EXPECT_EQ(h->to_id, 3);
+}
+
+TEST(Wire, DuplicateFlagDoesNotDisturbSeq) {
+  for (const bool dup : {false, true}) {
+    EncPacket p;
+    p.seq = 77;
+    p.duplicate = dup;
+    p.entries.push_back(make_entry(3, 3));
+    const auto h = parse_enc_header(p.serialize(64));
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->seq, 77);
+    EXPECT_EQ(h->duplicate, dup);
+  }
+}
+
+TEST(Wire, ParityRoundtrip) {
+  ParityPacket p;
+  p.msg_id = 7;
+  p.block_id = 300;
+  p.parity_seq = 200;
+  p.fec.assign(1023, 0xA5);
+  const Bytes wire = p.serialize();
+  EXPECT_EQ(wire.size(), 1027u);  // same length as an ENC packet
+  const auto back = ParityPacket::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->msg_id, 7);
+  EXPECT_EQ(back->block_id, 300);
+  EXPECT_EQ(back->parity_seq, 200);
+  EXPECT_EQ(back->fec, p.fec);
+}
+
+TEST(Wire, ParityHeaderPeek) {
+  ParityPacket p;
+  p.msg_id = 2;
+  p.block_id = 9;
+  p.parity_seq = 4;
+  p.fec.assign(16, 0);
+  const auto h = parse_parity_header(p.serialize());
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->msg_id, 2);
+  EXPECT_EQ(h->block_id, 9);
+  EXPECT_EQ(h->parity_seq, 4);
+}
+
+TEST(Wire, UsrRoundtrip) {
+  UsrPacket p;
+  p.msg_id = 44;
+  p.new_user_id = 21845;
+  p.max_kid = 5461;
+  p.entries.push_back(make_entry(21845, 1));
+  p.entries.push_back(make_entry(5461, 2));
+  const Bytes wire = p.serialize();
+  // USR packets are small: header 5 bytes + 22 per entry.
+  EXPECT_EQ(wire.size(), 5u + 44u);
+  const auto back = UsrPacket::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->new_user_id, p.new_user_id);
+  EXPECT_EQ(back->max_kid, p.max_kid);
+  EXPECT_EQ(back->entries, p.entries);
+}
+
+TEST(Wire, NackRoundtrip) {
+  NackPacket p;
+  p.msg_id = 3;
+  p.entries.push_back({4, 0, 9});
+  p.entries.push_back({10, 12, 0});
+  const Bytes wire = p.serialize();
+  EXPECT_EQ(wire.size(), 1u + 2 * 4u);
+  const auto back = NackPacket::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->msg_id, 3);
+  EXPECT_EQ(back->entries, p.entries);
+}
+
+TEST(Wire, PeekTypeDistinguishesAll) {
+  EncPacket e;
+  e.entries.push_back(make_entry(1, 1));
+  ParityPacket par;
+  par.fec.assign(4, 0);
+  UsrPacket u;
+  NackPacket n;
+  EXPECT_EQ(peek_type(e.serialize(64)), PacketType::Enc);
+  EXPECT_EQ(peek_type(par.serialize()), PacketType::Parity);
+  EXPECT_EQ(peek_type(u.serialize()), PacketType::Usr);
+  EXPECT_EQ(peek_type(n.serialize()), PacketType::Nack);
+  EXPECT_FALSE(peek_type({}).has_value());
+}
+
+TEST(Wire, CrossTypeParseRejected) {
+  UsrPacket u;
+  u.msg_id = 1;
+  const Bytes wire = u.serialize();
+  EXPECT_FALSE(EncPacket::parse(wire).has_value());
+  EXPECT_FALSE(ParityPacket::parse(wire).has_value());
+  EXPECT_FALSE(NackPacket::parse(wire).has_value());
+}
+
+TEST(Wire, TruncatedPacketsRejected) {
+  EXPECT_FALSE(EncPacket::parse(Bytes{0x00, 0x01}).has_value());
+  EXPECT_FALSE(ParityPacket::parse(Bytes{0x40}).has_value());
+  EXPECT_FALSE(UsrPacket::parse(Bytes{0x80}).has_value());
+  EXPECT_FALSE(NackPacket::parse(Bytes{}).has_value());
+}
+
+TEST(Wire, MsgIdRange) {
+  EncPacket p;
+  p.msg_id = 64;  // 6-bit field
+  p.entries.push_back(make_entry(1, 1));
+  EXPECT_THROW(p.serialize(64), EnsureError);
+}
+
+TEST(Wire, TreeEncryptionConversionRoundtrip) {
+  tree::Encryption t;
+  t.enc_id = 21;
+  t.target_id = 5;  // parent of 21 at degree 4
+  crypto::KeyGenerator gen(3);
+  t.payload = crypto::encrypt_key(gen.next(), gen.next(), 1, 21);
+  const EncEntry e = to_wire_entry(t);
+  const tree::Encryption back = to_tree_encryption(e, 4);
+  EXPECT_EQ(back.enc_id, t.enc_id);
+  EXPECT_EQ(back.target_id, t.target_id);
+  EXPECT_EQ(back.payload, t.payload);
+}
+
+}  // namespace
+}  // namespace rekey::packet
