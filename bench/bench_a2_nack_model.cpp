@@ -11,16 +11,17 @@ using namespace rekey;
 using namespace rekey::bench;
 
 int main() {
+  constexpr std::uint64_t kBaseSeed = 0xA2;
+  const int parities[] = {0, 2, 4, 6, 10};
+
   print_figure_header(
       std::cout, "A2",
       "round-1 NACKs: binomial model vs packet-level simulation",
       "N=4096, L=N/4, k=10, Bernoulli links (model assumption), fixed rho, "
       "6 messages/point");
 
-  Table t({"proactive parities", "rho", "model E[NACKs]", "sim E[NACKs]",
-           "ratio"});
-  t.set_precision(2);
-  for (const int a : {0, 2, 4, 6, 10}) {
+  std::vector<SweepConfig> points;
+  for (const int a : parities) {
     SweepConfig cfg;
     cfg.burst_loss = false;
     cfg.alpha = 0.2;
@@ -28,9 +29,17 @@ int main() {
     cfg.protocol.initial_rho = 1.0 + a / 10.0;
     cfg.protocol.max_multicast_rounds = 0;
     cfg.messages = 6;
-    cfg.seed = 1000 + a;
-    const auto run = run_sweep(cfg);
-    const double sim = run.mean_round1_nacks();
+    cfg.seed = point_seed(kBaseSeed, points.size());
+    points.push_back(cfg);
+  }
+  const auto runs = run_sweep_grid(points);
+
+  Table t({"proactive parities", "rho", "model E[NACKs]", "sim E[NACKs]",
+           "ratio"});
+  t.set_precision(2);
+  for (std::size_t i = 0; i < std::size(parities); ++i) {
+    const int a = parities[i];
+    const double sim = runs[i].mean_round1_nacks();
     const double model = analysis::expected_round1_nacks(
         4096 - 1024, 0.2, 0.2, 0.02, 0.01, 10, a);
     t.add_row({static_cast<long long>(a), 1.0 + a / 10.0, model, sim,

@@ -6,10 +6,14 @@
 // assignment needs fewer packets in total, but spreads a user's
 // encryptions over several packets — the probability of receiving ALL of
 // them in one round drops from (1-p) to (1-p)^m.
+//
+// Trials are independent with per-trial seeds, so they fan out across the
+// worker pool; results are identical for any REKEY_THREADS setting.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -66,13 +70,23 @@ int main() {
       "UKA vs sequential assignment: message size vs round-1 recovery",
       "N=4096, J=0, L=N/4, d=4, 46 encryptions/packet, loss p=5%; 3 trials");
 
+  constexpr std::uint64_t kTrials = 3;
+  const bool modes[] = {true, false};
+  std::vector<AssignStats> stats(std::size(modes) * kTrials);
+  parallel_for_each_index(stats.size(), [&](std::size_t i) {
+    const bool uka = modes[i / kTrials];
+    const std::uint64_t s = i % kTrials;
+    stats[i] = evaluate(uka, 4096, 1024, 100 + s, 0.05);
+  });
+
   Table t({"assignment", "ENC packets", "duplication", "pkts/user mean",
            "pkts/user max", "P(all pkts in round 1)"});
   t.set_precision(3);
-  for (const bool uka : {true, false}) {
+  for (std::size_t mode = 0; mode < std::size(modes); ++mode) {
+    const bool uka = modes[mode];
     RunningStats pk, dup, mean_pu, max_pu, p1;
-    for (std::uint64_t s = 0; s < 3; ++s) {
-      const auto st = evaluate(uka, 4096, 1024, 100 + s, 0.05);
+    for (std::uint64_t s = 0; s < kTrials; ++s) {
+      const auto& st = stats[mode * kTrials + s];
       pk.add(st.packets);
       dup.add(st.dup);
       mean_pu.add(st.mean_pkts_per_user);

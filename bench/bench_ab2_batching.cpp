@@ -4,8 +4,12 @@
 // marking pass costs far fewer encryptions (and one signed message instead
 // of J+L) than rekeying after every request. This ablation measures both
 // on identical request sequences.
+//
+// Cells are independent with per-cell seeds, so they fan out across the
+// worker pool; results are identical for any REKEY_THREADS setting.
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -67,15 +71,35 @@ int main() {
       "batch rekeying vs per-request rekeying (the paper's premise)",
       "N=4096, d=4, J=L, identical request sets, 2 trials");
 
+  constexpr std::uint64_t kTrials = 2;
+  const std::size_t rs[] = {16, 64, 256, 1024};
+
+  // Cell layout: [r index][batched, per-request] x [trial].
+  struct Cell {
+    std::size_t r;
+    bool batched;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t r : rs)
+    for (const bool batched : {true, false})
+      for (std::uint64_t s = 0; s < kTrials; ++s)
+        cells.push_back({r, batched, 40 + s});
+  std::vector<double> encs(cells.size());
+  parallel_for_each_index(cells.size(), [&](std::size_t i) {
+    encs[i] =
+        run(4096, cells[i].r, cells[i].r, cells[i].batched, cells[i].seed)
+            .encryptions;
+  });
+
   Table t({"J=L", "batched encs", "per-req encs", "ratio", "batched msgs",
            "per-req msgs"});
   t.set_precision(1);
-  for (const std::size_t r : {16u, 64u, 256u, 1024u}) {
+  std::size_t cell = 0;
+  for (const std::size_t r : rs) {
     RunningStats be, pe;
-    for (std::uint64_t s = 0; s < 2; ++s) {
-      be.add(run(4096, r, r, true, 40 + s).encryptions);
-      pe.add(run(4096, r, r, false, 40 + s).encryptions);
-    }
+    for (std::uint64_t s = 0; s < kTrials; ++s) be.add(encs[cell++]);
+    for (std::uint64_t s = 0; s < kTrials; ++s) pe.add(encs[cell++]);
     t.add_row({static_cast<long long>(r), be.mean(), pe.mean(),
                pe.mean() / be.mean(), 1.0, static_cast<double>(2 * r)});
   }

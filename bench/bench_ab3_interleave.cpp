@@ -15,7 +15,7 @@ using namespace rekey::bench;
 
 namespace {
 
-double overhead(bool interleave, bool burst, std::uint64_t seed) {
+SweepConfig make_config(bool interleave, bool burst, std::uint64_t seed) {
   SweepConfig cfg;
   cfg.alpha = 0.2;
   cfg.burst_loss = burst;
@@ -28,23 +28,36 @@ double overhead(bool interleave, bool burst, std::uint64_t seed) {
   cfg.protocol.send_interval_ms = 10.0;
   cfg.messages = 8;
   cfg.seed = seed;
-  return run_sweep(cfg).mean_bandwidth_overhead();
+  return cfg;
 }
 
 }  // namespace
 
 int main() {
+  constexpr std::uint64_t kBaseSeed = 0xAB3;
   print_figure_header(
       std::cout, "AB3",
       "interleaved vs sequential send order: server bandwidth overhead",
       "N=4096, L=N/4, k=10, rho=1, 100 pkt/s (bursts span packets), "
       "8 messages/point");
 
+  // Both orders share a seed per loss model so they see the same loss
+  // realization.
+  std::vector<SweepConfig> points;
+  std::size_t pair = 0;
+  for (const bool burst : {true, false}) {
+    const std::uint64_t seed = point_seed(kBaseSeed, pair++);
+    points.push_back(make_config(true, burst, seed));
+    points.push_back(make_config(false, burst, seed));
+  }
+  const auto runs = run_sweep_grid(points);
+
   Table t({"loss model", "interleaved", "sequential", "sequential/interleaved"});
   t.set_precision(3);
+  std::size_t point = 0;
   for (const bool burst : {true, false}) {
-    const double inter = overhead(true, burst, 555);
-    const double seq = overhead(false, burst, 555);
+    const double inter = runs[point++].mean_bandwidth_overhead();
+    const double seq = runs[point++].mean_bandwidth_overhead();
     t.add_row({std::string(burst ? "two-state Markov (bursty)"
                                  : "Bernoulli (memoryless)"),
                inter, seq, seq / inter});

@@ -2,8 +2,12 @@
 // why: per-batch encryption cost is minimized around d=4 (the classic
 // LKH trade-off between tree height and per-node fanout), and the message
 // size follows.
+//
+// Cells are independent with per-cell seeds, so they fan out across the
+// worker pool; results are identical for any REKEY_THREADS setting.
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -46,22 +50,34 @@ int main() {
       "key-tree degree sweep: batch cost vs d",
       "N=4096, J=0, L in {64, N/4}, 3 trials/point");
 
+  constexpr std::uint64_t kTrials = 3;
+  const unsigned degrees[] = {2, 3, 4, 8, 16};
+
+  // Cell layout per degree: kTrials small-L cells then kTrials big-L cells.
+  std::vector<DegreeCost> costs(std::size(degrees) * 2 * kTrials);
+  parallel_for_each_index(costs.size(), [&](std::size_t i) {
+    const unsigned d = degrees[i / (2 * kTrials)];
+    const bool big = (i / kTrials) % 2 == 1;
+    const std::uint64_t s = i % kTrials;
+    costs[i] = big ? run(d, 4096, 1024, 80 + s) : run(d, 4096, 64, 60 + s);
+  });
+
   Table t({"d", "height", "encs (L=64)", "pkts (L=64)", "encs (L=1024)",
            "pkts (L=1024)"});
   t.set_precision(1);
-  for (const unsigned d : {2u, 3u, 4u, 8u, 16u}) {
+  for (std::size_t di = 0; di < std::size(degrees); ++di) {
     RunningStats e_small, p_small, e_big, p_big, h;
-    for (std::uint64_t s = 0; s < 3; ++s) {
-      const auto small = run(d, 4096, 64, 60 + s);
-      const auto big = run(d, 4096, 1024, 80 + s);
+    for (std::uint64_t s = 0; s < kTrials; ++s) {
+      const auto& small = costs[di * 2 * kTrials + s];
+      const auto& big = costs[di * 2 * kTrials + kTrials + s];
       e_small.add(small.encryptions);
       p_small.add(small.packets);
       e_big.add(big.encryptions);
       p_big.add(big.packets);
       h.add(small.height);
     }
-    t.add_row({static_cast<long long>(d), h.mean(), e_small.mean(),
-               p_small.mean(), e_big.mean(), p_big.mean()});
+    t.add_row({static_cast<long long>(degrees[di]), h.mean(),
+               e_small.mean(), p_small.mean(), e_big.mean(), p_big.mean()});
   }
   t.print(std::cout);
   std::cout << "\nShape check: sparse batches (L=64) favour d~4 (cost "

@@ -2,8 +2,13 @@
 // (the protocol paper's Appendix-A suggestion). Same workload, same
 // topology seeds: compare delivery latency (mean and worst-case, in ms)
 // and server bandwidth.
+//
+// Each (alpha, mode) combination is self-contained (own topology + own
+// seeds), so the six combos fan out across the worker pool; results are
+// identical for any REKEY_THREADS setting.
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sweep.h"
@@ -12,67 +17,94 @@
 using namespace rekey;
 using namespace rekey::bench;
 
+namespace {
+
+struct ComboResult {
+  double mean_latency = 0;
+  double worst_latency = 0;
+  double bw = 0;
+  double nacks = 0;
+};
+
+ComboResult run_combo(double alpha, bool eager) {
+  transport::WorkloadConfig wc;
+  wc.group_size = 4096;
+  wc.leaves = 1024;
+  transport::ProtocolConfig cfg;
+  cfg.adaptive_rho = false;
+  cfg.max_multicast_rounds = 0;
+
+  simnet::TopologyConfig tc;
+  tc.num_users = 4096;
+  tc.alpha = alpha;
+  tc.p_high = 0.2;
+  tc.p_low = 0.02;
+  tc.p_source = 0.01;
+
+  ComboResult r;
+  if (!eager) {
+    simnet::Topology topo(tc, 1234);
+    transport::RhoController rho(cfg, 1);
+    transport::RekeySession session(topo, cfg, rho);
+    RunningStats dur, bw, nacks;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      auto msg = transport::generate_message(wc, 500 + i,
+                                             static_cast<std::uint32_t>(i));
+      const auto m = session.run_message(
+          msg.payload, std::move(msg.assignment), msg.old_ids);
+      dur.add(m.duration_ms);
+      bw.add(m.bandwidth_overhead());
+      nacks.add(static_cast<double>(m.total_nacks));
+    }
+    r.mean_latency = dur.mean();  // all users wait for round ends
+    r.worst_latency = dur.max();
+    r.bw = bw.mean();
+    r.nacks = nacks.mean();
+  } else {
+    simnet::Topology topo(tc, 1234);
+    transport::EagerSession session(topo, cfg);
+    RunningStats mean_lat, max_lat, bw, nacks;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      auto msg = transport::generate_message(wc, 500 + i,
+                                             static_cast<std::uint32_t>(i));
+      const auto m = session.run_message(
+          msg.payload, std::move(msg.assignment), msg.old_ids, 0);
+      mean_lat.add(m.mean_latency_ms);
+      max_lat.add(m.max_latency_ms);
+      bw.add(m.bandwidth_overhead());
+      nacks.add(static_cast<double>(m.nacks_received));
+    }
+    r.mean_latency = mean_lat.mean();
+    r.worst_latency = max_lat.max();
+    r.bw = bw.mean();
+    r.nacks = nacks.mean();
+  }
+  return r;
+}
+
+}  // namespace
+
 int main() {
   print_figure_header(
       std::cout, "AB6",
       "eager (NACK-on-loss-detection) vs round-based transport",
       "N=4096, L=N/4, k=10, rho=1, alpha sweep, 5 messages/point");
 
+  const double alphas[] = {0.0, 0.2, 1.0};
+  std::vector<ComboResult> results(std::size(alphas) * 2);
+  parallel_for_each_index(results.size(), [&](std::size_t i) {
+    results[i] = run_combo(alphas[i / 2], i % 2 == 1);
+  });
+
   Table t({"alpha", "mode", "mean latency ms", "worst latency ms",
            "bw overhead", "NACKs/msg"});
   t.set_precision(1);
-
-  for (const double alpha : {0.0, 0.2, 1.0}) {
-    transport::WorkloadConfig wc;
-    wc.group_size = 4096;
-    wc.leaves = 1024;
-    transport::ProtocolConfig cfg;
-    cfg.adaptive_rho = false;
-    cfg.max_multicast_rounds = 0;
-
-    simnet::TopologyConfig tc;
-    tc.num_users = 4096;
-    tc.alpha = alpha;
-    tc.p_high = 0.2;
-    tc.p_low = 0.02;
-    tc.p_source = 0.01;
-
-    // Round-based.
-    {
-      simnet::Topology topo(tc, 1234);
-      transport::RhoController rho(cfg, 1);
-      transport::RekeySession session(topo, cfg, rho);
-      RunningStats dur, bw, nacks;
-      for (std::uint64_t i = 0; i < 5; ++i) {
-        auto msg = transport::generate_message(wc, 500 + i,
-                                               static_cast<std::uint32_t>(i));
-        const auto m = session.run_message(
-            msg.payload, std::move(msg.assignment), msg.old_ids);
-        dur.add(m.duration_ms);
-        bw.add(m.bandwidth_overhead());
-        nacks.add(static_cast<double>(m.total_nacks));
-      }
-      t.add_row({alpha_label(alpha), std::string("round-based"),
-                 dur.mean(),  // round-based: all users wait for round ends
-                 dur.max(), bw.mean(), nacks.mean()});
-    }
-    // Eager.
-    {
-      simnet::Topology topo(tc, 1234);
-      transport::EagerSession session(topo, cfg);
-      RunningStats mean_lat, max_lat, bw, nacks;
-      for (std::uint64_t i = 0; i < 5; ++i) {
-        auto msg = transport::generate_message(wc, 500 + i,
-                                               static_cast<std::uint32_t>(i));
-        const auto m = session.run_message(
-            msg.payload, std::move(msg.assignment), msg.old_ids, 0);
-        mean_lat.add(m.mean_latency_ms);
-        max_lat.add(m.max_latency_ms);
-        bw.add(m.bandwidth_overhead());
-        nacks.add(static_cast<double>(m.nacks_received));
-      }
-      t.add_row({alpha_label(alpha), std::string("eager"), mean_lat.mean(),
-                 max_lat.max(), bw.mean(), nacks.mean()});
+  for (std::size_t a = 0; a < std::size(alphas); ++a) {
+    for (int eager = 0; eager < 2; ++eager) {
+      const auto& r = results[a * 2 + eager];
+      t.add_row({alpha_label(alphas[a]),
+                 std::string(eager ? "eager" : "round-based"),
+                 r.mean_latency, r.worst_latency, r.bw, r.nacks});
     }
   }
   t.print(std::cout);

@@ -6,8 +6,13 @@
 // Expected shape (paper): linear growth in J at fixed L; rise-then-fall in
 // L at fixed J (pruning wins past L ~ N/d); linear growth in N for all
 // three J/L mixes.
+//
+// Cells are independent Monte-Carlo estimates with per-cell seeds, so they
+// fan out across the worker pool; results are identical for any
+// REKEY_THREADS setting.
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -18,6 +23,10 @@
 namespace {
 
 using namespace rekey;
+
+struct Cell {
+  std::size_t N, J, L;
+};
 
 double avg_enc_packets(std::size_t N, std::size_t J, std::size_t L,
                        unsigned d, int trials) {
@@ -41,23 +50,43 @@ double avg_enc_packets(std::size_t N, std::size_t J, std::size_t L,
   return s.mean();
 }
 
+std::vector<double> run_cells(const std::vector<Cell>& cells, int trials) {
+  std::vector<double> out(cells.size());
+  parallel_for_each_index(cells.size(), [&](std::size_t i) {
+    out[i] = avg_enc_packets(cells[i].N, cells[i].J, cells[i].L, 4, trials);
+  });
+  return out;
+}
+
 }  // namespace
 
 int main() {
   constexpr int kTrials = 3;
+  const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
+
+  std::vector<Cell> cells;
+  for (const std::size_t J : grid)
+    for (const std::size_t L : grid) cells.push_back({4096, J, L});
+  const std::size_t middle_cells = cells.size();
+  for (const std::size_t N : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    cells.push_back({N, 0, N / 4});
+    cells.push_back({N, N / 4, N / 4});
+    cells.push_back({N, N / 4, 0});
+  }
+  const std::vector<double> results = run_cells(cells, kTrials);
 
   print_figure_header(std::cout, "F6 (middle)",
                       "average #ENC packets vs (J, L)",
                       "N=4096, d=4, 1027-byte packets, 3 trials/cell");
   {
-    const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
     Table t({"J \\ L", "L=0", "L=512", "L=1024", "L=2048", "L=3072",
              "L=4096"});
     t.set_precision(1);
+    std::size_t cell = 0;
     for (const std::size_t J : grid) {
       std::vector<Table::Cell> row{std::string("J=") + std::to_string(J)};
-      for (const std::size_t L : grid)
-        row.push_back(avg_enc_packets(4096, J, L, 4, kTrials));
+      for (std::size_t l = 0; l < std::size(grid); ++l)
+        row.push_back(results[cell++]);
       t.add_row(row);
     }
     t.print(std::cout);
@@ -69,11 +98,11 @@ int main() {
   {
     Table t({"N", "J=0,L=N/4", "J=N/4,L=N/4", "J=N/4,L=0"});
     t.set_precision(1);
+    std::size_t cell = middle_cells;
     for (const std::size_t N : {1024u, 2048u, 4096u, 8192u, 16384u}) {
-      t.add_row({static_cast<long long>(N),
-                 avg_enc_packets(N, 0, N / 4, 4, kTrials),
-                 avg_enc_packets(N, N / 4, N / 4, 4, kTrials),
-                 avg_enc_packets(N, N / 4, 0, 4, kTrials)});
+      t.add_row({static_cast<long long>(N), results[cell], results[cell + 1],
+                 results[cell + 2]});
+      cell += 3;
     }
     t.print(std::cout);
   }

@@ -4,9 +4,14 @@
 // Left:  duplication overhead over a (J, L) grid at N=4096.
 // Right: duplication overhead vs N for the three J/L mixes; the paper
 // notes ~linear growth in log N and an empirical bound (log_d N - 1)/46.
+//
+// Cells are independent Monte-Carlo estimates with per-cell seeds, so they
+// fan out across the worker pool; results are identical for any
+// REKEY_THREADS setting.
 #include <iostream>
 
 #include "analysis/batch_cost.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -17,6 +22,10 @@
 namespace {
 
 using namespace rekey;
+
+struct Cell {
+  std::size_t N, J, L;
+};
 
 double avg_duplication(std::size_t N, std::size_t J, std::size_t L,
                        unsigned d, int trials) {
@@ -40,23 +49,43 @@ double avg_duplication(std::size_t N, std::size_t J, std::size_t L,
   return s.mean();
 }
 
+std::vector<double> run_cells(const std::vector<Cell>& cells, int trials) {
+  std::vector<double> out(cells.size());
+  parallel_for_each_index(cells.size(), [&](std::size_t i) {
+    out[i] = avg_duplication(cells[i].N, cells[i].J, cells[i].L, 4, trials);
+  });
+  return out;
+}
+
 }  // namespace
 
 int main() {
   constexpr int kTrials = 3;
+  const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
+
+  std::vector<Cell> cells;
+  for (const std::size_t J : grid)
+    for (const std::size_t L : grid) cells.push_back({4096, J, L});
+  const std::size_t left_cells = cells.size();
+  for (const std::size_t N : {32u, 128u, 1024u, 4096u, 16384u}) {
+    cells.push_back({N, 0, N / 4});
+    cells.push_back({N, N / 4, N / 4});
+    cells.push_back({N, N / 4, 0});
+  }
+  const std::vector<double> results = run_cells(cells, kTrials);
 
   print_figure_header(std::cout, "F7 (left)",
                       "average duplication overhead vs (J, L)",
                       "N=4096, d=4, 46 encryptions/packet, 3 trials/cell");
   {
-    const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
     Table t({"J \\ L", "L=0", "L=512", "L=1024", "L=2048", "L=3072",
              "L=4096"});
     t.set_precision(4);
+    std::size_t cell = 0;
     for (const std::size_t J : grid) {
       std::vector<Table::Cell> row{std::string("J=") + std::to_string(J)};
-      for (const std::size_t L : grid)
-        row.push_back(avg_duplication(4096, J, L, 4, kTrials));
+      for (std::size_t l = 0; l < std::size(grid); ++l)
+        row.push_back(results[cell++]);
       t.add_row(row);
     }
     t.print(std::cout);
@@ -69,12 +98,12 @@ int main() {
     Table t({"N", "J=0,L=N/4", "J=N/4,L=N/4", "J=N/4,L=0",
              "paper bound"});
     t.set_precision(4);
+    std::size_t cell = left_cells;
     for (const std::size_t N : {32u, 128u, 1024u, 4096u, 16384u}) {
-      t.add_row({static_cast<long long>(N),
-                 avg_duplication(N, 0, N / 4, 4, kTrials),
-                 avg_duplication(N, N / 4, N / 4, 4, kTrials),
-                 avg_duplication(N, N / 4, 0, 4, kTrials),
+      t.add_row({static_cast<long long>(N), results[cell], results[cell + 1],
+                 results[cell + 2],
                  analysis::duplication_overhead_bound(N, 4, 46)});
+      cell += 3;
     }
     t.print(std::cout);
   }

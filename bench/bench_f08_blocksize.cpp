@@ -16,6 +16,23 @@ using namespace rekey::bench;
 int main() {
   const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
   constexpr int kMessages = 8;
+  constexpr std::uint64_t kBaseSeed = 0xF08;
+
+  std::vector<SweepConfig> points;
+  for (const std::size_t k : ks) {
+    for (const double alpha : kAlphas) {
+      SweepConfig cfg;
+      cfg.alpha = alpha;
+      cfg.protocol.block_size = k;
+      cfg.protocol.adaptive_rho = false;
+      cfg.protocol.initial_rho = 1.0;
+      cfg.protocol.max_multicast_rounds = 0;  // multicast until done
+      cfg.messages = kMessages;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
 
   print_figure_header(
       std::cout, "F8 (left)", "average server bandwidth overhead vs k",
@@ -26,18 +43,11 @@ int main() {
 
   Table left({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
   left.set_precision(3);
+  std::size_t point = 0;
   for (const std::size_t k : ks) {
     std::vector<Table::Cell> row{static_cast<long long>(k)};
     for (std::size_t a = 0; a < std::size(kAlphas); ++a) {
-      SweepConfig cfg;
-      cfg.alpha = kAlphas[a];
-      cfg.protocol.block_size = k;
-      cfg.protocol.adaptive_rho = false;
-      cfg.protocol.initial_rho = 1.0;
-      cfg.protocol.max_multicast_rounds = 0;  // multicast until done
-      cfg.messages = kMessages;
-      cfg.seed = 100 + k;
-      const auto run = run_sweep(cfg);
+      const auto& run = runs[point++];
       row.push_back(run.mean_bandwidth_overhead());
       double parities = 0;
       for (const auto& m : run.messages)

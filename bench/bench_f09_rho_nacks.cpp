@@ -15,15 +15,10 @@ using namespace rekey::bench;
 int main() {
   const double rhos[] = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0};
   constexpr int kMessages = 8;
+  constexpr std::uint64_t kBaseSeed = 0xF09;
 
-  Table nacks({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
-  nacks.set_precision(2);
-  Table rounds({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
-  rounds.set_precision(3);
-
+  std::vector<SweepConfig> points;
   for (const double rho : rhos) {
-    std::vector<Table::Cell> nrow{rho};
-    std::vector<Table::Cell> rrow{rho};
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
       cfg.alpha = alpha;
@@ -32,8 +27,23 @@ int main() {
       cfg.protocol.initial_rho = rho;
       cfg.protocol.max_multicast_rounds = 0;
       cfg.messages = kMessages;
-      cfg.seed = static_cast<std::uint64_t>(rho * 100);
-      const auto run = run_sweep(cfg);
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
+  Table nacks({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
+  nacks.set_precision(2);
+  Table rounds({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
+  rounds.set_precision(3);
+
+  std::size_t point = 0;
+  for (const double rho : rhos) {
+    std::vector<Table::Cell> nrow{rho};
+    std::vector<Table::Cell> rrow{rho};
+    for (std::size_t a = 0; a < std::size(kAlphas); ++a) {
+      const auto& run = runs[point++];
       nrow.push_back(run.mean_round1_nacks());
       rrow.push_back(run.mean_rounds_to_all());
     }

@@ -16,6 +16,33 @@ using namespace rekey::bench;
 
 int main() {
   constexpr int kMessages = 8;
+  constexpr std::uint64_t kBaseSeed = 0xF10;
+  const double left_rhos[] = {1.0, 1.6, 2.0};
+  const double right_rhos[] = {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0};
+
+  std::vector<SweepConfig> points;
+  for (const double rho : left_rhos) {
+    SweepConfig cfg;
+    cfg.protocol.adaptive_rho = false;
+    cfg.protocol.initial_rho = rho;
+    cfg.protocol.max_multicast_rounds = 0;
+    cfg.messages = kMessages;
+    cfg.seed = point_seed(kBaseSeed, points.size());
+    points.push_back(cfg);
+  }
+  for (const double rho : right_rhos) {
+    for (const double alpha : kAlphas) {
+      SweepConfig cfg;
+      cfg.alpha = alpha;
+      cfg.protocol.adaptive_rho = false;
+      cfg.protocol.initial_rho = rho;
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = kMessages;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
 
   print_figure_header(
       std::cout, "F10 (left)", "fraction of users needing r rounds",
@@ -25,15 +52,10 @@ int main() {
     t.set_precision(6);
     std::map<double, std::map<int, double>> dist;
     int max_round = 1;
-    for (const double rho : {1.0, 1.6, 2.0}) {
-      SweepConfig cfg;
-      cfg.protocol.adaptive_rho = false;
-      cfg.protocol.initial_rho = rho;
-      cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = kMessages;
-      cfg.seed = static_cast<std::uint64_t>(rho * 1000) + 7;
-      dist[rho] = run_sweep(cfg).round_distribution();
-      for (const auto& [r, frac] : dist[rho]) max_round = std::max(max_round, r);
+    for (std::size_t i = 0; i < std::size(left_rhos); ++i) {
+      dist[left_rhos[i]] = runs[i].round_distribution();
+      for (const auto& [r, frac] : dist[left_rhos[i]])
+        max_round = std::max(max_round, r);
     }
     for (int r = 1; r <= max_round; ++r) {
       auto frac = [&](double rho) {
@@ -52,18 +74,11 @@ int main() {
   {
     Table t({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
     t.set_precision(3);
-    for (const double rho : {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}) {
+    std::size_t point = std::size(left_rhos);
+    for (const double rho : right_rhos) {
       std::vector<Table::Cell> row{rho};
-      for (const double alpha : kAlphas) {
-        SweepConfig cfg;
-        cfg.alpha = alpha;
-        cfg.protocol.adaptive_rho = false;
-        cfg.protocol.initial_rho = rho;
-        cfg.protocol.max_multicast_rounds = 0;
-        cfg.messages = kMessages;
-        cfg.seed = static_cast<std::uint64_t>(rho * 100) + 13;
-        row.push_back(run_sweep(cfg).mean_bandwidth_overhead());
-      }
+      for (std::size_t a = 0; a < std::size(kAlphas); ++a)
+        row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
     t.print(std::cout);

@@ -12,24 +12,17 @@ using namespace rekey::bench;
 
 namespace {
 
-void trace(double initial_rho) {
-  const int targets[] = {0, 5, 10, 40, 100};
+constexpr int kTargets[] = {0, 5, 10, 40, 100};
+
+void print_trace(const std::vector<transport::RunMetrics>& runs,
+                 std::size_t first) {
   Table t({"msg", "numNACK=0", "numNACK=5", "numNACK=10", "numNACK=40",
            "numNACK=100"});
   t.set_precision(0);
   std::vector<std::vector<double>> series;
-  for (const int target : targets) {
-    SweepConfig cfg;
-    cfg.alpha = 0.2;
-    cfg.protocol.initial_rho = initial_rho;
-    cfg.protocol.num_nack_target = target;
-    cfg.protocol.max_nack = std::max(target, 100);
-    cfg.protocol.max_multicast_rounds = 0;
-    cfg.messages = 25;
-    cfg.seed = static_cast<std::uint64_t>(target * 17 + initial_rho * 3);
-    const auto run = run_sweep(cfg);
+  for (std::size_t i = 0; i < std::size(kTargets); ++i) {
     std::vector<double> nacks;
-    for (const auto& m : run.messages)
+    for (const auto& m : runs[first + i].messages)
       nacks.push_back(static_cast<double>(m.round1_nacks));
     series.push_back(std::move(nacks));
   }
@@ -42,14 +35,33 @@ void trace(double initial_rho) {
 }  // namespace
 
 int main() {
+  constexpr std::uint64_t kBaseSeed = 0xF14;
+  const double initial_rhos[] = {1.0, 2.0};
+
+  std::vector<SweepConfig> points;
+  for (const double initial_rho : initial_rhos) {
+    for (const int target : kTargets) {
+      SweepConfig cfg;
+      cfg.alpha = 0.2;
+      cfg.protocol.initial_rho = initial_rho;
+      cfg.protocol.num_nack_target = target;
+      cfg.protocol.max_nack = std::max(target, 100);
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = 25;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
   print_figure_header(std::cout, "F14 (left)",
                       "#NACKs per message for various numNACK, rho0=1",
                       "N=4096, L=N/4, k=10, alpha=20%, 25 messages");
-  trace(1.0);
+  print_trace(runs, 0);
   print_figure_header(std::cout, "F14 (right)",
                       "#NACKs per message for various numNACK, rho0=2",
                       "same parameters");
-  trace(2.0);
+  print_trace(runs, std::size(kTargets));
   std::cout << "\nShape check: each series fluctuates around its target; "
                "bigger targets fluctuate more.\n";
   return 0;

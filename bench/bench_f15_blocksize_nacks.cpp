@@ -12,23 +12,16 @@ using namespace rekey::bench;
 
 namespace {
 
-void trace(double initial_rho) {
-  const std::size_t ks[] = {1, 5, 10, 30, 50};
+constexpr std::size_t kBlockSizes[] = {1, 5, 10, 30, 50};
+
+void print_trace(const std::vector<transport::RunMetrics>& runs,
+                 std::size_t first) {
   Table t({"msg", "k=1", "k=5", "k=10", "k=30", "k=50"});
   t.set_precision(0);
   std::vector<std::vector<double>> series;
-  for (const std::size_t k : ks) {
-    SweepConfig cfg;
-    cfg.alpha = 0.2;
-    cfg.protocol.block_size = k;
-    cfg.protocol.initial_rho = initial_rho;
-    cfg.protocol.num_nack_target = 20;
-    cfg.protocol.max_multicast_rounds = 0;
-    cfg.messages = 25;
-    cfg.seed = static_cast<std::uint64_t>(k * 23 + initial_rho * 5);
-    const auto run = run_sweep(cfg);
+  for (std::size_t i = 0; i < std::size(kBlockSizes); ++i) {
     std::vector<double> nacks;
-    for (const auto& m : run.messages)
+    for (const auto& m : runs[first + i].messages)
       nacks.push_back(static_cast<double>(m.round1_nacks));
     series.push_back(std::move(nacks));
   }
@@ -41,14 +34,33 @@ void trace(double initial_rho) {
 }  // namespace
 
 int main() {
+  constexpr std::uint64_t kBaseSeed = 0xF15;
+  const double initial_rhos[] = {1.0, 2.0};
+
+  std::vector<SweepConfig> points;
+  for (const double initial_rho : initial_rhos) {
+    for (const std::size_t k : kBlockSizes) {
+      SweepConfig cfg;
+      cfg.alpha = 0.2;
+      cfg.protocol.block_size = k;
+      cfg.protocol.initial_rho = initial_rho;
+      cfg.protocol.num_nack_target = 20;
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = 25;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
   print_figure_header(std::cout, "F15 (left)",
                       "#NACKs per message for various k, initial rho=1",
                       "N=4096, L=N/4, alpha=20%, numNACK=20, 25 messages");
-  trace(1.0);
+  print_trace(runs, 0);
   print_figure_header(std::cout, "F15 (right)",
                       "#NACKs per message for various k, initial rho=2",
                       "same parameters");
-  trace(2.0);
+  print_trace(runs, std::size(kBlockSizes));
   std::cout << "\nShape check: k=1/k=5 series swing hardest (coarse rho "
                "granularity); k>=10 stays closer to the target.\n";
   return 0;

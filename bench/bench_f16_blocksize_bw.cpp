@@ -13,6 +13,38 @@ using namespace rekey::bench;
 
 int main() {
   const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+  constexpr std::uint64_t kBaseSeed = 0xF16;
+  const std::size_t group_sizes[] = {1024, 4096, 8192, 16384};
+
+  std::vector<SweepConfig> points;
+  for (const std::size_t k : ks) {
+    for (const double alpha : kAlphas) {
+      SweepConfig cfg;
+      cfg.alpha = alpha;
+      cfg.protocol.block_size = k;
+      cfg.protocol.num_nack_target = 20;
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = 8;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const std::size_t left_points = points.size();
+  for (const std::size_t k : ks) {
+    for (const std::size_t N : group_sizes) {
+      SweepConfig cfg;
+      cfg.group_size = N;
+      cfg.leaves = N / 4;
+      cfg.alpha = 0.2;
+      cfg.protocol.block_size = k;
+      cfg.protocol.num_nack_target = 20;
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = N >= 8192 ? 4 : 8;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
 
   print_figure_header(
       std::cout, "F16 (left)",
@@ -21,18 +53,11 @@ int main() {
   {
     Table t({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
     t.set_precision(3);
+    std::size_t point = 0;
     for (const std::size_t k : ks) {
       std::vector<Table::Cell> row{static_cast<long long>(k)};
-      for (const double alpha : kAlphas) {
-        SweepConfig cfg;
-        cfg.alpha = alpha;
-        cfg.protocol.block_size = k;
-        cfg.protocol.num_nack_target = 20;
-        cfg.protocol.max_multicast_rounds = 0;
-        cfg.messages = 8;
-        cfg.seed = k * 3 + static_cast<std::uint64_t>(alpha * 50);
-        row.push_back(run_sweep(cfg).mean_bandwidth_overhead());
-      }
+      for (std::size_t a = 0; a < std::size(kAlphas); ++a)
+        row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
     t.print(std::cout);
@@ -45,20 +70,11 @@ int main() {
   {
     Table t({"k", "N=1024", "N=4096", "N=8192", "N=16384"});
     t.set_precision(3);
+    std::size_t point = left_points;
     for (const std::size_t k : ks) {
       std::vector<Table::Cell> row{static_cast<long long>(k)};
-      for (const std::size_t N : {1024u, 4096u, 8192u, 16384u}) {
-        SweepConfig cfg;
-        cfg.group_size = N;
-        cfg.leaves = N / 4;
-        cfg.alpha = 0.2;
-        cfg.protocol.block_size = k;
-        cfg.protocol.num_nack_target = 20;
-        cfg.protocol.max_multicast_rounds = 0;
-        cfg.messages = N >= 8192 ? 4 : 8;
-        cfg.seed = k * 7 + N;
-        row.push_back(run_sweep(cfg).mean_bandwidth_overhead());
-      }
+      for (std::size_t n = 0; n < std::size(group_sizes); ++n)
+        row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
     t.print(std::cout);

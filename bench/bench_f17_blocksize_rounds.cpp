@@ -12,15 +12,10 @@ using namespace rekey::bench;
 
 int main() {
   const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+  constexpr std::uint64_t kBaseSeed = 0xF17;
 
-  Table all_users({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
-  all_users.set_precision(3);
-  Table per_user({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
-  per_user.set_precision(4);
-
+  std::vector<SweepConfig> points;
   for (const std::size_t k : ks) {
-    std::vector<Table::Cell> arow{static_cast<long long>(k)};
-    std::vector<Table::Cell> prow{static_cast<long long>(k)};
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
       cfg.alpha = alpha;
@@ -28,8 +23,23 @@ int main() {
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
       cfg.messages = 8;
-      cfg.seed = k * 11 + static_cast<std::uint64_t>(alpha * 40) + 3;
-      const auto run = run_sweep(cfg);
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
+  Table all_users({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
+  all_users.set_precision(3);
+  Table per_user({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
+  per_user.set_precision(4);
+
+  std::size_t point = 0;
+  for (const std::size_t k : ks) {
+    std::vector<Table::Cell> arow{static_cast<long long>(k)};
+    std::vector<Table::Cell> prow{static_cast<long long>(k)};
+    for (std::size_t a = 0; a < std::size(kAlphas); ++a) {
+      const auto& run = runs[point++];
       arow.push_back(run.mean_rounds_to_all());
       prow.push_back(run.mean_user_rounds());
     }

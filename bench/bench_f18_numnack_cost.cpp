@@ -12,6 +12,22 @@ using namespace rekey::bench;
 
 int main() {
   const int targets[] = {0, 5, 10, 20, 40, 60, 80, 100};
+  constexpr std::uint64_t kBaseSeed = 0xF18;
+
+  std::vector<SweepConfig> points;
+  for (const int target : targets) {
+    for (const double alpha : kAlphas) {
+      SweepConfig cfg;
+      cfg.alpha = alpha;
+      cfg.protocol.num_nack_target = target;
+      cfg.protocol.max_nack = std::max(target, 100);
+      cfg.protocol.max_multicast_rounds = 0;
+      cfg.messages = 8;
+      cfg.seed = point_seed(kBaseSeed, points.size());
+      points.push_back(cfg);
+    }
+  }
+  const auto runs = run_sweep_grid(points);
 
   Table rounds({"numNACK", "alpha=0", "alpha=20%", "alpha=40%",
                 "alpha=100%"});
@@ -20,18 +36,12 @@ int main() {
                   "alpha=100%"});
   overhead.set_precision(3);
 
+  std::size_t point = 0;
   for (const int target : targets) {
     std::vector<Table::Cell> rrow{static_cast<long long>(target)};
     std::vector<Table::Cell> orow{static_cast<long long>(target)};
-    for (const double alpha : kAlphas) {
-      SweepConfig cfg;
-      cfg.alpha = alpha;
-      cfg.protocol.num_nack_target = target;
-      cfg.protocol.max_nack = std::max(target, 100);
-      cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 8;
-      cfg.seed = static_cast<std::uint64_t>(target * 13 + alpha * 60) + 9;
-      const auto run = run_sweep(cfg);
+    for (std::size_t a = 0; a < std::size(kAlphas); ++a) {
+      const auto& run = runs[point++];
       rrow.push_back(run.mean_user_rounds());
       orow.push_back(run.mean_bandwidth_overhead());
     }

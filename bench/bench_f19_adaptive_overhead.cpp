@@ -13,8 +13,8 @@ using namespace rekey::bench;
 
 namespace {
 
-double overhead(double alpha, std::size_t k, bool adaptive,
-                std::uint64_t seed) {
+SweepConfig make_config(double alpha, std::size_t k, bool adaptive,
+                        std::uint64_t seed) {
   SweepConfig cfg;
   cfg.alpha = alpha;
   cfg.protocol.block_size = k;
@@ -24,27 +24,41 @@ double overhead(double alpha, std::size_t k, bool adaptive,
   cfg.protocol.max_multicast_rounds = 0;
   cfg.messages = 8;
   cfg.seed = seed;
-  return run_sweep(cfg).mean_bandwidth_overhead();
+  return cfg;
 }
 
 }  // namespace
 
 int main() {
   const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+  constexpr std::uint64_t kBaseSeed = 0xF19;
   print_figure_header(
       std::cout, "F19",
       "server bandwidth overhead: adaptive rho vs fixed rho=1, by alpha",
       "N=4096, L=N/4, numNACK=20, 8 messages/point");
 
+  // Adaptive and reactive points share a seed per (k, alpha) pair so the
+  // comparison sees the same round-1 loss realization.
+  std::vector<SweepConfig> points;
+  std::size_t pair = 0;
+  for (const std::size_t k : ks) {
+    for (const double alpha : {0.0, 0.2, 1.0}) {
+      const std::uint64_t seed = point_seed(kBaseSeed, pair++);
+      points.push_back(make_config(alpha, k, true, seed));
+      points.push_back(make_config(alpha, k, false, seed));
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
   Table t({"k", "a=0 adapt", "a=0 rho1", "a=20% adapt", "a=20% rho1",
            "a=100% adapt", "a=100% rho1"});
   t.set_precision(3);
+  std::size_t point = 0;
   for (const std::size_t k : ks) {
     std::vector<Table::Cell> row{static_cast<long long>(k)};
-    for (const double alpha : {0.0, 0.2, 1.0}) {
-      const std::uint64_t seed = k * 29 + static_cast<std::uint64_t>(alpha * 70);
-      row.push_back(overhead(alpha, k, true, seed));
-      row.push_back(overhead(alpha, k, false, seed));
+    for (int a = 0; a < 3; ++a) {
+      row.push_back(runs[point++].mean_bandwidth_overhead());
+      row.push_back(runs[point++].mean_bandwidth_overhead());
     }
     t.add_row(row);
   }

@@ -11,8 +11,8 @@ using namespace rekey::bench;
 
 namespace {
 
-double overhead(std::size_t N, std::size_t k, bool adaptive,
-                std::uint64_t seed) {
+SweepConfig make_config(std::size_t N, std::size_t k, bool adaptive,
+                        std::uint64_t seed) {
   SweepConfig cfg;
   cfg.group_size = N;
   cfg.leaves = N / 4;
@@ -24,27 +24,41 @@ double overhead(std::size_t N, std::size_t k, bool adaptive,
   cfg.protocol.max_multicast_rounds = 0;
   cfg.messages = N >= 8192 ? 4 : 8;
   cfg.seed = seed;
-  return run_sweep(cfg).mean_bandwidth_overhead();
+  return cfg;
 }
 
 }  // namespace
 
 int main() {
   const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+  constexpr std::uint64_t kBaseSeed = 0xF20;
   print_figure_header(
       std::cout, "F20",
       "server bandwidth overhead: adaptive rho vs fixed rho=1, by N",
       "L=N/4, alpha=20%, numNACK=20; fewer messages at the largest N");
 
+  // Adaptive and reactive points share a seed per (k, N) pair so the
+  // comparison sees the same round-1 loss realization.
+  std::vector<SweepConfig> points;
+  std::size_t pair = 0;
+  for (const std::size_t k : ks) {
+    for (const std::size_t N : {1024u, 8192u, 16384u}) {
+      const std::uint64_t seed = point_seed(kBaseSeed, pair++);
+      points.push_back(make_config(N, k, true, seed));
+      points.push_back(make_config(N, k, false, seed));
+    }
+  }
+  const auto runs = run_sweep_grid(points);
+
   Table t({"k", "N=1024 adapt", "N=1024 rho1", "N=8192 adapt",
            "N=8192 rho1", "N=16384 adapt", "N=16384 rho1"});
   t.set_precision(3);
+  std::size_t point = 0;
   for (const std::size_t k : ks) {
     std::vector<Table::Cell> row{static_cast<long long>(k)};
-    for (const std::size_t N : {1024u, 8192u, 16384u}) {
-      const std::uint64_t seed = k * 37 + N;
-      row.push_back(overhead(N, k, true, seed));
-      row.push_back(overhead(N, k, false, seed));
+    for (int n = 0; n < 3; ++n) {
+      row.push_back(runs[point++].mean_bandwidth_overhead());
+      row.push_back(runs[point++].mean_bandwidth_overhead());
     }
     t.add_row(row);
   }

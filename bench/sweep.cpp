@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/parallel.h"
+#include "common/rng.h"
+
 namespace rekey::bench {
 
 transport::RunMetrics run_sweep(const SweepConfig& config) {
@@ -33,6 +36,19 @@ transport::RunMetrics run_sweep(const SweepConfig& config) {
         msg.payload, std::move(msg.assignment), msg.old_ids));
   }
   return run;
+}
+
+std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t point_index) {
+  return mix_seed(base_seed, point_index);
+}
+
+std::vector<transport::RunMetrics> run_sweep_grid(
+    const std::vector<SweepConfig>& points, unsigned threads) {
+  std::vector<transport::RunMetrics> results(points.size());
+  parallel_for_each_index(
+      points.size(), [&](std::size_t i) { results[i] = run_sweep(points[i]); },
+      threads);
+  return results;
 }
 
 std::string alpha_label(double alpha) {

@@ -8,10 +8,19 @@
 // k=10, numNACK=20. Message counts are trimmed relative to the paper's 25
 // on the heaviest sweeps so the whole harness finishes in minutes; each
 // bench states its count.
+//
+// Sweep points are independent simulations, so a grid of them fans out
+// across a work-stealing thread pool (common/parallel.h). Every point
+// carries its own seed — benches derive them with point_seed(base, index)
+// so each point gets a dedicated RNG stream — which makes the grid's
+// results bit-identical no matter the thread count or schedule. The
+// REKEY_THREADS environment variable overrides the worker count; 1 runs
+// the classic serial path.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "transport/metrics.h"
 #include "transport/session.h"
@@ -40,6 +49,19 @@ struct SweepConfig {
 // Runs `messages` independent batches through one persistent session
 // (topology + rho controller state carry across messages).
 transport::RunMetrics run_sweep(const SweepConfig& config);
+
+// Dedicated per-point RNG stream: hash(base_seed, point_index). Grid
+// benches derive every point's SweepConfig::seed this way so streams are
+// independent and reproducible regardless of execution order.
+std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t point_index);
+
+// Runs every point of a sweep grid, fanning out across threads (threads
+// == 0 resolves REKEY_THREADS / hardware concurrency; 1 is the serial
+// path). results[i] corresponds to points[i]; values are bit-identical
+// for every thread count because each point is a pure function of its
+// config.
+std::vector<transport::RunMetrics> run_sweep_grid(
+    const std::vector<SweepConfig>& points, unsigned threads = 0);
 
 // Convenience: the paper's alpha sweep {0, 20%, 40%, 100%}.
 inline const double kAlphas[] = {0.0, 0.2, 0.4, 1.0};

@@ -1,0 +1,133 @@
+#include "common/parallel.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "common/ensure.h"
+
+namespace rekey {
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("REKEY_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') return v < 1 ? 1u : static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? default_thread_count() : threads) {
+  if (threads_ == 1) return;  // inline execution, no workers
+  queues_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(idle_mutex_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::try_run_one(unsigned self) {
+  std::function<void()> task;
+  // Own queue first (front), then steal from the others (back).
+  for (unsigned probe = 0; probe < threads_ && !task; ++probe) {
+    Queue& q = *queues_[(self + probe) % threads_];
+    std::lock_guard lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (probe == 0) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+  }
+  if (!task) return false;
+  task();
+  {
+    std::lock_guard lock(idle_mutex_);
+    --pending_;
+  }
+  done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock lock(idle_mutex_);
+    if (stop_) return;
+    if (pending_ == 0) {
+      idle_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+      continue;
+    }
+    // Pending work exists but every queue looked empty in the scan above:
+    // another worker holds it; back off briefly rather than spin.
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto guarded = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard lock(idle_mutex_);
+    REKEY_ENSURE_MSG(pending_ == 0,
+                     "ThreadPool::for_each_index is not reentrant");
+    pending_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      Queue& q = *queues_[next_queue_];
+      next_queue_ = (next_queue_ + 1) % threads_;
+      std::lock_guard qlock(q.mutex);
+      q.tasks.emplace_back([&guarded, i] { guarded(i); });
+    }
+  }
+  idle_cv_.notify_all();
+
+  {
+    std::unique_lock lock(idle_mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_each_index(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             unsigned threads) {
+  const unsigned count = threads == 0 ? default_thread_count() : threads;
+  if (count == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(count);
+  pool.for_each_index(n, fn);
+}
+
+}  // namespace rekey

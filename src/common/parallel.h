@@ -1,0 +1,79 @@
+// A small work-stealing thread pool for embarrassingly parallel
+// experiment work (independent sweep points, Monte-Carlo cells).
+//
+// Each worker owns a deque: its own tasks come off the front, idle
+// workers steal off the back of a victim's deque, and an external
+// submit() round-robins across workers so the initial distribution is
+// even. Tasks are expected to be coarse (milliseconds to seconds), so a
+// mutex per deque is plenty; there is no lock-free cleverness here.
+//
+// Determinism contract: the pool never owns RNG state. Callers give every
+// task its own seed (see rekey::mix_seed) and a dedicated output slot, so
+// results are bit-identical regardless of thread count or scheduling.
+//
+// The worker count defaults to the REKEY_THREADS environment variable
+// when set (minimum 1), else the hardware concurrency. A count of 1 runs
+// every task inline on the calling thread — exactly the serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rekey {
+
+// REKEY_THREADS when set (values < 1 mean 1), else hardware concurrency
+// (at least 1).
+unsigned default_thread_count();
+
+class ThreadPool {
+ public:
+  // threads == 0 picks default_thread_count(). With one thread no workers
+  // are spawned and tasks run inline on the submitting thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  // complete. If any invocation throws, the first exception is rethrown
+  // on the caller after the remaining iterations finish.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned self);
+  bool try_run_one(unsigned self);
+
+  unsigned threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::size_t next_queue_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience: run fn(i) for i in [0, n) on a one-shot pool (threads == 0
+// picks the default). Serial when the count resolves to 1.
+void parallel_for_each_index(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             unsigned threads = 0);
+
+}  // namespace rekey

@@ -23,6 +23,14 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t x = base;
+  std::uint64_t h = splitmix64(x);
+  x ^= index * 0xD1B54A32D192ED03ULL;
+  h ^= splitmix64(x);
+  return splitmix64(h);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

@@ -12,6 +12,12 @@
 
 namespace rekey {
 
+// Mixes a base seed with a stream index into a well-separated derived
+// seed (splitmix64 finalization over both words). Used to give every
+// point of a parallel sweep its own independent RNG stream: the derived
+// seed depends only on (base, index), never on scheduling.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);

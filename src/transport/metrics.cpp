@@ -8,6 +8,16 @@ double MessageMetrics::bandwidth_overhead() const {
          static_cast<double>(enc_packets);
 }
 
+double MessageMetrics::total_bandwidth_overhead() const {
+  if (enc_packets == 0) return 0.0;
+  const double usr_equiv =
+      packet_size == 0 ? 0.0
+                       : static_cast<double>(usr_bytes) /
+                             static_cast<double>(packet_size);
+  return (static_cast<double>(multicast_sent) + usr_equiv) /
+         static_cast<double>(enc_packets);
+}
+
 double MessageMetrics::mean_user_rounds() const {
   if (users == 0) return 0.0;
   double total = 0.0;
@@ -30,6 +40,13 @@ double RunMetrics::mean_bandwidth_overhead() const {
   if (messages.empty()) return 0.0;
   double s = 0.0;
   for (const auto& m : messages) s += m.bandwidth_overhead();
+  return s / static_cast<double>(messages.size());
+}
+
+double RunMetrics::mean_total_bandwidth_overhead() const {
+  if (messages.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : messages) s += m.total_bandwidth_overhead();
   return s / static_cast<double>(messages.size());
 }
 

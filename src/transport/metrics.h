@@ -17,6 +17,7 @@ struct MessageMetrics {
   std::size_t reactive_parities = 0;
   std::size_t round1_nacks = 0;     // NACK packets received after round 1
   std::size_t total_nacks = 0;
+  std::size_t wakeup_nacks = 0;     // unicast-phase wake-up NACKs sent
   double rho_used = 1.0;            // rho in effect for this message
   int num_nack_target = 0;          // numNACK in effect for this message
   int multicast_rounds = 0;         // rounds actually executed
@@ -25,16 +26,23 @@ struct MessageMetrics {
   std::map<int, std::size_t> recovered_in_round;
   std::size_t unicast_users = 0;
   std::size_t usr_packets = 0;
+  std::size_t usr_bytes = 0;        // USR wire bytes incl. UDP/IP overhead
+  std::size_t packet_size = 0;      // multicast packet size (for weighting)
   std::size_t deadline_misses = 0;
   double duration_ms = 0.0;
 
-  // h'/h — the paper's server bandwidth overhead.
+  // h'/h — the paper's server bandwidth overhead (multicast only).
   double bandwidth_overhead() const;
+  // h'/h including the unicast phase: USR bytes are byte-weighted into
+  // ENC-packet equivalents, so unicast-heavy policies are not undercounted.
+  double total_bandwidth_overhead() const;
   // Mean multicast rounds needed by a user (unicast recoveries count as
   // multicast_rounds + 1, the paper's "needs more rounds" bucket).
   double mean_user_rounds() const;
   // Rounds until every user recovered (multicast-only runs).
   int rounds_to_all() const;
+
+  bool operator==(const MessageMetrics&) const = default;
 };
 
 // Aggregates over a run of rekey messages.
@@ -42,6 +50,7 @@ struct RunMetrics {
   std::vector<MessageMetrics> messages;
 
   double mean_bandwidth_overhead() const;
+  double mean_total_bandwidth_overhead() const;
   double mean_round1_nacks() const;
   double mean_rounds_to_all() const;
   double mean_user_rounds() const;
@@ -49,6 +58,8 @@ struct RunMetrics {
   // r = multicast_rounds+1 bucket holds unicast recoveries.
   std::map<int, double> round_distribution() const;
   std::size_t total_deadline_misses() const;
+
+  bool operator==(const RunMetrics&) const = default;
 };
 
 }  // namespace rekey::transport

@@ -16,6 +16,15 @@ RhoController::RhoController(const ProtocolConfig& config, std::uint64_t seed)
       rng_(seed) {
   config.validate();
   if (proactive_parities_ < 0) proactive_parities_ = 0;
+  // A huge initial_rho must not exceed the code space: without this clamp
+  // the round-1 parity sequence numbers would pass 255 and truncate on the
+  // wire (the AdjustRho path below has always been capped; the constructor
+  // path was not).
+  proactive_parities_ = std::min(proactive_parities_, parity_cap());
+}
+
+int RhoController::parity_cap() const {
+  return std::max(1, 256 - 2 * static_cast<int>(config_.block_size));
 }
 
 double RhoController::rho() const {
@@ -31,8 +40,7 @@ void RhoController::on_round1_feedback(std::vector<std::uint8_t> A) {
     std::sort(A.begin(), A.end(), std::greater<std::uint8_t>());
     proactive_parities_ += A[static_cast<std::size_t>(num_nack_)];
     // Keep at least k reactive parity indices in the code's index space.
-    const int cap = std::max(1, 256 - 2 * static_cast<int>(config_.block_size));
-    proactive_parities_ = std::min(proactive_parities_, cap);
+    proactive_parities_ = std::min(proactive_parities_, parity_cap());
   } else if (n < num_nack_ && num_nack_ > 0) {
     // Fewer than targeted: rho may be too high; back off one parity with
     // probability (numNACK - 2*|A|) / numNACK.
@@ -67,6 +75,10 @@ ServerTransport::ServerTransport(const ProtocolConfig& config,
   REKEY_ENSURE_MSG(!assignment.packets.empty(),
                    "rekey message with no ENC packets");
   REKEY_ENSURE(proactive_parities >= 0);
+  // Round 1 sends parity indices [0, proactive_parities) per block; more
+  // than the code offers cannot be represented on the wire.
+  REKEY_ENSURE_MSG(proactive_parities <= coder_.max_parity(),
+                   "proactive parities exceed the RSE code space");
 
   // Assign block ids / sequence numbers and serialize every slot.
   slot_wires_.resize(partition_.num_slots());
@@ -90,6 +102,10 @@ ServerTransport::ServerTransport(const ProtocolConfig& config,
 }
 
 Bytes ServerTransport::make_parity(std::size_t block, int parity_index) const {
+  // parity_seq travels as a uint8_t; an index outside the code space would
+  // truncate silently and make users decode with a wrong parity index.
+  REKEY_ENSURE_MSG(parity_index >= 0 && parity_index < coder_.max_parity(),
+                   "parity sequence number outside the RSE code space");
   packet::ParityPacket p;
   p.msg_id = msg_id_;
   p.block_id = static_cast<std::uint16_t>(block);

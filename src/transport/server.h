@@ -41,6 +41,10 @@ class RhoController {
   void on_deadline_report(std::size_t misses);
 
  private:
+  // Largest proactive-parity count that still leaves at least k reactive
+  // parity indices free in the RSE code's 256-index space.
+  int parity_cap() const;
+
   ProtocolConfig config_;
   int proactive_parities_;
   int num_nack_;

@@ -25,6 +25,7 @@ MessageMetrics RekeySession::run_message(
   MessageMetrics m;
   m.enc_packets = assignment.packets.size();
   m.users = n_users;
+  m.packet_size = config_.packet_size;
   m.rho_used = controller_.rho();
   m.num_nack_target = controller_.num_nack_target();
 
@@ -41,15 +42,25 @@ MessageMetrics RekeySession::run_message(
 
   const double start_ms = clock_ms_;
   double t = start_ms;
-  std::size_t unrecovered = n_users;
   int round = 0;
   bool to_unicast = false;
+
+  // Compact index of still-unrecovered users (ascending): the per-packet
+  // multicast loop walks only these instead of scanning all N users and
+  // skipping recovered ones. Compacted once per round, so the loss-process
+  // draw sequence per user is identical to the full-scan code.
+  std::vector<std::size_t> active(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) active[u] = u;
+  // Each unrecovered user's latest round-end NACK entries; the unicast
+  // wake-up path resends these instead of re-running end_of_round on a
+  // round that already ended.
+  std::vector<std::vector<packet::NackEntry>> last_nacks(n_users);
 
   auto notify = [&](std::size_t u) {
     if (on_recovered) on_recovered(u, users[u]);
   };
 
-  while (unrecovered > 0) {
+  while (!active.empty()) {
     ++round;
     REKEY_ENSURE_MSG(round <= config_.max_rounds_cap,
                      "multicast did not converge within the round cap");
@@ -70,8 +81,8 @@ MessageMetrics RekeySession::run_message(
       const double ts = t;
       t += config_.send_interval_ms;
       if (topology_.source_lost(ts)) continue;
-      for (std::size_t u = 0; u < n_users; ++u) {
-        if (users[u].recovered()) continue;
+      for (const std::size_t u : active) {
+        if (users[u].recovered()) continue;  // recovered earlier this round
         const double ta = ts + topology_.delay_ms(u);
         if (!topology_.user_lost(u, ta)) users[u].on_packet(idx, round);
       }
@@ -80,14 +91,15 @@ MessageMetrics RekeySession::run_message(
     // Round end: users that did not get their specific packet try to
     // decode; the rest NACK. NACKs traverse user uplink + source uplink.
     std::size_t nacks_received = 0;
-    for (std::size_t u = 0; u < n_users; ++u) {
+    for (const std::size_t u : active) {
       if (users[u].recovered()) continue;
-      const auto entries = users[u].end_of_round(round);
+      auto entries = users[u].end_of_round(round);
       if (users[u].recovered()) continue;  // decoded at round end
+      last_nacks[u] = std::move(entries);  // kept even when the NACK is lost
       const double tn = t + topology_.delay_ms(u);
       if (topology_.user_uplink_lost(u, tn)) continue;
       if (topology_.source_uplink_lost(tn + topology_.delay_ms(u))) continue;
-      server.accept_nack(u, entries);
+      server.accept_nack(u, last_nacks[u]);
       ++nacks_received;
       ++m.total_nacks;
     }
@@ -100,20 +112,21 @@ MessageMetrics RekeySession::run_message(
       server.take_feedback();  // only round-1 feedback drives AdjustRho
     }
 
-    // Account recoveries of this round.
+    // Account recoveries of this round and compact the active index.
     std::size_t recovered_now = 0;
-    for (std::size_t u = 0; u < n_users; ++u) {
-      if (users[u].recovered() && users[u].recovery_round() == round) {
+    for (const std::size_t u : active) {
+      if (users[u].recovered()) {
         ++recovered_now;
         notify(u);
       }
     }
     if (recovered_now > 0) m.recovered_in_round[round] = recovered_now;
-    unrecovered -= recovered_now;
+    std::erase_if(active,
+                  [&](std::size_t u) { return users[u].recovered(); });
     m.multicast_rounds = round;
     t += topology_.max_rtt_ms() + config_.round_slack_ms;
 
-    if (unrecovered == 0) break;
+    if (active.empty()) break;
     if (config_.max_multicast_rounds > 0 &&
         round >= config_.max_multicast_rounds) {
       to_unicast = true;
@@ -143,10 +156,8 @@ MessageMetrics RekeySession::run_message(
   // Unicast phase (paper Fig 22): lockstep waves so shared loss processes
   // see monotone time. Every wave, unknown stragglers NACK; known ones
   // receive an escalating number of duplicate USR packets.
-  if (to_unicast && unrecovered > 0) {
-    std::vector<std::size_t> stragglers;
-    for (std::size_t u = 0; u < n_users; ++u)
-      if (!users[u].recovered()) stragglers.push_back(u);
+  if (to_unicast && !active.empty()) {
+    std::vector<std::size_t> stragglers = active;
     m.unicast_users = stragglers.size();
 
     std::vector<int> dups(n_users, config_.usr_initial_duplicates);
@@ -157,12 +168,15 @@ MessageMetrics RekeySession::run_message(
       double ts = t;
       for (const std::size_t u : stragglers) {
         if (!server.knows_user(u)) {
-          // Wake-up NACK until the server learns about this user.
+          // Wake-up NACK until the server learns about this user. The
+          // user's last multicast round already ended, so resend its
+          // cached round-end entries instead of re-running the decode.
           ++m.total_nacks;
+          ++m.wakeup_nacks;
           const double tn = ts + topology_.delay_ms(u);
           if (!topology_.user_uplink_lost(u, tn) &&
               !topology_.source_uplink_lost(tn + topology_.delay_ms(u))) {
-            server.accept_nack(u, users[u].end_of_round(round));
+            server.accept_nack(u, last_nacks[u]);
           }
           still.push_back(u);
           ts += 0.1;
@@ -172,16 +186,21 @@ MessageMetrics RekeySession::run_message(
             tree::derive_new_user_id(old_ids[u], payload.max_kid,
                                      static_cast<unsigned>(payload.degree))
                 .value());
+        const packet::UsrPacket usr = server.usr_for(new_id);
+        // USR wire bytes count toward server bandwidth (F21/AB5 would
+        // otherwise understate unicast-heavy policies); + UDP/IP.
+        const std::size_t usr_wire_bytes = usr.serialize().size() + 28;
         bool got = false;
         for (int i = 0; i < dups[u]; ++i) {
           ++m.usr_packets;
+          m.usr_bytes += usr_wire_bytes;
           const double tsend = ts + 0.1 * i;
           if (!topology_.source_lost(tsend) &&
               !topology_.user_lost(u, tsend + topology_.delay_ms(u)))
             got = true;
         }
         if (got) {
-          users[u].on_usr(server.usr_for(new_id));
+          users[u].on_usr(usr);
           REKEY_ENSURE(users[u].recovered());
           notify(u);
         } else {

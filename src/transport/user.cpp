@@ -167,6 +167,7 @@ bool UserTransport::try_decode_block(std::uint32_t block, int round) {
 
 std::vector<packet::NackEntry> UserTransport::end_of_round(int round) {
   if (recovered_) return {};
+  ++rounds_ended_;
 
   if (!estimator_ || !estimator_->bounded()) {
     // Nothing usable arrived: wake-up NACK so the server learns about us.

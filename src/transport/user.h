@@ -49,6 +49,10 @@ class UserTransport {
   bool recovered() const { return recovered_; }
   // Multicast round in which recovery happened (1-based); 0 if not yet.
   int recovery_round() const { return recovery_round_; }
+  // Round-end passes actually processed (decode attempts + NACK builds).
+  // The session must drive at most one per multicast round: the unicast
+  // wake-up path resends cached NACK entries instead of re-running this.
+  int rounds_ended() const { return rounds_ended_; }
 
   // This user's current id: updated from the first maxKID seen.
   std::uint16_t current_id() const { return id_; }
@@ -96,6 +100,7 @@ class UserTransport {
   bool recovered_ = false;
   std::int64_t complete_through_ = -1;  // last provably-complete block id
   int recovery_round_ = 0;
+  int rounds_ended_ = 0;
   std::vector<packet::EncEntry> entries_;
 };
 

@@ -27,6 +27,38 @@ TEST(MessageMetrics, BandwidthOverhead) {
   EXPECT_DOUBLE_EQ(empty.bandwidth_overhead(), 0.0);
 }
 
+TEST(MessageMetrics, TotalBandwidthOverheadCountsUsrBytes) {
+  auto m = sample_message();
+  m.packet_size = 1000;
+  m.usr_packets = 4;
+  m.usr_bytes = 2000;  // 2 packet-equivalents
+  // (150 multicast + 2000/1000) / 100 ENC = 1.52.
+  EXPECT_DOUBLE_EQ(m.total_bandwidth_overhead(), 1.52);
+  // Without USR traffic the two metrics agree.
+  m.usr_bytes = 0;
+  EXPECT_DOUBLE_EQ(m.total_bandwidth_overhead(), m.bandwidth_overhead());
+  // Unknown packet size: fall back to multicast-only rather than divide
+  // by zero.
+  m.usr_bytes = 2000;
+  m.packet_size = 0;
+  EXPECT_DOUBLE_EQ(m.total_bandwidth_overhead(), m.bandwidth_overhead());
+  MessageMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.total_bandwidth_overhead(), 0.0);
+}
+
+TEST(RunMetrics, MeanTotalBandwidthOverhead) {
+  RunMetrics run;
+  auto a = sample_message();
+  a.packet_size = 1000;
+  a.usr_bytes = 2000;  // total overhead 1.52
+  auto b = sample_message();
+  b.packet_size = 1000;  // no USR bytes: 1.5
+  run.messages = {a, b};
+  EXPECT_DOUBLE_EQ(run.mean_total_bandwidth_overhead(), (1.52 + 1.5) / 2);
+  RunMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.mean_total_bandwidth_overhead(), 0.0);
+}
+
 TEST(MessageMetrics, MeanUserRounds) {
   const auto m = sample_message();
   // (950*1 + 40*2 + 10*3) / 1000 = 1.06.

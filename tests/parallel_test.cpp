@@ -1,0 +1,85 @@
+// Work-stealing thread pool tests: full index coverage for serial and
+// parallel configurations, exception propagation, and the REKEY_THREADS
+// environment override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace rekey {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.for_each_index(hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int call = 0; call < 5; ++call)
+    pool.for_each_index(100, [&](std::size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 5u * (99u * 100u / 2u));
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.for_each_index(64,
+                                     [&](std::size_t i) {
+                                       ran.fetch_add(1);
+                                       if (i == 13)
+                                         throw std::runtime_error("boom");
+                                     }),
+                 std::runtime_error);
+    // The pool must drain before rethrowing so it stays usable.
+    pool.for_each_index(8, [&](std::size_t) { ran.fetch_add(1); });
+  }
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  auto compute = [](unsigned threads) {
+    std::vector<std::uint64_t> out(200);
+    parallel_for_each_index(
+        out.size(),
+        [&](std::size_t i) {
+          std::uint64_t x = i + 1;
+          for (int k = 0; k < 1000; ++k) x = x * 6364136223846793005ULL + 1;
+          out[i] = x;
+        },
+        threads);
+    return out;
+  };
+  const auto serial = compute(1);
+  EXPECT_EQ(serial, compute(2));
+  EXPECT_EQ(serial, compute(7));
+}
+
+TEST(DefaultThreadCount, HonoursEnvironmentOverride) {
+  ::setenv("REKEY_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::setenv("REKEY_THREADS", "0", 1);  // nonsense values clamp to 1
+  EXPECT_EQ(default_thread_count(), 1u);
+  ::unsetenv("REKEY_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rekey

@@ -247,6 +247,39 @@ TEST(RhoController, ZeroTargetNeverDecreases) {
   EXPECT_EQ(c.proactive_parities(), 8);
 }
 
+TEST(RhoController, InitialRhoClampedToCodeSpace) {
+  // Regression: the constructor path used to quantize initial_rho into
+  // proactive parities without the cap that bounds the feedback path, so
+  // a large initial_rho drove wire parity_seq past the uint8_t range.
+  ProtocolConfig cfg;
+  cfg.block_size = 100;
+  cfg.initial_rho = 50.0;  // naive quantization: 4900 parities
+  RhoController c(cfg, 1);
+  EXPECT_LE(c.proactive_parities(), 256 - 2 * 100);
+  EXPECT_EQ(c.proactive_parities(), 56);
+}
+
+TEST(ServerTransport, RejectsParitiesBeyondCodeSpace) {
+  // Regression: parity sequence numbers are uint8_t on the wire; asking
+  // for more parities than the RSE code supports must fail loudly instead
+  // of silently truncating parity_seq.
+  const auto msg = small_message();
+  const auto cfg = config_k(10);  // max_parity = 246
+  EXPECT_THROW(ServerTransport(cfg, msg.payload, msg.assignment, 300, 1),
+               EnsureError);
+  // At the cap itself, round 1 emits every parity with a distinct,
+  // in-range sequence number.
+  ServerTransport ok(cfg, msg.payload, msg.assignment, 246, 1);
+  std::set<int> seqs;
+  for (const auto& w : ok.round_packets(1)) {
+    const auto h = packet::parse_parity_header(w);
+    if (!h || h->block_id != 0) continue;
+    EXPECT_LT(h->parity_seq, 246);
+    EXPECT_TRUE(seqs.insert(h->parity_seq).second);
+  }
+  EXPECT_EQ(seqs.size(), 246u);
+}
+
 TEST(RhoController, DeadlineAdaptationOfNumNack) {
   ProtocolConfig cfg;
   cfg.num_nack_target = 20;

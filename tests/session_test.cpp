@@ -225,6 +225,47 @@ TEST(Session, EarlyUnicastBySizeSwitches) {
   EXPECT_EQ(total, m.users);
 }
 
+TEST(Session, WakeupResendsCachedNacksWithoutExtraRoundEnds) {
+  // Regression: the unicast wake-up path used to call end_of_round again
+  // on every wave for users the server had not heard from, re-running
+  // round-end decode on a round that had already ended. It must resend
+  // the cached entries instead, so a user sees at most one end_of_round
+  // per multicast round.
+  ProtocolConfig cfg;
+  cfg.max_multicast_rounds = 1;
+  WorkloadConfig wc;
+  wc.group_size = 256;
+  wc.leaves = 64;
+  auto msg = generate_message(wc, 37, 1);
+  // Heavy loss on every link: round-1 NACKs are frequently lost, so the
+  // unicast phase needs wake-up NACKs for users the server never heard.
+  simnet::Topology topo(topo_config(256, 1.0, 0.6, 0.6, 0.05), 37);
+  RhoController rho(cfg, 37);
+  RekeySession session(topo, cfg, rho);
+  int max_rounds_ended = 0;
+  const auto m = session.run_message(
+      msg.payload, std::move(msg.assignment), msg.old_ids,
+      [&](std::size_t, const UserTransport& state) {
+        max_rounds_ended = std::max(max_rounds_ended, state.rounds_ended());
+      });
+  ASSERT_GT(m.wakeup_nacks, 0u);
+  EXPECT_LE(max_rounds_ended, m.multicast_rounds);
+  std::size_t total = m.unicast_users;
+  for (const auto& [round, count] : m.recovered_in_round) total += count;
+  EXPECT_EQ(total, m.users);
+}
+
+TEST(Session, UsrBytesCountedInTotalBandwidthOverhead) {
+  ProtocolConfig cfg;
+  cfg.max_multicast_rounds = 1;
+  const auto m =
+      run_one(512, 128, cfg, topo_config(512, 0.3, 0.4, 0.02, 0.01), 3);
+  ASSERT_GT(m.usr_packets, 0u);
+  EXPECT_GT(m.usr_bytes, 0u);
+  EXPECT_EQ(m.packet_size, cfg.packet_size);
+  EXPECT_GT(m.total_bandwidth_overhead(), m.bandwidth_overhead());
+}
+
 TEST(Session, SplitsSurviveTransport) {
   // J > L workload: users relocated by splits must still recover.
   ProtocolConfig cfg;
