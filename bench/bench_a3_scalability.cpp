@@ -5,10 +5,13 @@
 #include <chrono>
 #include <iostream>
 
+#include <string>
+
 #include "analysis/scalability.h"
 #include "common/table.h"
 #include "crypto/keys.h"
 #include "fec/gf256.h"
+#include "fec/gf256_simd.h"
 #include "fec/rse.h"
 
 using namespace rekey;
@@ -54,6 +57,25 @@ double measure_fec_ns_per_byte() {
   return ns / (kIters * 10.0 * 1023.0);  // per source byte processed
 }
 
+// Raw addmul_region byte rate for one kernel path, over the protocol's
+// 1023-byte FEC regions — the A/B view of what the SIMD layer buys the
+// server-side encode path.
+double measure_kernel_ns_per_byte(const fec::RegionKernels& kernels) {
+  Bytes dst(1023, 0x5A), src(1023, 0xC3);
+  volatile std::uint8_t sink = 0;
+  const auto start = Clock::now();
+  constexpr int kIters = 20000;
+  for (int i = 0; i < kIters; ++i) {
+    kernels.addmul(dst.data(), src.data(), dst.size(),
+                   static_cast<std::uint8_t>(i | 1));
+    sink = sink ^ dst[0];
+  }
+  const auto ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  (void)sink;
+  return ns / (kIters * 1023.0);
+}
+
 double measure_sign_us() {
   crypto::KeyGenerator gen(2);
   const auto key = gen.next();
@@ -81,13 +103,22 @@ int main() {
   params.sign_us = measure_sign_us();
 
   print_figure_header(std::cout, "A3 (unit costs)",
-                      "measured server unit costs on this host", "");
+                      "measured server unit costs on this host",
+                      std::string("FEC kernel path: ") +
+                          fec::simd_path_name(fec::active_simd_path()));
   Table units({"operation", "cost"});
   units.set_precision(3);
   units.add_row({std::string("key encryption (us)"),
                  params.encrypt_per_key_us});
   units.add_row({std::string("FEC GF(256) per source byte (ns)"),
                  params.fec_per_byte_ns});
+  // Per-path kernel A/B: the same addmul pass on every compiled ISA path
+  // this CPU runs, so the encode-cost row above can be attributed.
+  for (const fec::SimdPath path : fec::supported_simd_paths()) {
+    units.add_row({std::string("addmul_region ns/B (") +
+                       fec::simd_path_name(path) + ")",
+                   measure_kernel_ns_per_byte(fec::region_kernels(path))});
+  }
   units.add_row({std::string("message authenticator (us)"), params.sign_us});
   units.print(std::cout);
 

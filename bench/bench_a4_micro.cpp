@@ -1,12 +1,17 @@
 // A4 — micro-benchmarks (google-benchmark): the unit costs underlying the
 // paper's design choices. RSE parity encoding cost per block size k is the
-// basis of Fig 8 (right): per-parity time is Theta(k * packet bytes).
+// basis of Fig 8 (right): per-parity time is Theta(k * packet bytes), and
+// the GF(256) region-kernel sweep (MB/s per ISA path and buffer size)
+// shows how far the SIMD layer lifts that constant over scalar.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "common/rng.h"
 #include "crypto/chacha20.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
+#include "fec/gf256_simd.h"
 #include "fec/rse.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
@@ -126,6 +131,62 @@ void BM_UkaAssignment(benchmark::State& state) {
 }
 BENCHMARK(BM_UkaAssignment);
 
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  return v;
+}
+
+// Kernel-throughput sweep: bytes/s of the two region kernels for every
+// SIMD path this host supports, across buffer sizes bracketing the
+// protocol's packet sizes (1027-byte ENC packets; 1023-byte FEC regions).
+void register_region_kernel_benches() {
+  for (const fec::SimdPath path : fec::supported_simd_paths()) {
+    const fec::RegionKernels& kernels = fec::region_kernels(path);
+    for (const std::size_t len : {64ul, 256ul, 1023ul, 4096ul, 65536ul}) {
+      const std::string suffix = std::string("/") +
+                                 fec::simd_path_name(path) + "/" +
+                                 std::to_string(len);
+      benchmark::RegisterBenchmark(
+          ("BM_AddmulRegion" + suffix).c_str(),
+          [kernels, len](benchmark::State& state) {
+            Bytes dst = random_bytes(len, 1);
+            const Bytes src = random_bytes(len, 2);
+            for (auto _ : state) {
+              kernels.addmul(dst.data(), src.data(), len, 0x8E);
+              benchmark::DoNotOptimize(dst.data());
+              benchmark::ClobberMemory();
+            }
+            state.SetBytesProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(len));
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_MulRegion" + suffix).c_str(),
+          [kernels, len](benchmark::State& state) {
+            Bytes dst(len, 0);
+            const Bytes src = random_bytes(len, 3);
+            for (auto _ : state) {
+              kernels.mul(dst.data(), src.data(), len, 0x8E);
+              benchmark::DoNotOptimize(dst.data());
+              benchmark::ClobberMemory();
+            }
+            state.SetBytesProcessed(
+                static_cast<std::int64_t>(state.iterations()) *
+                static_cast<std::int64_t>(len));
+          });
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_region_kernel_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

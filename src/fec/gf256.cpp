@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/ensure.h"
+#include "fec/gf256_simd.h"
 
 namespace rekey::fec {
 
@@ -70,17 +71,7 @@ unsigned GF256::log(std::uint8_t a) {
 void GF256::add_scaled(std::span<std::uint8_t> dst,
                        std::span<const std::uint8_t> src, std::uint8_t c) {
   REKEY_ENSURE(dst.size() == src.size());
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& t = tables();
-  const unsigned lc = t.log_[c];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= t.exp_[lc + t.log_[s]];
-  }
+  addmul_region(dst.data(), src.data(), dst.size(), c);
 }
 
 }  // namespace rekey::fec

@@ -19,7 +19,8 @@ class GF256 {
   static std::uint8_t inv(std::uint8_t a);                  // a != 0
   static std::uint8_t pow(std::uint8_t a, unsigned e);
 
-  // dst[i] ^= c * src[i] — the hot loop of encode/decode.
+  // dst[i] ^= c * src[i] — the hot loop of encode/decode. Dispatches to
+  // the vectorized region kernels (fec/gf256_simd.h).
   static void add_scaled(std::span<std::uint8_t> dst,
                          std::span<const std::uint8_t> src, std::uint8_t c);
 

@@ -1,0 +1,209 @@
+#include "fec/gf256_simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fec/gf256.h"
+#include "fec/gf256_simd_tables.h"
+
+namespace rekey::fec {
+
+namespace detail {
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables t = [] {
+    NibbleTables nt;
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned x = 0; x < 16; ++x) {
+        nt.lo[c][x] = GF256::mul(static_cast<std::uint8_t>(c),
+                                 static_cast<std::uint8_t>(x));
+        nt.hi[c][x] = GF256::mul(static_cast<std::uint8_t>(c),
+                                 static_cast<std::uint8_t>(x << 4));
+      }
+    }
+    return nt;
+  }();
+  return t;
+}
+
+void mul_region_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, std::uint8_t c) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src)
+      for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = nibble_mul(t, c, src[i]);
+}
+
+void addmul_region_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, std::uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= nibble_mul(t, c, src[i]);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr RegionKernels kScalarKernels{detail::mul_region_scalar,
+                                       detail::addmul_region_scalar};
+#if defined(REKEY_SIMD_X86)
+constexpr RegionKernels kSsse3Kernels{detail::mul_region_ssse3,
+                                      detail::addmul_region_ssse3};
+constexpr RegionKernels kAvx2Kernels{detail::mul_region_avx2,
+                                     detail::addmul_region_avx2};
+#endif
+#if defined(REKEY_SIMD_NEON)
+constexpr RegionKernels kNeonKernels{detail::mul_region_neon,
+                                     detail::addmul_region_neon};
+#endif
+
+SimdPath detect_best_path() {
+#if defined(REKEY_SIMD_X86)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return SimdPath::kAvx2;
+  if (__builtin_cpu_supports("ssse3")) return SimdPath::kSsse3;
+#endif
+#if defined(REKEY_SIMD_NEON)
+  return SimdPath::kNeon;  // NEON is baseline on aarch64
+#endif
+  return SimdPath::kScalar;
+}
+
+struct ActiveState {
+  SimdPath path;
+  const RegionKernels* kernels;
+};
+
+ActiveState resolve_active() {
+  SimdPath path = detect_best_path();
+  if (const char* env = std::getenv("REKEY_SIMD")) {
+    const std::string_view v(env);
+    if (!v.empty() && v != "auto" && v != "native") {
+      const auto requested = parse_simd_name(v);
+      if (requested.has_value() && simd_path_supported(*requested)) {
+        path = *requested;
+      } else {
+        std::fprintf(stderr,
+                     "rekey: REKEY_SIMD=%s is not a supported path on this "
+                     "build/CPU; using %s\n",
+                     env, simd_path_name(path));
+      }
+    }
+  }
+  return {path, &region_kernels(path)};
+}
+
+ActiveState& active_state() {
+  static ActiveState s = resolve_active();
+  return s;
+}
+
+}  // namespace
+
+const char* simd_path_name(SimdPath path) {
+  switch (path) {
+    case SimdPath::kScalar: return "scalar";
+    case SimdPath::kSsse3: return "ssse3";
+    case SimdPath::kAvx2: return "avx2";
+    case SimdPath::kNeon: return "neon";
+  }
+  return "?";
+}
+
+std::optional<SimdPath> parse_simd_name(std::string_view name) {
+  if (name == "scalar") return SimdPath::kScalar;
+  if (name == "ssse3") return SimdPath::kSsse3;
+  if (name == "avx2") return SimdPath::kAvx2;
+  if (name == "neon") return SimdPath::kNeon;
+  return std::nullopt;
+}
+
+bool simd_path_compiled(SimdPath path) {
+  switch (path) {
+    case SimdPath::kScalar:
+      return true;
+    case SimdPath::kSsse3:
+    case SimdPath::kAvx2:
+#if defined(REKEY_SIMD_X86)
+      return true;
+#else
+      return false;
+#endif
+    case SimdPath::kNeon:
+#if defined(REKEY_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool simd_path_supported(SimdPath path) {
+  if (!simd_path_compiled(path)) return false;
+#if defined(REKEY_SIMD_X86)
+  if (path == SimdPath::kSsse3 || path == SimdPath::kAvx2) {
+    __builtin_cpu_init();
+    return path == SimdPath::kAvx2 ? __builtin_cpu_supports("avx2") != 0
+                                   : __builtin_cpu_supports("ssse3") != 0;
+  }
+#endif
+  return true;
+}
+
+std::vector<SimdPath> supported_simd_paths() {
+  std::vector<SimdPath> out;
+  for (const SimdPath p : {SimdPath::kScalar, SimdPath::kSsse3,
+                           SimdPath::kAvx2, SimdPath::kNeon}) {
+    if (simd_path_supported(p)) out.push_back(p);
+  }
+  return out;
+}
+
+const RegionKernels& region_kernels(SimdPath path) {
+  REKEY_ENSURE_MSG(simd_path_supported(path),
+                   "requested SIMD path not supported on this build/CPU");
+  switch (path) {
+#if defined(REKEY_SIMD_X86)
+    case SimdPath::kSsse3: return kSsse3Kernels;
+    case SimdPath::kAvx2: return kAvx2Kernels;
+#endif
+#if defined(REKEY_SIMD_NEON)
+    case SimdPath::kNeon: return kNeonKernels;
+#endif
+    default: return kScalarKernels;
+  }
+}
+
+SimdPath active_simd_path() { return active_state().path; }
+
+SimdPath force_simd_path(SimdPath path) {
+  ActiveState& s = active_state();
+  const SimdPath prev = s.path;
+  s = {path, &region_kernels(path)};
+  return prev;
+}
+
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                std::uint8_t c) {
+  active_state().kernels->mul(dst, src, n, c);
+}
+
+void addmul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   std::uint8_t c) {
+  active_state().kernels->addmul(dst, src, n, c);
+}
+
+}  // namespace rekey::fec

@@ -1,0 +1,86 @@
+// Vectorized GF(2^8) region kernels — the FEC hot path.
+//
+// Every PARITY packet costs one `dst ^= c * src` pass over the whole
+// block, so the byte rate of these kernels bounds the key server's
+// rekeying throughput (paper A3). The SIMD paths use the split-nibble
+// technique (Plank et al., "Screaming Fast Galois Field Arithmetic Using
+// Intel SIMD Instructions"; also ISA-L and klauspost/reedsolomon): each
+// product c*x is split as c*(x & 0xF) ^ c*(x >> 4 << 4), both halves
+// answered by a 16-entry table shuffle (`pshufb` / `vpshufb` / `vtbl`).
+//
+// The implementation path is chosen once at startup: best ISA the CPU
+// supports among those compiled in, overridable with REKEY_SIMD=
+// scalar|ssse3|avx2|neon (auto/native/empty keep autodetection) for
+// testing and bench A/B. All paths are exact field arithmetic and produce
+// byte-identical output; `gf256_simd_test` enforces this differentially.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace rekey::fec {
+
+enum class SimdPath { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* simd_path_name(SimdPath path);
+
+// Parses a REKEY_SIMD-style name ("scalar", "ssse3", "avx2", "neon");
+// nullopt for anything else (including "auto"/"native"/"").
+std::optional<SimdPath> parse_simd_name(std::string_view name);
+
+// One implementation of the two region kernels. `dst == src` (full
+// aliasing) is allowed; partially overlapping regions are not.
+struct RegionKernels {
+  // dst[i] = c * src[i] for i in [0, n)
+  void (*mul)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+              std::uint8_t c);
+  // dst[i] ^= c * src[i] for i in [0, n)
+  void (*addmul)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 std::uint8_t c);
+};
+
+// A path is "compiled" when its translation unit was built into this
+// binary, and "supported" when additionally the running CPU executes it.
+bool simd_path_compiled(SimdPath path);
+bool simd_path_supported(SimdPath path);
+std::vector<SimdPath> supported_simd_paths();
+
+// Kernel table for a specific path (for differential tests and bench
+// A/B); requires simd_path_supported(path).
+const RegionKernels& region_kernels(SimdPath path);
+
+// The path the free functions below dispatch to. Resolved once, at first
+// use: REKEY_SIMD override if valid, else the best supported path.
+SimdPath active_simd_path();
+
+// Testing/bench hook: swap the active path; returns the previous one.
+// Requires simd_path_supported(path). Not thread-safe against concurrent
+// region calls — use from single-threaded test setup only.
+SimdPath force_simd_path(SimdPath path);
+
+// dst[i] = c * src[i], via the active path.
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                std::uint8_t c);
+// dst[i] ^= c * src[i], via the active path.
+void addmul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   std::uint8_t c);
+
+inline void mul_region(std::span<std::uint8_t> dst,
+                       std::span<const std::uint8_t> src, std::uint8_t c) {
+  REKEY_ENSURE(dst.size() == src.size());
+  mul_region(dst.data(), src.data(), dst.size(), c);
+}
+
+inline void addmul_region(std::span<std::uint8_t> dst,
+                          std::span<const std::uint8_t> src, std::uint8_t c) {
+  REKEY_ENSURE(dst.size() == src.size());
+  addmul_region(dst.data(), src.data(), dst.size(), c);
+}
+
+}  // namespace rekey::fec

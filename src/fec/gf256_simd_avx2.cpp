@@ -1,0 +1,73 @@
+// AVX2 split-nibble GF(2^8) region kernels: 32 products per `vpshufb`
+// pair (the 16-byte half-tables are broadcast into both lanes). This file
+// alone is compiled with -mavx2; only leaf kernels may live here.
+#if defined(REKEY_SIMD_X86)
+
+#include <immintrin.h>
+
+#include "fec/gf256_simd_tables.h"
+
+namespace rekey::fec::detail {
+
+namespace {
+
+inline __m256i product32(__m256i v, __m256i tlo, __m256i thi, __m256i mask) {
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                          _mm256_shuffle_epi8(thi, hi));
+}
+
+inline __m256i broadcast_table(const std::uint8_t* table16) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(table16)));
+}
+
+}  // namespace
+
+void mul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n, std::uint8_t c) {
+  if (c == 0) {
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  const __m256i tlo = broadcast_table(t.lo[c]);
+  const __m256i thi = broadcast_table(t.hi[c]);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        product32(v, tlo, thi, mask));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, c, src[i]);
+}
+
+void addmul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, std::uint8_t c) {
+  if (c == 0) return;
+  const NibbleTables& t = nibble_tables();
+  const __m256i tlo = broadcast_table(t.lo[c]);
+  const __m256i thi = broadcast_table(t.hi[c]);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, product32(v, tlo, thi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= nibble_mul(t, c, src[i]);
+}
+
+}  // namespace rekey::fec::detail
+
+#endif  // REKEY_SIMD_X86

@@ -1,0 +1,55 @@
+// NEON split-nibble GF(2^8) region kernels: 16 products per `vqtbl1q_u8`
+// pair. NEON is baseline on aarch64, so no per-file -m flag is needed;
+// the file is only added to the build on arm64 targets.
+#if defined(REKEY_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include "fec/gf256_simd_tables.h"
+
+namespace rekey::fec::detail {
+
+namespace {
+
+inline uint8x16_t product16(uint8x16_t v, uint8x16_t tlo, uint8x16_t thi) {
+  const uint8x16_t lo = vandq_u8(v, vdupq_n_u8(0x0F));
+  const uint8x16_t hi = vshrq_n_u8(v, 4);
+  return veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi));
+}
+
+}  // namespace
+
+void mul_region_neon(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n, std::uint8_t c) {
+  if (c == 0) {
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) vst1q_u8(dst + i, vdupq_n_u8(0));
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  const uint8x16_t tlo = vld1q_u8(t.lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.hi[c]);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, product16(vld1q_u8(src + i), tlo, thi));
+  for (; i < n; ++i) dst[i] = nibble_mul(t, c, src[i]);
+}
+
+void addmul_region_neon(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, std::uint8_t c) {
+  if (c == 0) return;
+  const NibbleTables& t = nibble_tables();
+  const uint8x16_t tlo = vld1q_u8(t.lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.hi[c]);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t prod = product16(vld1q_u8(src + i), tlo, thi);
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] ^= nibble_mul(t, c, src[i]);
+}
+
+}  // namespace rekey::fec::detail
+
+#endif  // REKEY_SIMD_NEON

@@ -1,0 +1,66 @@
+// SSSE3 split-nibble GF(2^8) region kernels: 16 products per `pshufb`
+// pair. This file alone is compiled with -mssse3; only leaf kernels may
+// live here (see gf256_simd_tables.h).
+#if defined(REKEY_SIMD_X86)
+
+#include <tmmintrin.h>
+
+#include "fec/gf256_simd_tables.h"
+
+namespace rekey::fec::detail {
+
+namespace {
+
+inline __m128i product16(__m128i v, __m128i tlo, __m128i thi, __m128i mask) {
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+}
+
+}  // namespace
+
+void mul_region_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, std::uint8_t c) {
+  if (c == 0) {
+    const __m128i zero = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), zero);
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     product16(v, tlo, thi, mask));
+  }
+  for (; i < n; ++i) dst[i] = nibble_mul(t, c, src[i]);
+}
+
+void addmul_region_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t n, std::uint8_t c) {
+  if (c == 0) return;
+  const NibbleTables& t = nibble_tables();
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, product16(v, tlo, thi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= nibble_mul(t, c, src[i]);
+}
+
+}  // namespace rekey::fec::detail
+
+#endif  // REKEY_SIMD_X86

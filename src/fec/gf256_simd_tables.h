@@ -1,0 +1,52 @@
+// Internal to the GF(2^8) SIMD layer: the split-nibble product tables and
+// the per-ISA kernel entry points. The ISA translation units are compiled
+// with their own -m flags, so nothing outside the kernel functions may
+// live there; dispatch and table construction stay in gf256_simd.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rekey::fec::detail {
+
+// For every coefficient c: lo[c][x] = c * x and hi[c][x] = c * (x << 4)
+// over GF(2^8)/0x11D, so c * b == lo[c][b & 0xF] ^ hi[c][b >> 4]. Each
+// half-table is one 16-byte shuffle operand. 8 KiB total, built once.
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+};
+
+const NibbleTables& nibble_tables();
+
+void mul_region_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, std::uint8_t c);
+void addmul_region_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, std::uint8_t c);
+
+#if defined(REKEY_SIMD_X86)
+void mul_region_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, std::uint8_t c);
+void addmul_region_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t n, std::uint8_t c);
+void mul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n, std::uint8_t c);
+void addmul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, std::uint8_t c);
+#endif
+
+#if defined(REKEY_SIMD_NEON)
+void mul_region_neon(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n, std::uint8_t c);
+void addmul_region_neon(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, std::uint8_t c);
+#endif
+
+// Scalar tail shared by the vector kernels: products via the same nibble
+// tables, so tails cost two loads + one xor per byte.
+inline std::uint8_t nibble_mul(const NibbleTables& t, std::uint8_t c,
+                               std::uint8_t b) {
+  return static_cast<std::uint8_t>(t.lo[c][b & 0x0F] ^ t.hi[c][b >> 4]);
+}
+
+}  // namespace rekey::fec::detail

@@ -1,7 +1,10 @@
 #include "fec/matrix.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 #include "fec/gf256.h"
+#include "fec/gf256_simd.h"
 
 namespace rekey::fec {
 
@@ -26,6 +29,16 @@ std::uint8_t Matrix::at(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
+std::uint8_t* Matrix::row(std::size_t r) {
+  REKEY_ENSURE(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const std::uint8_t* Matrix::row(std::size_t r) const {
+  REKEY_ENSURE(r < rows_);
+  return data_.data() + r * cols_;
+}
+
 Matrix Matrix::multiply(const Matrix& other) const {
   REKEY_ENSURE(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
@@ -33,10 +46,7 @@ Matrix Matrix::multiply(const Matrix& other) const {
     for (std::size_t k = 0; k < cols_; ++k) {
       const std::uint8_t a = at(i, k);
       if (a == 0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out.at(i, j) =
-            GF256::add(out.at(i, j), GF256::mul(a, other.at(k, j)));
-      }
+      addmul_region(out.row(i), other.row(k), other.cols_, a);
     }
   }
   return out;
@@ -54,30 +64,24 @@ std::optional<Matrix> Matrix::inverted() const {
     while (pivot < n && a.at(pivot, col) == 0) ++pivot;
     if (pivot == n) return std::nullopt;
     if (pivot != col) {
-      for (std::size_t j = 0; j < n; ++j) {
-        std::swap(a.at(pivot, j), a.at(col, j));
-        std::swap(inv.at(pivot, j), inv.at(col, j));
-      }
+      std::swap_ranges(a.row(pivot), a.row(pivot) + n, a.row(col));
+      std::swap_ranges(inv.row(pivot), inv.row(pivot) + n, inv.row(col));
     }
-    // Normalize the pivot row.
+    // Normalize the pivot row (in-place region scale: dst == src is a
+    // supported aliasing mode of the kernels).
     const std::uint8_t p = a.at(col, col);
     if (p != 1) {
       const std::uint8_t pinv = GF256::inv(p);
-      for (std::size_t j = 0; j < n; ++j) {
-        a.at(col, j) = GF256::mul(a.at(col, j), pinv);
-        inv.at(col, j) = GF256::mul(inv.at(col, j), pinv);
-      }
+      mul_region(a.row(col), a.row(col), n, pinv);
+      mul_region(inv.row(col), inv.row(col), n, pinv);
     }
-    // Eliminate the column everywhere else.
+    // Eliminate the column everywhere else, a whole row per pass.
     for (std::size_t r = 0; r < n; ++r) {
       if (r == col) continue;
       const std::uint8_t f = a.at(r, col);
       if (f == 0) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        a.at(r, j) = GF256::add(a.at(r, j), GF256::mul(f, a.at(col, j)));
-        inv.at(r, j) =
-            GF256::add(inv.at(r, j), GF256::mul(f, inv.at(col, j)));
-      }
+      addmul_region(a.row(r), a.row(col), n, f);
+      addmul_region(inv.row(r), inv.row(col), n, f);
     }
   }
   return inv;

@@ -4,6 +4,7 @@
 
 #include "common/ensure.h"
 #include "fec/gf256.h"
+#include "fec/gf256_simd.h"
 #include "fec/matrix.h"
 
 namespace rekey::fec {
@@ -23,15 +24,25 @@ std::uint8_t RseCoder::coeff(int parity_index, int data_index) const {
 Bytes RseCoder::encode_one(std::span<const Bytes> data,
                            int parity_index) const {
   REKEY_ENSURE(static_cast<int>(data.size()) == k_);
+  Bytes out(data[0].size());
+  encode_one_into(data, parity_index, out);
+  return out;
+}
+
+void RseCoder::encode_one_into(std::span<const Bytes> data, int parity_index,
+                               std::span<std::uint8_t> out) const {
+  REKEY_ENSURE(static_cast<int>(data.size()) == k_);
   REKEY_ENSURE_MSG(parity_index >= 0 && parity_index < max_parity(),
                    "parity index exhausted for this block size");
   const std::size_t len = data[0].size();
-  Bytes out(len, 0);
-  for (int c = 0; c < k_; ++c) {
+  REKEY_ENSURE_MSG(out.size() == len, "parity buffer size mismatch");
+  for (int c = 0; c < k_; ++c)
     REKEY_ENSURE_MSG(data[c].size() == len, "unequal packet sizes in block");
-    GF256::add_scaled(out, data[c], coeff(parity_index, c));
-  }
-  return out;
+  // Whole-buffer region kernels: one mul pass seeds the parity, then one
+  // addmul pass per remaining data packet.
+  mul_region(out.data(), data[0].data(), len, coeff(parity_index, 0));
+  for (int c = 1; c < k_; ++c)
+    addmul_region(out.data(), data[c].data(), len, coeff(parity_index, c));
 }
 
 std::vector<Bytes> RseCoder::encode(std::span<const Bytes> data, int first,
@@ -97,11 +108,14 @@ std::optional<std::vector<Bytes>> RseCoder::decode(
 
   // data[r] = sum_i inv[r][i] * chosen[i].payload
   for (int r = 0; r < k_; ++r) {
-    Bytes row(len, 0);
-    for (int i = 0; i < k_; ++i) {
-      GF256::add_scaled(row, chosen[static_cast<std::size_t>(i)]->payload,
-                        inv->at(static_cast<std::size_t>(r),
-                                static_cast<std::size_t>(i)));
+    Bytes row(len);
+    mul_region(row.data(), chosen[0]->payload.data(), len,
+               inv->at(static_cast<std::size_t>(r), 0));
+    for (int i = 1; i < k_; ++i) {
+      addmul_region(row.data(), chosen[static_cast<std::size_t>(i)]->payload.data(),
+                    len,
+                    inv->at(static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(i)));
     }
     result[static_cast<std::size_t>(r)] = std::move(row);
   }

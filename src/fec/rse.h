@@ -38,6 +38,11 @@ class RseCoder {
   // must all have equal size.
   Bytes encode_one(std::span<const Bytes> data, int parity_index) const;
 
+  // Same, into a caller-owned buffer of exactly the packet size —
+  // the allocation-free form the server's block encode path uses.
+  void encode_one_into(std::span<const Bytes> data, int parity_index,
+                       std::span<std::uint8_t> out) const;
+
   // Parities [first, first + count).
   std::vector<Bytes> encode(std::span<const Bytes> data, int first,
                             int count) const;

@@ -110,7 +110,10 @@ Bytes ServerTransport::make_parity(std::size_t block, int parity_index) const {
   p.msg_id = msg_id_;
   p.block_id = static_cast<std::uint16_t>(block);
   p.parity_seq = static_cast<std::uint8_t>(parity_index);
-  p.fec = coder_.encode_one(block_regions_[block], parity_index);
+  // Encode straight into the packet's FEC field: one vectorized region
+  // pass per data slot over the whole covered-byte buffer.
+  p.fec.resize(block_regions_[block][0].size());
+  coder_.encode_one_into(block_regions_[block], parity_index, p.fec);
   return p.serialize();
 }
 

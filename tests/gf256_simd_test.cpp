@@ -1,0 +1,177 @@
+// Differential tests for the GF(2^8) SIMD region kernels: every compiled
+// path must be byte-identical to the scalar per-byte reference (built
+// straight from GF256::mul) over randomized sizes, alignment offsets, and
+// coefficients — including c=0, c=1, sizes below one vector width, and
+// non-multiple-of-32 tails.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "fec/gf256.h"
+#include "fec/gf256_simd.h"
+
+namespace rekey::fec {
+namespace {
+
+constexpr SimdPath kAllPaths[] = {SimdPath::kScalar, SimdPath::kSsse3,
+                                  SimdPath::kAvx2, SimdPath::kNeon};
+
+// Sizes chosen to straddle the SSE (16B) and AVX2 (32B) vector widths.
+constexpr std::size_t kSizes[] = {0,  1,  2,   3,   15,  16,   17,  31,
+                                  32, 33, 63,  64,  65,  100,  255, 256,
+                                  257, 511, 1023, 1024, 1027, 4099};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  return v;
+}
+
+class SimdPathSweep : public ::testing::TestWithParam<SimdPath> {
+ protected:
+  void SetUp() override {
+    if (!simd_path_supported(GetParam()))
+      GTEST_SKIP() << simd_path_name(GetParam())
+                   << " not compiled/supported on this host";
+  }
+};
+
+TEST_P(SimdPathSweep, AddmulMatchesScalarReference) {
+  const RegionKernels& k = region_kernels(GetParam());
+  Rng rng(0xD1FF + static_cast<std::uint64_t>(GetParam()));
+  for (const std::size_t n : kSizes) {
+    for (int rep = 0; rep < 8; ++rep) {
+      // Independent alignment offsets for dst and src: both kernels must
+      // handle unaligned heads exactly.
+      const std::size_t doff = rng.next_in(0, 15);
+      const std::size_t soff = rng.next_in(0, 15);
+      const std::uint8_t c =
+          rep < 4 ? static_cast<std::uint8_t>(rep == 2 ? 255 : rep)  // 0,1,255,3
+                  : static_cast<std::uint8_t>(rng.next_in(0, 255));
+      auto dst_buf = random_bytes(n + doff, rng);
+      const auto src_buf = random_bytes(n + soff, rng);
+
+      std::vector<std::uint8_t> expect(dst_buf.begin() +
+                                           static_cast<std::ptrdiff_t>(doff),
+                                       dst_buf.end());
+      for (std::size_t i = 0; i < n; ++i)
+        expect[i] ^= GF256::mul(c, src_buf[soff + i]);
+
+      k.addmul(dst_buf.data() + doff, src_buf.data() + soff, n, c);
+      const std::vector<std::uint8_t> got(
+          dst_buf.begin() + static_cast<std::ptrdiff_t>(doff), dst_buf.end());
+      ASSERT_EQ(got, expect) << "n=" << n << " doff=" << doff
+                             << " soff=" << soff << " c=" << int(c);
+    }
+  }
+}
+
+TEST_P(SimdPathSweep, MulMatchesScalarReference) {
+  const RegionKernels& k = region_kernels(GetParam());
+  Rng rng(0xA11 + static_cast<std::uint64_t>(GetParam()));
+  for (const std::size_t n : kSizes) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const std::size_t doff = rng.next_in(0, 15);
+      const std::size_t soff = rng.next_in(0, 15);
+      const std::uint8_t c =
+          rep < 4 ? static_cast<std::uint8_t>(rep == 2 ? 255 : rep)
+                  : static_cast<std::uint8_t>(rng.next_in(0, 255));
+      auto dst_buf = random_bytes(n + doff, rng);  // stale contents overwritten
+      const auto src_buf = random_bytes(n + soff, rng);
+
+      std::vector<std::uint8_t> expect(n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect[i] = GF256::mul(c, src_buf[soff + i]);
+
+      k.mul(dst_buf.data() + doff, src_buf.data() + soff, n, c);
+      const std::vector<std::uint8_t> got(
+          dst_buf.begin() + static_cast<std::ptrdiff_t>(doff), dst_buf.end());
+      ASSERT_EQ(got, expect) << "n=" << n << " doff=" << doff
+                             << " soff=" << soff << " c=" << int(c);
+    }
+  }
+}
+
+TEST_P(SimdPathSweep, MulSupportsFullAliasing) {
+  // dst == src is the in-place row scale of Gauss-Jordan normalization.
+  const RegionKernels& k = region_kernels(GetParam());
+  Rng rng(0x5E1F);
+  for (const std::size_t n : {1u, 16u, 31u, 32u, 100u, 1027u}) {
+    auto buf = random_bytes(n, rng);
+    std::vector<std::uint8_t> expect(n);
+    for (std::size_t i = 0; i < n; ++i) expect[i] = GF256::mul(0x53, buf[i]);
+    k.mul(buf.data(), buf.data(), n, 0x53);
+    ASSERT_EQ(buf, expect) << "n=" << n;
+  }
+}
+
+TEST_P(SimdPathSweep, RandomizedSizesAgainstScalarKernel) {
+  // Random sizes (heavy on sub-vector and odd tails) cross-checked against
+  // the scalar kernel rather than the per-byte loop: both references agree
+  // elsewhere, this run hammers size coverage cheaply.
+  const RegionKernels& k = region_kernels(GetParam());
+  const RegionKernels& scalar = region_kernels(SimdPath::kScalar);
+  Rng rng(0xC0FFEE + static_cast<std::uint64_t>(GetParam()));
+  for (int rep = 0; rep < 300; ++rep) {
+    const std::size_t n = rng.next_bool(0.5) ? rng.next_in(0, 40)
+                                             : rng.next_in(41, 5000);
+    const std::uint8_t c = static_cast<std::uint8_t>(rng.next_in(0, 255));
+    const auto src = random_bytes(n, rng);
+    auto got = random_bytes(n, rng);
+    auto expect = got;
+    scalar.addmul(expect.data(), src.data(), n, c);
+    k.addmul(got.data(), src.data(), n, c);
+    ASSERT_EQ(got, expect) << "n=" << n << " c=" << int(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, SimdPathSweep,
+                         ::testing::ValuesIn(kAllPaths),
+                         [](const auto& info) {
+                           return std::string(simd_path_name(info.param));
+                         });
+
+TEST(SimdDispatch, ActivePathIsSupported) {
+  EXPECT_TRUE(simd_path_supported(active_simd_path()));
+  // Scalar is always available; the supported list contains the active path.
+  const auto paths = supported_simd_paths();
+  EXPECT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front(), SimdPath::kScalar);
+  EXPECT_NE(std::find(paths.begin(), paths.end(), active_simd_path()),
+            paths.end());
+}
+
+TEST(SimdDispatch, ForceSimdPathRoundTrips) {
+  const SimdPath original = active_simd_path();
+  const SimdPath prev = force_simd_path(SimdPath::kScalar);
+  EXPECT_EQ(prev, original);
+  EXPECT_EQ(active_simd_path(), SimdPath::kScalar);
+  force_simd_path(original);
+  EXPECT_EQ(active_simd_path(), original);
+}
+
+TEST(SimdDispatch, ParseSimdName) {
+  EXPECT_EQ(parse_simd_name("scalar"), SimdPath::kScalar);
+  EXPECT_EQ(parse_simd_name("ssse3"), SimdPath::kSsse3);
+  EXPECT_EQ(parse_simd_name("avx2"), SimdPath::kAvx2);
+  EXPECT_EQ(parse_simd_name("neon"), SimdPath::kNeon);
+  EXPECT_FALSE(parse_simd_name("").has_value());
+  EXPECT_FALSE(parse_simd_name("auto").has_value());
+  EXPECT_FALSE(parse_simd_name("AVX2").has_value());
+}
+
+TEST(SimdDispatch, UnsupportedKernelRequestThrows) {
+  bool any_unsupported = false;
+  for (const SimdPath p : kAllPaths) {
+    if (simd_path_supported(p)) continue;
+    any_unsupported = true;
+    EXPECT_THROW(region_kernels(p), EnsureError) << simd_path_name(p);
+    EXPECT_THROW(force_simd_path(p), EnsureError) << simd_path_name(p);
+  }
+  if (!any_unsupported) GTEST_SKIP() << "every path supported on this host";
+}
+
+}  // namespace
+}  // namespace rekey::fec

@@ -1,0 +1,128 @@
+// Property tests for the Reed-Solomon coder on top of the SIMD region
+// kernels: for random k <= 64, n <= 256 total shards, random packet sizes
+// and random erasure patterns leaving any k-of-n subset, decode
+// reconstructs the block exactly; fewer than k shards returns nullopt.
+// The whole suite runs per SIMD path (scalar + every native path the host
+// supports) via the force_simd_path hook, so a kernel bug on either path
+// fails here and not just in production.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fec/gf256_simd.h"
+#include "fec/rse.h"
+
+namespace rekey::fec {
+namespace {
+
+constexpr SimdPath kAllPaths[] = {SimdPath::kScalar, SimdPath::kSsse3,
+                                  SimdPath::kAvx2, SimdPath::kNeon};
+
+std::vector<Bytes> random_block(int k, std::size_t len, Rng& rng) {
+  std::vector<Bytes> data(static_cast<std::size_t>(k));
+  for (auto& pkt : data) {
+    pkt.resize(len);
+    for (auto& b : pkt) b = static_cast<std::uint8_t>(rng.next_in(0, 255));
+  }
+  return data;
+}
+
+class RseProperty : public ::testing::TestWithParam<SimdPath> {
+ protected:
+  void SetUp() override {
+    if (!simd_path_supported(GetParam()))
+      GTEST_SKIP() << simd_path_name(GetParam())
+                   << " not compiled/supported on this host";
+    prev_ = force_simd_path(GetParam());
+  }
+  void TearDown() override {
+    if (!IsSkipped()) force_simd_path(prev_);
+  }
+
+ private:
+  SimdPath prev_ = SimdPath::kScalar;
+};
+
+TEST_P(RseProperty, AnyKOfNSubsetReconstructs) {
+  Rng rng(0x12E + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = static_cast<int>(rng.next_in(1, 64));
+    const int max_extra = std::min(256 - k, 192);  // n = k + parities <= 256
+    const int parities = static_cast<int>(
+        rng.next_in(1, static_cast<std::uint64_t>(max_extra)));
+    // Sizes deliberately include sub-vector packets and odd tails.
+    const std::size_t len = rng.next_bool(0.3)
+                                ? rng.next_in(1, 31)
+                                : rng.next_in(32, 1100);
+    const RseCoder coder(k);
+    const auto data = random_block(k, len, rng);
+
+    std::vector<Shard> all;
+    for (int i = 0; i < k; ++i) all.push_back({i, data[i]});
+    for (int p = 0; p < parities; ++p)
+      all.push_back({k + p, coder.encode_one(data, p)});
+
+    // Random erasure pattern: keep exactly k of the n shards.
+    const auto pick = rng.sample_without_replacement(
+        static_cast<std::uint64_t>(k + parities),
+        static_cast<std::uint64_t>(k));
+    std::vector<Shard> subset;
+    for (const auto i : pick) subset.push_back(all[i]);
+
+    const auto out = coder.decode(subset);
+    ASSERT_TRUE(out.has_value())
+        << "k=" << k << " parities=" << parities << " len=" << len;
+    ASSERT_EQ(*out, data)
+        << "k=" << k << " parities=" << parities << " len=" << len;
+  }
+}
+
+TEST_P(RseProperty, FewerThanKSharesIsNullopt) {
+  Rng rng(0xFE3 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int k = static_cast<int>(rng.next_in(2, 64));
+    const int parities = static_cast<int>(
+        rng.next_in(1, static_cast<std::uint64_t>(std::min(256 - k, 64))));
+    const std::size_t len = rng.next_in(1, 200);
+    const RseCoder coder(k);
+    const auto data = random_block(k, len, rng);
+
+    std::vector<Shard> all;
+    for (int i = 0; i < k; ++i) all.push_back({i, data[i]});
+    for (int p = 0; p < parities; ++p)
+      all.push_back({k + p, coder.encode_one(data, p)});
+
+    // Any subset of size k-1 (or fewer) must be rejected, never mis-decode.
+    const auto keep = rng.next_in(0, static_cast<std::uint64_t>(k - 1));
+    const auto pick = rng.sample_without_replacement(
+        static_cast<std::uint64_t>(k + parities), keep);
+    std::vector<Shard> subset;
+    for (const auto i : pick) subset.push_back(all[i]);
+    EXPECT_FALSE(coder.decode(subset).has_value())
+        << "k=" << k << " shards=" << keep;
+  }
+}
+
+TEST_P(RseProperty, EncodeOneIntoMatchesEncodeOne) {
+  Rng rng(0x1A70);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int k = static_cast<int>(rng.next_in(1, 32));
+    const std::size_t len = rng.next_in(1, 600);
+    const RseCoder coder(k);
+    const auto data = random_block(k, len, rng);
+    const int parity = static_cast<int>(
+        rng.next_in(0, static_cast<std::uint64_t>(coder.max_parity() - 1)));
+    Bytes out(len, 0xEE);
+    coder.encode_one_into(data, parity, out);
+    EXPECT_EQ(out, coder.encode_one(data, parity));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, RseProperty, ::testing::ValuesIn(kAllPaths),
+                         [](const auto& info) {
+                           return std::string(simd_path_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace rekey::fec

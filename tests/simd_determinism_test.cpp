@@ -1,0 +1,107 @@
+// The SIMD kernel swap must not perturb simulation results: GF(2^8)
+// arithmetic is exact, so every figure output has to be bit-identical no
+// matter which REKEY_SIMD path encodes the parities. These regressions run
+// a full transport session and one bench_f08_blocksize sweep point under
+// every supported path and require identical metrics, plus a golden check
+// pinning the F8 point's integer outputs against silent drift.
+#include <gtest/gtest.h>
+
+#include "fec/gf256_simd.h"
+#include "sweep.h"
+#include "transport/session.h"
+#include "transport/workload.h"
+
+namespace rekey::bench {
+namespace {
+
+using fec::SimdPath;
+
+// Golden outputs of the F8 point below (seed point_seed(0xF08, 1), scalar
+// path) — see F08SweepPointGolden.
+constexpr std::size_t kGoldenMulticastSent = 404;
+constexpr std::size_t kGoldenParities = 164;
+constexpr std::size_t kGoldenNacks = 569;
+
+std::vector<SimdPath> paths() { return fec::supported_simd_paths(); }
+
+transport::MessageMetrics run_session_once() {
+  transport::WorkloadConfig wc;
+  wc.group_size = 256;
+  wc.leaves = 64;
+  auto msg = transport::generate_message(wc, 22, 1);
+  simnet::TopologyConfig tc;
+  tc.num_users = 256;
+  tc.alpha = 0.2;
+  tc.p_high = 0.2;
+  tc.p_low = 0.02;
+  tc.p_source = 0.01;
+  simnet::Topology topo(tc, 11);
+  transport::ProtocolConfig cfg;
+  transport::RhoController rho(cfg, 1);
+  transport::RekeySession session(topo, cfg, rho);
+  return session.run_message(msg.payload, std::move(msg.assignment),
+                             msg.old_ids);
+}
+
+// The F8 point: paper defaults, k=10, rho=1 fixed, alpha=20%, trimmed to
+// 3 messages so the regression stays fast.
+SweepConfig f08_point() {
+  SweepConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.protocol.block_size = 10;
+  cfg.protocol.adaptive_rho = false;
+  cfg.protocol.initial_rho = 1.0;
+  cfg.protocol.max_multicast_rounds = 0;
+  cfg.messages = 3;
+  cfg.seed = point_seed(0xF08, 1);
+  return cfg;
+}
+
+TEST(SimdDeterminism, SessionMetricsIdenticalAcrossPaths) {
+  const SimdPath original = fec::active_simd_path();
+  fec::force_simd_path(SimdPath::kScalar);
+  const auto reference = run_session_once();
+  for (const SimdPath p : paths()) {
+    fec::force_simd_path(p);
+    const auto got = run_session_once();
+    EXPECT_EQ(got, reference) << "path " << fec::simd_path_name(p);
+  }
+  fec::force_simd_path(original);
+}
+
+TEST(SimdDeterminism, F08SweepPointIdenticalAcrossPaths) {
+  const SimdPath original = fec::active_simd_path();
+  fec::force_simd_path(SimdPath::kScalar);
+  const auto reference = run_sweep(f08_point());
+  for (const SimdPath p : paths()) {
+    fec::force_simd_path(p);
+    const auto got = run_sweep(f08_point());
+    EXPECT_EQ(got, reference) << "path " << fec::simd_path_name(p);
+  }
+  fec::force_simd_path(original);
+}
+
+TEST(SimdDeterminism, F08SweepPointGolden) {
+  // Golden integers for the point above, recorded from the scalar path.
+  // A change here means figure outputs moved: intended protocol changes
+  // must update the golden deliberately; a kernel/dispatch change must not
+  // trip it at all.
+  const SimdPath original = fec::active_simd_path();
+  fec::force_simd_path(SimdPath::kScalar);
+  const auto run = run_sweep(f08_point());
+  fec::force_simd_path(original);
+
+  ASSERT_EQ(run.messages.size(), 3u);
+  std::size_t multicast_sent = 0, parities = 0, nacks = 0;
+  for (const auto& m : run.messages) {
+    multicast_sent += m.multicast_sent;
+    parities += m.proactive_parities + m.reactive_parities;
+    nacks += m.total_nacks;
+  }
+  EXPECT_EQ(multicast_sent, kGoldenMulticastSent);
+  EXPECT_EQ(parities, kGoldenParities);
+  EXPECT_EQ(nacks, kGoldenNacks);
+}
+
+}  // namespace
+}  // namespace rekey::bench
