@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "sweep.h"
 
 using namespace rekey;
 
@@ -42,8 +43,13 @@ double monte_carlo(std::size_t N, std::size_t J, std::size_t L, unsigned d,
 
 }  // namespace
 
-int main() {
-  print_figure_header(
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("A1", cli);
+
+  const int kTrials = cli.smoke ? 1 : 5;
+  json.header(
       std::cout, "A1",
       "E[#encryptions]: hypergeometric model vs marking algorithm",
       "d=4, 5 Monte-Carlo trials per point; J<=L exact, J>L fill/split "
@@ -54,17 +60,20 @@ int main() {
   struct Case {
     std::size_t N, J, L;
   };
-  const Case cases[] = {
-      {1024, 0, 64},     {1024, 0, 256},    {1024, 0, 512},
-      {1024, 256, 256},  {1024, 64, 256},   {4096, 0, 1024},
-      {4096, 1024, 1024}, {4096, 256, 1024}, {4096, 1024, 0},
-      {16384, 0, 4096},  {16384, 4096, 4096},
-  };
-  std::vector<double> sims(std::size(cases));
-  parallel_for_each_index(std::size(cases), [&](std::size_t i) {
-    sims[i] = monte_carlo(cases[i].N, cases[i].J, cases[i].L, 4, 5);
+  const std::vector<Case> cases =
+      cli.smoke ? std::vector<Case>{{1024, 0, 256}, {1024, 256, 256},
+                                    {4096, 0, 1024}}
+                : std::vector<Case>{
+                      {1024, 0, 64},     {1024, 0, 256},    {1024, 0, 512},
+                      {1024, 256, 256},  {1024, 64, 256},   {4096, 0, 1024},
+                      {4096, 1024, 1024}, {4096, 256, 1024}, {4096, 1024, 0},
+                      {16384, 0, 4096},  {16384, 4096, 4096},
+                  };
+  std::vector<double> sims(cases.size());
+  parallel_for_each_index(cases.size(), [&](std::size_t i) {
+    sims[i] = monte_carlo(cases[i].N, cases[i].J, cases[i].L, 4, kTrials);
   });
-  for (std::size_t i = 0; i < std::size(cases); ++i) {
+  for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto& c = cases[i];
     const double model = analysis::expected_encryptions(c.N, c.J, c.L, 4);
     const double sim = sims[i];
@@ -72,13 +81,19 @@ int main() {
                static_cast<long long>(c.L), model, sim,
                sim > 0 ? model / sim : 0.0});
   }
-  t.print(std::cout);
+  json.table(std::cout, t);
 
-  std::cout << "\nExpected ENC packets at the paper's headline point "
-               "(N=4096, J=0, L=N/4): "
-            << analysis::expected_enc_packets(4096, 0, 1024, 4, 46)
-            << " (paper reports up to 107)\n";
-  std::cout << "Shape check: ratio ~1.00 +/- 0.05 for J <= L; within ~25% "
-               "for the deterministic J > L model.\n";
-  return 0;
+  json.header(std::cout, "A1 (headline)",
+              "expected ENC packets at the paper's headline point",
+              "N=4096, J=0, L=N/4, d=4, 46 encryptions/packet; paper "
+              "reports up to 107");
+  Table headline({"model E[ENC packets]"});
+  headline.set_precision(3);
+  headline.add_row({analysis::expected_enc_packets(4096, 0, 1024, 4, 46)});
+  json.table(std::cout, headline);
+
+  json.note(std::cout,
+            "Shape check: ratio ~1.00 +/- 0.05 for J <= L; within ~25% "
+            "for the deterministic J > L model.");
+  return json.write();
 }

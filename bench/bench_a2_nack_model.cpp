@@ -10,11 +10,18 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  constexpr std::uint64_t kBaseSeed = 0xA2;
-  const int parities[] = {0, 2, 4, 6, 10};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("A2", cli);
 
-  print_figure_header(
+  constexpr std::uint64_t kBaseSeed = 0xA2;
+  const std::vector<int> parities = cli.smoke ? std::vector<int>{0, 4, 10}
+                                              : std::vector<int>{0, 2, 4, 6, 10};
+  const int kMessages = cli.smoke ? 2 : 6;
+  const std::size_t kGroupSize = cli.smoke ? 256 : 4096;
+  const std::size_t kLeaves = kGroupSize / 4;
+
+  json.header(
       std::cout, "A2",
       "round-1 NACKs: binomial model vs packet-level simulation",
       "N=4096, L=N/4, k=10, Bernoulli links (model assumption), fixed rho, "
@@ -23,41 +30,45 @@ int main() {
   std::vector<SweepConfig> points;
   for (const int a : parities) {
     SweepConfig cfg;
+    cfg.group_size = kGroupSize;
+    cfg.leaves = kLeaves;
     cfg.burst_loss = false;
     cfg.alpha = 0.2;
     cfg.protocol.adaptive_rho = false;
     cfg.protocol.initial_rho = 1.0 + a / 10.0;
     cfg.protocol.max_multicast_rounds = 0;
-    cfg.messages = 6;
+    cfg.messages = kMessages;
     cfg.seed = point_seed(kBaseSeed, points.size());
     points.push_back(cfg);
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table t({"proactive parities", "rho", "model E[NACKs]", "sim E[NACKs]",
            "ratio"});
   t.set_precision(2);
-  for (std::size_t i = 0; i < std::size(parities); ++i) {
+  for (std::size_t i = 0; i < parities.size(); ++i) {
     const int a = parities[i];
     const double sim = runs[i].mean_round1_nacks();
     const double model = analysis::expected_round1_nacks(
-        4096 - 1024, 0.2, 0.2, 0.02, 0.01, 10, a);
+        kGroupSize - kLeaves, 0.2, 0.2, 0.02, 0.01, 10, a);
     t.add_row({static_cast<long long>(a), 1.0 + a / 10.0, model, sim,
                model > 0 ? sim / model : 0.0});
   }
-  t.print(std::cout);
+  json.table(std::cout, t);
 
-  print_figure_header(std::cout, "A2 (latency)",
-                      "expected rounds per user: model vs loss rate",
-                      "k=10, no proactive parities");
+  json.header(std::cout, "A2 (latency)",
+              "expected rounds per user: model vs loss rate",
+              "k=10, no proactive parities");
   Table lat({"loss p", "model E[rounds]"});
   lat.set_precision(4);
   for (const double p : {0.02, 0.05, 0.1, 0.2, 0.3}) {
     lat.add_row({p, analysis::expected_user_rounds(10, 0, p)});
   }
-  lat.print(std::cout);
+  json.table(std::cout, lat);
 
-  std::cout << "\nShape check: model within ~35% of simulation across the "
-               "proactivity sweep; E[rounds] ~1 at low loss.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: model within ~35% of simulation across the "
+            "proactivity sweep; E[rounds] ~1 at low loss.");
+  return json.write();
 }

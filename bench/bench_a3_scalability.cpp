@@ -13,6 +13,7 @@
 #include "fec/gf256.h"
 #include "fec/gf256_simd.h"
 #include "fec/rse.h"
+#include "sweep.h"
 
 using namespace rekey;
 
@@ -20,14 +21,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double measure_encrypt_us() {
+double measure_encrypt_us(int iters) {
   crypto::KeyGenerator gen(1);
   const auto kek = gen.next();
   const auto plain = gen.next();
   volatile std::uint8_t sink = 0;
   const auto start = Clock::now();
-  constexpr int kIters = 5000;
-  for (int i = 0; i < kIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     const auto e = crypto::encrypt_key(kek, plain, 1,
                                        static_cast<std::uint64_t>(i) + 1);
     sink = sink ^ e.ciphertext[0];
@@ -36,36 +36,35 @@ double measure_encrypt_us() {
                       Clock::now() - start)
                       .count();
   (void)sink;
-  return us / kIters;
+  return us / iters;
 }
 
-double measure_fec_ns_per_byte() {
+double measure_fec_ns_per_byte(int iters) {
   // One parity over a k=10 block of 1023-byte packets, repeatedly.
   const fec::RseCoder coder(10);
   std::vector<Bytes> data(10, Bytes(1023, 0x5A));
   for (std::size_t i = 0; i < data.size(); ++i) data[i][0] = static_cast<std::uint8_t>(i);
   volatile std::uint8_t sink = 0;
   const auto start = Clock::now();
-  constexpr int kIters = 300;
-  for (int i = 0; i < kIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     const Bytes p = coder.encode_one(data, i % coder.max_parity());
     sink = sink ^ p[0];
   }
   const auto ns =
       std::chrono::duration<double, std::nano>(Clock::now() - start).count();
   (void)sink;
-  return ns / (kIters * 10.0 * 1023.0);  // per source byte processed
+  return ns / (iters * 10.0 * 1023.0);  // per source byte processed
 }
 
 // Raw addmul_region byte rate for one kernel path, over the protocol's
 // 1023-byte FEC regions — the A/B view of what the SIMD layer buys the
 // server-side encode path.
-double measure_kernel_ns_per_byte(const fec::RegionKernels& kernels) {
+double measure_kernel_ns_per_byte(const fec::RegionKernels& kernels,
+                                  int iters) {
   Bytes dst(1023, 0x5A), src(1023, 0xC3);
   volatile std::uint8_t sink = 0;
   const auto start = Clock::now();
-  constexpr int kIters = 20000;
-  for (int i = 0; i < kIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     kernels.addmul(dst.data(), src.data(), dst.size(),
                    static_cast<std::uint8_t>(i | 1));
     sink = sink ^ dst[0];
@@ -73,17 +72,16 @@ double measure_kernel_ns_per_byte(const fec::RegionKernels& kernels) {
   const auto ns =
       std::chrono::duration<double, std::nano>(Clock::now() - start).count();
   (void)sink;
-  return ns / (kIters * 1023.0);
+  return ns / (iters * 1023.0);
 }
 
-double measure_sign_us() {
+double measure_sign_us(int iters) {
   crypto::KeyGenerator gen(2);
   const auto key = gen.next();
   Bytes msg(100 * 1027, 0x33);  // a full rekey message body
   const auto start = Clock::now();
-  constexpr int kIters = 20;
   volatile std::uint8_t sink = 0;
-  for (int i = 0; i < kIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     msg[0] = static_cast<std::uint8_t>(i);
     sink = sink ^ crypto::message_authenticator(key, msg)[0];
   }
@@ -91,21 +89,25 @@ double measure_sign_us() {
                       Clock::now() - start)
                       .count();
   (void)sink;
-  return us / kIters;
+  return us / iters;
 }
 
 }  // namespace
 
-int main() {
-  analysis::ServerCostParams params;
-  params.encrypt_per_key_us = measure_encrypt_us();
-  params.fec_per_byte_ns = measure_fec_ns_per_byte();
-  params.sign_us = measure_sign_us();
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("A3", cli);
 
-  print_figure_header(std::cout, "A3 (unit costs)",
-                      "measured server unit costs on this host",
-                      std::string("FEC kernel path: ") +
-                          fec::simd_path_name(fec::active_simd_path()));
+  analysis::ServerCostParams params;
+  params.encrypt_per_key_us = measure_encrypt_us(cli.smoke ? 200 : 5000);
+  params.fec_per_byte_ns = measure_fec_ns_per_byte(cli.smoke ? 20 : 300);
+  params.sign_us = measure_sign_us(cli.smoke ? 3 : 20);
+
+  json.header(std::cout, "A3 (unit costs)",
+              "measured server unit costs on this host",
+              std::string("FEC kernel path: ") +
+                  fec::simd_path_name(fec::active_simd_path()));
   Table units({"operation", "cost"});
   units.set_precision(3);
   units.add_row({std::string("key encryption (us)"),
@@ -117,31 +119,36 @@ int main() {
   for (const fec::SimdPath path : fec::supported_simd_paths()) {
     units.add_row({std::string("addmul_region ns/B (") +
                        fec::simd_path_name(path) + ")",
-                   measure_kernel_ns_per_byte(fec::region_kernels(path))});
+                   measure_kernel_ns_per_byte(fec::region_kernels(path),
+                                              cli.smoke ? 1000 : 20000)});
   }
   units.add_row({std::string("message authenticator (us)"), params.sign_us});
-  units.print(std::cout);
+  json.table(std::cout, units);
 
-  print_figure_header(
+  json.header(
       std::cout, "A3",
       "single-server rekeying capacity vs group size",
       "J=0, L=N/4, d=4, k=10, rho=1.1, 1027-byte packets, 10 pkt/s pacing");
   Table t({"N", "E[encs]", "E[pkts]", "cpu ms", "MB/msg", "pacing s",
            "min interval s", "rekeys/hour"});
   t.set_precision(2);
-  for (const std::size_t N :
-       {256u, 1024u, 4096u, 16384u, 65536u, 262144u, 1048576u}) {
+  const std::vector<std::size_t> sizes =
+      cli.smoke ? std::vector<std::size_t>{256, 4096, 65536}
+                : std::vector<std::size_t>{256, 1024, 4096, 16384, 65536,
+                                           262144, 1048576};
+  for (const std::size_t N : sizes) {
     const auto p = analysis::evaluate_scalability(N, 0, N / 4, 4, 10, 1.1,
                                                   1027, 46, params);
     t.add_row({static_cast<long long>(N), p.encryptions, p.enc_packets,
                p.cpu_ms, p.bytes / 1e6, p.pacing_s, p.min_interval_s,
                p.max_rekeys_per_hour});
   }
-  t.print(std::cout);
+  json.table(std::cout, t);
 
-  std::cout << "\nConclusion check (paper): processing is NOT the "
-               "bottleneck at paper scale — pacing/bandwidth dominate; a "
-               "single server sustains N=4096 with intervals of tens of "
-               "seconds, and the interval must grow linearly with N.\n";
-  return 0;
+  json.note(std::cout,
+            "Conclusion check (paper): processing is NOT the "
+            "bottleneck at paper scale — pacing/bandwidth dominate; a "
+            "single server sustains N=4096 with intervals of tens of "
+            "seconds, and the interval must grow linearly with N.");
+  return json.write();
 }

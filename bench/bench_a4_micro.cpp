@@ -5,9 +5,12 @@
 // shows how far the SIMD layer lifts that constant over scalar.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "sweep.h"
 #include "crypto/chacha20.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
@@ -180,13 +183,74 @@ void register_region_kernel_benches() {
   }
 }
 
+// Console reporter that also captures each run's per-iteration timings so
+// they can be emitted through the shared FigureJson schema.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns = 0;
+    double cpu_ns = 0;
+    std::int64_t iterations = 0;
+    double bytes_per_second = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = r.benchmark_name();
+      row.real_ns = r.GetAdjustedRealTime();
+      row.cpu_ns = r.GetAdjustedCPUTime();
+      row.iterations = static_cast<std::int64_t>(r.iterations);
+      const auto bps = r.counters.find("bytes_per_second");
+      if (bps != r.counters.end()) row.bytes_per_second = bps->second.value;
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  // Strip --smoke/--json first; everything else flows to google-benchmark.
+  const BenchCli cli = parse_bench_cli(argc, argv, /*allow_extra=*/true);
+  FigureJson json("A4", cli);
+
   register_region_kernel_benches();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+
+  // Smoke mode shortens every benchmark's measuring window (schema test /
+  // CI gate only need the document shape, not stable timings).
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (cli.smoke) args.insert(args.begin() + 1, min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+
+  json.header(std::cout, "A4",
+              "micro-benchmarks: unit costs behind the design choices",
+              "google-benchmark; per-iteration times, host-dependent");
+  Table t({"benchmark", "real ns/iter", "cpu ns/iter", "iterations",
+           "bytes/s"});
+  t.set_precision(1);
+  for (const auto& row : reporter.rows) {
+    t.add_row({row.name, row.real_ns, row.cpu_ns,
+               static_cast<long long>(row.iterations),
+               row.bytes_per_second});
+  }
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Timings are host-dependent; bench_diff.py treats them as "
+            "floats with a wide tolerance or skips A4 entirely.");
+  return json.write();
 }

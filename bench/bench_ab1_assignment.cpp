@@ -19,6 +19,7 @@
 #include "common/table.h"
 #include "keytree/marking.h"
 #include "packet/assign.h"
+#include "sweep.h"
 
 using namespace rekey;
 
@@ -64,19 +65,25 @@ AssignStats evaluate(bool uka, std::size_t N, std::size_t L,
 
 }  // namespace
 
-int main() {
-  print_figure_header(
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB1", cli);
+
+  json.header(
       std::cout, "AB1",
       "UKA vs sequential assignment: message size vs round-1 recovery",
       "N=4096, J=0, L=N/4, d=4, 46 encryptions/packet, loss p=5%; 3 trials");
 
-  constexpr std::uint64_t kTrials = 3;
+  const std::uint64_t kTrials = cli.smoke ? 1 : 3;
+  const std::size_t kGroupSize = cli.smoke ? 512 : 4096;
+  const std::size_t kLeaves = kGroupSize / 4;
   const bool modes[] = {true, false};
   std::vector<AssignStats> stats(std::size(modes) * kTrials);
   parallel_for_each_index(stats.size(), [&](std::size_t i) {
     const bool uka = modes[i / kTrials];
     const std::uint64_t s = i % kTrials;
-    stats[i] = evaluate(uka, 4096, 1024, 100 + s, 0.05);
+    stats[i] = evaluate(uka, kGroupSize, kLeaves, 100 + s, 0.05);
   });
 
   Table t({"assignment", "ENC packets", "duplication", "pkts/user mean",
@@ -97,9 +104,10 @@ int main() {
                pk.mean(), dup.mean(), mean_pu.mean(), max_pu.mean(),
                p1.mean()});
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: sequential saves the duplication (~5-10% of "
-               "packets) but needs >1 packet per user, cutting the chance "
-               "of one-round recovery; UKA holds it at (1-p).\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: sequential saves the duplication (~5-10% of "
+            "packets) but needs >1 packet per user, cutting the chance "
+            "of one-round recovery; UKA holds it at (1-p).");
+  return json.write();
 }

@@ -15,6 +15,7 @@
 #include "common/table.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "sweep.h"
 
 using namespace rekey;
 
@@ -65,14 +66,21 @@ Cost run(std::size_t N, std::size_t J, std::size_t L, bool batched,
 
 }  // namespace
 
-int main() {
-  print_figure_header(
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB2", cli);
+
+  json.header(
       std::cout, "AB2",
       "batch rekeying vs per-request rekeying (the paper's premise)",
       "N=4096, d=4, J=L, identical request sets, 2 trials");
 
-  constexpr std::uint64_t kTrials = 2;
-  const std::size_t rs[] = {16, 64, 256, 1024};
+  const std::uint64_t kTrials = cli.smoke ? 1 : 2;
+  const std::size_t kGroupSize = cli.smoke ? 512 : 4096;
+  const std::vector<std::size_t> rs =
+      cli.smoke ? std::vector<std::size_t>{16, 64}
+                : std::vector<std::size_t>{16, 64, 256, 1024};
 
   // Cell layout: [r index][batched, per-request] x [trial].
   struct Cell {
@@ -87,9 +95,9 @@ int main() {
         cells.push_back({r, batched, 40 + s});
   std::vector<double> encs(cells.size());
   parallel_for_each_index(cells.size(), [&](std::size_t i) {
-    encs[i] =
-        run(4096, cells[i].r, cells[i].r, cells[i].batched, cells[i].seed)
-            .encryptions;
+    encs[i] = run(kGroupSize, cells[i].r, cells[i].r, cells[i].batched,
+                  cells[i].seed)
+                  .encryptions;
   });
 
   Table t({"J=L", "batched encs", "per-req encs", "ratio", "batched msgs",
@@ -103,10 +111,11 @@ int main() {
     t.add_row({static_cast<long long>(r), be.mean(), pe.mean(),
                pe.mean() / be.mean(), 1.0, static_cast<double>(2 * r)});
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: the per-request cost ratio grows with the "
-               "batch (shared ancestor keys are re-encrypted once instead "
-               "of once per request), and signing drops from 2J messages "
-               "to 1.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: the per-request cost ratio grows with the "
+            "batch (shared ancestor keys are re-encrypted once instead "
+            "of once per request), and signing drops from 2J messages "
+            "to 1.");
+  return json.write();
 }

@@ -15,8 +15,13 @@ using namespace rekey::bench;
 
 namespace {
 
-SweepConfig make_config(bool interleave, bool burst, std::uint64_t seed) {
+SweepConfig make_config(bool interleave, bool burst, std::uint64_t seed,
+                        bool smoke) {
   SweepConfig cfg;
+  if (smoke) {
+    cfg.group_size = 256;
+    cfg.leaves = 64;
+  }
   cfg.alpha = 0.2;
   cfg.burst_loss = burst;
   cfg.protocol.interleave = interleave;
@@ -26,16 +31,19 @@ SweepConfig make_config(bool interleave, bool burst, std::uint64_t seed) {
   // Faster sending makes consecutive packets land within one burst, which
   // is where the send order matters.
   cfg.protocol.send_interval_ms = 10.0;
-  cfg.messages = 8;
+  cfg.messages = smoke ? 2 : 8;
   cfg.seed = seed;
   return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB3", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xAB3;
-  print_figure_header(
+  json.header(
       std::cout, "AB3",
       "interleaved vs sequential send order: server bandwidth overhead",
       "N=4096, L=N/4, k=10, rho=1, 100 pkt/s (bursts span packets), "
@@ -47,10 +55,11 @@ int main() {
   std::size_t pair = 0;
   for (const bool burst : {true, false}) {
     const std::uint64_t seed = point_seed(kBaseSeed, pair++);
-    points.push_back(make_config(true, burst, seed));
-    points.push_back(make_config(false, burst, seed));
+    points.push_back(make_config(true, burst, seed, cli.smoke));
+    points.push_back(make_config(false, burst, seed, cli.smoke));
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table t({"loss model", "interleaved", "sequential", "sequential/interleaved"});
   t.set_precision(3);
@@ -62,8 +71,9 @@ int main() {
                                  : "Bernoulli (memoryless)"),
                inter, seq, seq / inter});
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: sequential order costs noticeably more under "
-               "bursty loss and about the same under memoryless loss.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: sequential order costs noticeably more under "
+            "bursty loss and about the same under memoryless loss.");
+  return json.write();
 }

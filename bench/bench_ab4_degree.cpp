@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "keytree/marking.h"
 #include "packet/assign.h"
+#include "sweep.h"
 
 using namespace rekey;
 
@@ -44,28 +45,40 @@ DegreeCost run(unsigned d, std::size_t N, std::size_t L, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  print_figure_header(
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB4", cli);
+
+  json.header(
       std::cout, "AB4",
       "key-tree degree sweep: batch cost vs d",
       "N=4096, J=0, L in {64, N/4}, 3 trials/point");
 
-  constexpr std::uint64_t kTrials = 3;
-  const unsigned degrees[] = {2, 3, 4, 8, 16};
+  const std::uint64_t kTrials = cli.smoke ? 1 : 3;
+  const std::size_t kGroupSize = cli.smoke ? 512 : 4096;
+  const std::size_t kSmallL = cli.smoke ? 16 : 64;
+  const std::size_t kBigL = kGroupSize / 4;
+  const std::vector<unsigned> degrees =
+      cli.smoke ? std::vector<unsigned>{2, 4, 16}
+                : std::vector<unsigned>{2, 3, 4, 8, 16};
 
   // Cell layout per degree: kTrials small-L cells then kTrials big-L cells.
-  std::vector<DegreeCost> costs(std::size(degrees) * 2 * kTrials);
+  std::vector<DegreeCost> costs(degrees.size() * 2 * kTrials);
   parallel_for_each_index(costs.size(), [&](std::size_t i) {
     const unsigned d = degrees[i / (2 * kTrials)];
     const bool big = (i / kTrials) % 2 == 1;
     const std::uint64_t s = i % kTrials;
-    costs[i] = big ? run(d, 4096, 1024, 80 + s) : run(d, 4096, 64, 60 + s);
+    costs[i] = big ? run(d, kGroupSize, kBigL, 80 + s)
+                   : run(d, kGroupSize, kSmallL, 60 + s);
   });
 
-  Table t({"d", "height", "encs (L=64)", "pkts (L=64)", "encs (L=1024)",
-           "pkts (L=1024)"});
+  Table t({"d", "height", "encs (L=" + std::to_string(kSmallL) + ")",
+           "pkts (L=" + std::to_string(kSmallL) + ")",
+           "encs (L=" + std::to_string(kBigL) + ")",
+           "pkts (L=" + std::to_string(kBigL) + ")"});
   t.set_precision(1);
-  for (std::size_t di = 0; di < std::size(degrees); ++di) {
+  for (std::size_t di = 0; di < degrees.size(); ++di) {
     RunningStats e_small, p_small, e_big, p_big, h;
     for (std::uint64_t s = 0; s < kTrials; ++s) {
       const auto& small = costs[di * 2 * kTrials + s];
@@ -79,9 +92,10 @@ int main() {
     t.add_row({static_cast<long long>(degrees[di]), h.mean(),
                e_small.mean(), p_small.mean(), e_big.mean(), p_big.mean()});
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: sparse batches (L=64) favour d~4 (cost "
-               "~ L*d*log_d N); dense batches flatten the optimum because "
-               "most of the tree is touched either way.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: sparse batches (L=64) favour d~4 (cost "
+            "~ L*d*log_d N); dense batches flatten the optimum because "
+            "most of the tree is touched either way.");
+  return json.write();
 }

@@ -23,9 +23,12 @@ struct Policy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB5", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xAB5;
-  print_figure_header(
+  json.header(
       std::cout, "AB5",
       "unicast switch policy: latency vs bandwidth trade-off",
       "N=4096, L=N/4, k=10, adaptive rho (numNACK=20), alpha=20%, "
@@ -43,15 +46,20 @@ int main() {
   std::vector<SweepConfig> points;
   for (const Policy& p : policies) {
     SweepConfig cfg;
+    if (cli.smoke) {
+      cfg.group_size = 256;
+      cfg.leaves = 64;
+    }
     cfg.alpha = 0.2;
     cfg.protocol.num_nack_target = 20;
     cfg.protocol.max_multicast_rounds = p.max_rounds;
     cfg.protocol.early_unicast_by_size = p.by_size;
-    cfg.messages = 8;
+    cfg.messages = cli.smoke ? 2 : 8;
     cfg.seed = seed;
     points.push_back(cfg);
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table t({"policy", "avg rounds", "total bw overhead", "unicast users/msg",
            "USR pkts/msg", "avg duration ms"});
@@ -69,9 +77,10 @@ int main() {
                run.mean_total_bandwidth_overhead(), unicast / n, usr / n,
                dur / n});
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: earlier unicast shortens the tail (fewer "
-               "rounds, shorter duration) at a small USR-byte cost; "
-               "multicast-only has the longest worst case.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: earlier unicast shortens the tail (fewer "
+            "rounds, shorter duration) at a small USR-byte cost; "
+            "multicast-only has the longest worst case.");
+  return json.write();
 }

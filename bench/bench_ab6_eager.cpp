@@ -26,16 +26,17 @@ struct ComboResult {
   double nacks = 0;
 };
 
-ComboResult run_combo(double alpha, bool eager) {
+ComboResult run_combo(double alpha, bool eager, std::size_t group_size,
+                      std::uint64_t messages) {
   transport::WorkloadConfig wc;
-  wc.group_size = 4096;
-  wc.leaves = 1024;
+  wc.group_size = group_size;
+  wc.leaves = group_size / 4;
   transport::ProtocolConfig cfg;
   cfg.adaptive_rho = false;
   cfg.max_multicast_rounds = 0;
 
   simnet::TopologyConfig tc;
-  tc.num_users = 4096;
+  tc.num_users = group_size;
   tc.alpha = alpha;
   tc.p_high = 0.2;
   tc.p_low = 0.02;
@@ -47,7 +48,7 @@ ComboResult run_combo(double alpha, bool eager) {
     transport::RhoController rho(cfg, 1);
     transport::RekeySession session(topo, cfg, rho);
     RunningStats dur, bw, nacks;
-    for (std::uint64_t i = 0; i < 5; ++i) {
+    for (std::uint64_t i = 0; i < messages; ++i) {
       auto msg = transport::generate_message(wc, 500 + i,
                                              static_cast<std::uint32_t>(i));
       const auto m = session.run_message(
@@ -64,7 +65,7 @@ ComboResult run_combo(double alpha, bool eager) {
     simnet::Topology topo(tc, 1234);
     transport::EagerSession session(topo, cfg);
     RunningStats mean_lat, max_lat, bw, nacks;
-    for (std::uint64_t i = 0; i < 5; ++i) {
+    for (std::uint64_t i = 0; i < messages; ++i) {
       auto msg = transport::generate_message(wc, 500 + i,
                                              static_cast<std::uint32_t>(i));
       const auto m = session.run_message(
@@ -84,17 +85,24 @@ ComboResult run_combo(double alpha, bool eager) {
 
 }  // namespace
 
-int main() {
-  print_figure_header(
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("AB6", cli);
+
+  json.header(
       std::cout, "AB6",
       "eager (NACK-on-loss-detection) vs round-based transport",
       "N=4096, L=N/4, k=10, rho=1, alpha sweep, 5 messages/point");
 
+  const std::size_t kGroupSize = cli.smoke ? 256 : 4096;
+  const std::uint64_t kMessages = cli.smoke ? 2 : 5;
   const double alphas[] = {0.0, 0.2, 1.0};
   std::vector<ComboResult> results(std::size(alphas) * 2);
   parallel_for_each_index(results.size(), [&](std::size_t i) {
-    results[i] = run_combo(alphas[i / 2], i % 2 == 1);
+    results[i] =
+        run_combo(alphas[i / 2], i % 2 == 1, kGroupSize, kMessages);
   });
+  json.add_seed(1234);  // shared topology seed
 
   Table t({"alpha", "mode", "mean latency ms", "worst latency ms",
            "bw overhead", "NACKs/msg"});
@@ -107,12 +115,13 @@ int main() {
                  r.mean_latency, r.worst_latency, r.bw, r.nacks});
     }
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: eager cuts MEAN delivery latency ~2.5-4x "
-               "(users recover as their block completes instead of at "
-               "round boundaries) at identical bandwidth; the price is "
-               "3-5x more NACK traffic, and the worst case is only "
-               "comparable — which is why the paper pairs rounds with a "
-               "unicast phase instead.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: eager cuts MEAN delivery latency ~2.5-4x "
+            "(users recover as their block completes instead of at "
+            "round boundaries) at identical bandwidth; the price is "
+            "3-5x more NACK traffic, and the worst case is only "
+            "comparable — which is why the paper pairs rounds with a "
+            "unicast phase instead.");
+  return json.write();
 }

@@ -60,53 +60,68 @@ std::vector<double> run_cells(const std::vector<Cell>& cells, int trials) {
 
 }  // namespace
 
-int main() {
-  constexpr int kTrials = 3;
-  const std::size_t grid[] = {0, 512, 1024, 2048, 3072, 4096};
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F6", cli);
+
+  const int kTrials = cli.smoke ? 1 : 3;
+  const std::size_t kGridN = cli.smoke ? 512 : 4096;
+  const std::vector<std::size_t> grid =
+      cli.smoke ? std::vector<std::size_t>{0, 256, 512}
+                : std::vector<std::size_t>{0, 512, 1024, 2048, 3072, 4096};
+  const std::vector<std::size_t> sizes =
+      cli.smoke ? std::vector<std::size_t>{256, 1024}
+                : std::vector<std::size_t>{1024, 2048, 4096, 8192, 16384};
 
   std::vector<Cell> cells;
   for (const std::size_t J : grid)
-    for (const std::size_t L : grid) cells.push_back({4096, J, L});
+    for (const std::size_t L : grid) cells.push_back({kGridN, J, L});
   const std::size_t middle_cells = cells.size();
-  for (const std::size_t N : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+  for (const std::size_t N : sizes) {
     cells.push_back({N, 0, N / 4});
     cells.push_back({N, N / 4, N / 4});
     cells.push_back({N, N / 4, 0});
   }
   const std::vector<double> results = run_cells(cells, kTrials);
 
-  print_figure_header(std::cout, "F6 (middle)",
-                      "average #ENC packets vs (J, L)",
-                      "N=4096, d=4, 1027-byte packets, 3 trials/cell");
+  json.header(std::cout, "F6 (middle)",
+              "average #ENC packets vs (J, L)",
+              "N=" + std::to_string(kGridN) + ", d=4, 1027-byte packets, " +
+                  std::to_string(kTrials) + " trials/cell");
   {
-    Table t({"J \\ L", "L=0", "L=512", "L=1024", "L=2048", "L=3072",
-             "L=4096"});
+    std::vector<std::string> headers{"J \\ L"};
+    for (const std::size_t L : grid)
+      headers.push_back("L=" + std::to_string(L));
+    Table t(headers);
     t.set_precision(1);
     std::size_t cell = 0;
     for (const std::size_t J : grid) {
       std::vector<Table::Cell> row{std::string("J=") + std::to_string(J)};
-      for (std::size_t l = 0; l < std::size(grid); ++l)
+      for (std::size_t l = 0; l < grid.size(); ++l)
         row.push_back(results[cell++]);
       t.add_row(row);
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
 
-  print_figure_header(std::cout, "F6 (right)",
-                      "average #ENC packets vs group size",
-                      "d=4, 1027-byte packets, 3 trials/point");
+  json.header(std::cout, "F6 (right)",
+              "average #ENC packets vs group size",
+              "d=4, 1027-byte packets, " + std::to_string(kTrials) +
+                  " trials/point");
   {
     Table t({"N", "J=0,L=N/4", "J=N/4,L=N/4", "J=N/4,L=0"});
     t.set_precision(1);
     std::size_t cell = middle_cells;
-    for (const std::size_t N : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    for (const std::size_t N : sizes) {
       t.add_row({static_cast<long long>(N), results[cell], results[cell + 1],
                  results[cell + 2]});
       cell += 3;
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
-  std::cout << "\nShape check: growth ~linear in J and in N; L-curves rise "
-               "then fall past L ~ N/d.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: growth ~linear in J and in N; L-curves rise "
+            "then fall past L ~ N/d.");
+  return json.write();
 }

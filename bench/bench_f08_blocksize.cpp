@@ -13,15 +13,24 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
-  constexpr int kMessages = 8;
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F8", cli);
+
+  const std::vector<std::size_t> ks =
+      cli.smoke ? std::vector<std::size_t>{1, 10, 50}
+                : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF08;
 
   std::vector<SweepConfig> points;
   for (const std::size_t k : ks) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.block_size = k;
       cfg.protocol.adaptive_rho = false;
@@ -33,8 +42,9 @@ int main() {
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(
+  json.header(
       std::cout, "F8 (left)", "average server bandwidth overhead vs k",
       "N=4096, L=N/4, rho=1 fixed, multicast-only, 8 messages/point");
 
@@ -58,21 +68,22 @@ int main() {
     }
     left.add_row(row);
   }
-  left.print(std::cout);
+  json.table(std::cout, left);
 
-  print_figure_header(
+  json.header(
       std::cout, "F8 (right)", "relative overall FEC encoding time vs k",
       "time = (#PARITY packets) * k units; same runs as the left table");
   Table right({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
   right.set_precision(0);
-  for (std::size_t i = 0; i < std::size(ks); ++i) {
+  for (std::size_t i = 0; i < ks.size(); ++i) {
     right.add_row({static_cast<long long>(ks[i]), parity_time[0][i],
                    parity_time[1][i], parity_time[2][i],
                    parity_time[3][i]});
   }
-  right.print(std::cout);
+  json.table(std::cout, right);
 
-  std::cout << "\nShape check: overhead flat for k >= 5 (bumps at k=1 and "
-               "k=50); encoding time ~linear in k.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: overhead flat for k >= 5 (bumps at k=1 and "
+            "k=50); encoding time ~linear in k.");
+  return json.write();
 }

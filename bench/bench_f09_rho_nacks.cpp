@@ -12,15 +12,24 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  const double rhos[] = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0};
-  constexpr int kMessages = 8;
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F9", cli);
+
+  const std::vector<double> rhos =
+      cli.smoke ? std::vector<double>{1.0, 1.6, 3.0}
+                : std::vector<double>{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0};
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF09;
 
   std::vector<SweepConfig> points;
   for (const double rho : rhos) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.block_size = 10;
       cfg.protocol.adaptive_rho = false;
@@ -32,6 +41,7 @@ int main() {
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table nacks({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
   nacks.set_precision(2);
@@ -51,17 +61,18 @@ int main() {
     rounds.add_row(rrow);
   }
 
-  print_figure_header(std::cout, "F9 (left)",
-                      "average #NACKs after round 1 vs rho",
-                      "N=4096, L=N/4, k=10, fixed rho, 8 messages/point");
-  nacks.print(std::cout);
+  json.header(std::cout, "F9 (left)",
+              "average #NACKs after round 1 vs rho",
+              "N=4096, L=N/4, k=10, fixed rho, 8 messages/point");
+  json.table(std::cout, nacks);
 
-  print_figure_header(std::cout, "F9 (right)",
-                      "average #rounds for all users vs rho",
-                      "same runs; multicast-only");
-  rounds.print(std::cout);
+  json.header(std::cout, "F9 (right)",
+              "average #rounds for all users vs rho",
+              "same runs; multicast-only");
+  json.table(std::cout, rounds);
 
-  std::cout << "\nShape check: NACKs fall steeply (exponentially) in rho; "
-               "rounds decrease then level off near 1.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: NACKs fall steeply (exponentially) in rho; "
+            "rounds decrease then level off near 1.");
+  return json.write();
 }

@@ -14,15 +14,24 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  constexpr int kMessages = 8;
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F10", cli);
+
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF10;
   const double left_rhos[] = {1.0, 1.6, 2.0};
-  const double right_rhos[] = {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0};
+  const std::vector<double> right_rhos =
+      cli.smoke ? std::vector<double>{1.0, 2.0, 3.0}
+                : std::vector<double>{1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0};
 
   std::vector<SweepConfig> points;
   for (const double rho : left_rhos) {
     SweepConfig cfg;
+    if (cli.smoke) {
+      cfg.group_size = 256;
+      cfg.leaves = 64;
+    }
     cfg.protocol.adaptive_rho = false;
     cfg.protocol.initial_rho = rho;
     cfg.protocol.max_multicast_rounds = 0;
@@ -33,6 +42,10 @@ int main() {
   for (const double rho : right_rhos) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.adaptive_rho = false;
       cfg.protocol.initial_rho = rho;
@@ -43,8 +56,9 @@ int main() {
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(
+  json.header(
       std::cout, "F10 (left)", "fraction of users needing r rounds",
       "N=4096, L=N/4, k=10, alpha=20%, fixed rho, 8 messages/point");
   {
@@ -65,12 +79,12 @@ int main() {
       t.add_row({static_cast<long long>(r), frac(1.0), frac(1.6),
                  frac(2.0)});
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
 
-  print_figure_header(std::cout, "F10 (right)",
-                      "average server bandwidth overhead vs rho",
-                      "same workload; alpha sweep");
+  json.header(std::cout, "F10 (right)",
+              "average server bandwidth overhead vs rho",
+              "same workload; alpha sweep");
   {
     Table t({"rho", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
     t.set_precision(3);
@@ -81,9 +95,10 @@ int main() {
         row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
-  std::cout << "\nShape check: round-1 fraction > 0.94 at rho=1 "
-               "(alpha=20%), rising with rho; overhead flat then linear.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: round-1 fraction > 0.94 at rho=1 "
+            "(alpha=20%), rising with rho; overhead flat then linear.");
+  return json.write();
 }

@@ -12,8 +12,8 @@ using namespace rekey::bench;
 
 namespace {
 
-void print_trace(const std::vector<transport::RunMetrics>& runs,
-                 std::size_t first) {
+void emit_trace(FigureJson& json, const std::vector<transport::RunMetrics>& runs,
+                std::size_t first) {
   Table t({"msg", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
   t.set_precision(0);
   std::vector<std::vector<double>> series;
@@ -26,39 +26,49 @@ void print_trace(const std::vector<transport::RunMetrics>& runs,
   for (std::size_t i = 0; i < series[0].size(); ++i)
     t.add_row({static_cast<long long>(i), series[0][i], series[1][i],
                series[2][i], series[3][i]});
-  t.print(std::cout);
+  json.table(std::cout, t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F13", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xF13;
   const double initial_rhos[] = {1.0, 2.0};
+  const int kMessages = cli.smoke ? 4 : 25;
 
   std::vector<SweepConfig> points;
   for (const double initial_rho : initial_rhos) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.initial_rho = initial_rho;
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 25;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(std::cout, "F13 (left)",
-                      "#NACKs after round 1 per message, initial rho=1",
-                      "N=4096, L=N/4, k=10, numNACK=20, 25 messages");
-  print_trace(runs, 0);
-  print_figure_header(std::cout, "F13 (right)",
-                      "#NACKs after round 1 per message, initial rho=2",
-                      "same parameters");
-  print_trace(runs, std::size(kAlphas));
-  std::cout << "\nShape check: counts stabilize near the numNACK=20 target "
-               "(within ~1.5x for alpha > 0).\n";
-  return 0;
+  json.header(std::cout, "F13 (left)",
+              "#NACKs after round 1 per message, initial rho=1",
+              "N=4096, L=N/4, k=10, numNACK=20, 25 messages");
+  emit_trace(json, runs, 0);
+  json.header(std::cout, "F13 (right)",
+              "#NACKs after round 1 per message, initial rho=2",
+              "same parameters");
+  emit_trace(json, runs, std::size(kAlphas));
+  json.note(std::cout,
+            "Shape check: counts stabilize near the numNACK=20 target "
+            "(within ~1.5x for alpha > 0).");
+  return json.write();
 }

@@ -14,8 +14,8 @@ namespace {
 
 constexpr int kTargets[] = {0, 5, 10, 40, 100};
 
-void print_trace(const std::vector<transport::RunMetrics>& runs,
-                 std::size_t first) {
+void emit_trace(FigureJson& json, const std::vector<transport::RunMetrics>& runs,
+                std::size_t first) {
   Table t({"msg", "numNACK=0", "numNACK=5", "numNACK=10", "numNACK=40",
            "numNACK=100"});
   t.set_precision(0);
@@ -29,40 +29,52 @@ void print_trace(const std::vector<transport::RunMetrics>& runs,
   for (std::size_t i = 0; i < series[0].size(); ++i)
     t.add_row({static_cast<long long>(i), series[0][i], series[1][i],
                series[2][i], series[3][i], series[4][i]});
-  t.print(std::cout);
+  json.table(std::cout, t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F14", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xF14;
   const double initial_rhos[] = {1.0, 2.0};
+  const int kMessages = cli.smoke ? 4 : 25;
 
   std::vector<SweepConfig> points;
   for (const double initial_rho : initial_rhos) {
     for (const int target : kTargets) {
       SweepConfig cfg;
+      // numNACK targets up to 100 need a group comfortably larger than the
+      // target to converge inside the round cap.
+      if (cli.smoke) {
+        cfg.group_size = 1024;
+        cfg.leaves = 256;
+      }
       cfg.alpha = 0.2;
       cfg.protocol.initial_rho = initial_rho;
       cfg.protocol.num_nack_target = target;
       cfg.protocol.max_nack = std::max(target, 100);
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 25;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(std::cout, "F14 (left)",
-                      "#NACKs per message for various numNACK, rho0=1",
-                      "N=4096, L=N/4, k=10, alpha=20%, 25 messages");
-  print_trace(runs, 0);
-  print_figure_header(std::cout, "F14 (right)",
-                      "#NACKs per message for various numNACK, rho0=2",
-                      "same parameters");
-  print_trace(runs, std::size(kTargets));
-  std::cout << "\nShape check: each series fluctuates around its target; "
-               "bigger targets fluctuate more.\n";
-  return 0;
+  json.header(std::cout, "F14 (left)",
+              "#NACKs per message for various numNACK, rho0=1",
+              "N=4096, L=N/4, k=10, alpha=20%, 25 messages");
+  emit_trace(json, runs, 0);
+  json.header(std::cout, "F14 (right)",
+              "#NACKs per message for various numNACK, rho0=2",
+              "same parameters");
+  emit_trace(json, runs, std::size(kTargets));
+  json.note(std::cout,
+            "Shape check: each series fluctuates around its target; "
+            "bigger targets fluctuate more.");
+  return json.write();
 }

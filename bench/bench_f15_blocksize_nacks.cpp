@@ -14,8 +14,8 @@ namespace {
 
 constexpr std::size_t kBlockSizes[] = {1, 5, 10, 30, 50};
 
-void print_trace(const std::vector<transport::RunMetrics>& runs,
-                 std::size_t first) {
+void emit_trace(FigureJson& json, const std::vector<transport::RunMetrics>& runs,
+                std::size_t first) {
   Table t({"msg", "k=1", "k=5", "k=10", "k=30", "k=50"});
   t.set_precision(0);
   std::vector<std::vector<double>> series;
@@ -28,40 +28,50 @@ void print_trace(const std::vector<transport::RunMetrics>& runs,
   for (std::size_t i = 0; i < series[0].size(); ++i)
     t.add_row({static_cast<long long>(i), series[0][i], series[1][i],
                series[2][i], series[3][i], series[4][i]});
-  t.print(std::cout);
+  json.table(std::cout, t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F15", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xF15;
   const double initial_rhos[] = {1.0, 2.0};
+  const int kMessages = cli.smoke ? 4 : 25;
 
   std::vector<SweepConfig> points;
   for (const double initial_rho : initial_rhos) {
     for (const std::size_t k : kBlockSizes) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = 0.2;
       cfg.protocol.block_size = k;
       cfg.protocol.initial_rho = initial_rho;
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 25;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(std::cout, "F15 (left)",
-                      "#NACKs per message for various k, initial rho=1",
-                      "N=4096, L=N/4, alpha=20%, numNACK=20, 25 messages");
-  print_trace(runs, 0);
-  print_figure_header(std::cout, "F15 (right)",
-                      "#NACKs per message for various k, initial rho=2",
-                      "same parameters");
-  print_trace(runs, std::size(kBlockSizes));
-  std::cout << "\nShape check: k=1/k=5 series swing hardest (coarse rho "
-               "granularity); k>=10 stays closer to the target.\n";
-  return 0;
+  json.header(std::cout, "F15 (left)",
+              "#NACKs per message for various k, initial rho=1",
+              "N=4096, L=N/4, alpha=20%, numNACK=20, 25 messages");
+  emit_trace(json, runs, 0);
+  json.header(std::cout, "F15 (right)",
+              "#NACKs per message for various k, initial rho=2",
+              "same parameters");
+  emit_trace(json, runs, std::size(kBlockSizes));
+  json.note(std::cout,
+            "Shape check: k=1/k=5 series swing hardest (coarse rho "
+            "granularity); k>=10 stays closer to the target.");
+  return json.write();
 }

@@ -11,20 +11,32 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F16", cli);
+
+  const std::vector<std::size_t> ks =
+      cli.smoke ? std::vector<std::size_t>{1, 10, 50}
+                : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
+  const std::vector<std::size_t> group_sizes =
+      cli.smoke ? std::vector<std::size_t>{256, 512}
+                : std::vector<std::size_t>{1024, 4096, 8192, 16384};
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF16;
-  const std::size_t group_sizes[] = {1024, 4096, 8192, 16384};
 
   std::vector<SweepConfig> points;
   for (const std::size_t k : ks) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.block_size = k;
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 8;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
@@ -39,14 +51,15 @@ int main() {
       cfg.protocol.block_size = k;
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = N >= 8192 ? 4 : 8;
+      cfg.messages = cli.smoke ? 2 : (N >= 8192 ? 4 : 8);
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  print_figure_header(
+  json.header(
       std::cout, "F16 (left)",
       "average server bandwidth overhead vs k (adaptive rho)",
       "N=4096, L=N/4, numNACK=20, 8 messages/point");
@@ -60,26 +73,30 @@ int main() {
         row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
 
-  print_figure_header(
+  json.header(
       std::cout, "F16 (right)",
       "average server bandwidth overhead vs k for group sizes",
       "L=N/4, alpha=20%, numNACK=20; fewer messages at the largest N");
   {
-    Table t({"k", "N=1024", "N=4096", "N=8192", "N=16384"});
+    std::vector<std::string> headers{"k"};
+    for (const std::size_t N : group_sizes)
+      headers.push_back("N=" + std::to_string(N));
+    Table t(headers);
     t.set_precision(3);
     std::size_t point = left_points;
     for (const std::size_t k : ks) {
       std::vector<Table::Cell> row{static_cast<long long>(k)};
-      for (std::size_t n = 0; n < std::size(group_sizes); ++n)
+      for (std::size_t n = 0; n < group_sizes.size(); ++n)
         row.push_back(runs[point++].mean_bandwidth_overhead());
       t.add_row(row);
     }
-    t.print(std::cout);
+    json.table(std::cout, t);
   }
-  std::cout << "\nShape check: k=1 much worse under adaptive rho; flat for "
-               "5 <= k <= 40; N=1024 noisiest.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: k=1 much worse under adaptive rho; flat for "
+            "5 <= k <= 40; N=1024 noisiest.");
+  return json.write();
 }

@@ -10,24 +10,37 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F17", cli);
+
+  const std::vector<std::size_t> ks =
+      cli.smoke ? std::vector<std::size_t>{1, 10, 50}
+                : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF17;
 
   std::vector<SweepConfig> points;
   for (const std::size_t k : ks) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      // Adaptive rho with numNACK=20 needs a group comfortably larger than
+      // the NACK target to converge inside the round cap.
+      if (cli.smoke) {
+        cfg.group_size = 1024;
+        cfg.leaves = 256;
+      }
       cfg.alpha = alpha;
       cfg.protocol.block_size = k;
       cfg.protocol.num_nack_target = 20;
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 8;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table all_users({"k", "alpha=0", "alpha=20%", "alpha=40%", "alpha=100%"});
   all_users.set_precision(3);
@@ -47,17 +60,18 @@ int main() {
     per_user.add_row(prow);
   }
 
-  print_figure_header(std::cout, "F17 (left)",
-                      "average #rounds for ALL users vs k (adaptive rho)",
-                      "N=4096, L=N/4, numNACK=20, 8 messages/point");
-  all_users.print(std::cout);
+  json.header(std::cout, "F17 (left)",
+              "average #rounds for ALL users vs k (adaptive rho)",
+              "N=4096, L=N/4, numNACK=20, 8 messages/point");
+  json.table(std::cout, all_users);
 
-  print_figure_header(std::cout, "F17 (right)",
-                      "average #rounds needed by a user vs k",
-                      "same runs");
-  per_user.print(std::cout);
+  json.header(std::cout, "F17 (right)",
+              "average #rounds needed by a user vs k",
+              "same runs");
+  json.table(std::cout, per_user);
 
-  std::cout << "\nShape check: both metrics flat in k; per-user average "
-               "close to 1.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: both metrics flat in k; per-user average "
+            "close to 1.");
+  return json.write();
 }

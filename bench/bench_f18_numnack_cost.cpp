@@ -10,24 +10,35 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
-  const int targets[] = {0, 5, 10, 20, 40, 60, 80, 100};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F18", cli);
+
+  const std::vector<int> targets =
+      cli.smoke ? std::vector<int>{0, 20, 100}
+                : std::vector<int>{0, 5, 10, 20, 40, 60, 80, 100};
+  const int kMessages = cli.smoke ? 2 : 8;
   constexpr std::uint64_t kBaseSeed = 0xF18;
 
   std::vector<SweepConfig> points;
   for (const int target : targets) {
     for (const double alpha : kAlphas) {
       SweepConfig cfg;
+      if (cli.smoke) {
+        cfg.group_size = 256;
+        cfg.leaves = 64;
+      }
       cfg.alpha = alpha;
       cfg.protocol.num_nack_target = target;
       cfg.protocol.max_nack = std::max(target, 100);
       cfg.protocol.max_multicast_rounds = 0;
-      cfg.messages = 8;
+      cfg.messages = kMessages;
       cfg.seed = point_seed(kBaseSeed, points.size());
       points.push_back(cfg);
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table rounds({"numNACK", "alpha=0", "alpha=20%", "alpha=40%",
                 "alpha=100%"});
@@ -49,17 +60,18 @@ int main() {
     overhead.add_row(orow);
   }
 
-  print_figure_header(std::cout, "F18 (left)",
-                      "average #rounds needed by a user vs numNACK",
-                      "N=4096, L=N/4, k=10, adaptive rho, 8 messages/point");
-  rounds.print(std::cout);
+  json.header(std::cout, "F18 (left)",
+              "average #rounds needed by a user vs numNACK",
+              "N=4096, L=N/4, k=10, adaptive rho, 8 messages/point");
+  json.table(std::cout, rounds);
 
-  print_figure_header(std::cout, "F18 (right)",
-                      "average server bandwidth overhead vs numNACK",
-                      "same runs");
-  overhead.print(std::cout);
+  json.header(std::cout, "F18 (right)",
+              "average server bandwidth overhead vs numNACK",
+              "same runs");
+  json.table(std::cout, overhead);
 
-  std::cout << "\nShape check: per-user rounds grow slowly with numNACK; "
-               "overhead spikes at numNACK=0 and flattens by 5.\n";
-  return 0;
+  json.note(std::cout,
+            "Shape check: per-user rounds grow slowly with numNACK; "
+            "overhead spikes at numNACK=0 and flattens by 5.");
+  return json.write();
 }

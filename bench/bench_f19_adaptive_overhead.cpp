@@ -14,25 +14,34 @@ using namespace rekey::bench;
 namespace {
 
 SweepConfig make_config(double alpha, std::size_t k, bool adaptive,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, const BenchCli& cli) {
   SweepConfig cfg;
+  if (cli.smoke) {
+    cfg.group_size = 256;
+    cfg.leaves = 64;
+  }
   cfg.alpha = alpha;
   cfg.protocol.block_size = k;
   cfg.protocol.adaptive_rho = adaptive;
   cfg.protocol.initial_rho = 1.0;
   cfg.protocol.num_nack_target = 20;
   cfg.protocol.max_multicast_rounds = 0;
-  cfg.messages = 8;
+  cfg.messages = cli.smoke ? 2 : 8;
   cfg.seed = seed;
   return cfg;
 }
 
 }  // namespace
 
-int main() {
-  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F19", cli);
+
+  const std::vector<std::size_t> ks =
+      cli.smoke ? std::vector<std::size_t>{1, 10, 50}
+                : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
   constexpr std::uint64_t kBaseSeed = 0xF19;
-  print_figure_header(
+  json.header(
       std::cout, "F19",
       "server bandwidth overhead: adaptive rho vs fixed rho=1, by alpha",
       "N=4096, L=N/4, numNACK=20, 8 messages/point");
@@ -44,11 +53,12 @@ int main() {
   for (const std::size_t k : ks) {
     for (const double alpha : {0.0, 0.2, 1.0}) {
       const std::uint64_t seed = point_seed(kBaseSeed, pair++);
-      points.push_back(make_config(alpha, k, true, seed));
-      points.push_back(make_config(alpha, k, false, seed));
+      points.push_back(make_config(alpha, k, true, seed, cli));
+      points.push_back(make_config(alpha, k, false, seed, cli));
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
   Table t({"k", "a=0 adapt", "a=0 rho1", "a=20% adapt", "a=20% rho1",
            "a=100% adapt", "a=100% rho1"});
@@ -62,9 +72,10 @@ int main() {
     }
     t.add_row(row);
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: adaptive ~= reactive at alpha=0; small extra "
-               "(< ~0.25) at alpha=20% for k >= 5; adaptive can win at "
-               "alpha=100%.\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: adaptive ~= reactive at alpha=0; small extra "
+            "(< ~0.25) at alpha=20% for k >= 5; adaptive can win at "
+            "alpha=100%.");
+  return json.write();
 }

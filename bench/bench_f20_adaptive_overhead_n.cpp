@@ -12,7 +12,7 @@ using namespace rekey::bench;
 namespace {
 
 SweepConfig make_config(std::size_t N, std::size_t k, bool adaptive,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, bool smoke) {
   SweepConfig cfg;
   cfg.group_size = N;
   cfg.leaves = N / 4;
@@ -22,17 +22,25 @@ SweepConfig make_config(std::size_t N, std::size_t k, bool adaptive,
   cfg.protocol.initial_rho = 1.0;
   cfg.protocol.num_nack_target = 20;
   cfg.protocol.max_multicast_rounds = 0;
-  cfg.messages = N >= 8192 ? 4 : 8;
+  cfg.messages = smoke ? 2 : (N >= 8192 ? 4 : 8);
   cfg.seed = seed;
   return cfg;
 }
 
 }  // namespace
 
-int main() {
-  const std::size_t ks[] = {1, 5, 10, 20, 30, 40, 50};
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F20", cli);
+
+  const std::vector<std::size_t> ks =
+      cli.smoke ? std::vector<std::size_t>{1, 10, 50}
+                : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
+  const std::vector<std::size_t> sizes =
+      cli.smoke ? std::vector<std::size_t>{256, 512}
+                : std::vector<std::size_t>{1024, 8192, 16384};
   constexpr std::uint64_t kBaseSeed = 0xF20;
-  print_figure_header(
+  json.header(
       std::cout, "F20",
       "server bandwidth overhead: adaptive rho vs fixed rho=1, by N",
       "L=N/4, alpha=20%, numNACK=20; fewer messages at the largest N");
@@ -42,28 +50,34 @@ int main() {
   std::vector<SweepConfig> points;
   std::size_t pair = 0;
   for (const std::size_t k : ks) {
-    for (const std::size_t N : {1024u, 8192u, 16384u}) {
+    for (const std::size_t N : sizes) {
       const std::uint64_t seed = point_seed(kBaseSeed, pair++);
-      points.push_back(make_config(N, k, true, seed));
-      points.push_back(make_config(N, k, false, seed));
+      points.push_back(make_config(N, k, true, seed, cli.smoke));
+      points.push_back(make_config(N, k, false, seed, cli.smoke));
     }
   }
   const auto runs = run_sweep_grid(points);
+  json.add_seeds(points);
 
-  Table t({"k", "N=1024 adapt", "N=1024 rho1", "N=8192 adapt",
-           "N=8192 rho1", "N=16384 adapt", "N=16384 rho1"});
+  std::vector<std::string> headers{"k"};
+  for (const std::size_t N : sizes) {
+    headers.push_back("N=" + std::to_string(N) + " adapt");
+    headers.push_back("N=" + std::to_string(N) + " rho1");
+  }
+  Table t(headers);
   t.set_precision(3);
   std::size_t point = 0;
   for (const std::size_t k : ks) {
     std::vector<Table::Cell> row{static_cast<long long>(k)};
-    for (int n = 0; n < 3; ++n) {
+    for (std::size_t n = 0; n < sizes.size(); ++n) {
       row.push_back(runs[point++].mean_bandwidth_overhead());
       row.push_back(runs[point++].mean_bandwidth_overhead());
     }
     t.add_row(row);
   }
-  t.print(std::cout);
-  std::cout << "\nShape check: adaptive-minus-reactive gap grows with N but "
-               "stays under ~0.4 at N=16384 (k >= 5).\n";
-  return 0;
+  json.table(std::cout, t);
+  json.note(std::cout,
+            "Shape check: adaptive-minus-reactive gap grows with N but "
+            "stays under ~0.4 at N=16384 (k >= 5).");
+  return json.write();
 }

@@ -14,15 +14,22 @@
 using namespace rekey;
 using namespace rekey::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("F21", cli);
+
   constexpr std::uint64_t kBaseSeed = 0xF21;
-  print_figure_header(
+  json.header(
       std::cout, "F21",
       "#users missing a 2-round deadline and the adapted numNACK",
       "N=4096, L=N/4, k=10, alpha=20%, rho0=1, numNACK0=200, unicast after "
       "2 rounds, 40 messages");
 
   SweepConfig cfg;
+  if (cli.smoke) {
+    cfg.group_size = 256;
+    cfg.leaves = 64;
+  }
   cfg.alpha = 0.2;
   cfg.protocol.initial_rho = 1.0;
   cfg.protocol.num_nack_target = 200;
@@ -30,9 +37,10 @@ int main() {
   cfg.protocol.adapt_num_nack = true;
   cfg.protocol.max_multicast_rounds = 2;
   cfg.protocol.deadline_rounds = 2;
-  cfg.messages = 40;
+  cfg.messages = cli.smoke ? 8 : 40;
   cfg.seed = point_seed(kBaseSeed, 0);
   const auto run = run_sweep_grid({cfg}).front();
+  json.add_seed(cfg.seed);
 
   Table t({"msg", "missed deadline", "numNACK", "unicast users",
            "USR packets", "total bw overhead"});
@@ -46,13 +54,20 @@ int main() {
                static_cast<long long>(m.usr_packets),
                m.total_bandwidth_overhead()});
   }
-  t.print(std::cout);
-  std::cout << "\nMean total bandwidth overhead (multicast + USR bytes): "
-            << run.mean_total_bandwidth_overhead()
-            << " (multicast-only h'/h: " << run.mean_bandwidth_overhead()
-            << ")\n";
-  std::cout << "\nShape check: misses collapse within the first few "
-               "messages as numNACK falls from 200; a few stragglers "
-               "remain and are unicast USR packets.\n";
-  return 0;
+  json.table(std::cout, t);
+
+  json.header(std::cout, "F21 (summary)",
+              "mean bandwidth overhead across the run",
+              "total = multicast + USR bytes; h'/h = multicast only");
+  Table summary({"total bw overhead", "multicast-only h'/h"});
+  summary.set_precision(4);
+  summary.add_row({run.mean_total_bandwidth_overhead(),
+                   run.mean_bandwidth_overhead()});
+  json.table(std::cout, summary);
+
+  json.note(std::cout,
+            "Shape check: misses collapse within the first few "
+            "messages as numNACK falls from 200; a few stragglers "
+            "remain and are unicast USR packets.");
+  return json.write();
 }

@@ -1,7 +1,13 @@
 #include "sweep.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 
+#include "common/ensure.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
@@ -55,6 +61,121 @@ std::string alpha_label(double alpha) {
   std::ostringstream os;
   os << "alpha=" << alpha * 100 << "%";
   return os.str();
+}
+
+BenchCli parse_bench_cli(int& argc, char** argv, bool allow_extra) {
+  BenchCli cli;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      cli.smoke = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a file argument\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      cli.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = std::string(arg.substr(7));
+    } else if (!allow_extra) {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\nusage: %s [--smoke] "
+                   "[--json <file>]\n",
+                   argv[0], argv[i], argv[0]);
+      std::exit(2);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return cli;
+}
+
+FigureJson::FigureJson(std::string figure_id, BenchCli cli)
+    : cli_(std::move(cli)), doc_(Json::object()) {
+  doc_.set("schema_version", 1);
+  doc_.set("figure", std::move(figure_id));
+  doc_.set("smoke", cli_.smoke);
+  doc_.set("sections", Json::array());
+  doc_.set("seeds", Json::array());
+  doc_.set("notes", Json::array());
+}
+
+void FigureJson::header(std::ostream& os, const std::string& id,
+                        const std::string& caption,
+                        const std::string& params) {
+  print_figure_header(os, id, caption, params);
+  Json section = Json::object();
+  section.set("id", id);
+  section.set("caption", caption);
+  section.set("params", params);
+  section.set("columns", Json::array());
+  section.set("rows", Json::array());
+  Json& sections = *doc_.find("sections");
+  sections.push_back(std::move(section));
+  has_section_ = true;
+}
+
+void FigureJson::table(std::ostream& os, const Table& t) {
+  t.print(os);
+  REKEY_ENSURE_MSG(has_section_,
+                   "FigureJson::table called before any header()");
+  Json& sections = *doc_.find("sections");
+  Json& section = sections.as_array().back();
+  Json columns = Json::array();
+  for (const std::string& h : t.headers()) columns.push_back(h);
+  section.set("columns", std::move(columns));
+  Json rows = Json::array();
+  for (const auto& row : t.rows()) {
+    Json cells = Json::array();
+    for (const Table::Cell& c : row) {
+      if (const auto* s = std::get_if<std::string>(&c)) {
+        cells.push_back(*s);
+      } else if (const auto* d = std::get_if<double>(&c)) {
+        cells.push_back(*d);
+      } else {
+        cells.push_back(static_cast<std::int64_t>(std::get<long long>(c)));
+      }
+    }
+    rows.push_back(std::move(cells));
+  }
+  section.set("rows", std::move(rows));
+}
+
+void FigureJson::note(std::ostream& os, const std::string& text) {
+  os << '\n' << text << '\n';
+  Json& notes = *doc_.find("notes");
+  notes.push_back(text);
+}
+
+void FigureJson::add_seed(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  Json& seeds = *doc_.find("seeds");
+  seeds.push_back(std::string(buf));
+}
+
+void FigureJson::add_seeds(const std::vector<SweepConfig>& points) {
+  for (const SweepConfig& p : points) add_seed(p.seed);
+}
+
+void FigureJson::set_field(const std::string& key, Json value) {
+  doc_.set(key, std::move(value));
+}
+
+int FigureJson::write() {
+  if (!enabled()) return 0;
+  std::ofstream out(cli_.json_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "error: cannot write JSON to " << cli_.json_path << '\n';
+    return 1;
+  }
+  doc_.dump_to(out, 1);
+  out << '\n';
+  return out.good() ? 0 : 1;
 }
 
 }  // namespace rekey::bench

@@ -19,9 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "common/table.h"
 #include "transport/metrics.h"
 #include "transport/session.h"
 #include "transport/workload.h"
@@ -67,5 +70,66 @@ std::vector<transport::RunMetrics> run_sweep_grid(
 inline const double kAlphas[] = {0.0, 0.2, 0.4, 1.0};
 
 std::string alpha_label(double alpha);
+
+// Command line shared by every bench binary:
+//   --json <file>   emit the figure as a schema-stable JSON document
+//                   alongside the ASCII tables (tools/bench_diff.py
+//                   compares such documents across runs)
+//   --smoke         shrink the sweep to a seconds-scale deterministic run
+//                   (used by the schema test and the CI regression gate)
+// Unknown arguments abort with a usage message. Consumed arguments are
+// removed from argv so benches that forward argv (google-benchmark) can
+// layer their own flags.
+struct BenchCli {
+  bool smoke = false;
+  std::string json_path;  // empty = ASCII only
+};
+// allow_extra keeps unrecognized arguments in argv (for benches that layer
+// another flag parser, e.g. google-benchmark); otherwise they abort.
+BenchCli parse_bench_cli(int& argc, char** argv, bool allow_extra = false);
+
+// Captures the figure output into a JSON document while printing the
+// usual ASCII tables. One section per figure banner:
+//
+//   {"schema_version":1, "figure":"F8", "smoke":false,
+//    "sections":[{"id":"F8 (left)","caption":...,"params":...,
+//                 "columns":[...], "rows":[[...],...]}],
+//    "seeds":["0x1p...", ...], "notes":[...]}
+//
+// Cell types survive (long long -> JSON int, double -> JSON float), which
+// is what lets bench_diff.py hold integer fields exact while giving float
+// fields a tolerance. Seeds are hex strings so 64-bit values round-trip.
+class FigureJson {
+ public:
+  FigureJson(std::string figure_id, BenchCli cli);
+
+  bool enabled() const { return !cli_.json_path.empty(); }
+  bool smoke() const { return cli_.smoke; }
+
+  // Prints the figure banner and opens a new JSON section.
+  void header(std::ostream& os, const std::string& id,
+              const std::string& caption, const std::string& params);
+  // Prints the table and captures it into the most recent section.
+  void table(std::ostream& os, const Table& t);
+  // Prints the shape-check line (with surrounding newlines, as the benches
+  // did by hand) and captures it under "notes".
+  void note(std::ostream& os, const std::string& text);
+
+  // Per-point provenance: the RNG seed of every sweep point, in run order.
+  void add_seed(std::uint64_t seed);
+  void add_seeds(const std::vector<SweepConfig>& points);
+
+  // Extra top-level document fields (axes, fixed parameters, ...).
+  void set_field(const std::string& key, Json value);
+
+  // Writes the document when --json was given; returns the bench's exit
+  // code (0, or 1 when the file cannot be written).
+  int write();
+
+ private:
+  BenchCli cli_;
+  Json doc_;
+  bool has_section_ = false;
+};
 
 }  // namespace rekey::bench

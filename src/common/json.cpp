@@ -1,0 +1,379 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rekey {
+
+namespace {
+
+// Shortest round-trip formatting; JSON has no Infinity/NaN, emit null.
+void dump_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, res.ptr - buf);
+  // Integer-valued doubles must not re-parse as integers: the bench-diff
+  // tooling keys exact-vs-tolerant comparison off the number's type.
+  const std::string_view written(buf, static_cast<std::size_t>(res.ptr - buf));
+  if (written.find_first_of(".eE") == std::string_view::npos) os << ".0";
+}
+
+}  // namespace
+
+void json_escape_to(std::ostream& os, std::string_view s) {
+  os.put('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os.put(c);  // UTF-8 passes through byte-wise
+        }
+    }
+  }
+  os.put('"');
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return std::get<double>(value_);
+}
+
+Json& Json::set(std::string key, Json value) {
+  Object& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(value));
+  return obj.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr)
+    throw std::logic_error("Json::at: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+Json& Json::push_back(Json value) {
+  Array& arr = std::get<Array>(value_);
+  arr.push_back(std::move(value));
+  return arr.back();
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    os.put('\n');
+    for (int i = 0; i < indent * d; ++i) os.put(' ');
+  };
+  if (is_null()) {
+    os << "null";
+  } else if (is_bool()) {
+    os << (as_bool() ? "true" : "false");
+  } else if (is_int()) {
+    os << as_int();
+  } else if (is_double()) {
+    dump_double(os, std::get<double>(value_));
+  } else if (is_string()) {
+    json_escape_to(os, as_string());
+  } else if (is_array()) {
+    const Array& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      os << "[]";
+      return;
+    }
+    os.put('[');
+    bool first = true;
+    for (const Json& v : arr) {
+      if (!first) os.put(',');
+      first = false;
+      newline_pad(depth + 1);
+      v.dump_impl(os, indent, depth + 1);
+    }
+    newline_pad(depth);
+    os.put(']');
+  } else {
+    const Object& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os.put('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) os.put(',');
+      first = false;
+      newline_pad(depth + 1);
+      json_escape_to(os, k);
+      os.put(':');
+      if (indent >= 0) os.put(' ');
+      v.dump_impl(os, indent, depth + 1);
+    }
+    newline_pad(depth);
+    os.put('}');
+  }
+}
+
+void Json::dump_to(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump_to(os, indent);
+  return os.str();
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse_document() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    // Depth guard: documents are machine-written and shallow; a deeply
+    // nested hostile input must not overflow the stack.
+    if (depth_ > 200) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == 'n') return consume_literal("null") ? std::optional(Json())
+                                                 : std::nullopt;
+    if (c == 't')
+      return consume_literal("true") ? std::optional(Json(true)) : std::nullopt;
+    if (c == 'f')
+      return consume_literal("false") ? std::optional(Json(false))
+                                      : std::nullopt;
+    if (c == '"') return parse_string();
+    if (c == '[') return parse_array();
+    if (c == '{') return parse_object();
+    return parse_number();
+  }
+
+  std::optional<Json> parse_string() {
+    auto s = parse_raw_string();
+    if (!s) return std::nullopt;
+    return Json(std::move(*s));
+  }
+
+  std::optional<std::string> parse_raw_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return std::nullopt;
+          }
+          // Encode the code point as UTF-8 (surrogate pairs unsupported;
+          // the emitters only escape control characters).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    bool is_float = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_float = true;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_float = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return std::nullopt;
+    if (!is_float) {
+      std::int64_t iv = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+        return Json(iv);
+      // Out-of-range integer literal: fall through to double.
+    }
+    double dv = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+      return std::nullopt;
+    return Json(dv);
+  }
+
+  std::optional<Json> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    ++depth_;
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) break;
+      if (!consume(',')) return std::nullopt;
+    }
+    --depth_;
+    return arr;
+  }
+
+  std::optional<Json> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    ++depth_;
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_raw_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) return std::nullopt;
+    }
+    --depth_;
+    return obj;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace rekey

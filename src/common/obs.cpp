@@ -1,0 +1,229 @@
+#include "common/obs.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rekey::obs {
+
+namespace {
+constexpr int kSubBuckets = 16;
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  // Bucket 0 holds zero, negatives, and denormal-small values; positive
+  // values map to 16 linear sub-buckets per binary order of magnitude.
+  if (!(v > 1e-12)) return 0;
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  // frexp exponents of doubles stay within [-1073, 1024].
+  return (exp + 1100) * kSubBuckets + sub + 1;
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[bucket_index(v)];
+  ++b.count;
+  b.sum += v;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank (1-based): the smallest bucket whose cumulative count
+  // reaches ceil(q * n).
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cum = 0;
+  for (const auto& [idx, b] : buckets_) {
+    cum += b.count;
+    if (cum >= target) {
+      const double rep = b.sum / static_cast<double>(b.count);
+      if (rep < min_) return min_;
+      if (rep > max_) return max_;
+      return rep;
+    }
+  }
+  return max_;
+}
+
+Json Histogram::to_json() const {
+  Json out = Json::object();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.set("count", static_cast<std::int64_t>(count_));
+    out.set("sum", sum_);
+    out.set("min", min_);
+    out.set("max", max_);
+  }
+  out.set("p50", percentile(0.50));
+  out.set("p90", percentile(0.90));
+  out.set("p99", percentile(0.99));
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_)
+    counters.set(name, static_cast<std::int64_t>(c->value()));
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) histograms.set(name, h->to_json());
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+namespace {
+
+// The sink behind Trace: a mutex-guarded append stream plus the sequence
+// counter. Opened from REKEY_TRACE on first touch of this translation
+// unit's statics, or explicitly via Trace::open.
+struct TraceSink {
+  std::mutex mu;
+  std::ofstream out;
+  std::uint64_t seq = 0;
+
+  TraceSink() {
+    if (const char* path = std::getenv("REKEY_TRACE");
+        path != nullptr && *path != '\0') {
+      out.open(path, std::ios::out | std::ios::app);
+      if (out.is_open())
+        detail::g_trace_on.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+TraceSink& sink() {
+  static TraceSink s;
+  return s;
+}
+
+// Force env evaluation at static-initialization time so trace_enabled()
+// is accurate before the first emit.
+[[maybe_unused]] const bool g_sink_initialized = (sink(), true);
+
+}  // namespace
+
+void Trace::open(const std::string& path) {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.out.is_open()) s.out.close();
+  s.out.open(path, std::ios::out | std::ios::trunc);
+  detail::g_trace_on.store(s.out.is_open(), std::memory_order_relaxed);
+}
+
+void Trace::close() {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  if (s.out.is_open()) s.out.close();
+}
+
+void Trace::emit(
+    std::string_view event,
+    std::initializer_list<std::pair<std::string_view, Json>> fields) {
+  if (!trace_enabled()) return;
+  // Serialize outside the lock; only the write and seq stamp are guarded.
+  std::ostringstream line;
+  line << "{\"ev\":";
+  json_escape_to(line, event);
+  for (const auto& [key, value] : fields) {
+    line << ',';
+    json_escape_to(line, key);
+    line << ':';
+    value.dump_to(line);
+  }
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.out.is_open()) return;  // closed between the check and the lock
+  s.out << line.str() << ",\"seq\":" << s.seq++ << "}\n";
+  s.out.flush();
+}
+
+}  // namespace rekey::obs

@@ -1,0 +1,131 @@
+// Observability: a process-wide metrics registry and an env-gated
+// structured event trace.
+//
+// Metrics registry — named counters, gauges, and histograms. Counters and
+// gauges are lock-free atomics; histograms use log-linear buckets (16
+// linear sub-buckets per power of two, ~3% relative resolution) with a
+// per-bucket running sum, so percentile() returns the mean of the bucket
+// the rank falls into — exact when all samples in the bucket coincide and
+// within bucket resolution otherwise. Instrument handles returned by the
+// registry stay valid for the registry's lifetime; all operations are
+// thread-safe (sweep points run on a work-stealing pool).
+//
+// Event trace — `REKEY_TRACE=path` (or Trace::open in tests) turns on a
+// JSON-lines sink; transport hooks emit one object per event: per-round
+// NACK/parity/recovery tallies, AdjustRho decisions, unicast waves, eager
+// message summaries. When the sink is off, trace_enabled() is a single
+// relaxed atomic load and callers skip building the event entirely, so the
+// simulation hot path pays nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/json.h"
+
+namespace rekey::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  void observe(double v);
+
+  std::size_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+  // q in [0,1]; nearest-rank over the buckets, clamped to [min, max].
+  double percentile(double q) const;
+
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}
+  Json to_json() const;
+
+ private:
+  struct Bucket {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  static int bucket_index(double v);
+
+  mutable std::mutex mu_;
+  std::map<int, Bucket> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by the instrumentation hooks.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Snapshot: {"counters":{...},"gauges":{...},"histograms":{...}} with
+  // names in lexicographic order.
+  Json to_json() const;
+
+  // Drops every instrument (handles become dangling — test use only).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+}  // namespace detail
+
+// True iff a trace sink is open. Callers must test this before building
+// event fields — that is what makes the disabled path free.
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+class Trace {
+ public:
+  // Opens the sink explicitly (tests; overrides any previous sink).
+  static void open(const std::string& path);
+  // Flushes and disables the sink.
+  static void close();
+
+  // Appends one JSON line {"ev":event,"seq":n,...fields}. A process-wide
+  // sequence number stamps each line so interleaved emissions from
+  // parallel sweep points stay attributable and ordered.
+  static void emit(
+      std::string_view event,
+      std::initializer_list<std::pair<std::string_view, Json>> fields);
+};
+
+}  // namespace rekey::obs

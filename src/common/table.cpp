@@ -15,27 +15,33 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
 
 void Table::add_row(std::vector<Cell> cells) {
   REKEY_ENSURE(cells.size() == headers_.size());
-  std::vector<std::string> row;
-  row.reserve(cells.size());
-  for (const auto& c : cells) {
-    if (const auto* s = std::get_if<std::string>(&c)) {
-      row.push_back(*s);
-    } else if (const auto* d = std::get_if<double>(&c)) {
-      std::ostringstream os;
-      os << std::fixed << std::setprecision(precision_) << *d;
-      row.push_back(os.str());
-    } else {
-      row.push_back(std::to_string(std::get<long long>(c)));
-    }
-  }
-  rows_.push_back(std::move(row));
+  rows_.push_back(std::move(cells));
 }
 
 void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& cells : rows_) {
+    std::vector<std::string> row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) {
+      if (const auto* s = std::get_if<std::string>(&c)) {
+        row.push_back(*s);
+      } else if (const auto* d = std::get_if<double>(&c)) {
+        std::ostringstream fmt;
+        fmt << std::fixed << std::setprecision(precision_) << *d;
+        row.push_back(fmt.str());
+      } else {
+        row.push_back(std::to_string(std::get<long long>(c)));
+      }
+    }
+    formatted.push_back(std::move(row));
+  }
+
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t i = 0; i < headers_.size(); ++i)
     widths[i] = headers_[i].size();
-  for (const auto& row : rows_)
+  for (const auto& row : formatted)
     for (std::size_t i = 0; i < row.size(); ++i)
       widths[i] = std::max(widths[i], row[i].size());
 
@@ -53,7 +59,7 @@ void Table::print(std::ostream& os) const {
     rule += std::string(widths[i], '-');
   }
   os << rule << '\n';
-  for (const auto& row : rows_) line(row);
+  for (const auto& row : formatted) line(row);
 }
 
 void print_figure_header(std::ostream& os, const std::string& id,

@@ -2,7 +2,9 @@
 //
 // Every bench binary regenerates one figure of the paper; these helpers
 // print the same rows/series the paper plots, in aligned columns that are
-// easy to diff and to feed to a plotting script.
+// easy to diff and to feed to a plotting script. Cells keep their types
+// (string / double / integer) until printed, so the JSON bench emitter can
+// export the same table with faithful value types.
 #pragma once
 
 #include <iosfwd>
@@ -24,9 +26,12 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> rows_;
   int precision_ = 3;
 };
 

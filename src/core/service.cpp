@@ -115,6 +115,10 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
     }
 
     transport::RekeySession session(*topology, config_.protocol, rho_);
+    // The topology's loss processes live across intervals; resume the
+    // transport clock so this session's queries stay monotone (starting at
+    // zero again would rewind the shared Gilbert chains).
+    session.resume_clock_at(transport_clock_ms_);
     auto metrics = session.run_message(
         payload, std::move(assignment), old_ids,
         [&](std::size_t u, const transport::UserTransport& state) {
@@ -126,6 +130,7 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
             encs.push_back(packet::to_tree_encryption(e, config_.degree));
           member(m).apply_rekey(payload.msg_id, payload.max_kid, encs);
         });
+    transport_clock_ms_ = session.clock_ms();
     report.transport = std::move(metrics);
   }
 

@@ -98,6 +98,10 @@ class GroupKeyService {
   std::vector<tree::MemberId> pending_joins_;
   std::vector<tree::MemberId> pending_leaves_;
   std::map<tree::MemberId, GroupMember> members_;
+  // Transport sim time consumed so far: each interval's session resumes
+  // here so the caller's persistent topology is queried monotonically.
+  // Transient sim state — deliberately not part of snapshot().
+  double transport_clock_ms_ = 0.0;
   transport::RhoController rho_;
 };
 

@@ -35,8 +35,12 @@ enum class PacketType : std::uint8_t { Enc = 0, Parity = 1, Usr = 2, Nack = 3 };
 
 constexpr std::size_t kDefaultPacketSize = 1027;  // the paper's ENC size
 constexpr std::size_t kEncHeaderSize = 10;
+constexpr std::size_t kUsrHeaderSize = 5;  // type/msg byte + new_id + max_kid
 constexpr std::size_t kEntrySize = 22;  // 4 id + 16 ciphertext + 2 tag
 constexpr std::size_t kFecOffset = 4;   // FEC covers maxKID onward
+// Per-datagram UDP + IPv4 header bytes added to every wire size that feeds
+// bandwidth accounting.
+constexpr std::size_t kUdpIpOverheadBytes = 28;
 
 // Max encryptions per ENC packet of a given size (46 for 1027 bytes).
 constexpr std::size_t max_entries(std::size_t packet_size) {

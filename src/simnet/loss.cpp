@@ -26,6 +26,10 @@ void GilbertLoss::advance_to(double t_ms) {
 }
 
 bool GilbertLoss::lost(double t_ms) {
+  REKEY_ENSURE_MSG(!queried_ || t_ms >= last_query_ms_,
+                   "GilbertLoss queried at a backwards time");
+  last_query_ms_ = t_ms;
+  queried_ = true;
   if (p_ <= 0.0) return false;
   if (p_ >= 1.0) return true;
   advance_to(t_ms);

@@ -42,6 +42,9 @@ class GilbertLoss final : public LossProcess {
   // paper). p == 0 or p == 1 degenerate to always-ok / always-lost.
   GilbertLoss(double p, Rng rng, double cycle_ms = 100.0);
 
+  // Enforces the class contract: query times must be weakly increasing.
+  // A backwards query would silently freeze the chain's state (advance_to
+  // cannot rewind), mis-correlating losses — throwing is strictly better.
   bool lost(double t_ms) override;
   double loss_rate() const override { return p_; }
 
@@ -54,6 +57,8 @@ class GilbertLoss final : public LossProcess {
   Rng rng_;
   bool in_loss_ = false;
   double next_transition_ms_ = 0.0;
+  double last_query_ms_ = 0.0;
+  bool queried_ = false;
 };
 
 // Factory matching the experiment configuration.

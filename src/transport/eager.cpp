@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.h"
+#include "common/obs.h"
 
 namespace rekey::transport {
 
@@ -104,12 +105,16 @@ EagerMetrics EagerSession::run_message(const tree::RekeyPayload& payload,
     REKEY_ENSURE(!entries.empty());
     eu.nack_outstanding = true;
     REKEY_ENSURE_MSG(++eu.nacks_sent <= 200, "eager NACK storm");
-    // NACK traverses user uplink then source uplink.
+    // NACK traverses user uplink then source uplink. The user's own uplink
+    // is a per-user process, so drawing it here (for its arrival time tn)
+    // stays monotone; the *shared* source uplink is drawn at the NACK's
+    // arrival event, where loop time is globally monotone — drawing it
+    // here, at t + 2*delay(u), would interleave backwards queries across
+    // users with different delays and freeze the Gilbert chain.
     const double tn = t + topology_.delay_ms(u);
-    const bool lost = topology_.user_uplink_lost(u, tn) ||
-                      topology_.source_uplink_lost(tn + topology_.delay_ms(u));
-    if (!lost) {
+    if (!topology_.user_uplink_lost(u, tn)) {
       loop.schedule_at(tn + topology_.delay_ms(u), [&, u, entries] {
+        if (topology_.source_uplink_lost(loop.now())) return;
         ++m.nacks_received;
         // Dedup against the in-flight ledger: shards beyond what the user
         // saw, sent within the flight window (or still queued), may yet
@@ -193,6 +198,16 @@ EagerMetrics EagerSession::run_message(const tree::RekeyPayload& payload,
   }
   m.mean_latency_ms = n_users ? total / static_cast<double>(n_users) : 0.0;
   clock_ms_ = std::max(loop.now(), next_send) + flight_window;
+  if (obs::trace_enabled())
+    obs::Trace::emit(
+        "eager_message",
+        {{"users", static_cast<std::int64_t>(n_users)},
+         {"multicast_sent", static_cast<std::int64_t>(m.multicast_sent)},
+         {"nacks_received", static_cast<std::int64_t>(m.nacks_received)},
+         {"first_pass_recoveries",
+          static_cast<std::int64_t>(m.first_pass_recoveries)},
+         {"mean_latency_ms", m.mean_latency_ms},
+         {"max_latency_ms", m.max_latency_ms}});
   return m;
 }
 

@@ -23,8 +23,18 @@ double MessageMetrics::mean_user_rounds() const {
   double total = 0.0;
   for (const auto& [round, count] : recovered_in_round)
     total += static_cast<double>(round) * static_cast<double>(count);
-  total += static_cast<double>(multicast_rounds + 1) *
-           static_cast<double>(unicast_users);
+  // Unicast recoveries are charged the wave they actually took
+  // (multicast_rounds + w). Metrics built without per-wave detail fall
+  // back to wave 1 for any unattributed unicast users.
+  std::size_t attributed = 0;
+  for (const auto& [wave, count] : unicast_recovered_in_wave) {
+    total += static_cast<double>(multicast_rounds + wave) *
+             static_cast<double>(count);
+    attributed += count;
+  }
+  if (unicast_users > attributed)
+    total += static_cast<double>(multicast_rounds + 1) *
+             static_cast<double>(unicast_users - attributed);
   return total / static_cast<double>(users);
 }
 
@@ -32,7 +42,12 @@ int MessageMetrics::rounds_to_all() const {
   int last = 1;
   for (const auto& [round, count] : recovered_in_round)
     if (count > 0) last = std::max(last, round);
-  if (unicast_users > 0) last = std::max(last, multicast_rounds + 1);
+  std::size_t attributed = 0;
+  for (const auto& [wave, count] : unicast_recovered_in_wave) {
+    if (count > 0) last = std::max(last, multicast_rounds + wave);
+    attributed += count;
+  }
+  if (unicast_users > attributed) last = std::max(last, multicast_rounds + 1);
   return last;
 }
 
@@ -80,9 +95,15 @@ std::map<int, double> RunMetrics::round_distribution() const {
       counts[round] += count;
       total += count;
     }
-    if (m.unicast_users > 0) {
-      counts[m.multicast_rounds + 1] += m.unicast_users;
-      total += m.unicast_users;
+    std::size_t attributed = 0;
+    for (const auto& [wave, count] : m.unicast_recovered_in_wave) {
+      counts[m.multicast_rounds + wave] += count;
+      total += count;
+      attributed += count;
+    }
+    if (m.unicast_users > attributed) {
+      counts[m.multicast_rounds + 1] += m.unicast_users - attributed;
+      total += m.unicast_users - attributed;
     }
   }
   std::map<int, double> out;

@@ -25,6 +25,11 @@ struct MessageMetrics {
   // users recovering in multicast round r (1-based).
   std::map<int, std::size_t> recovered_in_round;
   std::size_t unicast_users = 0;
+  // users recovering in unicast wave w (1-based): wave w costs
+  // multicast_rounds + w rounds, so stragglers that needed several
+  // escalation waves are no longer flattened into the "+1" bucket.
+  std::map<int, std::size_t> unicast_recovered_in_wave;
+  std::size_t unicast_waves = 0;  // waves the unicast phase executed
   std::size_t usr_packets = 0;
   std::size_t usr_bytes = 0;        // USR wire bytes incl. UDP/IP overhead
   std::size_t packet_size = 0;      // multicast packet size (for weighting)
@@ -36,8 +41,9 @@ struct MessageMetrics {
   // h'/h including the unicast phase: USR bytes are byte-weighted into
   // ENC-packet equivalents, so unicast-heavy policies are not undercounted.
   double total_bandwidth_overhead() const;
-  // Mean multicast rounds needed by a user (unicast recoveries count as
-  // multicast_rounds + 1, the paper's "needs more rounds" bucket).
+  // Mean multicast rounds needed by a user; a unicast recovery in wave w
+  // counts as multicast_rounds + w (the wave it actually took, not the
+  // paper's flat "needs more rounds" bucket).
   double mean_user_rounds() const;
   // Rounds until every user recovered (multicast-only runs).
   int rounds_to_all() const;
@@ -55,7 +61,7 @@ struct RunMetrics {
   double mean_rounds_to_all() const;
   double mean_user_rounds() const;
   // Fraction of users (over all messages) recovering in round r exactly;
-  // r = multicast_rounds+1 bucket holds unicast recoveries.
+  // a unicast wave-w recovery lands in the r = multicast_rounds + w bucket.
   std::map<int, double> round_distribution() const;
   std::size_t total_deadline_misses() const;
 

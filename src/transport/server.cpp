@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/ensure.h"
+#include "common/obs.h"
 
 namespace rekey::transport {
 
@@ -34,6 +35,7 @@ double RhoController::rho() const {
 
 void RhoController::on_round1_feedback(std::vector<std::uint8_t> A) {
   const int n = static_cast<int>(A.size());
+  const double rho_before = rho();
   if (n > num_nack_) {
     // More NACKs than targeted: raise rho so that the (numNACK+1)-th
     // neediest user of this round would have been satisfied proactively.
@@ -50,6 +52,11 @@ void RhoController::on_round1_feedback(std::vector<std::uint8_t> A) {
     if (rng_.next_bool(prob))
       proactive_parities_ = std::max(0, proactive_parities_ - 1);
   }
+  if (obs::trace_enabled())
+    obs::Trace::emit("adjust_rho", {{"nacks", n},
+                                    {"num_nack_target", num_nack_},
+                                    {"rho_before", rho_before},
+                                    {"rho_after", rho()}});
 }
 
 void RhoController::on_deadline_report(std::size_t misses) {
@@ -134,10 +141,20 @@ std::vector<Bytes> ServerTransport::round_packets(int round) {
     for (int p = 0; p < proactive_parities_; ++p)
       for (std::size_t b = 0; b < nb; ++b)
         out.push_back(make_parity(b, next_parity_[b]++));
+    if (obs::trace_enabled())
+      obs::Trace::emit(
+          "server_round",
+          {{"msg", static_cast<int>(msg_id_)},
+           {"round", round},
+           {"enc_slots", static_cast<std::int64_t>(order.size())},
+           {"parities",
+            static_cast<std::int64_t>(out.size() - order.size())},
+           {"amax_total", 0}});
     return out;
   }
 
   // Reactive round: amax[b] fresh parities per block.
+  const std::size_t amax_total = pending_parities();
   int max_amax = 0;
   for (std::size_t b = 0; b < nb; ++b)
     max_amax = std::max(max_amax, static_cast<int>(amax_[b]));
@@ -151,6 +168,13 @@ std::vector<Bytes> ServerTransport::round_packets(int round) {
     }
   }
   std::fill(amax_.begin(), amax_.end(), 0);
+  if (obs::trace_enabled())
+    obs::Trace::emit("server_round",
+                     {{"msg", static_cast<int>(msg_id_)},
+                      {"round", round},
+                      {"enc_slots", 0},
+                      {"parities", static_cast<std::int64_t>(out.size())},
+                      {"amax_total", static_cast<std::int64_t>(amax_total)}});
   return out;
 }
 
@@ -191,6 +215,14 @@ Bytes ServerTransport::fresh_parity(std::size_t block) {
 std::size_t ServerTransport::shards_scheduled(std::size_t block) const {
   REKEY_ENSURE(block < partition_.num_blocks());
   return config_.block_size + static_cast<std::size_t>(next_parity_[block]);
+}
+
+std::size_t ServerTransport::usr_wire_bytes(std::uint16_t new_id) const {
+  const auto it = payload_.user_needs.find(new_id);
+  const std::size_t needs =
+      it == payload_.user_needs.end() ? 0 : it->second.size();
+  return packet::kUsrHeaderSize + packet::kEntrySize * needs +
+         packet::kUdpIpOverheadBytes;
 }
 
 packet::UsrPacket ServerTransport::usr_for(std::uint16_t new_id) const {

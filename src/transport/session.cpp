@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.h"
+#include "common/obs.h"
 
 namespace rekey::transport {
 
@@ -90,12 +91,27 @@ MessageMetrics RekeySession::run_message(
 
     // Round end: users that did not get their specific packet try to
     // decode; the rest NACK. NACKs traverse user uplink + source uplink.
+    // Decode first (pure receiver work), then run the uplink loss draws in
+    // NACK arrival order: the shared source uplink is queried at
+    // t + 2*delay(u), and with heterogeneous delays index order would hand
+    // the Gilbert process non-monotone times, silently freezing its state
+    // and mis-correlating NACK losses across users.
     std::size_t nacks_received = 0;
+    std::vector<std::size_t> round_nackers;
     for (const std::size_t u : active) {
       if (users[u].recovered()) continue;
       auto entries = users[u].end_of_round(round);
       if (users[u].recovered()) continue;  // decoded at round end
       last_nacks[u] = std::move(entries);  // kept even when the NACK is lost
+      round_nackers.push_back(u);
+    }
+    std::sort(round_nackers.begin(), round_nackers.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double da = topology_.delay_ms(a);
+                const double db = topology_.delay_ms(b);
+                return da != db ? da < db : a < b;
+              });
+    for (const std::size_t u : round_nackers) {
       const double tn = t + topology_.delay_ms(u);
       if (topology_.user_uplink_lost(u, tn)) continue;
       if (topology_.source_uplink_lost(tn + topology_.delay_ms(u))) continue;
@@ -124,6 +140,17 @@ MessageMetrics RekeySession::run_message(
     std::erase_if(active,
                   [&](std::size_t u) { return users[u].recovered(); });
     m.multicast_rounds = round;
+    if (obs::trace_enabled())
+      obs::Trace::emit(
+          "round", {{"msg", static_cast<int>(msg_id)},
+                    {"round", round},
+                    {"sent", static_cast<std::int64_t>(wires.size())},
+                    {"nackers", static_cast<std::int64_t>(round_nackers.size())},
+                    {"nacks_received", static_cast<std::int64_t>(nacks_received)},
+                    {"recovered", static_cast<std::int64_t>(recovered_now)},
+                    {"unrecovered", static_cast<std::int64_t>(active.size())},
+                    {"rho", m.rho_used},
+                    {"t_ms", t}});
     t += topology_.max_rtt_ms() + config_.round_slack_ms;
 
     if (active.empty()) break;
@@ -139,10 +166,10 @@ MessageMetrics RekeySession::run_message(
       for (const std::size_t u : server.straggler_set()) {
         const auto new_id = tree::derive_new_user_id(
             old_ids[u], payload.max_kid, payload.degree);
-        const auto it = payload.user_needs.find(new_id.value());
-        const std::size_t needs =
-            it == payload.user_needs.end() ? 0 : it->second.size();
-        usr_bytes += 5 + packet::kEntrySize * needs + 28;  // + UDP/IP
+        // Same helper the unicast phase's bandwidth accounting uses, so
+        // the switch condition and the F21/AB5 byte counts cannot drift.
+        usr_bytes += server.usr_wire_bytes(
+            static_cast<std::uint16_t>(new_id.value()));
       }
       const std::size_t parity_bytes =
           server.pending_parities() * config_.packet_size;
@@ -164,6 +191,17 @@ MessageMetrics RekeySession::run_message(
     int waves = 0;
     while (!stragglers.empty()) {
       REKEY_ENSURE_MSG(++waves <= 10000, "unicast did not converge");
+      // Serve each wave in receiver-delay order: the wake-up NACK path
+      // queries the shared source uplink at ts + 2*delay(u), and with ts
+      // only creeping forward within a wave, delay order is what keeps
+      // those query times monotone.
+      std::sort(stragglers.begin(), stragglers.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double da = topology_.delay_ms(a);
+                  const double db = topology_.delay_ms(b);
+                  return da != db ? da < db : a < b;
+                });
+      const std::size_t wave_stragglers = stragglers.size();
       std::vector<std::size_t> still;
       double ts = t;
       for (const std::size_t u : stragglers) {
@@ -188,12 +226,12 @@ MessageMetrics RekeySession::run_message(
                 .value());
         const packet::UsrPacket usr = server.usr_for(new_id);
         // USR wire bytes count toward server bandwidth (F21/AB5 would
-        // otherwise understate unicast-heavy policies); + UDP/IP.
-        const std::size_t usr_wire_bytes = usr.serialize().size() + 28;
+        // otherwise understate unicast-heavy policies).
+        const std::size_t usr_wire = server.usr_wire_bytes(new_id);
         bool got = false;
         for (int i = 0; i < dups[u]; ++i) {
           ++m.usr_packets;
-          m.usr_bytes += usr_wire_bytes;
+          m.usr_bytes += usr_wire;
           const double tsend = ts + 0.1 * i;
           if (!topology_.source_lost(tsend) &&
               !topology_.user_lost(u, tsend + topology_.delay_ms(u)))
@@ -202,6 +240,9 @@ MessageMetrics RekeySession::run_message(
         if (got) {
           users[u].on_usr(usr);
           REKEY_ENSURE(users[u].recovered());
+          // The wave this user actually recovered in: F21/AB5 latency
+          // accounting charges multicast_rounds + wave, not a flat +1.
+          ++m.unicast_recovered_in_wave[waves];
           notify(u);
         } else {
           ++dups[u];
@@ -209,9 +250,20 @@ MessageMetrics RekeySession::run_message(
         }
         ts += 0.1 * dups[u];
       }
+      if (obs::trace_enabled())
+        obs::Trace::emit(
+            "unicast_wave",
+            {{"msg", static_cast<int>(msg_id)},
+             {"wave", waves},
+             {"stragglers", static_cast<std::int64_t>(wave_stragglers)},
+             {"recovered",
+              static_cast<std::int64_t>(wave_stragglers - still.size())},
+             {"wakeup_nacks", static_cast<std::int64_t>(m.wakeup_nacks)},
+             {"t_ms", t}});
       stragglers.swap(still);
       t = ts + topology_.max_rtt_ms() + config_.round_slack_ms;
     }
+    m.unicast_waves = static_cast<std::size_t>(waves);
   }
 
   // Deadline accounting: a user meets the deadline iff it recovered in a
@@ -227,6 +279,23 @@ MessageMetrics RekeySession::run_message(
 
   m.duration_ms = t - start_ms;
   clock_ms_ = t + config_.round_slack_ms;
+  if (obs::trace_enabled())
+    obs::Trace::emit(
+        "message",
+        {{"msg", static_cast<int>(msg_id)},
+         {"users", static_cast<std::int64_t>(n_users)},
+         {"rounds", m.multicast_rounds},
+         {"rho", m.rho_used},
+         {"num_nack_target", m.num_nack_target},
+         {"round1_nacks", static_cast<std::int64_t>(m.round1_nacks)},
+         {"total_nacks", static_cast<std::int64_t>(m.total_nacks)},
+         {"multicast_sent", static_cast<std::int64_t>(m.multicast_sent)},
+         {"unicast_users", static_cast<std::int64_t>(m.unicast_users)},
+         {"unicast_waves", static_cast<std::int64_t>(m.unicast_waves)},
+         {"usr_packets", static_cast<std::int64_t>(m.usr_packets)},
+         {"usr_bytes", static_cast<std::int64_t>(m.usr_bytes)},
+         {"deadline_misses", static_cast<std::int64_t>(m.deadline_misses)},
+         {"duration_ms", m.duration_ms}});
   return m;
 }
 

@@ -38,6 +38,13 @@ class RekeySession {
                              std::span<const std::uint16_t> old_ids,
                              const RecoveredFn& on_recovered = {});
 
+  // The session clock advances monotonically across messages so the
+  // topology's loss processes are never queried backwards. A caller that
+  // builds a fresh session over a topology that has already been driven
+  // must resume from where the previous session left off.
+  double clock_ms() const { return clock_ms_; }
+  void resume_clock_at(double t_ms) { clock_ms_ = t_ms; }
+
  private:
   simnet::Topology& topology_;
   const ProtocolConfig& config_;

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two bench --json documents.
+
+Integer fields (and booleans/strings) must match exactly; floating-point
+fields match within a relative/absolute tolerance. The emitter keeps the
+two number kinds distinct on the wire (integer-valued doubles serialize
+with a trailing ".0"), so the comparison mode is decided by the JSON type
+alone — no schema knowledge needed.
+
+Exit status: 0 when the documents match, 1 on any difference, 2 on usage
+or I/O errors.
+
+Usage:
+  bench_diff.py golden.json candidate.json [--rtol R] [--atol A]
+                [--ignore KEY ...]
+
+--ignore drops a top-level key from both documents before comparing
+(e.g. --ignore notes, or --ignore sections for a metadata-only check).
+Timing figures such as A4 should be compared with a wide --rtol or not
+golden-diffed at all.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def diff(a, b, rtol, atol, path, out):
+    """Appends human-readable difference records to `out`."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        # bool is an int subclass; compare identity-of-type first.
+        if type(a) is not type(b) or a != b:
+            out.append(f"{path}: {a!r} != {b!r}")
+        return
+    if isinstance(a, float) and isinstance(b, float):
+        if not math.isclose(a, b, rel_tol=rtol, abs_tol=atol):
+            out.append(f"{path}: float {a!r} != {b!r} (rtol={rtol}, atol={atol})")
+        return
+    if type(a) is not type(b):
+        out.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+        return
+    if isinstance(a, dict):
+        for k in a.keys() | b.keys():
+            if k not in a:
+                out.append(f"{path}.{k}: missing in golden")
+            elif k not in b:
+                out.append(f"{path}.{k}: missing in candidate")
+            else:
+                diff(a[k], b[k], rtol, atol, f"{path}.{k}", out)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(x, y, rtol, atol, f"{path}[{i}]", out)
+        return
+    # int / str / None: exact.
+    if a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("golden")
+    ap.add_argument("candidate")
+    ap.add_argument("--rtol", type=float, default=1e-6,
+                    help="relative tolerance for float fields (default 1e-6)")
+    ap.add_argument("--atol", type=float, default=1e-12,
+                    help="absolute tolerance for float fields (default 1e-12)")
+    ap.add_argument("--ignore", action="append", default=[], metavar="KEY",
+                    help="top-level key to drop from both documents")
+    ap.add_argument("--max-report", type=int, default=20,
+                    help="differences to print before truncating")
+    args = ap.parse_args()
+
+    golden = load(args.golden)
+    candidate = load(args.candidate)
+    for key in args.ignore:
+        golden.pop(key, None)
+        candidate.pop(key, None)
+
+    differences = []
+    diff(golden, candidate, args.rtol, args.atol, "$", differences)
+    if differences:
+        figure = golden.get("figure", "?")
+        print(f"bench_diff: {len(differences)} difference(s) in figure "
+              f"{figure} ({args.golden} vs {args.candidate}):")
+        for d in differences[:args.max_report]:
+            print(f"  {d}")
+        if len(differences) > args.max_report:
+            print(f"  ... and {len(differences) - args.max_report} more")
+        return 1
+    print(f"bench_diff: {args.candidate} matches {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
