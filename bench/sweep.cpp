@@ -22,6 +22,8 @@ transport::RunMetrics run_sweep(const SweepConfig& config) {
   tc.p_source = config.p_source;
   tc.burst_loss = config.burst_loss;
   simnet::Topology topology(tc, config.seed ^ 0x70504F);
+  if (config.faults.active())
+    topology.install_faults(config.faults, config.seed ^ 0x464C54);
 
   transport::RhoController rho(config.protocol, config.seed ^ 0x52484F);
   transport::RekeySession session(topology, config.protocol, rho);

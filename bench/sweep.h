@@ -45,6 +45,12 @@ struct SweepConfig {
   double p_source = 0.01;
   bool burst_loss = true;
 
+  // Degraded-network scenario; an inactive plan (the default) leaves the
+  // transport on its exact fault-free path, so existing benches and their
+  // goldens are unaffected. The injector seed is derived from `seed`, so a
+  // chaos point replays bit-identically from (faults, seed) alone.
+  simnet::FaultPlan faults;
+
   int messages = 10;
   std::uint64_t seed = 1;
 };

@@ -24,13 +24,20 @@ EncEntry get_entry(ByteReader& r, std::uint32_t enc_id) {
   return e;
 }
 
-// Reads <encryption, id> entries until zero padding or end of buffer.
-std::vector<EncEntry> get_entries(ByteReader& r) {
+// Reads <encryption, id> entries until zero padding or end of buffer,
+// strict about the tail: once the entry loop stops, every remaining byte
+// must be zero padding. A nonzero partial tail means the datagram was
+// truncated mid-entry or carries trailing garbage — damaged input that
+// must be rejected (nullopt), not silently dropped on the floor.
+std::optional<std::vector<EncEntry>> get_entries(ByteReader& r) {
   std::vector<EncEntry> out;
   while (r.remaining() >= kEntrySize) {
     const std::uint32_t id = r.get_u32();
-    if (id == 0) break;  // padding
+    if (id == 0) break;  // padding terminator
     out.push_back(get_entry(r, id));
+  }
+  while (r.remaining() > 0) {
+    if (r.get_u8() != 0) return std::nullopt;
   }
   return out;
 }
@@ -85,7 +92,9 @@ std::optional<EncPacket> EncPacket::parse(const Bytes& wire) {
   p.max_kid = r.get_u16();
   p.frm_id = r.get_u16();
   p.to_id = r.get_u16();
-  p.entries = get_entries(r);
+  auto entries = get_entries(r);
+  if (!entries) return std::nullopt;  // truncated or damaged entry region
+  p.entries = std::move(*entries);
   return p;
 }
 
@@ -133,7 +142,9 @@ std::optional<UsrPacket> UsrPacket::parse(const Bytes& wire) {
   p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
   p.new_user_id = r.get_u16();
   p.max_kid = r.get_u16();
-  p.entries = get_entries(r);
+  auto entries = get_entries(r);
+  if (!entries) return std::nullopt;  // truncated or damaged entry region
+  p.entries = std::move(*entries);
   return p;
 }
 
@@ -164,12 +175,26 @@ std::optional<NackPacket> NackPacket::parse(const Bytes& wire) {
     e.max_shard_seen = r.get_u8();
     p.entries.push_back(e);
   }
+  // NACKs carry no padding, so a partial trailing entry means truncation.
+  if (r.remaining() != 0) return std::nullopt;
   return p;
 }
 
 std::optional<PacketType> peek_type(const Bytes& wire) {
   if (wire.empty()) return std::nullopt;
   return static_cast<PacketType>(wire[0] >> 6);
+}
+
+std::uint16_t udp_checksum(const Bytes& wire) {
+  // Ones'-complement sum of big-endian 16-bit words, odd byte zero-padded,
+  // carries folded back in; complemented like RFC 768/1071.
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < wire.size(); i += 2)
+    sum += static_cast<std::uint32_t>(wire[i]) << 8 | wire[i + 1];
+  if (i < wire.size()) sum += static_cast<std::uint32_t>(wire[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
 }
 
 std::optional<EncHeader> parse_enc_header(const Bytes& wire) {

@@ -116,6 +116,13 @@ struct NackPacket {
 // Inspect the 2-bit type tag of any serialized packet.
 std::optional<PacketType> peek_type(const Bytes& wire);
 
+// RFC-768-style 16-bit ones'-complement checksum over the wire bytes: the
+// UDP checksum already charged in kUdpIpOverheadBytes, made explicit. The
+// fault-injected delivery path verifies it so a bit-corrupted copy is
+// dropped like a real UDP datagram — counted as corruption, not loss —
+// instead of reaching the structural parsers.
+std::uint16_t udp_checksum(const Bytes& wire);
+
 // Header-only views: the receive path classifies hundreds of packets per
 // round and only fully parses the few it actually consumes, so these avoid
 // copying entry lists / parity payloads.

@@ -1,0 +1,131 @@
+#include "simnet/fault.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/obs.h"
+
+namespace rekey::simnet {
+
+bool FaultPlan::active() const {
+  return duplicate_prob > 0.0 || reorder_prob > 0.0 || corrupt_prob > 0.0 ||
+         nack_storm_prob > 0.0 || !blackouts.empty();
+}
+
+void FaultPlan::validate() const {
+  REKEY_ENSURE(duplicate_prob >= 0.0 && duplicate_prob <= 1.0);
+  REKEY_ENSURE(reorder_prob >= 0.0 && reorder_prob <= 1.0);
+  REKEY_ENSURE(corrupt_prob >= 0.0 && corrupt_prob <= 1.0);
+  REKEY_ENSURE(nack_storm_prob >= 0.0 && nack_storm_prob <= 1.0);
+  REKEY_ENSURE(max_duplicates >= 1);
+  REKEY_ENSURE(corrupt_max_flips >= 1);
+  REKEY_ENSURE(nack_storm_copies >= 1);
+  REKEY_ENSURE(reorder_prob == 0.0 ||
+               (reorder_jitter_ms > 0.0 && reorder_queue_cap >= 1));
+  for (const BlackoutWindow& w : blackouts)
+    REKEY_ENSURE_MSG(w.end_ms > w.start_ms, "empty blackout window");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                             std::size_t num_users)
+    : plan_(plan) {
+  plan_.validate();
+  std::sort(plan_.blackouts.begin(), plan_.blackouts.end(),
+            [](const BlackoutWindow& a, const BlackoutWindow& b) {
+              return a.start_ms < b.start_ms;
+            });
+  // Per-user streams forked from a dedicated base: decisions for one user
+  // never shift another user's stream, and the whole injector is a pure
+  // function of (plan, seed).
+  Rng base(seed);
+  down_rng_.reserve(num_users);
+  up_rng_.reserve(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    down_rng_.push_back(base.fork());
+    up_rng_.push_back(base.fork());
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  c_dup_ = &reg.counter("fault.dup_copies");
+  c_reordered_ = &reg.counter("fault.reordered");
+  c_corrupted_ = &reg.counter("fault.corrupted");
+  c_blackout_ = &reg.counter("fault.blackout_drops");
+  c_storm_ = &reg.counter("fault.nack_storm_copies");
+}
+
+bool FaultInjector::blackout_at(double t_ms) const {
+  for (const BlackoutWindow& w : plan_.blackouts) {
+    if (w.start_ms > t_ms) break;  // sorted by start
+    if (t_ms < w.end_ms) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::blackout_overlaps(double a_ms, double b_ms) const {
+  for (const BlackoutWindow& w : plan_.blackouts) {
+    if (w.start_ms > b_ms) break;
+    if (w.end_ms > a_ms) return true;
+  }
+  return false;
+}
+
+void FaultInjector::count_blackout_drop() {
+  ++stats_.blackout_drops;
+  c_blackout_->add();
+}
+
+FaultInjector::Delivery FaultInjector::user_delivery(std::size_t user,
+                                                     double /*t_ms*/) {
+  REKEY_ENSURE(user < down_rng_.size());
+  Rng& rng = down_rng_[user];
+  Delivery d;
+  if (plan_.duplicate_prob > 0.0 && rng.next_bool(plan_.duplicate_prob)) {
+    d.extra_copies = static_cast<int>(
+        rng.next_in(1, static_cast<std::uint64_t>(plan_.max_duplicates)));
+    stats_.dup_copies += static_cast<std::uint64_t>(d.extra_copies);
+    c_dup_->add(static_cast<std::uint64_t>(d.extra_copies));
+  }
+  if (plan_.reorder_prob > 0.0 && rng.next_bool(plan_.reorder_prob)) {
+    // Uniform in (0, jitter]: a zero draw would not reorder anything.
+    d.jitter_ms =
+        plan_.reorder_jitter_ms * (1.0 - rng.next_double());
+    ++stats_.reordered;
+    c_reordered_->add();
+  }
+  if (plan_.corrupt_prob > 0.0 && rng.next_bool(plan_.corrupt_prob)) {
+    d.corrupt = true;
+    ++stats_.corrupted;
+    c_corrupted_->add();
+  }
+  return d;
+}
+
+Bytes FaultInjector::corrupt_copy(std::size_t user, const Bytes& wire) {
+  REKEY_ENSURE(user < down_rng_.size());
+  REKEY_ENSURE(!wire.empty());
+  Rng& rng = down_rng_[user];
+  Bytes out = wire;
+  const std::uint64_t flips =
+      rng.next_in(1, static_cast<std::uint64_t>(plan_.corrupt_max_flips));
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.next_in(0, out.size() - 1));
+    out[pos] ^= static_cast<std::uint8_t>(1u << rng.next_in(0, 7));
+  }
+  // An even number of flips can cancel on the same bit; force a change so
+  // "corrupted" always means "differs from the original".
+  if (out == wire) out[0] ^= 0x01;
+  return out;
+}
+
+int FaultInjector::nack_extra_copies(std::size_t user, double /*t_ms*/) {
+  REKEY_ENSURE(user < up_rng_.size());
+  if (plan_.nack_storm_prob <= 0.0) return 0;
+  Rng& rng = up_rng_[user];
+  if (!rng.next_bool(plan_.nack_storm_prob)) return 0;
+  stats_.nack_storm_copies +=
+      static_cast<std::uint64_t>(plan_.nack_storm_copies);
+  c_storm_->add(static_cast<std::uint64_t>(plan_.nack_storm_copies));
+  return plan_.nack_storm_copies;
+}
+
+}  // namespace rekey::simnet

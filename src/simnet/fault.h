@@ -1,0 +1,127 @@
+// Deterministic fault injection for the simulated network.
+//
+// The evaluation topology models loss only; a production key server also
+// sees duplicated and reordered datagrams, bit corruption, correlated link
+// blackouts, and NACK storms (feedback implosion, after RMTP-II). A
+// FaultPlan describes those pathologies declaratively; a FaultInjector
+// turns the plan into per-link decision streams that are a pure function
+// of (plan, seed): every chaos scenario replays bit-identically.
+//
+// The injector is passive, like the topology: the transport asks it, per
+// delivery, what the adversarial network does to this packet. Blackout
+// windows are a deterministic schedule (no RNG); duplication, reorder
+// jitter, corruption, and NACK amplification draw from per-user RNG
+// streams forked from the injector seed, so decisions for one user never
+// perturb another user's stream. Every injected fault is tallied both in
+// an injector-local Stats block (per-scenario assertions) and in the
+// process-wide MetricsRegistry (fault.* counters).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace rekey::obs {
+class Counter;
+}  // namespace rekey::obs
+
+namespace rekey::simnet {
+
+// A scheduled outage: every link (source and receiver, both directions)
+// drops every transmission with start_ms <= t < end_ms.
+struct BlackoutWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+struct FaultPlan {
+  // Per-delivery probability that a received packet arrives again; each
+  // duplication event delivers 1..max_duplicates extra copies.
+  double duplicate_prob = 0.0;
+  int max_duplicates = 1;
+
+  // Per-delivery probability that a packet is deferred by a uniform jitter
+  // in (0, reorder_jitter_ms], delivering it after packets sent later.
+  // Each receiver holds at most reorder_queue_cap deferred packets; when
+  // the queue is full the oldest deferred packet is delivered immediately.
+  double reorder_prob = 0.0;
+  double reorder_jitter_ms = 0.0;
+  std::size_t reorder_queue_cap = 16;
+
+  // Per-delivery probability that the arriving copy is bit-corrupted with
+  // 1..corrupt_max_flips flipped bits. Corrupted copies are subject to the
+  // receiver's datagram integrity check (packet::udp_checksum).
+  double corrupt_prob = 0.0;
+  int corrupt_max_flips = 4;
+
+  // Per-NACK probability that the feedback channel amplifies the NACK
+  // into nack_storm_copies extra deliveries at the server.
+  double nack_storm_prob = 0.0;
+  int nack_storm_copies = 3;
+
+  // Scheduled outages; kept sorted by start_ms by validate()/the injector.
+  std::vector<BlackoutWindow> blackouts;
+
+  // True when any fault can actually fire; an inactive plan leaves the
+  // transport on its exact fault-free code path.
+  bool active() const;
+  void validate() const;  // throws EnsureError on nonsense
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                std::size_t num_users);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Deterministic blackout schedule (no RNG involved).
+  bool blackout_at(double t_ms) const;
+  // Does any blackout window intersect [a_ms, b_ms]?
+  bool blackout_overlaps(double a_ms, double b_ms) const;
+  // Called by the topology when a blackout eats a transmission.
+  void count_blackout_drop();
+
+  // What the downstream link does to a copy delivered to `user` at t_ms.
+  struct Delivery {
+    int extra_copies = 0;    // duplicates beyond the original
+    double jitter_ms = 0.0;  // > 0: delivery deferred (reordered)
+    bool corrupt = false;    // the primary copy arrives bit-corrupted
+  };
+  Delivery user_delivery(std::size_t user, double t_ms);
+
+  // A corrupted copy of `wire`: 1..corrupt_max_flips bit flips drawn from
+  // the user's downstream stream. Never returns the input unchanged.
+  Bytes corrupt_copy(std::size_t user, const Bytes& wire);
+
+  // Extra copies of a NACK the feedback path injects (0 = no storm).
+  int nack_extra_copies(std::size_t user, double t_ms);
+
+  struct Stats {
+    std::uint64_t dup_copies = 0;        // extra downstream copies injected
+    std::uint64_t reordered = 0;         // deliveries deferred by jitter
+    std::uint64_t corrupted = 0;         // copies bit-corrupted
+    std::uint64_t blackout_drops = 0;    // transmissions eaten by blackouts
+    std::uint64_t nack_storm_copies = 0; // extra NACK copies injected
+
+    friend bool operator==(const Stats&, const Stats&) = default;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<Rng> down_rng_;  // per-user downstream decision streams
+  std::vector<Rng> up_rng_;    // per-user feedback decision streams
+  Stats stats_;
+  // Process-wide fault.* counters, resolved once at construction.
+  obs::Counter* c_dup_;
+  obs::Counter* c_reordered_;
+  obs::Counter* c_corrupted_;
+  obs::Counter* c_blackout_;
+  obs::Counter* c_storm_;
+};
+
+}  // namespace rekey::simnet

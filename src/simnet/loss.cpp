@@ -4,6 +4,14 @@
 
 namespace rekey::simnet {
 
+bool BernoulliLoss::lost(double t_ms) {
+  REKEY_ENSURE_MSG(!queried_ || t_ms >= last_query_ms_,
+                   "BernoulliLoss queried at a backwards time");
+  last_query_ms_ = t_ms;
+  queried_ = true;
+  return rng_.next_bool(p_);
+}
+
 GilbertLoss::GilbertLoss(double p, Rng rng, double cycle_ms)
     : p_(p),
       mean_loss_ms_(cycle_ms * p),

@@ -28,12 +28,18 @@ class LossProcess {
 class BernoulliLoss final : public LossProcess {
  public:
   BernoulliLoss(double p, Rng rng) : p_(p), rng_(rng) {}
-  bool lost(double) override { return rng_.next_bool(p_); }
+  // Memoryless, so t_ms does not drive the draw — but the class contract
+  // (weakly increasing query times) is enforced all the same, keeping
+  // every LossProcess behaviorally uniform: a transport path that queries
+  // backwards is broken regardless of which process it happens to hit.
+  bool lost(double t_ms) override;
   double loss_rate() const override { return p_; }
 
  private:
   double p_;
   Rng rng_;
+  double last_query_ms_ = 0.0;
+  bool queried_ = false;
 };
 
 class GilbertLoss final : public LossProcess {

@@ -42,13 +42,19 @@ Topology::Topology(const TopologyConfig& config, std::uint64_t seed)
   max_delay_ms_ = 2.0 * config.edge_delay_ms + max_bb;
 }
 
+void Topology::install_faults(const FaultPlan& plan, std::uint64_t seed) {
+  faults_ = std::make_unique<FaultInjector>(plan, seed, config_.num_users);
+}
+
 bool Topology::user_lost(std::size_t user, double t_ms) {
   REKEY_ENSURE(user < user_down_.size());
+  if (blacked_out(t_ms)) return true;
   return user_down_[user]->lost(t_ms);
 }
 
 bool Topology::user_uplink_lost(std::size_t user, double t_ms) {
   REKEY_ENSURE(user < user_up_.size());
+  if (blacked_out(t_ms)) return true;
   return user_up_[user]->lost(t_ms);
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "simnet/fault.h"
 #include "simnet/loss.h"
 
 namespace rekey::simnet {
@@ -41,13 +42,28 @@ class Topology {
   std::size_t num_users() const { return config_.num_users; }
   const TopologyConfig& config() const { return config_; }
 
+  // Installs a fault-injection layer (simnet/fault.h). Blackout windows
+  // apply to every link query below; the finer-grained faults (duplication,
+  // reorder, corruption, NACK storms) are consumed by the transport through
+  // faults(). During a blackout the underlying loss processes are not
+  // queried, so their streams resume unperturbed when the window ends —
+  // a scenario stays a pure function of (topology seed, plan, fault seed).
+  void install_faults(const FaultPlan& plan, std::uint64_t seed);
+  FaultInjector* faults() { return faults_.get(); }
+
   // Downstream (server -> users).
-  bool source_lost(double t_ms) { return src_down_->lost(t_ms); }
+  bool source_lost(double t_ms) {
+    if (blacked_out(t_ms)) return true;
+    return src_down_->lost(t_ms);
+  }
   bool user_lost(std::size_t user, double t_ms);
 
   // Upstream (user -> server), independent processes.
   bool user_uplink_lost(std::size_t user, double t_ms);
-  bool source_uplink_lost(double t_ms) { return src_up_->lost(t_ms); }
+  bool source_uplink_lost(double t_ms) {
+    if (blacked_out(t_ms)) return true;
+    return src_up_->lost(t_ms);
+  }
 
   // One-way server->user delay; symmetric paths.
   double delay_ms(std::size_t user) const;
@@ -58,7 +74,14 @@ class Topology {
   bool is_high_loss(std::size_t user) const { return high_loss_[user]; }
 
  private:
+  bool blacked_out(double t_ms) {
+    if (!faults_ || !faults_->blackout_at(t_ms)) return false;
+    faults_->count_blackout_drop();
+    return true;
+  }
+
   TopologyConfig config_;
+  std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<LossProcess> src_down_;
   std::unique_ptr<LossProcess> src_up_;
   std::vector<std::unique_ptr<LossProcess>> user_down_;

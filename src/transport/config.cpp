@@ -12,6 +12,7 @@ void ProtocolConfig::validate() const {
   REKEY_ENSURE(max_nack >= num_nack_target);
   REKEY_ENSURE(max_multicast_rounds >= 0);
   REKEY_ENSURE(usr_initial_duplicates >= 1);
+  REKEY_ENSURE(unicast_max_waves >= 0);
   REKEY_ENSURE(packet_size > packet::kEncHeaderSize + packet::kEntrySize);
   REKEY_ENSURE(send_interval_ms > 0.0);
   REKEY_ENSURE(max_rounds_cap >= 1);

@@ -32,6 +32,12 @@ struct ProtocolConfig {
   bool early_unicast_by_size = false;
   // Initial number of duplicate USR packets per straggler (Fig 22).
   int usr_initial_duplicates = 2;
+  // Unicast waves before the server gives up on the stragglers that are
+  // still unreachable (0 = retry forever). Under a persistent outage the
+  // escalating-duplicates loop would otherwise spin without bound; with a
+  // cap, every user ends a message either recovered or explicitly
+  // accounted as given up (MessageMetrics::gave_up_users).
+  int unicast_max_waves = 0;
 
   // Soft real-time deadline in rounds (0 = no deadline accounting).
   int deadline_rounds = 0;

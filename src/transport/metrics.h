@@ -34,6 +34,13 @@ struct MessageMetrics {
   std::size_t usr_bytes = 0;        // USR wire bytes incl. UDP/IP overhead
   std::size_t packet_size = 0;      // multicast packet size (for weighting)
   std::size_t deadline_misses = 0;
+  // Degraded-network accounting (zero on a fault-free run).
+  std::size_t gave_up_users = 0;        // unicast deadline passed unserved
+  std::size_t corrupt_rejected = 0;     // copies dropped by checksum
+  std::size_t dup_deliveries = 0;       // duplicate copies delivered
+  std::size_t reordered_deliveries = 0; // deliveries deferred by jitter
+  std::size_t late_drops = 0;           // deferred copies never released
+  std::size_t storm_nacks = 0;          // amplified NACK copies received
   double duration_ms = 0.0;
 
   // h'/h — the paper's server bandwidth overhead (multicast only).

@@ -33,14 +33,36 @@ double RhoController::rho() const {
                    static_cast<double>(config_.block_size);
 }
 
-void RhoController::on_round1_feedback(std::vector<std::uint8_t> A) {
+void RhoController::on_round1_feedback(std::vector<std::uint8_t> A,
+                                       bool degraded) {
   const int n = static_cast<int>(A.size());
   const double rho_before = rho();
+  if (degraded && n < num_nack_) {
+    // Blackout round with fewer NACKs than targeted: the silence is the
+    // outage's, not the code's — skip the back-off entirely.
+    obs::MetricsRegistry::global().counter("transport.rho_clamped").add();
+    if (obs::trace_enabled())
+      obs::Trace::emit("rho_clamp", {{"nacks", n},
+                                     {"num_nack_target", num_nack_},
+                                     {"rho", rho_before}});
+    return;
+  }
   if (n > num_nack_) {
     // More NACKs than targeted: raise rho so that the (numNACK+1)-th
     // neediest user of this round would have been satisfied proactively.
     std::sort(A.begin(), A.end(), std::greater<std::uint8_t>());
-    proactive_parities_ += A[static_cast<std::size_t>(num_nack_)];
+    int step = A[static_cast<std::size_t>(num_nack_)];
+    if (degraded && step > 1) {
+      // Escalation clamp: a blackout distorts both how many NACKs arrive
+      // and what they ask for; creep up one parity at most per message.
+      step = 1;
+      obs::MetricsRegistry::global().counter("transport.rho_clamped").add();
+      if (obs::trace_enabled())
+        obs::Trace::emit("rho_clamp", {{"nacks", n},
+                                       {"num_nack_target", num_nack_},
+                                       {"rho", rho_before}});
+    }
+    proactive_parities_ += step;
     // Keep at least k reactive parity indices in the code's index space.
     proactive_parities_ = std::min(proactive_parities_, parity_cap());
   } else if (n < num_nack_ && num_nack_ > 0) {
@@ -190,13 +212,18 @@ void ServerTransport::accept_nack(
       amax_[e.block_id] = std::max(amax_[e.block_id], e.parities_needed);
     worst = std::max(worst, e.parities_needed);
   }
-  feedback_.push_back(worst);
+  // Idempotent per round: duplicated NACKs (network duplication, storm
+  // amplification) fold into the amax maxima above but contribute one
+  // AdjustRho feedback entry per user — a storm must not read as "many
+  // users are short of parities" and ratchet rho.
+  if (feedback_users_.insert(user).second) feedback_.push_back(worst);
   nackers_.insert(user);
 }
 
 std::vector<std::uint8_t> ServerTransport::take_feedback() {
   std::vector<std::uint8_t> out;
   out.swap(feedback_);
+  feedback_users_.clear();
   return out;
 }
 

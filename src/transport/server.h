@@ -34,7 +34,14 @@ class RhoController {
 
   // AdjustRho (paper Fig 11): A holds, per received NACK, the largest
   // parity count that user requested. Called at the end of round 1.
-  void on_round1_feedback(std::vector<std::uint8_t> A);
+  // `degraded` marks feedback gathered while the network was in a known
+  // pathological state (a blackout window overlapped the round): NACKs
+  // were likely swallowed wholesale, so silence must not trigger the
+  // probabilistic back-off, and whatever NACKs did get through must not
+  // escalate rho by more than one parity — otherwise a single outage
+  // ratchets rho to the code-space cap and every later message pays for
+  // it in proactive bandwidth.
+  void on_round1_feedback(std::vector<std::uint8_t> A, bool degraded = false);
 
   // numNACK heuristics (paper §6.2): called once per completed message
   // when deadline accounting is enabled.
@@ -117,6 +124,7 @@ class ServerTransport {
   std::vector<int> next_parity_;
   std::vector<std::uint8_t> amax_;
   std::vector<std::uint8_t> feedback_;  // A of the current round
+  std::set<std::size_t> feedback_users_;  // dedups A against redelivery
   std::set<std::size_t> nackers_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/ensure.h"
 #include "common/obs.h"
+#include "packet/wire.h"
 
 namespace rekey::transport {
 
@@ -12,6 +13,13 @@ RekeySession::RekeySession(simnet::Topology& topology,
                            RhoController& controller)
     : topology_(topology), config_(config), controller_(controller) {
   config.validate();
+}
+
+void RekeySession::resume_clock_at(double t_ms) {
+  REKEY_ENSURE_MSG(t_ms >= clock_ms_,
+                   "session clock resumed backwards: loss processes would "
+                   "be queried at non-monotone times");
+  clock_ms_ = t_ms;
 }
 
 MessageMetrics RekeySession::run_message(
@@ -61,8 +69,44 @@ MessageMetrics RekeySession::run_message(
     if (on_recovered) on_recovered(u, users[u]);
   };
 
+  // Degraded-network wiring. Every fault behavior below is gated on
+  // `faults` being non-null, so a run without an active FaultPlan executes
+  // the exact baseline draw sequence (bit-identical metrics and goldens).
+  simnet::FaultInjector* faults = topology_.faults();
+  if (faults != nullptr && !faults->plan().active()) faults = nullptr;
+
+  // Transport-level counters: the independent "sent" ledger the chaos
+  // harness reconciles against the per-message "billed" metrics.
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Counter& c_mcast_pkts = reg.counter("transport.multicast_packets");
+  obs::Counter& c_mcast_bytes = reg.counter("transport.multicast_bytes");
+  obs::Counter& c_usr_pkts = reg.counter("transport.usr_packets");
+  obs::Counter& c_usr_bytes = reg.counter("transport.usr_bytes");
+  obs::Counter& c_corrupt = reg.counter("transport.corrupt_rejected");
+  obs::Counter& c_give_up = reg.counter("transport.give_up_users");
+
+  // Per-user bounded queues of jitter-deferred (reordered) deliveries.
+  struct Deferred {
+    double release_ms;
+    std::size_t pool_index;
+  };
+  std::vector<std::vector<Deferred>> deferred(faults ? n_users : 0);
+  auto flush_deferred = [&](std::size_t u, double now_ms, int round_now) {
+    auto& q = deferred[u];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].release_ms > now_ms) {
+        q[keep++] = q[i];
+      } else if (!users[u].recovered()) {
+        users[u].on_packet(q[i].pool_index, round_now);
+      }
+    }
+    q.resize(keep);
+  };
+
   while (!active.empty()) {
     ++round;
+    const double round_start = t;
     REKEY_ENSURE_MSG(round <= config_.max_rounds_cap,
                      "multicast did not converge within the round cap");
 
@@ -79,15 +123,67 @@ MessageMetrics RekeySession::run_message(
       const std::size_t idx = pool.size();
       pool.push_back(std::move(w));
       ++m.multicast_sent;
+      c_mcast_pkts.add();
+      c_mcast_bytes.add(pool[idx].size() + packet::kUdpIpOverheadBytes);
       const double ts = t;
       t += config_.send_interval_ms;
+      // Sender-side checksum of the clean wire: arriving corrupted copies
+      // are validated against it (the UDP checksum the overhead constant
+      // already charges for).
+      const std::uint16_t cksum = faults ? packet::udp_checksum(pool[idx])
+                                         : std::uint16_t{0};
       if (topology_.source_lost(ts)) continue;
       for (const std::size_t u : active) {
         if (users[u].recovered()) continue;  // recovered earlier this round
         const double ta = ts + topology_.delay_ms(u);
-        if (!topology_.user_lost(u, ta)) users[u].on_packet(idx, round);
+        if (faults) flush_deferred(u, ta, round);
+        if (topology_.user_lost(u, ta)) continue;
+        if (!faults) {
+          users[u].on_packet(idx, round);
+          continue;
+        }
+        const simnet::FaultInjector::Delivery d =
+            faults->user_delivery(u, ta);
+        if (d.corrupt) {
+          // The copy arrives damaged. The datagram integrity check drops
+          // it (counted separately from loss); a copy whose flips cancel
+          // in the checksum reaches the parser, which must not throw.
+          Bytes damaged = faults->corrupt_copy(u, pool[idx]);
+          if (packet::udp_checksum(damaged) != cksum) {
+            ++m.corrupt_rejected;
+            c_corrupt.add();
+          } else {
+            const std::size_t didx = pool.size();
+            pool.push_back(std::move(damaged));
+            users[u].on_packet(didx, round);
+          }
+        } else if (d.jitter_ms > 0.0) {
+          ++m.reordered_deliveries;
+          auto& q = deferred[u];
+          if (q.size() >= faults->plan().reorder_queue_cap) {
+            // Bounded queue: the oldest deferred copy is released now.
+            if (!users[u].recovered())
+              users[u].on_packet(q.front().pool_index, round);
+            q.erase(q.begin());
+          }
+          q.push_back({ta + d.jitter_ms, idx});
+        } else {
+          users[u].on_packet(idx, round);
+        }
+        // Duplicate copies of the clean wire arrive back to back; the
+        // receiver's shard dedup keeps them from inflating block counts.
+        for (int c = 0; c < d.extra_copies; ++c) {
+          ++m.dup_deliveries;
+          if (!users[u].recovered()) users[u].on_packet(idx, round);
+        }
       }
     }
+    // Jitter still in flight at round end is released before the decode
+    // pass; anything jittered past this round carries into the next one.
+    if (faults)
+      for (const std::size_t u : active) {
+        if (!users[u].recovered()) flush_deferred(u, t, round);
+      }
 
     // Round end: users that did not get their specific packet try to
     // decode; the rest NACK. NACKs traverse user uplink + source uplink.
@@ -118,12 +214,27 @@ MessageMetrics RekeySession::run_message(
       server.accept_nack(u, last_nacks[u]);
       ++nacks_received;
       ++m.total_nacks;
+      if (faults) {
+        // Feedback implosion: the network amplifies a delivered NACK into
+        // a burst. The server's per-user feedback dedup keeps AdjustRho
+        // from reading a storm as "many users are short of parities".
+        const int extra = faults->nack_extra_copies(u, tn);
+        for (int c = 0; c < extra; ++c) server.accept_nack(u, last_nacks[u]);
+        m.storm_nacks += static_cast<std::size_t>(extra);
+      }
     }
     if (round == 1) {
       m.round1_nacks = nacks_received;
       auto feedback = server.take_feedback();
-      if (config_.adaptive_rho)
-        controller_.on_round1_feedback(std::move(feedback));
+      if (config_.adaptive_rho) {
+        // A blackout overlapping round 1 (sends through NACK arrivals)
+        // makes the feedback unrepresentative: clamp AdjustRho escalation.
+        const bool degraded =
+            faults != nullptr &&
+            faults->blackout_overlaps(round_start,
+                                      t + topology_.max_rtt_ms());
+        controller_.on_round1_feedback(std::move(feedback), degraded);
+      }
     } else {
       server.take_feedback();  // only round-1 feedback drives AdjustRho
     }
@@ -190,6 +301,21 @@ MessageMetrics RekeySession::run_message(
     std::vector<int> dups(n_users, config_.usr_initial_duplicates);
     int waves = 0;
     while (!stragglers.empty()) {
+      if (config_.unicast_max_waves > 0 &&
+          waves >= config_.unicast_max_waves) {
+        // Persistent outage: the unicast deadline has passed. Give up on
+        // the remaining stragglers explicitly (they stay unrecovered and
+        // count as deadline misses) instead of retrying forever.
+        m.gave_up_users = stragglers.size();
+        c_give_up.add(stragglers.size());
+        if (obs::trace_enabled())
+          for (const std::size_t u : stragglers)
+            obs::Trace::emit("give_up",
+                             {{"msg", static_cast<int>(msg_id)},
+                              {"user", static_cast<std::int64_t>(u)},
+                              {"waves", waves}});
+        break;
+      }
       REKEY_ENSURE_MSG(++waves <= 10000, "unicast did not converge");
       // Serve each wave in receiver-delay order: the wake-up NACK path
       // queries the shared source uplink at ts + 2*delay(u), and with ts
@@ -215,6 +341,12 @@ MessageMetrics RekeySession::run_message(
           if (!topology_.user_uplink_lost(u, tn) &&
               !topology_.source_uplink_lost(tn + topology_.delay_ms(u))) {
             server.accept_nack(u, last_nacks[u]);
+            if (faults) {
+              const int extra = faults->nack_extra_copies(u, tn);
+              for (int c = 0; c < extra; ++c)
+                server.accept_nack(u, last_nacks[u]);
+              m.storm_nacks += static_cast<std::size_t>(extra);
+            }
           }
           still.push_back(u);
           ts += 0.1;
@@ -232,6 +364,8 @@ MessageMetrics RekeySession::run_message(
         for (int i = 0; i < dups[u]; ++i) {
           ++m.usr_packets;
           m.usr_bytes += usr_wire;
+          c_usr_pkts.add();
+          c_usr_bytes.add(usr_wire);
           const double tsend = ts + 0.1 * i;
           if (!topology_.source_lost(tsend) &&
               !topology_.user_lost(u, tsend + topology_.delay_ms(u)))
@@ -266,6 +400,10 @@ MessageMetrics RekeySession::run_message(
     m.unicast_waves = static_cast<std::size_t>(waves);
   }
 
+  // Deferred copies whose jitter outlived the message were never released.
+  if (faults)
+    for (const auto& q : deferred) m.late_drops += q.size();
+
   // Deadline accounting: a user meets the deadline iff it recovered in a
   // multicast round <= deadline_rounds.
   if (config_.deadline_rounds > 0) {
@@ -295,6 +433,12 @@ MessageMetrics RekeySession::run_message(
          {"usr_packets", static_cast<std::int64_t>(m.usr_packets)},
          {"usr_bytes", static_cast<std::int64_t>(m.usr_bytes)},
          {"deadline_misses", static_cast<std::int64_t>(m.deadline_misses)},
+         {"gave_up", static_cast<std::int64_t>(m.gave_up_users)},
+         {"corrupt_rejected", static_cast<std::int64_t>(m.corrupt_rejected)},
+         {"dup_deliveries", static_cast<std::int64_t>(m.dup_deliveries)},
+         {"reordered", static_cast<std::int64_t>(m.reordered_deliveries)},
+         {"late_drops", static_cast<std::int64_t>(m.late_drops)},
+         {"storm_nacks", static_cast<std::int64_t>(m.storm_nacks)},
          {"duration_ms", m.duration_ms}});
   return m;
 }

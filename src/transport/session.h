@@ -41,9 +41,12 @@ class RekeySession {
   // The session clock advances monotonically across messages so the
   // topology's loss processes are never queried backwards. A caller that
   // builds a fresh session over a topology that has already been driven
-  // must resume from where the previous session left off.
+  // must resume from where the previous session left off. Resuming
+  // backwards is rejected (EnsureError): a rewound clock would hand the
+  // shared Gilbert chains non-monotone query times and trip their
+  // monotonicity check deep inside a round, far from the misuse.
   double clock_ms() const { return clock_ms_; }
-  void resume_clock_at(double t_ms) { clock_ms_ = t_ms; }
+  void resume_clock_at(double t_ms);
 
  private:
   simnet::Topology& topology_;

@@ -84,9 +84,12 @@ void UserTransport::on_packet(std::size_t pool_index, int round) {
     if (!h) return;
     if (!note_max_kid(h->max_kid)) return;  // corrupt header
     if (h->frm_id <= id_ && id_ <= h->to_id) {
-      // My specific packet.
+      // My specific packet. The full parse can still fail on a damaged
+      // entry region that slipped past the header checks (e.g. a
+      // corrupted copy whose checksum collided); that is a bad datagram,
+      // not a protocol error — drop it and wait for FEC or a resend.
       const auto pkt = packet::EncPacket::parse(wire);
-      REKEY_ENSURE(pkt.has_value());
+      if (!pkt.has_value()) return;
       entries_ = pkt->entries;
       recovered_ = true;
       recovery_round_ = round;
@@ -100,8 +103,7 @@ void UserTransport::on_packet(std::size_t pool_index, int round) {
           std::max(complete_through_, static_cast<std::int64_t>(h->block_id));
     if (h->block_id >= estimator_->low() &&
         h->block_id <= estimator_->high()) {
-      blocks_[h->block_id].push_back(
-          {h->seq, static_cast<std::uint32_t>(pool_index)});
+      store_shard(h->block_id, h->seq, pool_index);
     }
     return;
   }
@@ -116,12 +118,23 @@ void UserTransport::on_packet(std::size_t pool_index, int round) {
         (h->block_id >= estimator_->low() &&
          h->block_id <= estimator_->high());
     if (in_range) {
-      blocks_[h->block_id].push_back(
-          {static_cast<std::uint32_t>(k_ + h->parity_seq),
-           static_cast<std::uint32_t>(pool_index)});
+      store_shard(h->block_id, static_cast<std::uint32_t>(k_ + h->parity_seq),
+                  pool_index);
     }
     return;
   }
+}
+
+void UserTransport::store_shard(std::uint32_t block, std::uint32_t shard,
+                                std::size_t pool_index) {
+  // Idempotent against duplicated and reordered delivery: a shard index
+  // already held is ignored, so duplicates can neither inflate the
+  // shard count past k (which would fake decodability and understate
+  // NACKs) nor feed the decoder a singular system of repeated rows.
+  auto& shards = blocks_[block];
+  for (const StoredShard& s : shards)
+    if (s.shard == shard) return;
+  shards.push_back({shard, static_cast<std::uint32_t>(pool_index)});
 }
 
 void UserTransport::on_usr(const packet::UsrPacket& usr) {

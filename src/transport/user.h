@@ -78,6 +78,10 @@ class UserTransport {
   // ignored) when the id cannot be derived, i.e. the header is corrupt.
   bool note_max_kid(std::uint16_t max_kid);
   void prune_out_of_range();
+  // Retains a shard for FEC decoding; duplicate shard indices (duplicated
+  // or reordered redelivery) are ignored, keeping per-block counts honest.
+  void store_shard(std::uint32_t block, std::uint32_t shard,
+                   std::size_t pool_index);
   bool try_decode_block(std::uint32_t block, int round);
 
   std::uint16_t id_;

@@ -48,6 +48,7 @@ constexpr BenchBinary kBenches[] = {
     {"bench_ab4_degree", "AB4"},
     {"bench_ab5_unicast_switch", "AB5"},
     {"bench_ab6_eager", "AB6"},
+    {"bench_r1_degraded", "R1"},
 };
 
 Json run_bench(const BenchBinary& bench) {

@@ -1,0 +1,4 @@
+// Soak build of the chaos harness: same invariants, 240 seeded scenarios
+// (each run twice for the replay check). Runs under `ctest -L soak`.
+#define REKEY_CHAOS_SCENARIOS 240
+#include "chaos_test.cpp"  // NOLINT(bugprone-suspicious-include)

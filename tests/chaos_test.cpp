@@ -1,0 +1,300 @@
+// Randomized chaos harness for the degraded-network transport: hundreds of
+// seeded fault scenarios (duplication, reorder jitter, bit corruption,
+// blackout windows, NACK storms in every combination) each run through the
+// full rekey session, asserting the graceful-degradation invariants:
+//
+//   1. No scenario throws: the transport degrades, it does not crash.
+//   2. Every user is accounted for: recovered in some multicast round or
+//      unicast wave, or explicitly given up on (never silently dropped).
+//   3. Billed == sent: the per-message metrics ("billed") reconcile exactly
+//      against the process-wide transport.* counters ("sent"), and the
+//      fault.* injection counters reconcile against the per-message
+//      degraded-network accounting.
+//   4. Counters are monotone across scenarios.
+//   5. Replay is bit-identical: re-running a scenario from the same
+//      (FaultPlan, seed) reproduces the full RunMetrics and the same
+//      counter deltas.
+//
+// Scenario count: 24 in the tier-1 build; tests/chaos_soak_test.cpp
+// rebuilds this file with REKEY_CHAOS_SCENARIOS=240 under `ctest -L soak`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/obs.h"
+#include "common/rng.h"
+#include "packet/wire.h"
+#include "sweep.h"
+
+#ifndef REKEY_CHAOS_SCENARIOS
+#define REKEY_CHAOS_SCENARIOS 24
+#endif
+
+namespace rekey::bench {
+namespace {
+
+constexpr std::uint64_t kScenarios = REKEY_CHAOS_SCENARIOS;
+
+// A fault scenario is a pure function of its index: the generator draws
+// the plan and the protocol shape from a dedicated RNG stream, so the
+// whole suite replays bit-identically and a failure report's scenario
+// index is all that is needed to reproduce it.
+SweepConfig make_scenario(std::uint64_t index) {
+  Rng rng(mix_seed(0xC4A05ull, index));
+  SweepConfig cfg;
+  cfg.group_size = 64 + 32 * rng.next_in(0, 2);  // 64 / 96 / 128
+  cfg.leaves = cfg.group_size / 4;
+  cfg.joins = rng.next_bool(0.3) ? cfg.group_size / 16 : 0;
+  cfg.protocol.block_size = rng.next_bool(0.5) ? 4 : 8;
+  cfg.protocol.initial_rho = 1.0 + 0.25 * static_cast<double>(rng.next_in(0, 2));
+  cfg.protocol.adaptive_rho = true;
+  // A bounded multicast phase plus a unicast give-up deadline guarantee
+  // termination even under a blackout that swallows every transmission.
+  cfg.protocol.max_multicast_rounds = static_cast<int>(rng.next_in(2, 4));
+  cfg.protocol.unicast_max_waves = static_cast<int>(rng.next_in(6, 12));
+  cfg.protocol.early_unicast_by_size = rng.next_bool(0.3);
+  cfg.protocol.deadline_rounds = rng.next_bool(0.5) ? 2 : 0;
+  cfg.messages = 2;
+  cfg.seed = mix_seed(0xFA17ull, index);
+
+  simnet::FaultPlan& plan = cfg.faults;
+  if (rng.next_bool(0.6)) {
+    plan.duplicate_prob = 0.02 + 0.38 * rng.next_double();
+    plan.max_duplicates = static_cast<int>(rng.next_in(1, 3));
+  }
+  if (rng.next_bool(0.5)) {
+    plan.reorder_prob = 0.02 + 0.28 * rng.next_double();
+    plan.reorder_jitter_ms = 50.0 + 350.0 * rng.next_double();
+    plan.reorder_queue_cap = rng.next_in(2, 8);
+  }
+  if (rng.next_bool(0.5)) {
+    plan.corrupt_prob = 0.02 + 0.28 * rng.next_double();
+    plan.corrupt_max_flips = static_cast<int>(rng.next_in(1, 8));
+  }
+  if (rng.next_bool(0.4)) {
+    plan.nack_storm_prob = 0.1 + 0.7 * rng.next_double();
+    plan.nack_storm_copies = static_cast<int>(rng.next_in(1, 4));
+  }
+  if (rng.next_bool(0.4)) {
+    const std::uint64_t windows = rng.next_in(1, 2);
+    double cursor = 1000.0 * rng.next_double();
+    for (std::uint64_t w = 0; w < windows; ++w) {
+      const double len = 500.0 + 3500.0 * rng.next_double();
+      plan.blackouts.push_back({cursor, cursor + len});
+      cursor += len + 1000.0 + 4000.0 * rng.next_double();
+    }
+  }
+  plan.validate();
+  return cfg;
+}
+
+// The "sent" side of the reconciliation: process-wide counter values.
+struct Ledger {
+  std::uint64_t mcast_pkts, mcast_bytes, usr_pkts, usr_bytes;
+  std::uint64_t corrupt_rejected, give_up;
+  std::uint64_t f_dup, f_reordered, f_corrupted, f_blackout, f_storm;
+
+  static Ledger take() {
+    auto& reg = obs::MetricsRegistry::global();
+    auto v = [&](const char* name) { return reg.counter(name).value(); };
+    return Ledger{v("transport.multicast_packets"),
+                  v("transport.multicast_bytes"),
+                  v("transport.usr_packets"),
+                  v("transport.usr_bytes"),
+                  v("transport.corrupt_rejected"),
+                  v("transport.give_up_users"),
+                  v("fault.dup_copies"),
+                  v("fault.reordered"),
+                  v("fault.corrupted"),
+                  v("fault.blackout_drops"),
+                  v("fault.nack_storm_copies")};
+  }
+  Ledger operator-(const Ledger& o) const {
+    return Ledger{mcast_pkts - o.mcast_pkts,
+                  mcast_bytes - o.mcast_bytes,
+                  usr_pkts - o.usr_pkts,
+                  usr_bytes - o.usr_bytes,
+                  corrupt_rejected - o.corrupt_rejected,
+                  give_up - o.give_up,
+                  f_dup - o.f_dup,
+                  f_reordered - o.f_reordered,
+                  f_corrupted - o.f_corrupted,
+                  f_blackout - o.f_blackout,
+                  f_storm - o.f_storm};
+  }
+  friend bool operator==(const Ledger&, const Ledger&) = default;
+};
+
+// The "billed" side: the same quantities summed from the per-message
+// metrics the figures are built from.
+struct Billed {
+  std::size_t mcast = 0, usr_pkts = 0, usr_bytes = 0;
+  std::size_t corrupt_rejected = 0, give_up = 0;
+  std::size_t dup = 0, reordered = 0, late = 0, storm = 0;
+};
+
+Billed bill(const transport::RunMetrics& run) {
+  Billed b;
+  for (const auto& m : run.messages) {
+    b.mcast += m.multicast_sent;
+    b.usr_pkts += m.usr_packets;
+    b.usr_bytes += m.usr_bytes;
+    b.corrupt_rejected += m.corrupt_rejected;
+    b.give_up += m.gave_up_users;
+    b.dup += m.dup_deliveries;
+    b.reordered += m.reordered_deliveries;
+    b.late += m.late_drops;
+    b.storm += m.storm_nacks;
+  }
+  return b;
+}
+
+void check_invariants(const SweepConfig& cfg, const transport::RunMetrics& run,
+                      const Ledger& delta) {
+  const simnet::FaultPlan& plan = cfg.faults;
+  ASSERT_EQ(run.messages.size(), static_cast<std::size_t>(cfg.messages));
+  for (std::size_t i = 0; i < run.messages.size(); ++i) {
+    const auto& m = run.messages[i];
+    SCOPED_TRACE(testing::Message() << "message " << i);
+    // Every user recovered in some round/wave or was explicitly given up.
+    std::size_t recovered = 0;
+    for (const auto& [round, count] : m.recovered_in_round) recovered += count;
+    for (const auto& [wave, count] : m.unicast_recovered_in_wave)
+      recovered += count;
+    EXPECT_EQ(recovered + m.gave_up_users, m.users);
+    // Giving up requires the unicast deadline feature to be armed.
+    if (cfg.protocol.unicast_max_waves == 0) {
+      EXPECT_EQ(m.gave_up_users, 0u);
+    }
+    // Faults that the plan cannot fire must never be billed.
+    if (plan.duplicate_prob == 0.0) {
+      EXPECT_EQ(m.dup_deliveries, 0u);
+    }
+    if (plan.reorder_prob == 0.0) {
+      EXPECT_EQ(m.reordered_deliveries, 0u);
+      EXPECT_EQ(m.late_drops, 0u);
+    }
+    if (plan.corrupt_prob == 0.0) {
+      EXPECT_EQ(m.corrupt_rejected, 0u);
+    }
+    if (plan.nack_storm_prob == 0.0) {
+      EXPECT_EQ(m.storm_nacks, 0u);
+    }
+    // A late drop is a deferred delivery that never released.
+    EXPECT_LE(m.late_drops, m.reordered_deliveries);
+  }
+
+  // Billed == sent. Multicast wires are exactly packet_size bytes (ENC and
+  // PARITY alike), so the byte ledger is exact, not approximate.
+  const Billed b = bill(run);
+  EXPECT_EQ(delta.mcast_pkts, b.mcast);
+  EXPECT_EQ(delta.mcast_bytes,
+            b.mcast * (cfg.protocol.packet_size + packet::kUdpIpOverheadBytes));
+  EXPECT_EQ(delta.usr_pkts, b.usr_pkts);
+  EXPECT_EQ(delta.usr_bytes, b.usr_bytes);
+  EXPECT_EQ(delta.corrupt_rejected, b.corrupt_rejected);
+  EXPECT_EQ(delta.give_up, b.give_up);
+  // Injection counters: duplicates and storms are billed one-for-one;
+  // reorder/corrupt draws can be superseded (a corrupt primary wins over
+  // its jitter draw; a corrupt copy can slip through the checksum), so the
+  // injector side bounds the billed side from above.
+  EXPECT_EQ(delta.f_dup, b.dup);
+  EXPECT_EQ(delta.f_storm, b.storm);
+  EXPECT_GE(delta.f_reordered, b.reordered);
+  EXPECT_GE(delta.f_corrupted, b.corrupt_rejected);
+  if (plan.blackouts.empty()) {
+    EXPECT_EQ(delta.f_blackout, 0u);
+  }
+}
+
+TEST(Chaos, SeededScenarioInvariants) {
+  std::uint64_t faults_fired = 0;
+  std::size_t gave_up_total = 0;
+  for (std::uint64_t i = 0; i < kScenarios; ++i) {
+    SCOPED_TRACE(testing::Message() << "scenario " << i);
+    const SweepConfig cfg = make_scenario(i);
+
+    const Ledger before = Ledger::take();
+    transport::RunMetrics run;
+    ASSERT_NO_THROW(run = run_sweep(cfg));
+    const Ledger after = Ledger::take();
+    const Ledger delta = after - before;
+    check_invariants(cfg, run, delta);
+
+    // Monotone: no counter ever decreases (the subtractions above would
+    // wrap; check the raw values too for a readable failure).
+    EXPECT_GE(after.mcast_pkts, before.mcast_pkts);
+    EXPECT_GE(after.f_dup, before.f_dup);
+    EXPECT_GE(after.f_blackout, before.f_blackout);
+
+    // Bit-identical replay from (FaultPlan, seed): the full RunMetrics and
+    // every counter delta reproduce exactly.
+    const Ledger before2 = Ledger::take();
+    transport::RunMetrics replay;
+    ASSERT_NO_THROW(replay = run_sweep(cfg));
+    const Ledger delta2 = Ledger::take() - before2;
+    EXPECT_EQ(run, replay);
+    EXPECT_EQ(delta, delta2);
+
+    faults_fired += delta.f_dup + delta.f_reordered + delta.f_corrupted +
+                    delta.f_blackout + delta.f_storm;
+    gave_up_total += bill(run).give_up;
+  }
+  // The suite must actually exercise the fault machinery, not no-op plans.
+  EXPECT_GT(faults_fired, 0u);
+  // And at least one blackout scenario must have driven the explicit
+  // give-up path (termination under persistent outage).
+  EXPECT_GT(gave_up_total, 0u);
+}
+
+// A fault-free plan must leave the transport on its exact baseline path:
+// same RunMetrics as a run over a topology with no injector installed.
+TEST(Chaos, InactivePlanIsByteIdenticalToBaseline) {
+  SweepConfig cfg;
+  cfg.group_size = 96;
+  cfg.leaves = 24;
+  cfg.protocol.block_size = 4;
+  cfg.protocol.max_multicast_rounds = 3;
+  cfg.protocol.unicast_max_waves = 8;
+  cfg.messages = 2;
+  cfg.seed = 0xBA5E;
+  const transport::RunMetrics baseline = run_sweep(cfg);
+
+  SweepConfig with_plan = cfg;  // a default FaultPlan is inactive
+  EXPECT_FALSE(with_plan.faults.active());
+  EXPECT_EQ(run_sweep(with_plan), baseline);
+
+  for (const auto& m : baseline.messages) {
+    EXPECT_EQ(m.dup_deliveries, 0u);
+    EXPECT_EQ(m.reordered_deliveries, 0u);
+    EXPECT_EQ(m.corrupt_rejected, 0u);
+    EXPECT_EQ(m.storm_nacks, 0u);
+    EXPECT_EQ(m.late_drops, 0u);
+    EXPECT_EQ(m.gave_up_users, 0u);
+  }
+}
+
+// An all-covering blackout is survivable: every user is given up on, none
+// recovered, and the message still terminates.
+TEST(Chaos, TotalBlackoutGivesUpOnEveryUser) {
+  SweepConfig cfg;
+  cfg.group_size = 64;
+  cfg.leaves = 16;
+  cfg.protocol.block_size = 4;
+  cfg.protocol.max_multicast_rounds = 2;
+  cfg.protocol.unicast_max_waves = 5;
+  cfg.messages = 1;
+  cfg.seed = 0xB1AC;
+  cfg.faults.blackouts.push_back({0.0, 1e12});
+
+  transport::RunMetrics run;
+  ASSERT_NO_THROW(run = run_sweep(cfg));
+  ASSERT_EQ(run.messages.size(), 1u);
+  const auto& m = run.messages[0];
+  EXPECT_EQ(m.gave_up_users, m.users);
+  EXPECT_TRUE(m.recovered_in_round.empty());
+  EXPECT_TRUE(m.unicast_recovered_in_wave.empty());
+}
+
+}  // namespace
+}  // namespace rekey::bench

@@ -115,6 +115,130 @@ TEST(Fuzz, EstimatorToleratesInconsistentHeaders) {
   }
 }
 
+// Helpers for the truncation sweep: entries whose serialized id bytes are
+// all nonzero, so a cut anywhere inside an entry leaves a nonzero tail
+// byte and the strict-tail parser must reject the wire.
+std::vector<packet::EncEntry> nonzero_id_entries(std::size_t n) {
+  std::vector<packet::EncEntry> out;
+  crypto::KeyGenerator gen(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    packet::EncEntry e;
+    e.enc_id = 0x01010101u + static_cast<std::uint32_t>(i);
+    const auto k = gen.next();
+    std::copy(k.bytes.begin(), k.bytes.end(), e.enc.ciphertext.begin());
+    out.push_back(e);
+  }
+  return out;
+}
+
+// Every valid packet type, truncated at every byte boundary: parsing never
+// throws, and a cut that lands mid-entry (a nonzero partial tail) parses
+// to nullopt. Cuts at entry boundaries are self-delimiting — they are
+// byte-identical to a genuine shorter packet, so the parser accepts the
+// prefix; detecting those is the UDP length/checksum's job, not the
+// format's.
+TEST(Fuzz, TruncationSweepEncPacket) {
+  packet::EncPacket p;
+  p.msg_id = 11;
+  p.block_id = 2;
+  p.seq = 1;
+  p.max_kid = 300;
+  p.frm_id = 301;
+  p.to_id = 320;
+  p.entries = nonzero_id_entries(8);
+  const Bytes full = p.serialize(512);
+  const std::size_t data_end =
+      packet::kEncHeaderSize + p.entries.size() * packet::kEntrySize;
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const Bytes wire(full.begin(), full.begin() + cut);
+    std::optional<packet::EncPacket> parsed;
+    ASSERT_NO_THROW(parsed = packet::EncPacket::parse(wire)) << "cut " << cut;
+    if (cut < packet::kEncHeaderSize) {
+      EXPECT_FALSE(parsed.has_value()) << "cut " << cut;
+    } else if (cut < data_end &&
+               (cut - packet::kEncHeaderSize) % packet::kEntrySize != 0) {
+      EXPECT_FALSE(parsed.has_value()) << "mid-entry cut " << cut;
+    } else {
+      // Entry boundary or inside the zero padding: a valid prefix.
+      ASSERT_TRUE(parsed.has_value()) << "cut " << cut;
+      const std::size_t expect_entries =
+          cut >= data_end ? p.entries.size()
+                          : (cut - packet::kEncHeaderSize) / packet::kEntrySize;
+      EXPECT_EQ(parsed->entries.size(), expect_entries) << "cut " << cut;
+    }
+  }
+}
+
+TEST(Fuzz, TruncationSweepUsrPacket) {
+  packet::UsrPacket p;
+  p.msg_id = 12;
+  p.new_user_id = 77;
+  p.max_kid = 400;
+  p.entries = nonzero_id_entries(5);
+  const Bytes full = p.serialize();
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const Bytes wire(full.begin(), full.begin() + cut);
+    std::optional<packet::UsrPacket> parsed;
+    ASSERT_NO_THROW(parsed = packet::UsrPacket::parse(wire)) << "cut " << cut;
+    if (cut < packet::kUsrHeaderSize) {
+      EXPECT_FALSE(parsed.has_value()) << "cut " << cut;
+    } else if ((cut - packet::kUsrHeaderSize) % packet::kEntrySize != 0) {
+      EXPECT_FALSE(parsed.has_value()) << "mid-entry cut " << cut;
+    } else {
+      ASSERT_TRUE(parsed.has_value()) << "cut " << cut;
+      EXPECT_EQ(parsed->entries.size(),
+                (cut - packet::kUsrHeaderSize) / packet::kEntrySize)
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST(Fuzz, TruncationSweepNackPacket) {
+  packet::NackPacket p;
+  p.msg_id = 13;
+  for (int i = 0; i < 6; ++i) {
+    packet::NackEntry e;
+    e.parities_needed = static_cast<std::uint8_t>(1 + i);
+    e.block_id = static_cast<std::uint16_t>(10 + i);
+    e.max_shard_seen = static_cast<std::uint8_t>(3 + i);
+    p.entries.push_back(e);
+  }
+  const Bytes full = p.serialize();
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const Bytes wire(full.begin(), full.begin() + cut);
+    std::optional<packet::NackPacket> parsed;
+    ASSERT_NO_THROW(parsed = packet::NackPacket::parse(wire)) << "cut " << cut;
+    if (cut < 1) {
+      EXPECT_FALSE(parsed.has_value()) << "cut " << cut;
+    } else if ((cut - 1) % 4 != 0) {
+      // NACK entries carry no padding: a partial trailing entry is a
+      // truncated datagram, rejected outright.
+      EXPECT_FALSE(parsed.has_value()) << "mid-entry cut " << cut;
+    } else {
+      ASSERT_TRUE(parsed.has_value()) << "cut " << cut;
+      EXPECT_EQ(parsed->entries.size(), (cut - 1) / 4) << "cut " << cut;
+    }
+  }
+}
+
+TEST(Fuzz, TruncationSweepParityPacket) {
+  packet::ParityPacket p;
+  p.msg_id = 14;
+  p.block_id = 4;
+  p.parity_seq = 9;
+  p.fec.assign(128, 0xAB);
+  const Bytes full = p.serialize();
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const Bytes wire(full.begin(), full.begin() + cut);
+    std::optional<packet::ParityPacket> parsed;
+    ASSERT_NO_THROW(parsed = packet::ParityPacket::parse(wire))
+        << "cut " << cut;
+    // A parity body is opaque FEC bytes with no internal structure; only
+    // the header is checkable (the UDP checksum catches body truncation).
+    EXPECT_EQ(parsed.has_value(), cut >= packet::kFecOffset) << "cut " << cut;
+  }
+}
+
 TEST(Fuzz, TruncatedUsrAndNackHandled) {
   packet::UsrPacket usr;
   usr.msg_id = 9;

@@ -295,5 +295,64 @@ TEST(RhoController, DeadlineAdaptationOfNumNack) {
   EXPECT_EQ(c.num_nack_target(), 0);  // floored
 }
 
+TEST(ServerTransport, StormDuplicatedNacksFoldIntoOneFeedbackEntry) {
+  // NACK-storm amplification delivers the same NACK many times. The amax
+  // maxima absorb redelivery by construction; the AdjustRho feedback must
+  // also stay one entry per user, or a storm reads as "many users short".
+  const auto msg = small_message();
+  const auto cfg = config_k(10);
+  ServerTransport s(cfg, msg.payload, msg.assignment, 0, 1);
+  s.round_packets(1);
+  for (int copy = 0; copy < 5; ++copy) s.accept_nack(0, {{2, 0}, {7, 1}});
+  s.accept_nack(1, {{1, 1}});
+  auto fb = s.take_feedback();
+  std::sort(fb.begin(), fb.end());
+  EXPECT_EQ(fb, (std::vector<std::uint8_t>{1, 7}));
+  EXPECT_EQ(s.straggler_set(), (std::set<std::size_t>{0, 1}));
+  // The dedup set is per round: the same user NACKing next round counts.
+  s.accept_nack(0, {{3, 0}});
+  EXPECT_EQ(s.take_feedback(), (std::vector<std::uint8_t>{3}));
+}
+
+TEST(RhoController, DegradedRound1SilenceSkipsBackoff) {
+  // A blackout can swallow every NACK of round 1; the resulting silence
+  // must not trigger the probabilistic rho back-off.
+  ProtocolConfig cfg;
+  cfg.block_size = 10;
+  cfg.num_nack_target = 20;
+  cfg.initial_rho = 1.5;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    RhoController c(cfg, seed);
+    c.on_round1_feedback({}, /*degraded=*/true);
+    EXPECT_EQ(c.proactive_parities(), 5) << "seed " << seed;
+  }
+  // The same silence on a healthy network backs off for some seed.
+  bool backed_off = false;
+  for (std::uint64_t seed = 0; seed < 50 && !backed_off; ++seed) {
+    RhoController c(cfg, seed);
+    c.on_round1_feedback({});
+    backed_off = c.proactive_parities() < 5;
+  }
+  EXPECT_TRUE(backed_off);
+}
+
+TEST(RhoController, DegradedEscalationClampedToOneParity) {
+  // Storm-inflated or blackout-distorted feedback must creep rho up by at
+  // most one parity per message instead of ratcheting to the cap.
+  ProtocolConfig cfg;
+  cfg.block_size = 10;
+  cfg.num_nack_target = 2;
+  RhoController healthy(cfg, 1);
+  healthy.on_round1_feedback({9, 7, 4, 2, 1});
+  EXPECT_EQ(healthy.proactive_parities(), 4);  // a[2] = 4, unclamped
+  RhoController degraded(cfg, 1);
+  degraded.on_round1_feedback({9, 7, 4, 2, 1}, /*degraded=*/true);
+  EXPECT_EQ(degraded.proactive_parities(), 1);  // clamped to +1
+  // A one-parity step stays allowed under degradation.
+  RhoController small_step(cfg, 1);
+  small_step.on_round1_feedback({1, 1, 1}, /*degraded=*/true);
+  EXPECT_EQ(small_step.proactive_parities(), 1);
+}
+
 }  // namespace
 }  // namespace rekey::transport

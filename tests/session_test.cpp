@@ -286,5 +286,52 @@ TEST(Session, SplitsSurviveTransport) {
   EXPECT_EQ(m.users, msg.num_users);
 }
 
+TEST(Session, ResumeClockBackwardsRejected) {
+  ProtocolConfig cfg;
+  simnet::Topology topo(topo_config(32, 0.2, 0.2, 0.02, 0.01), 9);
+  RhoController rho(cfg, 9);
+  RekeySession session(topo, cfg, rho);
+  session.resume_clock_at(0.0);     // equal is fine
+  session.resume_clock_at(500.0);   // forward is fine
+  EXPECT_DOUBLE_EQ(session.clock_ms(), 500.0);
+  // Backwards would hand the shared Gilbert chains non-monotone query
+  // times; reject at the API boundary instead of deep inside a round.
+  EXPECT_THROW(session.resume_clock_at(499.0), EnsureError);
+}
+
+TEST(Session, UnicastGiveUpAccountsEveryUser) {
+  // A topology whose uplinks drop everything: the server never learns any
+  // user, so the unicast phase can only spin on wake-up NACKs. With
+  // unicast_max_waves armed the message terminates and every user is
+  // explicitly accounted as given up.
+  ProtocolConfig cfg;
+  cfg.max_multicast_rounds = 2;
+  cfg.unicast_max_waves = 4;
+  simnet::TopologyConfig tc =
+      topo_config(64, 1.0, 1.0, 1.0, 0.0, /*burst=*/false);
+  const MessageMetrics m = run_one(64, 16, cfg, tc, 21);
+  EXPECT_EQ(m.gave_up_users, m.users);
+  EXPECT_EQ(m.unicast_waves, 4u);
+  std::size_t recovered = 0;
+  for (const auto& [round, count] : m.recovered_in_round) recovered += count;
+  EXPECT_EQ(recovered, 0u);
+}
+
+TEST(Session, GiveUpDisabledByDefaultKeepsRetrying) {
+  // Same degraded unicast phase but with recoverable loss: the default
+  // unicast_max_waves=0 retries until everyone is served, as before.
+  ProtocolConfig cfg;
+  cfg.max_multicast_rounds = 1;
+  simnet::TopologyConfig tc =
+      topo_config(64, 1.0, 0.6, 0.6, 0.0, /*burst=*/false);
+  const MessageMetrics m = run_one(64, 16, cfg, tc, 22);
+  EXPECT_EQ(m.gave_up_users, 0u);
+  std::size_t recovered = 0;
+  for (const auto& [round, count] : m.recovered_in_round) recovered += count;
+  for (const auto& [wave, count] : m.unicast_recovered_in_wave)
+    recovered += count;
+  EXPECT_EQ(recovered, m.users);
+}
+
 }  // namespace
 }  // namespace rekey::transport

@@ -219,5 +219,154 @@ TEST(Topology, UplinkAndDownlinkIndependent) {
   }
 }
 
+TEST(BernoulliLoss, BackwardsQueryTimeRejected) {
+  // Both loss models now share the monotone-query contract: Bernoulli
+  // draws don't depend on t, but a backwards query is still caller misuse
+  // (it silently desynchronizes any Gilbert process sharing the timeline).
+  BernoulliLoss loss(0.5, Rng(42));
+  (void)loss.lost(10.0);
+  (void)loss.lost(10.0);  // equal times are fine (weakly increasing)
+  (void)loss.lost(11.5);
+  EXPECT_THROW((void)loss.lost(11.0), EnsureError);
+}
+
+TEST(FaultPlan, ValidateRejectsNonsense) {
+  FaultPlan plan;
+  plan.validate();  // defaults are valid (and inactive)
+  EXPECT_FALSE(plan.active());
+  plan.duplicate_prob = 1.5;
+  EXPECT_THROW(plan.validate(), EnsureError);
+  plan.duplicate_prob = 0.1;
+  plan.validate();
+  EXPECT_TRUE(plan.active());
+  plan.reorder_prob = 0.2;  // reorder without a jitter bound is nonsense
+  plan.reorder_jitter_ms = 0.0;
+  EXPECT_THROW(plan.validate(), EnsureError);
+  plan.reorder_jitter_ms = 100.0;
+  plan.validate();
+  plan.blackouts.push_back({5.0, 5.0});  // empty window
+  EXPECT_THROW(plan.validate(), EnsureError);
+}
+
+TEST(FaultInjector, BlackoutScheduleIsExactAndSorted) {
+  FaultPlan plan;
+  // Deliberately unsorted; the injector sorts by start time.
+  plan.blackouts.push_back({100.0, 200.0});
+  plan.blackouts.push_back({10.0, 20.0});
+  FaultInjector inj(plan, 1, 4);
+  EXPECT_FALSE(inj.blackout_at(9.9));
+  EXPECT_TRUE(inj.blackout_at(10.0));   // start inclusive
+  EXPECT_TRUE(inj.blackout_at(19.9));
+  EXPECT_FALSE(inj.blackout_at(20.0));  // end exclusive
+  EXPECT_TRUE(inj.blackout_at(150.0));
+  EXPECT_FALSE(inj.blackout_at(250.0));
+  EXPECT_TRUE(inj.blackout_overlaps(0.0, 10.0));
+  EXPECT_TRUE(inj.blackout_overlaps(30.0, 120.0));
+  EXPECT_FALSE(inj.blackout_overlaps(20.0, 99.0));
+  EXPECT_FALSE(inj.blackout_overlaps(201.0, 300.0));
+}
+
+TEST(FaultInjector, DecisionStreamsReplayBitIdentically) {
+  FaultPlan plan;
+  plan.duplicate_prob = 0.3;
+  plan.max_duplicates = 3;
+  plan.reorder_prob = 0.2;
+  plan.reorder_jitter_ms = 50.0;
+  plan.corrupt_prob = 0.2;
+  plan.nack_storm_prob = 0.4;
+  FaultInjector a(plan, 99, 8), b(plan, 99, 8);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t u = static_cast<std::size_t>(step % 8);
+    const double t = static_cast<double>(step);
+    const auto da = a.user_delivery(u, t);
+    const auto db = b.user_delivery(u, t);
+    EXPECT_EQ(da.extra_copies, db.extra_copies);
+    EXPECT_EQ(da.jitter_ms, db.jitter_ms);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(a.nack_extra_copies(u, t), b.nack_extra_copies(u, t));
+  }
+  EXPECT_EQ(a.stats(), b.stats());
+  // And a different seed gives a different stream.
+  FaultInjector c(plan, 100, 8);
+  bool any_diff = false;
+  for (int step = 0; step < 200 && !any_diff; ++step) {
+    const auto dc = c.user_delivery(static_cast<std::size_t>(step % 8), 0.0);
+    const auto da2 = a.user_delivery(static_cast<std::size_t>(step % 8), 0.0);
+    any_diff = dc.extra_copies != da2.extra_copies ||
+               dc.corrupt != da2.corrupt || dc.jitter_ms != da2.jitter_ms;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, PerUserStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.duplicate_prob = 0.5;
+  plan.corrupt_prob = 0.5;
+  // Draw heavily from user 0 in one injector only; user 1's stream must be
+  // unaffected by user 0's consumption.
+  FaultInjector a(plan, 7, 2), b(plan, 7, 2);
+  for (int i = 0; i < 100; ++i) (void)a.user_delivery(0, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    const auto da = a.user_delivery(1, 0.0);
+    const auto db = b.user_delivery(1, 0.0);
+    EXPECT_EQ(da.extra_copies, db.extra_copies);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+  }
+}
+
+TEST(FaultInjector, CorruptCopyAlwaysDiffers) {
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  plan.corrupt_max_flips = 2;
+  FaultInjector inj(plan, 3, 1);
+  const Bytes wire(64, 0x55);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes damaged = inj.corrupt_copy(0, wire);
+    ASSERT_EQ(damaged.size(), wire.size());
+    EXPECT_NE(damaged, wire);
+  }
+}
+
+TEST(Topology, BlackoutEatsEveryLinkDuringWindow) {
+  TopologyConfig cfg;
+  cfg.num_users = 4;
+  cfg.p_high = 0.0;  // lossless baseline: only the blackout can drop
+  cfg.p_low = 0.0;
+  cfg.p_source = 0.0;
+  cfg.burst_loss = false;
+  Topology topo(cfg, 11);
+  FaultPlan plan;
+  plan.blackouts.push_back({100.0, 200.0});
+  topo.install_faults(plan, 5);
+  ASSERT_NE(topo.faults(), nullptr);
+  EXPECT_FALSE(topo.source_lost(50.0));
+  EXPECT_FALSE(topo.user_lost(0, 60.0));
+  EXPECT_TRUE(topo.source_lost(150.0));
+  EXPECT_TRUE(topo.user_lost(1, 150.0));
+  EXPECT_TRUE(topo.user_uplink_lost(2, 199.0));
+  EXPECT_TRUE(topo.source_uplink_lost(199.5));
+  EXPECT_FALSE(topo.source_lost(200.0));
+  EXPECT_FALSE(topo.user_lost(3, 250.0));
+  EXPECT_EQ(topo.faults()->stats().blackout_drops, 4u);
+}
+
+TEST(Topology, BlackoutDoesNotPerturbLossStreams) {
+  // The same queries with and without a blackout window outside the
+  // queried range must draw identically: the blackout check happens before
+  // the loss-process draw, so streams resume unperturbed after a window.
+  TopologyConfig cfg;
+  cfg.num_users = 8;
+  Topology plain(cfg, 77), faulted(cfg, 77);
+  FaultPlan plan;
+  plan.blackouts.push_back({1000.0, 2000.0});
+  faulted.install_faults(plan, 9);
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i * 10);  // all before the window
+    EXPECT_EQ(plain.source_lost(t), faulted.source_lost(t));
+    for (std::size_t u = 0; u < 8; ++u)
+      EXPECT_EQ(plain.user_lost(u, t), faulted.user_lost(u, t));
+  }
+}
+
 }  // namespace
 }  // namespace rekey::simnet

@@ -218,5 +218,55 @@ TEST(UserTransport, DuplicateSlotsHelpDecoding) {
   EXPECT_TRUE(u.recovered());
 }
 
+TEST(UserTransport, RedeliveredShardsAreIdempotent) {
+  // Duplicated/reordered network delivery: the same wire arriving many
+  // times must not inflate per-block shard counts (a block must not look
+  // decodable before k *distinct* shards arrived), and the NACK must ask
+  // for the same parities as a single clean delivery would.
+  Rig rig(512, 128, 5, /*proactive=*/0);
+  const auto idx = rig.send_round(1);
+  UserTransport clean = rig.user(5);
+  UserTransport noisy = rig.user(5);
+  const std::uint16_t me = rig.msg.old_ids[5];
+  for (const auto i : idx) {
+    const auto h = packet::parse_enc_header(rig.pool[i]);
+    ASSERT_TRUE(h.has_value());
+    if (h->frm_id <= me && me <= h->to_id) continue;  // drop own packet
+    clean.on_packet(i, 1);
+    // The noisy path sees every packet three times.
+    noisy.on_packet(i, 1);
+    noisy.on_packet(i, 1);
+    noisy.on_packet(i, 1);
+  }
+  const auto nack_clean = clean.end_of_round(1);
+  const auto nack_noisy = noisy.end_of_round(1);
+  EXPECT_EQ(clean.recovered(), noisy.recovered());
+  ASSERT_EQ(nack_clean.size(), nack_noisy.size());
+  for (std::size_t i = 0; i < nack_clean.size(); ++i) {
+    EXPECT_EQ(nack_clean[i].block_id, nack_noisy[i].block_id);
+    EXPECT_EQ(nack_clean[i].parities_needed, nack_noisy[i].parities_needed);
+  }
+}
+
+TEST(UserTransport, CorruptedDatagramIsIgnoredNotFatal) {
+  // A bit-corrupted wire that slips past the checksum reaches the parser;
+  // a rejected parse must leave the receiver state untouched, even when
+  // the damaged packet would have been the user's own.
+  Rig rig(512, 128, 5, 0);
+  const auto idx = rig.send_round(1);
+  UserTransport u = rig.user(3);
+  // Truncate a copy of the first packet mid-entry: strict-tail parsing
+  // rejects it; on_packet must shrug it off.
+  Bytes damaged = rig.pool[idx[0]];
+  damaged.resize(packet::kEncHeaderSize + packet::kEntrySize / 2);
+  const std::size_t didx = rig.pool.size();
+  rig.pool.push_back(damaged);
+  EXPECT_NO_THROW(u.on_packet(didx, 1));
+  EXPECT_FALSE(u.recovered());
+  // The clean copies still work.
+  for (const auto i : idx) u.on_packet(i, 1);
+  EXPECT_TRUE(u.recovered());
+}
+
 }  // namespace
 }  // namespace rekey::transport

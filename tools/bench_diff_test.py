@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py, run as a subprocess the way CI invokes it.
+
+Each case writes a golden/candidate pair to a temp directory, runs the
+script, and asserts on the exit status and (where the contract specifies
+it) the report text. Exit codes under test: 0 match, 1 difference, 2 I/O
+or usage error.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_diff.py")
+
+DOC = {
+    "schema_version": 1,
+    "figure": "F8",
+    "smoke": True,
+    "sections": [
+        {
+            "id": "F8",
+            "columns": ["k", "nacks", "bw_overhead"],
+            "rows": [[1, 40, 1.25], [10, 7, 1.5], [50, 3, 2.75]],
+        }
+    ],
+    "seeds": ["0x0000000000000001"],
+    "notes": ["shape check"],
+}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_diff(self, golden, candidate, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, golden, candidate, *extra],
+            capture_output=True, text=True)
+
+    def diff_docs(self, golden_doc, candidate_doc, *extra):
+        return self.run_diff(self.write("golden.json", golden_doc),
+                             self.write("candidate.json", candidate_doc),
+                             *extra)
+
+    def test_identical_documents_match(self):
+        proc = self.diff_docs(DOC, DOC)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("matches", proc.stdout)
+
+    def test_integer_fields_are_exact(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][1][1] = 8  # 7 -> 8
+        proc = self.diff_docs(DOC, candidate)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("$.sections[0].rows[1][1]", proc.stdout)
+
+    def test_floats_within_rtol_match(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][2][2] = 2.75 * (1 + 1e-9)
+        self.assertEqual(self.diff_docs(DOC, candidate).returncode, 0)
+
+    def test_floats_outside_rtol_differ(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][2][2] = 2.75 * 1.01
+        proc = self.diff_docs(DOC, candidate)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("float", proc.stdout)
+        # A widened tolerance accepts the same pair.
+        self.assertEqual(
+            self.diff_docs(DOC, candidate, "--rtol", "0.05").returncode, 0)
+
+    def test_int_vs_float_is_a_type_difference(self):
+        # The emitter keeps 2 and 2.0 distinct on the wire; so does the diff.
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][0][0] = 1.0
+        proc = self.diff_docs(DOC, candidate)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("type", proc.stdout)
+
+    def test_missing_row_is_reported(self):
+        candidate = copy.deepcopy(DOC)
+        del candidate["sections"][0]["rows"][1]
+        proc = self.diff_docs(DOC, candidate)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("length 3 != 2", proc.stdout)
+
+    def test_missing_key_is_reported_on_both_sides(self):
+        candidate = copy.deepcopy(DOC)
+        del candidate["notes"]
+        proc = self.diff_docs(DOC, candidate)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing in candidate", proc.stdout)
+
+        extra = copy.deepcopy(DOC)
+        extra["extra_key"] = 1
+        proc = self.diff_docs(DOC, extra)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing in golden", proc.stdout)
+
+    def test_ignore_drops_top_level_keys(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["notes"] = ["different note"]
+        self.assertEqual(self.diff_docs(DOC, candidate).returncode, 1)
+        self.assertEqual(
+            self.diff_docs(DOC, candidate, "--ignore", "notes").returncode, 0)
+
+    def test_bool_is_not_conflated_with_int(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["smoke"] = 1  # truthy, but not a bool
+        self.assertEqual(self.diff_docs(DOC, candidate).returncode, 1)
+
+    def test_unreadable_file_is_a_usage_error(self):
+        golden = self.write("golden.json", DOC)
+        missing = os.path.join(self.tmp.name, "nope.json")
+        self.assertEqual(self.run_diff(golden, missing).returncode, 2)
+
+    def test_malformed_json_is_a_usage_error(self):
+        golden = self.write("golden.json", DOC)
+        broken = os.path.join(self.tmp.name, "broken.json")
+        with open(broken, "w") as f:
+            f.write("{not json")
+        self.assertEqual(self.run_diff(golden, broken).returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
