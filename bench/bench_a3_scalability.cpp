@@ -8,11 +8,14 @@
 #include <string>
 
 #include "analysis/scalability.h"
+#include "common/rng.h"
 #include "common/table.h"
 #include "crypto/keys.h"
 #include "fec/gf256.h"
 #include "fec/gf256_simd.h"
 #include "fec/rse.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
 #include "sweep.h"
 
 using namespace rekey;
@@ -75,6 +78,34 @@ double measure_kernel_ns_per_byte(const fec::RegionKernels& kernels,
   return ns / (iters * 1023.0);
 }
 
+// Marking + bookkeeping cost per emitted encryption: one J=0, L=N/4 batch
+// on a 4096-user tree, timed without the crypto (the model already counts
+// encrypt_per_key_us separately). Divided by the batch's encryption count
+// so it plugs into the model as a per-encryption surcharge.
+double measure_marking_us_per_enc(int trials) {
+  double best_us = 1e300;
+  std::size_t encs = 1;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(3 + static_cast<std::uint64_t>(t));
+    tree::KeyTree kt(4, rng.next_u64());
+    kt.populate(4096);
+    std::vector<tree::MemberId> leaves;
+    for (const auto pick : rng.sample_without_replacement(4096, 1024))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    const auto start = Clock::now();
+    tree::Marker m(kt);
+    const auto upd = m.run({}, leaves);
+    const auto us = std::chrono::duration<double, std::micro>(
+                        Clock::now() - start)
+                        .count();
+    if (us < best_us) {
+      best_us = us;
+      encs = tree::generate_rekey_payload(kt, upd, 1).encryptions.size();
+    }
+  }
+  return best_us / static_cast<double>(encs);
+}
+
 double measure_sign_us(int iters) {
   crypto::KeyGenerator gen(2);
   const auto key = gen.next();
@@ -101,6 +132,7 @@ int main(int argc, char** argv) {
 
   analysis::ServerCostParams params;
   params.encrypt_per_key_us = measure_encrypt_us(cli.smoke ? 200 : 5000);
+  params.marking_per_enc_us = measure_marking_us_per_enc(cli.smoke ? 1 : 5);
   params.fec_per_byte_ns = measure_fec_ns_per_byte(cli.smoke ? 20 : 300);
   params.sign_us = measure_sign_us(cli.smoke ? 3 : 20);
 
@@ -112,6 +144,8 @@ int main(int argc, char** argv) {
   units.set_precision(3);
   units.add_row({std::string("key encryption (us)"),
                  params.encrypt_per_key_us});
+  units.add_row({std::string("marking per encryption (us)"),
+                 params.marking_per_enc_us});
   units.add_row({std::string("FEC GF(256) per source byte (ns)"),
                  params.fec_per_byte_ns});
   // Per-path kernel A/B: the same addmul pass on every compiled ISA path

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "sweep.h"
 #include "crypto/chacha20.h"
@@ -117,6 +118,70 @@ void BM_MarkingBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MarkingBatch)->Arg(1024)->Arg(4096);
+
+void BM_MarkingOnly(benchmark::State& state) {
+  // The marking algorithm alone (no encryption generation): the tree-walk
+  // cost the flat arena is designed around. J=L=N/16 churn.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(seed++);
+    tree::KeyTree kt(4, rng.next_u64());
+    kt.populate(n);
+    std::vector<tree::MemberId> leaves;
+    for (const auto pick : rng.sample_without_replacement(n, n / 16))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    std::vector<tree::MemberId> joins;
+    for (std::size_t j = 0; j < n / 16; ++j)
+      joins.push_back(static_cast<tree::MemberId>(n + j));
+    state.ResumeTiming();
+    tree::Marker m(kt);
+    benchmark::DoNotOptimize(m.run(joins, leaves));
+  }
+}
+BENCHMARK(BM_MarkingOnly)->Arg(1024)->Arg(4096)->Arg(32768);
+
+void BM_PayloadGeneration(benchmark::State& state) {
+  // Encryption generation over a fixed marked tree (marking done once in
+  // setup — generation is const over the tree).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  tree::KeyTree kt(4, rng.next_u64());
+  kt.populate(n);
+  std::vector<tree::MemberId> leaves;
+  for (const auto pick : rng.sample_without_replacement(n, n / 4))
+    leaves.push_back(static_cast<tree::MemberId>(pick));
+  tree::Marker m(kt);
+  const auto upd = m.run({}, leaves);
+  tree::RekeyPayload payload;
+  for (auto _ : state) {
+    tree::generate_rekey_payload_into(kt, upd, 1, payload);
+    benchmark::DoNotOptimize(payload.encryptions.data());
+  }
+}
+BENCHMARK(BM_PayloadGeneration)->Arg(1024)->Arg(4096)->Arg(32768);
+
+void BM_PayloadGenerationParallel(benchmark::State& state) {
+  // Same, fanned out over the worker pool (REKEY_THREADS). The pool lives
+  // outside the loop, as a long-running key server's would.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  tree::KeyTree kt(4, rng.next_u64());
+  kt.populate(n);
+  std::vector<tree::MemberId> leaves;
+  for (const auto pick : rng.sample_without_replacement(n, n / 4))
+    leaves.push_back(static_cast<tree::MemberId>(pick));
+  tree::Marker m(kt);
+  const auto upd = m.run({}, leaves);
+  ThreadPool pool(0);
+  tree::RekeyPayload payload;
+  for (auto _ : state) {
+    tree::generate_rekey_payload_into(kt, upd, 1, payload, &pool);
+    benchmark::DoNotOptimize(payload.encryptions.data());
+  }
+}
+BENCHMARK(BM_PayloadGenerationParallel)->Arg(4096)->Arg(32768);
 
 void BM_UkaAssignment(benchmark::State& state) {
   Rng rng(9);

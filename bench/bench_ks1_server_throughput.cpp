@@ -1,0 +1,194 @@
+// KS1 — key-server batch-rekey throughput on the flat arena key tree.
+//
+// For each group size N and J/L mix, a fresh tree of N users is built and
+// one batch is driven through the full server pipeline — marking,
+// encryption generation, UKA packet assignment — with each stage timed
+// separately. The encryption counts are deterministic (fixed per-point
+// seeds) and are cross-checked against the A1 analytic model
+// (analysis/batch_cost.h); timings are hardware-dependent, so the CI
+// golden diff gives the timing columns an unbounded tolerance
+// (tools/bench_diff.py --col-rtol) while holding counts exact.
+//
+// The second section re-runs encryption generation with the worker pool
+// (REKEY_THREADS / hardware concurrency): the fan-out writes to fixed
+// output slots, so its payload is bit-identical to the serial one — the
+// bench asserts that — and only the wall time changes.
+#include <chrono>
+#include <iostream>
+
+#include "analysis/batch_cost.h"
+#include "common/ensure.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
+#include "packet/assign.h"
+#include "sweep.h"
+
+namespace {
+
+using namespace rekey;
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+struct Mix {
+  const char* name;
+  std::size_t J, L;  // per unit N: J = N/j_div etc. (0 divisor = zero)
+};
+
+struct PointResult {
+  std::size_t encryptions = 0;
+  std::size_t enc_packets = 0;
+  double mark_us = 0.0;
+  double payload_us = 0.0;
+  double assign_us = 0.0;
+  double payload_parallel_us = 0.0;
+  bool parallel_identical = true;
+};
+
+// Builds a fresh N-user tree, applies one (J, L) batch, and times each
+// pipeline stage. `pool` (may be null) is used only for the extra
+// parallel payload-generation measurement.
+PointResult run_point(std::size_t N, std::size_t J, std::size_t L,
+                      unsigned d, std::uint64_t seed, int trials,
+                      ThreadPool* pool) {
+  PointResult r;
+  r.mark_us = r.payload_us = r.assign_us = r.payload_parallel_us = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(bench::point_seed(seed, static_cast<std::uint64_t>(t)));
+    tree::KeyTree kt(d, rng.next_u64());
+    kt.populate(N);
+    std::vector<tree::MemberId> leaves;
+    leaves.reserve(L);
+    for (const auto pick : rng.sample_without_replacement(N, L))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    std::vector<tree::MemberId> joins;
+    joins.reserve(J);
+    for (std::size_t j = 0; j < J; ++j)
+      joins.push_back(static_cast<tree::MemberId>(N + j));
+
+    auto t0 = Clock::now();
+    tree::Marker marker(kt);
+    const auto upd = marker.run(joins, leaves);
+    r.mark_us = std::min(r.mark_us, us_since(t0));
+
+    t0 = Clock::now();
+    const auto payload = tree::generate_rekey_payload(kt, upd, 1);
+    r.payload_us = std::min(r.payload_us, us_since(t0));
+
+    t0 = Clock::now();
+    const auto assignment = packet::assign_keys(payload, 1027);
+    r.assign_us = std::min(r.assign_us, us_since(t0));
+
+    r.encryptions = payload.encryptions.size();
+    r.enc_packets = assignment.packets.size();
+
+    if (pool != nullptr) {
+      t0 = Clock::now();
+      const auto par = tree::generate_rekey_payload(kt, upd, 1, pool);
+      r.payload_parallel_us = std::min(r.payload_parallel_us, us_since(t0));
+      r.parallel_identical =
+          r.parallel_identical &&
+          par.encryptions.size() == payload.encryptions.size();
+      for (std::size_t i = 0;
+           r.parallel_identical && i < par.encryptions.size(); ++i)
+        r.parallel_identical =
+            par.encryptions[i].enc_id == payload.encryptions[i].enc_id &&
+            par.encryptions[i].payload == payload.encryptions[i].payload;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("KS1", cli);
+
+  const unsigned d = 4;
+  const int kTrials = cli.smoke ? 1 : 3;
+  const std::vector<std::size_t> sizes =
+      cli.smoke ? std::vector<std::size_t>{1u << 10, 1u << 12}
+                : std::vector<std::size_t>{1u << 10, 1u << 12, 1u << 14,
+                                           1u << 17, 1u << 20};
+  ThreadPool pool(0);
+  ThreadPool* par = pool.size() > 1 ? &pool : nullptr;
+
+  struct Row {
+    std::size_t N, J, L;
+    const char* mix;
+    PointResult res;
+  };
+  std::vector<Row> rows;
+  std::uint64_t idx = 0;
+  bool all_identical = true;
+  for (const std::size_t N : sizes) {
+    const Mix mixes[] = {{"churn", N / 16, N / 16},
+                         {"leave", 0, N / 4},
+                         {"join", N / 4, 0}};
+    for (const Mix& m : mixes) {
+      const std::uint64_t seed = point_seed(0x4B5311ull, idx);
+      json.add_seed(seed);
+      Row row{N, m.J, m.L, m.name,
+              run_point(N, m.J, m.L, d, seed, kTrials, par)};
+      all_identical = all_identical && row.res.parallel_identical;
+      rows.push_back(row);
+      ++idx;
+    }
+  }
+
+  json.header(std::cout, "KS1 (pipeline)",
+              "server batch cost: marking + payload + UKA, per stage",
+              "d=4, 1027-byte packets, fresh tree per point, min over " +
+                  std::to_string(kTrials) + " trials");
+  {
+    Table t({"N", "mix", "J", "L", "enc", "model_enc", "enc_pkts",
+             "mark_us", "payload_us", "assign_us", "batch_us",
+             "us_per_user", "batches_per_s"});
+    t.set_precision(2);
+    for (const Row& r : rows) {
+      const double batch_us =
+          r.res.mark_us + r.res.payload_us + r.res.assign_us;
+      t.add_row({static_cast<long long>(r.N), std::string(r.mix),
+                 static_cast<long long>(r.J), static_cast<long long>(r.L),
+                 static_cast<long long>(r.res.encryptions),
+                 analysis::expected_encryptions(r.N, r.J, r.L, d),
+                 static_cast<long long>(r.res.enc_packets), r.res.mark_us,
+                 r.res.payload_us, r.res.assign_us, batch_us,
+                 batch_us / static_cast<double>(r.N), 1e6 / batch_us});
+    }
+    json.table(std::cout, t);
+  }
+
+  // The params string stays machine-independent (the worker count varies
+  // with REKEY_THREADS) so the smoke document golden-diffs cleanly.
+  json.header(std::cout, "KS1 (parallel payload)",
+              "encryption generation: serial vs worker pool",
+              "REKEY_THREADS workers; 1 worker repeats the serial column");
+  {
+    Table t({"N", "mix", "enc", "payload_us", "payload_par_us", "speedup"});
+    t.set_precision(2);
+    for (const Row& r : rows) {
+      const double par_us = par == nullptr || r.res.payload_parallel_us > 1e299
+                                ? r.res.payload_us
+                                : r.res.payload_parallel_us;
+      t.add_row({static_cast<long long>(r.N), std::string(r.mix),
+                 static_cast<long long>(r.res.encryptions), r.res.payload_us,
+                 par_us, r.res.payload_us / par_us});
+    }
+    json.table(std::cout, t);
+  }
+  REKEY_ENSURE_MSG(all_identical,
+                   "parallel payload diverged from the serial payload");
+  json.note(std::cout,
+            "Counts are deterministic and match the A1 model; timing "
+            "columns are hardware-dependent (CI diffs them with unbounded "
+            "tolerance). Parallel payloads are bit-identical to serial.");
+  return json.write();
+}

@@ -25,10 +25,13 @@ ScalabilityPoint evaluate_scalability(std::size_t N, std::size_t J,
       blocks * std::ceil((rho - 1.0) * static_cast<double>(k));
   const double packets = blocks * static_cast<double>(k) + parities;
 
-  // CPU: encryptions + FEC encode (k source bytes per parity byte) + sign.
+  // CPU: encryptions (crypto + marking/bookkeeping overhead) + FEC encode
+  // (k source bytes per parity byte) + sign.
   const double fec_bytes = parities * static_cast<double>(k) *
                            static_cast<double>(packet_size);
-  p.cpu_ms = p.encryptions * params.encrypt_per_key_us / 1e3 +
+  p.cpu_ms = p.encryptions *
+                 (params.encrypt_per_key_us + params.marking_per_enc_us) /
+                 1e3 +
              fec_bytes * params.fec_per_byte_ns / 1e6 +
              params.sign_us / 1e3;
 

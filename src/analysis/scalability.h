@@ -14,6 +14,10 @@ namespace rekey::analysis {
 
 struct ServerCostParams {
   double encrypt_per_key_us = 2.0;   // one {k'}_k encryption
+  // Marking + payload bookkeeping per emitted encryption (tree walk,
+  // labels, UKA scratch), measured by the KS1/A4 benches. 0 keeps the
+  // historical encryption-only model.
+  double marking_per_enc_us = 0.0;
   double fec_per_byte_ns = 1.0;      // GF(256) multiply-accumulate per byte
   double sign_us = 5000.0;           // one rekey-message signature
   double bandwidth_bps = 10e6;       // server multicast budget

@@ -1,0 +1,173 @@
+// A minimal open-addressed hash map for integer keys.
+//
+// The key-tree arena stores the dense id range in plain arrays and spills
+// the (rare) sparse tail into this map, so the map is tuned for that use:
+// power-of-two capacity, linear probing, tombstone deletion, and a
+// splitmix64-mixed hash so sequential NodeIds scatter. Values are stored
+// inline next to their keys; there is no per-entry allocation.
+//
+// Iteration order is the probe-table order, i.e. unspecified — callers
+// that need deterministic output must collect and sort keys themselves
+// (see KeyTree::for_each_node).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace rekey {
+
+inline std::uint64_t splitmix64_hash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename K, typename V>
+class FlatMap {
+  static constexpr std::uint8_t kEmpty = 0, kFull = 1, kTomb = 2;
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    state_.clear();
+    size_ = used_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n * 10 >= capacity() * 7) rehash(table_size_for(n));
+  }
+
+  bool contains(K key) const { return find(key) != nullptr; }
+
+  const V* find(K key) const {
+    if (capacity() == 0) return nullptr;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = splitmix64_hash(static_cast<std::uint64_t>(key)) & mask;
+    while (true) {
+      if (state_[i] == kEmpty) return nullptr;
+      if (state_[i] == kFull && keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask;
+    }
+  }
+
+  V* find(K key) {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->find(key));
+  }
+
+  // Inserts; returns false (leaving the old value) when the key exists.
+  bool insert(K key, V value) {
+    grow_if_needed();
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = splitmix64_hash(static_cast<std::uint64_t>(key)) & mask;
+    std::size_t target = capacity();  // first tombstone on the probe path
+    while (true) {
+      if (state_[i] == kEmpty) {
+        if (target == capacity()) target = i;
+        break;
+      }
+      if (state_[i] == kFull && keys_[i] == key) return false;
+      if (state_[i] == kTomb && target == capacity()) target = i;
+      i = (i + 1) & mask;
+    }
+    if (state_[target] == kEmpty) ++used_;
+    state_[target] = kFull;
+    keys_[target] = key;
+    values_[target] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  V& operator[](K key) {
+    V* v = find(key);
+    if (v != nullptr) return *v;
+    insert(key, V{});
+    return *find(key);
+  }
+
+  bool erase(K key) {
+    if (capacity() == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = splitmix64_hash(static_cast<std::uint64_t>(key)) & mask;
+    while (true) {
+      if (state_[i] == kEmpty) return false;
+      if (state_[i] == kFull && keys_[i] == key) {
+        state_[i] = kTomb;
+        values_[i] = V{};
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Visits every (key, value) pair in unspecified order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t i = 0; i < capacity(); ++i)
+      if (state_[i] == kFull) fn(keys_[i], values_[i]);
+  }
+
+  std::size_t memory_bytes() const {
+    return capacity() * (sizeof(K) + sizeof(V) + sizeof(std::uint8_t));
+  }
+
+ private:
+  std::size_t capacity() const { return state_.size(); }
+
+  static std::size_t table_size_for(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 7 < n * 10) cap <<= 1;  // keep load factor under 0.7
+    return cap;
+  }
+
+  void grow_if_needed() {
+    if (capacity() == 0) {
+      rehash(16);
+    } else if ((used_ + 1) * 10 >= capacity() * 7) {
+      // Rehash drops tombstones; grow only when live entries demand it.
+      rehash(size_ * 10 >= capacity() * 5 ? capacity() * 2 : capacity());
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    REKEY_ENSURE((new_cap & (new_cap - 1)) == 0);
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    keys_.assign(new_cap, K{});
+    values_.assign(new_cap, V{});
+    state_.assign(new_cap, kEmpty);
+    size_ = used_ = 0;
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j =
+          splitmix64_hash(static_cast<std::uint64_t>(old_keys[i])) & mask;
+      while (state_[j] == kFull) j = (j + 1) & mask;
+      state_[j] = kFull;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<K> keys_;
+  std::vector<V> values_;
+  std::vector<std::uint8_t> state_;
+  std::size_t size_ = 0;  // live entries
+  std::size_t used_ = 0;  // live + tombstones
+};
+
+}  // namespace rekey

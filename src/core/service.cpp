@@ -1,8 +1,10 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/ensure.h"
+#include "common/obs.h"
 #include "keytree/snapshot.h"
 #include "packet/assign.h"
 
@@ -23,11 +25,13 @@ std::vector<tree::MemberId> GroupKeyService::bootstrap_members(std::size_t n) {
 
   std::vector<tree::MemberId> out;
   out.reserve(n);
+  // One scratch buffer serves every member: keys_for_slot_into refills it
+  // in place, so handing out n credential sets costs one allocation, not n.
   for (std::size_t i = 0; i < n; ++i) {
     const tree::MemberId m = first + static_cast<tree::MemberId>(i);
     const tree::NodeId slot = tree_.slot_of(m);
-    const auto keys = tree_.keys_for_slot(slot);
-    members_.emplace(m, GroupMember(m, slot, config_.degree, keys));
+    tree_.keys_for_slot_into(slot, keys_scratch_);
+    members_.emplace(m, GroupMember(m, slot, config_.degree, keys_scratch_));
     out.push_back(m);
   }
   return out;
@@ -71,6 +75,8 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
   report.leaves = pending_leaves_.size();
   if (pending_joins_.empty() && pending_leaves_.empty()) return report;
 
+  const auto batch_start = std::chrono::steady_clock::now();
+
   tree::Marker marker(tree_);
   const tree::BatchUpdate update = marker.run(pending_joins_, pending_leaves_);
   pending_joins_.clear();
@@ -81,7 +87,7 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
   for (const auto& [m, slot] : update.departed) members_.erase(m);
   for (const auto& [m, slot] : update.joined) {
     const std::pair<tree::NodeId, crypto::SymmetricKey> cred{
-        slot, tree_.node(slot).key};
+        slot, tree_.key_of(slot)};
     members_.emplace(
         m, GroupMember(m, slot, config_.degree, std::span(&cred, 1)));
   }
@@ -94,6 +100,22 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
       packet::assign_keys(payload, config_.protocol.packet_size);
   report.enc_packets = assignment.packets.size();
   report.duplication_overhead = assignment.duplication_overhead();
+
+  // Server-side batch cost (marking + payload generation + UKA), before
+  // any delivery.
+  {
+    const auto batch_end = std::chrono::steady_clock::now();
+    const double us = std::chrono::duration<double, std::micro>(
+                          batch_end - batch_start)
+                          .count();
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("keyserver.batches").add();
+    reg.counter("keyserver.encryptions").add(payload.encryptions.size());
+    reg.counter("keyserver.nodes_touched").add(update.changed_knodes.size());
+    reg.histogram("keyserver.batch_us").observe(us);
+    reg.gauge("keyserver.arena_bytes")
+        .set(static_cast<double>(tree_.arena_bytes()));
+  }
 
   if (topology == nullptr) {
     // Ideal in-process delivery: every view filters the full list.
@@ -167,12 +189,14 @@ std::optional<GroupKeyService> GroupKeyService::restore(
     svc.next_member_ = next_member;
     svc.next_msg_id_ = next_msg;
     // Rebuild member objects with full path keys — the server holds every
-    // key, so reconstruction is exact.
-    for (const tree::NodeId slot : svc.tree_.user_slots()) {
+    // key, so reconstruction is exact. The scratch buffer is refilled per
+    // slot (one allocation for the whole loop).
+    svc.tree_.for_each_user_slot([&](tree::NodeId slot) {
       const tree::MemberId m = svc.tree_.node(slot).member;
-      const auto keys = svc.tree_.keys_for_slot(slot);
-      svc.members_.emplace(m, GroupMember(m, slot, config.degree, keys));
-    }
+      svc.tree_.keys_for_slot_into(slot, svc.keys_scratch_);
+      svc.members_.emplace(
+          m, GroupMember(m, slot, config.degree, svc.keys_scratch_));
+    });
     return svc;
   } catch (const EnsureError&) {
     return std::nullopt;

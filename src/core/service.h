@@ -103,6 +103,9 @@ class GroupKeyService {
   // Transient sim state — deliberately not part of snapshot().
   double transport_clock_ms_ = 0.0;
   transport::RhoController rho_;
+  // Reused by bootstrap/restore so credential hand-out does not allocate
+  // per member.
+  std::vector<std::pair<tree::NodeId, crypto::SymmetricKey>> keys_scratch_;
 };
 
 }  // namespace rekey::core

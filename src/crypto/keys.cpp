@@ -79,6 +79,23 @@ KeyGenerator::KeyGenerator(std::uint64_t master_seed) {
   for (int i = 0; i < 8; ++i)
     seed_bytes[i] = static_cast<std::uint8_t>(master_seed >> (56 - 8 * i));
   master_ = Sha256::hash(seed_bytes);
+
+  // Precompute the HMAC pad mid-states (master_ is 32 bytes, so the key
+  // block is master_ zero-padded to 64 — same as hmac_sha256 builds it).
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < master_.size(); ++i) {
+    ipad[i] = static_cast<std::uint8_t>(master_[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(master_[i] ^ 0x5c);
+  }
+  for (std::size_t i = master_.size(); i < 64; ++i) {
+    ipad[i] = 0x36;
+    opad[i] = 0x5c;
+  }
+  inner_mid_ = Sha256::kInitialState;
+  outer_mid_ = Sha256::kInitialState;
+  Sha256::compress(inner_mid_, ipad.data(), 1);
+  Sha256::compress(outer_mid_, opad.data(), 1);
 }
 
 SymmetricKey KeyGenerator::next() {
@@ -86,7 +103,12 @@ SymmetricKey KeyGenerator::next() {
   for (int i = 0; i < 8; ++i)
     ctr[i] = static_cast<std::uint8_t>(counter_ >> (56 - 8 * i));
   ++counter_;
-  const auto mac = hmac_sha256(master_, ctr);
+  Sha256 inner(inner_mid_, 1);
+  inner.update(ctr);
+  const auto inner_digest = inner.finish();
+  Sha256 outer(outer_mid_, 1);
+  outer.update(inner_digest);
+  const auto mac = outer.finish();
   SymmetricKey k;
   std::memcpy(k.bytes.data(), mac.data(), k.bytes.size());
   return k;

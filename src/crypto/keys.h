@@ -51,6 +51,11 @@ std::optional<SymmetricKey> decrypt_key(const SymmetricKey& kek,
 
 // Deterministic key generator: derives an endless sequence of fresh keys
 // from a master secret via HMAC-SHA256, so a simulation run is reproducible.
+//
+// The master key is fixed for the generator's lifetime, so the HMAC
+// ipad/opad blocks are compressed once here and every next() resumes from
+// the cached mid-states — 2 compressions per key instead of 4, with output
+// identical to hmac_sha256(master, counter).
 class KeyGenerator {
  public:
   explicit KeyGenerator(std::uint64_t master_seed);
@@ -59,6 +64,8 @@ class KeyGenerator {
 
  private:
   std::array<std::uint8_t, 32> master_{};
+  Sha256::State inner_mid_{};  // state after absorbing master ^ ipad
+  Sha256::State outer_mid_{};  // state after absorbing master ^ opad
   std::uint64_t counter_ = 0;
 };
 

@@ -1,6 +1,6 @@
 #include "keytree/keytree.h"
 
-#include <cmath>
+#include <algorithm>
 
 #include "common/ensure.h"
 
@@ -9,6 +9,150 @@ namespace rekey::tree {
 KeyTree::KeyTree(unsigned degree, std::uint64_t key_seed)
     : degree_(degree), keygen_(key_seed) {
   REKEY_ENSURE_MSG(degree >= 2, "key tree degree must be >= 2");
+}
+
+void KeyTree::fill_node(NodeId id, Node& out) const {
+  if (id < state_.size() && state_[id] != kAbsent) {
+    out.kind = state_[id] == kKNode ? NodeKind::KNode : NodeKind::UNode;
+    out.key = key_[id];
+    out.member = state_[id] == kUNode ? member_[id] : 0;
+    return;
+  }
+  const OverflowNode* n = overflow_.find(id);
+  REKEY_ENSURE_MSG(n != nullptr && n->state != kAbsent,
+                   "node does not exist (n-node)");
+  out.kind = n->state == kKNode ? NodeKind::KNode : NodeKind::UNode;
+  out.key = n->key;
+  out.member = n->state == kUNode ? n->member : 0;
+}
+
+void KeyTree::set_knode(NodeId id, const crypto::SymmetricKey& key) {
+  REKEY_ENSURE(state_at(id) == kAbsent);
+  if (id < state_.size()) {
+    state_[id] = kKNode;
+    key_[id] = key;
+  } else {
+    OverflowNode n;
+    n.state = kKNode;
+    n.key = key;
+    overflow_.insert(id, n);
+  }
+  ++num_knodes_;
+  if (num_knodes_ == 1) {
+    kmax_ = id;
+    kmax_valid_ = true;
+  } else if (id > kmax_) {
+    kmax_ = id;  // still exact if it was; still an upper bound otherwise
+  }
+}
+
+void KeyTree::set_unode(NodeId id, const crypto::SymmetricKey& key,
+                        MemberId m) {
+  REKEY_ENSURE(state_at(id) == kAbsent);
+  if (id < state_.size()) {
+    state_[id] = kUNode;
+    key_[id] = key;
+    member_[id] = m;
+  } else {
+    OverflowNode n;
+    n.state = kUNode;
+    n.key = key;
+    n.member = m;
+    overflow_.insert(id, n);
+  }
+  ++num_unodes_;
+  REKEY_ENSURE_MSG(slot_of_member_.insert(m, id), "duplicate member");
+}
+
+void KeyTree::remove_node(NodeId id) {
+  if (id < state_.size() && state_[id] != kAbsent) {
+    if (state_[id] == kUNode) {
+      slot_of_member_.erase(member_[id]);
+      --num_unodes_;
+    } else {
+      --num_knodes_;
+      if (id == kmax_) kmax_valid_ = false;
+    }
+    state_[id] = kAbsent;
+    return;
+  }
+  OverflowNode* n = overflow_.find(id);
+  REKEY_ENSURE_MSG(n != nullptr && n->state != kAbsent, "removing an n-node");
+  if (n->state == kUNode) {
+    slot_of_member_.erase(n->member);
+    --num_unodes_;
+  } else {
+    --num_knodes_;
+    if (id == kmax_) kmax_valid_ = false;
+  }
+  overflow_.erase(id);
+}
+
+crypto::SymmetricKey& KeyTree::key_ref(NodeId id) {
+  if (id < state_.size() && state_[id] != kAbsent) return key_[id];
+  OverflowNode* n = overflow_.find(id);
+  REKEY_ENSURE_MSG(n != nullptr && n->state != kAbsent,
+                   "node does not exist (n-node)");
+  return n->key;
+}
+
+const crypto::SymmetricKey& KeyTree::key_cref(NodeId id) const {
+  return const_cast<KeyTree*>(this)->key_ref(id);
+}
+
+const crypto::SymmetricKey& KeyTree::key_of(NodeId id) const {
+  return key_cref(id);
+}
+
+MemberId KeyTree::member_at(NodeId id) const {
+  if (id < state_.size() && state_[id] == kUNode) return member_[id];
+  const OverflowNode* n = overflow_.find(id);
+  REKEY_ENSURE_MSG(n != nullptr && n->state == kUNode, "not a u-node");
+  return n->member;
+}
+
+void KeyTree::grow_dense(std::size_t new_cap) {
+  if (new_cap <= state_.size()) return;
+  state_.resize(new_cap, kAbsent);
+  key_.resize(new_cap);
+  member_.resize(new_cap, 0);
+  if (overflow_.empty()) return;
+  // Migrate overflow entries that the grown dense region now covers.
+  std::vector<std::pair<NodeId, OverflowNode>> moved;
+  overflow_.for_each([&](NodeId id, const OverflowNode& n) {
+    if (id < new_cap) moved.emplace_back(id, n);
+  });
+  for (const auto& [id, n] : moved) {
+    state_[id] = n.state;
+    key_[id] = n.key;
+    if (n.state == kUNode) member_[id] = n.member;
+    overflow_.erase(id);
+  }
+}
+
+void KeyTree::rebalance() {
+  const std::size_t target = std::max<std::size_t>(
+      256, 2 * static_cast<std::size_t>(degree_) * num_nodes());
+  if (target > state_.size()) grow_dense(target);
+}
+
+std::vector<NodeId> KeyTree::sorted_overflow_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(overflow_.size());
+  overflow_.for_each([&](NodeId id, const OverflowNode&) {
+    ids.push_back(id);
+  });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<NodeId> KeyTree::sorted_overflow_unodes() const {
+  std::vector<NodeId> ids;
+  overflow_.for_each([&](NodeId id, const OverflowNode& n) {
+    if (n.state == kUNode) ids.push_back(id);
+  });
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 void KeyTree::populate(std::size_t n, MemberId first_member) {
@@ -25,131 +169,208 @@ void KeyTree::populate(std::size_t n, MemberId first_member) {
   }
 
   const NodeId first_leaf = first_id_at_level(height, degree_);
+  // Size the dense region to cover every id up front: populate only ever
+  // creates ids <= first_leaf + n - 1.
+  grow_dense(std::max<std::size_t>(256, first_leaf + n));
+  slot_of_member_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId slot = first_leaf + i;
-    Node u;
-    u.kind = NodeKind::UNode;
-    u.key = keygen_.next();
-    u.member = first_member + static_cast<MemberId>(i);
-    nodes_.emplace(slot, u);
-    unode_ids_.insert(slot);
-    slot_of_member_.emplace(u.member, slot);
-    // Create missing ancestors as k-nodes.
+    // Key-generator call order (u-node first, then missing ancestors
+    // bottom-up) is part of the determinism contract with the goldens.
+    set_unode(slot, keygen_.next(), first_member + static_cast<MemberId>(i));
     NodeId id = slot;
     while (id != kRootId) {
       id = parent_of(id, degree_);
-      if (nodes_.count(id)) break;
-      Node k;
-      k.kind = NodeKind::KNode;
-      k.key = keygen_.next();
-      nodes_.emplace(id, k);
-      knode_ids_.insert(id);
+      if (state_at(id) != kAbsent) break;
+      set_knode(id, keygen_.next());
     }
   }
+  rebalance();
 }
 
 KeyTree KeyTree::from_nodes(unsigned degree, std::uint64_t key_seed,
                             const std::map<NodeId, Node>& nodes) {
   KeyTree t(degree, key_seed);
+  NodeId max_id = 0;
+  for (const auto& [id, n] : nodes) max_id = std::max(max_id, id);
+  const std::size_t target = std::max<std::size_t>(
+      256, 2 * static_cast<std::size_t>(degree) * nodes.size());
+  // Dense when the sizing policy covers the ids; sparse tails overflow.
+  t.grow_dense(target);
   for (const auto& [id, n] : nodes) {
-    t.nodes_.emplace(id, n);
     if (n.kind == NodeKind::KNode) {
-      t.knode_ids_.insert(id);
+      t.set_knode(id, n.key);
     } else {
-      t.unode_ids_.insert(id);
-      const auto [it, inserted] = t.slot_of_member_.emplace(n.member, id);
-      (void)it;
-      REKEY_ENSURE_MSG(inserted, "duplicate member in node data");
+      REKEY_ENSURE_MSG(!t.slot_of_member_.contains(n.member),
+                       "duplicate member in node data");
+      t.set_unode(id, n.key, n.member);
     }
   }
   t.check_invariants();
   return t;
 }
 
-const Node& KeyTree::node(NodeId id) const {
-  const auto it = nodes_.find(id);
-  REKEY_ENSURE_MSG(it != nodes_.end(), "node does not exist (n-node)");
-  return it->second;
+Node KeyTree::node(NodeId id) const {
+  Node out;
+  fill_node(id, out);
+  return out;
 }
 
 std::optional<NodeId> KeyTree::max_knode_id() const {
-  if (knode_ids_.empty()) return std::nullopt;
-  return *knode_ids_.rbegin();
+  if (num_knodes_ == 0) return std::nullopt;
+  if (!kmax_valid_) {
+    // Lazy rescan after the previous max was removed. All overflow ids are
+    // beyond the dense range, so an overflow k-node (if any) is the max;
+    // otherwise scan the dense state bytes downward from the stale bound.
+    bool found = false;
+    NodeId best = 0;
+    overflow_.for_each([&](NodeId id, const OverflowNode& n) {
+      if (n.state == kKNode && (!found || id > best)) {
+        best = id;
+        found = true;
+      }
+    });
+    if (!found) {
+      NodeId id = std::min<NodeId>(kmax_, state_.empty() ? 0
+                                                         : state_.size() - 1);
+      while (true) {
+        if (state_[id] == kKNode) {
+          best = id;
+          found = true;
+          break;
+        }
+        if (id == 0) break;
+        --id;
+      }
+    }
+    REKEY_ENSURE_MSG(found, "k-node count is positive but none found");
+    kmax_ = best;
+    kmax_valid_ = true;
+  }
+  return kmax_;
 }
 
 std::vector<NodeId> KeyTree::user_slots() const {
-  return {unode_ids_.begin(), unode_ids_.end()};
+  std::vector<NodeId> out;
+  user_slots_into(out);
+  return out;
+}
+
+void KeyTree::user_slots_into(std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(num_unodes_);
+  for_each_user_slot([&](NodeId id) { out.push_back(id); });
 }
 
 NodeId KeyTree::slot_of(MemberId m) const {
-  const auto it = slot_of_member_.find(m);
-  REKEY_ENSURE_MSG(it != slot_of_member_.end(), "unknown member");
-  return it->second;
+  const NodeId* slot = slot_of_member_.find(m);
+  REKEY_ENSURE_MSG(slot != nullptr, "unknown member");
+  return *slot;
 }
 
 bool KeyTree::has_member(MemberId m) const {
-  return slot_of_member_.count(m) != 0;
+  return slot_of_member_.contains(m);
 }
 
 const crypto::SymmetricKey& KeyTree::group_key() const {
-  const Node& root = node(kRootId);
-  REKEY_ENSURE_MSG(root.kind == NodeKind::KNode, "root is not a k-node");
-  return root.key;
+  REKEY_ENSURE_MSG(state_at(kRootId) == kKNode, "root is not a k-node");
+  return key_[kRootId];
 }
 
 std::vector<std::pair<NodeId, crypto::SymmetricKey>> KeyTree::keys_for_slot(
     NodeId slot) const {
   std::vector<std::pair<NodeId, crypto::SymmetricKey>> keys;
-  for (const NodeId id : path_to_root(slot, degree_))
-    keys.emplace_back(id, node(id).key);
+  keys_for_slot_into(slot, keys);
   return keys;
 }
 
+void KeyTree::keys_for_slot_into(
+    NodeId slot,
+    std::vector<std::pair<NodeId, crypto::SymmetricKey>>& out) const {
+  out.clear();
+  NodeId id = slot;
+  while (true) {
+    out.emplace_back(id, key_cref(id));
+    if (id == kRootId) break;
+    id = parent_of(id, degree_);
+  }
+}
+
 unsigned KeyTree::height() const {
-  if (nodes_.empty()) return 0;
+  if (empty()) return 0;
   // u-nodes have the largest ids, and ids grow with depth within the
   // expanded tree, so the deepest node is the one with the largest id.
-  const NodeId deepest = nodes_.rbegin()->first;
+  NodeId deepest = 0;
+  if (!overflow_.empty()) {
+    overflow_.for_each([&](NodeId id, const OverflowNode&) {
+      deepest = std::max(deepest, id);
+    });
+  } else {
+    NodeId id = state_.size() - 1;
+    while (state_[id] == kAbsent && id > 0) --id;
+    deepest = id;
+  }
   return level_of(deepest, degree_);
 }
 
+std::map<NodeId, Node> KeyTree::nodes() const {
+  std::map<NodeId, Node> out;
+  for_each_node([&](NodeId id, const Node& n) { out.emplace(id, n); });
+  return out;
+}
+
+std::size_t KeyTree::arena_bytes() const {
+  return state_.capacity() * sizeof(std::uint8_t) +
+         key_.capacity() * sizeof(crypto::SymmetricKey) +
+         member_.capacity() * sizeof(MemberId) + overflow_.memory_bytes() +
+         slot_of_member_.memory_bytes();
+}
+
 void KeyTree::check_invariants() const {
-  // Bookkeeping sets match the node map.
-  REKEY_ENSURE(knode_ids_.size() + unode_ids_.size() == nodes_.size());
-  for (const auto& [id, n] : nodes_) {
+  // Arena bookkeeping: counters, member map, overflow placement.
+  std::size_t knodes = 0, unodes = 0;
+  std::optional<NodeId> max_k, min_u, max_u;
+  for_each_node([&](NodeId id, const Node& n) {
     if (n.kind == NodeKind::KNode) {
-      REKEY_ENSURE(knode_ids_.count(id) == 1);
+      ++knodes;
+      if (!max_k || id > *max_k) max_k = id;
     } else {
-      REKEY_ENSURE(unode_ids_.count(id) == 1);
-      REKEY_ENSURE(slot_of_member_.at(n.member) == id);
+      ++unodes;
+      if (!min_u) min_u = id;
+      max_u = id;
+      const NodeId* slot = slot_of_member_.find(n.member);
+      REKEY_ENSURE(slot != nullptr && *slot == id);
     }
     // I1: parent exists and is a k-node.
     if (id != kRootId) {
-      const auto pit = nodes_.find(parent_of(id, degree_));
-      REKEY_ENSURE_MSG(pit != nodes_.end(), "orphan node");
-      REKEY_ENSURE_MSG(pit->second.kind == NodeKind::KNode,
-                       "parent is not a k-node");
+      const std::uint8_t p = state_at(parent_of(id, degree_));
+      REKEY_ENSURE_MSG(p != kAbsent, "orphan node");
+      REKEY_ENSURE_MSG(p == kKNode, "parent is not a k-node");
     }
-  }
-  REKEY_ENSURE(slot_of_member_.size() == unode_ids_.size());
+  });
+  REKEY_ENSURE(knodes == num_knodes_ && unodes == num_unodes_);
+  REKEY_ENSURE(slot_of_member_.size() == num_unodes_);
+  if (max_k) REKEY_ENSURE(max_knode_id().value() == *max_k);
+  overflow_.for_each([&](NodeId id, const OverflowNode& n) {
+    REKEY_ENSURE_MSG(id >= state_.size(), "overflow id inside dense range");
+    REKEY_ENSURE(n.state == kKNode || n.state == kUNode);
+  });
 
   // I2: every k-node has a u-node descendant. Equivalent check: every
   // k-node has at least one child, and (inductively, leaves of the k-node
   // subgraph must be u-nodes' parents) every childless node is a u-node.
-  for (const NodeId id : knode_ids_) {
+  for_each_node([&](NodeId id, const Node& n) {
+    if (n.kind != NodeKind::KNode) return;
     bool has_child = false;
     for (unsigned j = 0; j < degree_ && !has_child; ++j)
-      has_child = nodes_.count(child_of(id, j, degree_)) != 0;
+      has_child = state_at(child_of(id, j, degree_)) != kAbsent;
     REKEY_ENSURE_MSG(has_child, "k-node with no children");
-  }
+  });
 
   // I3 + I4.
-  if (!knode_ids_.empty() && !unode_ids_.empty()) {
-    const NodeId nk = *knode_ids_.rbegin();
-    const NodeId min_u = *unode_ids_.begin();
-    const NodeId max_u = *unode_ids_.rbegin();
-    REKEY_ENSURE_MSG(nk < min_u, "Lemma 4.1 violated");
-    REKEY_ENSURE_MSG(max_u <= nk * degree_ + degree_,
+  if (max_k && min_u) {
+    REKEY_ENSURE_MSG(*max_k < *min_u, "Lemma 4.1 violated");
+    REKEY_ENSURE_MSG(*max_u <= *max_k * degree_ + degree_,
                      "u-node beyond d*nk+d");
   }
 }

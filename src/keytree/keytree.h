@@ -5,6 +5,17 @@
 // order — Lemma 4.1) hold users' individual keys. n-nodes of the expanded
 // tree are represented implicitly: an id with no entry is an n-node.
 //
+// Storage is a flat arena, not a node-per-allocation map: the dense id
+// range [0, dense_capacity()) lives in three parallel arrays (state byte,
+// key, member) indexed directly by NodeId — the BFS numbering makes
+// id -> index the identity for complete levels — and the sparse tail of
+// ids beyond the dense range spills into one open-addressed overflow map.
+// Lookups in the hot path are a byte load + array index; there is no
+// per-node allocation and no pointer chasing. The dense capacity is
+// resized (never shrunk) at batch boundaries to max(256, 2*d*num_nodes),
+// which covers every id of a balanced tree (max id <= N*d/(d-1) there)
+// while bounding memory for pathologically sparse deep trees.
+//
 // Structural invariants maintained across batches (checked by
 // KeyTree::check_invariants and enforced in tests):
 //   I1  every non-root node's parent exists and is a k-node;
@@ -16,12 +27,13 @@
 // which is the paper's batch-rekeying update.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "crypto/keys.h"
 #include "keytree/ids.h"
 
@@ -51,16 +63,33 @@ class KeyTree {
   void populate(std::size_t n, MemberId first_member = 0);
 
   unsigned degree() const { return degree_; }
-  std::size_t num_users() const { return slot_of_member_.size(); }
-  bool empty() const { return nodes_.empty(); }
+  std::size_t num_users() const { return num_unodes_; }
+  std::size_t num_nodes() const { return num_knodes_ + num_unodes_; }
+  bool empty() const { return num_nodes() == 0; }
 
-  bool contains(NodeId id) const { return nodes_.count(id) != 0; }
-  const Node& node(NodeId id) const;
+  bool contains(NodeId id) const { return state_at(id) != kAbsent; }
+  // A materialized copy of the node (n-node ids throw).
+  Node node(NodeId id) const;
   // nullopt when the tree is empty or holds a single u-node at the root.
   std::optional<NodeId> max_knode_id() const;
 
   // Sorted u-node ids.
   std::vector<NodeId> user_slots() const;
+  // Allocation-free variant: clears and refills `out` (no allocation once
+  // its capacity has warmed up).
+  void user_slots_into(std::vector<NodeId>& out) const;
+  // Visits every u-node id in ascending order without materializing a
+  // vector. Allocation-free whenever no node lives in the overflow map.
+  template <typename F>
+  void for_each_user_slot(F&& fn) const {
+    for (std::size_t id = 0; id < state_.size(); ++id)
+      if (state_[id] == kUNode) fn(static_cast<NodeId>(id));
+    if (!overflow_.empty()) {
+      std::vector<NodeId> ids = sorted_overflow_unodes();
+      for (const NodeId id : ids) fn(id);
+    }
+  }
+
   NodeId slot_of(MemberId m) const;
   bool has_member(MemberId m) const;
 
@@ -71,32 +100,111 @@ class KeyTree {
   // key on the path to the root (paper §2.1).
   std::vector<std::pair<NodeId, crypto::SymmetricKey>> keys_for_slot(
       NodeId slot) const;
+  // Allocation-free variant: clears and refills `out`.
+  void keys_for_slot_into(
+      NodeId slot,
+      std::vector<std::pair<NodeId, crypto::SymmetricKey>>& out) const;
+
+  // Direct reference to a present node's key in the arena (n-node ids
+  // throw). The reference is invalidated by the next mutation.
+  const crypto::SymmetricKey& key_of(NodeId id) const;
 
   // Tree height = level of the deepest node (0 for a root-only tree).
   unsigned height() const;
 
-  // Verifies I1-I4; throws EnsureError on violation.
+  // Verifies I1-I4 plus arena bookkeeping; throws EnsureError on
+  // violation. Cold path: tests, snapshot restore — never per batch.
   void check_invariants() const;
 
   crypto::KeyGenerator& key_generator() { return keygen_; }
 
-  // Read-only iteration over all nodes, ordered by id (snapshots, tests).
-  const std::map<NodeId, Node>& nodes() const { return nodes_; }
+  // Read-only iteration over all nodes in ascending id order (snapshots,
+  // tests). The Node reference is a per-call scratch — copy what you keep.
+  template <typename F>
+  void for_each_node(F&& fn) const {
+    Node scratch;
+    for (std::size_t id = 0; id < state_.size(); ++id) {
+      if (state_[id] == kAbsent) continue;
+      fill_node(static_cast<NodeId>(id), scratch);
+      fn(static_cast<NodeId>(id), scratch);
+    }
+    if (!overflow_.empty()) {
+      std::vector<NodeId> ids = sorted_overflow_ids();
+      for (const NodeId id : ids) {
+        fill_node(id, scratch);
+        fn(id, scratch);
+      }
+    }
+  }
+
+  // Materialized ordered node map (cold: tests and debugging only).
+  std::map<NodeId, Node> nodes() const;
 
   // Rebuild a tree from node data (snapshot restore). Validates the
   // structural invariants; throws EnsureError on inconsistent input.
   static KeyTree from_nodes(unsigned degree, std::uint64_t key_seed,
                             const std::map<NodeId, Node>& nodes);
 
+  // Bytes held by the arena (dense arrays + overflow + member map).
+  std::size_t arena_bytes() const;
+  std::size_t dense_capacity() const { return state_.size(); }
+
  private:
   friend class Marker;  // the marking algorithm mutates the tree
 
+  static constexpr std::uint8_t kAbsent = 0, kKNode = 1, kUNode = 2;
+
+  struct OverflowNode {
+    std::uint8_t state = kAbsent;
+    MemberId member = 0;
+    crypto::SymmetricKey key;
+  };
+
+  std::uint8_t state_at(NodeId id) const {
+    if (id < state_.size()) return state_[id];
+    const OverflowNode* n = overflow_.find(id);
+    return n == nullptr ? kAbsent : n->state;
+  }
+
+  void fill_node(NodeId id, Node& out) const;
+
+  // Mutators shared by populate, from_nodes, and the Marker. They keep
+  // the counters, member map, and max-k-node tracking consistent.
+  void set_knode(NodeId id, const crypto::SymmetricKey& key);
+  void set_unode(NodeId id, const crypto::SymmetricKey& key, MemberId m);
+  void remove_node(NodeId id);  // present node -> n-node
+
+  crypto::SymmetricKey& key_ref(NodeId id);  // present nodes only
+  const crypto::SymmetricKey& key_cref(NodeId id) const;
+  MemberId member_at(NodeId id) const;  // u-nodes only
+
+  // Grows the dense arrays to cover max(256, 2*d*num_nodes) and migrates
+  // overflow entries that now fit. Never shrinks (high-water policy), so
+  // ids that were dense stay dense. Called at batch boundaries only.
+  void rebalance();
+  void grow_dense(std::size_t new_cap);
+
+  std::vector<NodeId> sorted_overflow_ids() const;
+  std::vector<NodeId> sorted_overflow_unodes() const;
+
   unsigned degree_;
   crypto::KeyGenerator keygen_;
-  std::map<NodeId, Node> nodes_;
-  std::set<NodeId> knode_ids_;
-  std::set<NodeId> unode_ids_;
-  std::map<MemberId, NodeId> slot_of_member_;
+
+  // Dense arena, indexed directly by NodeId.
+  std::vector<std::uint8_t> state_;
+  std::vector<crypto::SymmetricKey> key_;
+  std::vector<MemberId> member_;
+  // Sparse tail: ids >= dense_capacity().
+  FlatMap<NodeId, OverflowNode> overflow_;
+
+  FlatMap<MemberId, NodeId> slot_of_member_;
+  std::size_t num_knodes_ = 0;
+  std::size_t num_unodes_ = 0;
+
+  // Exact max k-node id while `kmax_valid_`; after removing the max it
+  // degrades to an upper bound and max_knode_id() lazily rescans.
+  mutable NodeId kmax_ = 0;
+  mutable bool kmax_valid_ = true;
 };
 
 }  // namespace rekey::tree

@@ -7,56 +7,38 @@
 namespace rekey::tree {
 
 NodeId Marker::place_user(MemberId m, NodeId slot) {
-  REKEY_ENSURE(tree_.nodes_.count(slot) == 0);
-  Node u;
-  u.kind = NodeKind::UNode;
-  u.key = tree_.keygen_.next();
-  u.member = m;
-  tree_.nodes_.emplace(slot, u);
-  tree_.unode_ids_.insert(slot);
-  tree_.slot_of_member_.emplace(m, slot);
+  // Key-generator call order matters: one draw per placed user, exactly as
+  // the map-based implementation made them (determinism contract).
+  tree_.set_unode(slot, tree_.keygen_.next(), m);
   return slot;
-}
-
-void Marker::remove_user_slot(NodeId slot) {
-  const auto it = tree_.nodes_.find(slot);
-  REKEY_ENSURE(it != tree_.nodes_.end() &&
-               it->second.kind == NodeKind::UNode);
-  tree_.slot_of_member_.erase(it->second.member);
-  tree_.unode_ids_.erase(slot);
-  tree_.nodes_.erase(it);
 }
 
 void Marker::prune_upwards(NodeId from_parent) {
   NodeId id = from_parent;
   while (true) {
-    const auto it = tree_.nodes_.find(id);
-    if (it == tree_.nodes_.end() || it->second.kind != NodeKind::KNode) return;
+    if (tree_.state_at(id) != KeyTree::kKNode) return;
     bool has_child = false;
     for (unsigned j = 0; j < tree_.degree_ && !has_child; ++j)
-      has_child = tree_.nodes_.count(child_of(id, j, tree_.degree_)) != 0;
+      has_child = tree_.state_at(child_of(id, j, tree_.degree_)) !=
+                  KeyTree::kAbsent;
     if (has_child) return;
-    tree_.knode_ids_.erase(id);
-    tree_.nodes_.erase(it);
+    tree_.remove_node(id);
     if (id == kRootId) return;
     id = parent_of(id, tree_.degree_);
   }
 }
 
-void Marker::create_ancestors(NodeId slot, BatchUpdate& upd) {
+void Marker::create_ancestors(NodeId slot) {
   NodeId id = slot;
   while (id != kRootId) {
     id = parent_of(id, tree_.degree_);
-    if (tree_.nodes_.count(id)) {
-      REKEY_ENSURE(tree_.nodes_.at(id).kind == NodeKind::KNode);
+    const std::uint8_t s = tree_.state_at(id);
+    if (s != KeyTree::kAbsent) {
+      REKEY_ENSURE(s == KeyTree::kKNode);
       return;  // existing ancestors are all present (invariant I1)
     }
-    Node k;
-    k.kind = NodeKind::KNode;
-    k.key = tree_.keygen_.next();
-    tree_.nodes_.emplace(id, k);
-    tree_.knode_ids_.insert(id);
-    upd.changed_knodes.insert(id);
+    tree_.set_knode(id, tree_.keygen_.next());
+    changed_scratch_.push_back(id);
   }
 }
 
@@ -66,29 +48,21 @@ void Marker::split_first_user(BatchUpdate& upd,
   const auto nk = tree_.max_knode_id();
   REKEY_ENSURE_MSG(nk.has_value(), "split on an empty tree");
   const NodeId s = *nk + 1;
-  const auto it = tree_.nodes_.find(s);
-  REKEY_ENSURE_MSG(it != tree_.nodes_.end() &&
-                       it->second.kind == NodeKind::UNode,
+  REKEY_ENSURE_MSG(tree_.state_at(s) == KeyTree::kUNode,
                    "split target is not a u-node");
 
   // The user at s descends to s's leftmost child; s becomes a k-node.
-  const Node user = it->second;
+  const crypto::SymmetricKey user_key = tree_.key_cref(s);
+  const MemberId member = tree_.member_at(s);
   const NodeId dest = child_of(s, 0, tree_.degree_);
-  tree_.unode_ids_.erase(s);
-  tree_.nodes_.erase(it);
-  tree_.nodes_.emplace(dest, user);
-  tree_.unode_ids_.insert(dest);
-  tree_.slot_of_member_[user.member] = dest;
+  tree_.remove_node(s);
+  tree_.set_unode(dest, user_key, member);
 
-  Node k;
-  k.kind = NodeKind::KNode;
-  k.key = tree_.keygen_.next();
-  tree_.nodes_.emplace(s, k);
-  tree_.knode_ids_.insert(s);
-  upd.changed_knodes.insert(s);
+  tree_.set_knode(s, tree_.keygen_.next());
+  changed_scratch_.push_back(s);
   upd.moved[s] = dest;
   // If the relocated user joined in this very batch, report its final slot.
-  const auto jit = upd.joined.find(user.member);
+  const auto jit = upd.joined.find(member);
   if (jit != upd.joined.end()) jit->second = dest;
 
   // d-1 fresh sibling slots, stored descending so pop_back yields the
@@ -100,6 +74,7 @@ void Marker::split_first_user(BatchUpdate& upd,
 BatchUpdate Marker::run(std::span<const MemberId> joins,
                         std::span<const MemberId> leaves) {
   BatchUpdate upd;
+  changed_scratch_.clear();
 
   for (const MemberId m : joins)
     REKEY_ENSURE_MSG(!tree_.has_member(m), "join of an existing member");
@@ -107,7 +82,7 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
     REKEY_ENSURE_MSG(tree_.has_member(m), "leave of an unknown member");
 
   // Bootstrap: an empty tree is (re)built directly; every k-node is new and
-  // therefore changed.
+  // therefore changed. No final refresh — all keys are already fresh.
   if (tree_.empty()) {
     REKEY_ENSURE(leaves.empty());
     if (joins.empty()) return upd;
@@ -118,13 +93,18 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
       ++height;
     }
     const NodeId first_leaf = first_id_at_level(height, tree_.degree_);
+    tree_.grow_dense(
+        std::max<std::size_t>(256, first_leaf + joins.size()));
     for (std::size_t i = 0; i < joins.size(); ++i) {
       const NodeId slot = first_leaf + i;
       place_user(joins[i], slot);
-      create_ancestors(slot, upd);
+      create_ancestors(slot);
       upd.joined.emplace(joins[i], slot);
     }
+    upd.changed_knodes.assign(std::move(changed_scratch_));
+    changed_scratch_ = {};
     upd.max_kid = tree_.max_knode_id().value_or(0);
+    tree_.rebalance();
     return upd;
   }
 
@@ -141,6 +121,7 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
   std::sort(departed.begin(), departed.end());
 
   std::vector<NodeId> changed_slots;
+  changed_slots.reserve(std::max(J, L));
 
   // Replace the min(J, L) smallest-id departed slots with joins. The new
   // member gets a fresh individual key (the old one is known to the
@@ -148,7 +129,7 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
   const std::size_t replaced = std::min(J, L);
   for (std::size_t i = 0; i < replaced; ++i) {
     const NodeId slot = departed[i];
-    remove_user_slot(slot);
+    tree_.remove_node(slot);
     place_user(joins[i], slot);
     upd.joined.emplace(joins[i], slot);
     changed_slots.push_back(slot);
@@ -158,13 +139,15 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
     // Remaining departures become n-nodes; childless k-nodes are pruned.
     for (std::size_t i = J; i < L; ++i) {
       const NodeId slot = departed[i];
-      remove_user_slot(slot);
+      tree_.remove_node(slot);
       changed_slots.push_back(slot);
       if (slot != kRootId) prune_upwards(parent_of(slot, tree_.degree_));
     }
   } else if (J > L) {
     // Free n-node slots in (nk, d*nk+d], ascending; stored descending so
-    // pop_back is the smallest.
+    // pop_back is the smallest. Only J-L slots can ever be consumed, so
+    // the scan stops early instead of enumerating the whole range.
+    const std::size_t need = J - L;
     std::vector<NodeId> free_slots;
     {
       const auto nk = tree_.max_knode_id();
@@ -172,13 +155,9 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
       const NodeId lo = *nk + 1;
       const NodeId hi = *nk * tree_.degree_ + tree_.degree_;
       std::vector<NodeId> ascending;
-      NodeId next = lo;
-      for (auto it = tree_.unode_ids_.lower_bound(lo);
-           it != tree_.unode_ids_.end() && *it <= hi; ++it) {
-        for (NodeId id = next; id < *it; ++id) ascending.push_back(id);
-        next = *it + 1;
-      }
-      for (NodeId id = next; id <= hi; ++id) ascending.push_back(id);
+      ascending.reserve(std::min<std::size_t>(need, 64));
+      for (NodeId id = lo; id <= hi && ascending.size() < need; ++id)
+        if (tree_.state_at(id) == KeyTree::kAbsent) ascending.push_back(id);
       free_slots.assign(ascending.rbegin(), ascending.rend());
     }
 
@@ -187,7 +166,7 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
       const NodeId slot = free_slots.back();
       free_slots.pop_back();
       place_user(joins[i], slot);
-      create_ancestors(slot, upd);
+      create_ancestors(slot);
       upd.joined.emplace(joins[i], slot);
       changed_slots.push_back(slot);
     }
@@ -199,26 +178,28 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
 
   // Every existing k-node on a path from a changed slot to the root gets a
   // fresh key. (Ancestors pruned away no longer exist and need none.)
+  // Collected with duplicates and batch-sorted: the ascending refresh
+  // order below is identical to the old std::set iteration.
   for (const NodeId slot : changed_slots) {
     NodeId id = slot;
     while (id != kRootId) {
       id = parent_of(id, tree_.degree_);
-      const auto it = tree_.nodes_.find(id);
-      if (it != tree_.nodes_.end() && it->second.kind == NodeKind::KNode)
-        upd.changed_knodes.insert(id);
+      if (tree_.state_at(id) == KeyTree::kKNode)
+        changed_scratch_.push_back(id);
     }
   }
+  upd.changed_knodes.assign(std::move(changed_scratch_));
+  changed_scratch_ = {};
   for (const NodeId x : upd.changed_knodes) {
-    const auto it = tree_.nodes_.find(x);
     // A k-node can have been marked changed (created during placement) and
     // pruned afterwards only in the J<L path, which never creates nodes;
     // so every changed k-node still exists.
-    REKEY_ENSURE(it != tree_.nodes_.end() &&
-                 it->second.kind == NodeKind::KNode);
-    it->second.key = tree_.keygen_.next();
+    REKEY_ENSURE(tree_.state_at(x) == KeyTree::kKNode);
+    tree_.key_ref(x) = tree_.keygen_.next();
   }
 
   upd.max_kid = tree_.max_knode_id().value_or(0);
+  tree_.rebalance();
   return upd;
 }
 

@@ -18,6 +18,7 @@
 // changed set.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <span>
@@ -27,10 +28,61 @@
 
 namespace rekey::tree {
 
+// A sorted, de-duplicated set of node ids stored contiguously. Lookups are
+// binary searches; construction is a batch sort+unique — the marking hot
+// path never pays per-insert tree rebalancing.
+class NodeIdSet {
+ public:
+  using const_iterator = std::vector<NodeId>::const_iterator;
+
+  NodeIdSet() = default;
+
+  // Takes ownership of arbitrary ids; sorts and de-duplicates.
+  void assign(std::vector<NodeId> ids) {
+    ids_ = std::move(ids);
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  const_iterator begin() const { return ids_.begin(); }
+  const_iterator end() const { return ids_.end(); }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+  bool contains(NodeId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+  std::size_t count(NodeId id) const { return contains(id) ? 1 : 0; }
+
+  // Position of `id` in the ascending order, or size() when absent.
+  std::size_t index_of(NodeId id) const {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) return ids_.size();
+    return static_cast<std::size_t>(it - ids_.begin());
+  }
+
+  NodeId operator[](std::size_t i) const { return ids_[i]; }
+
+  friend bool operator==(const NodeIdSet& a, const NodeIdSet& b) {
+    return a.ids_ == b.ids_;
+  }
+  friend bool operator==(const NodeIdSet& a, const std::set<NodeId>& b) {
+    return a.ids_.size() == b.size() &&
+           std::equal(a.ids_.begin(), a.ids_.end(), b.begin());
+  }
+  friend bool operator==(const std::set<NodeId>& a, const NodeIdSet& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<NodeId> ids_;
+};
+
 // Outcome of one batch, consumed by encryption generation and by tests.
 struct BatchUpdate {
   // k-nodes whose keys were refreshed (includes newly created k-nodes).
-  std::set<NodeId> changed_knodes;
+  NodeIdSet changed_knodes;
   // Members placed this batch, with their slots.
   std::map<MemberId, NodeId> joined;
   // Members removed this batch, with their former slots.
@@ -52,13 +104,15 @@ class Marker {
 
  private:
   NodeId place_user(MemberId m, NodeId slot);           // create u-node
-  void remove_user_slot(NodeId slot);                   // u-node -> n-node
   void prune_upwards(NodeId from_parent);               // drop empty k-nodes
-  void create_ancestors(NodeId slot, BatchUpdate& upd); // n-node -> k-node
+  void create_ancestors(NodeId slot);                   // n-node -> k-node
   void split_first_user(BatchUpdate& upd,
                         std::vector<NodeId>& free_slots);
 
   KeyTree& tree_;
+  // Ids of k-nodes created or path-touched this batch, with duplicates;
+  // sorted+uniqued once into BatchUpdate::changed_knodes.
+  std::vector<NodeId> changed_scratch_;
 };
 
 }  // namespace rekey::tree

@@ -1,79 +1,207 @@
 #include "keytree/rekey_subtree.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/ensure.h"
+#include "common/parallel.h"
 
 namespace rekey::tree {
 
+namespace {
+
+// Work below this size is not worth fanning out.
+constexpr std::size_t kParallelEncThreshold = 256;
+constexpr std::size_t kParallelNeedsThreshold = 4096;
+
+// Splits [0, n) into roughly even chunks and runs fn(begin, end) for each
+// across the pool.
+void parallel_chunks(rekey::ThreadPool& pool, std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t chunks =
+      std::min<std::size_t>(n, static_cast<std::size_t>(pool.size()) * 8);
+  pool.for_each_index(chunks, [&](std::size_t c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace
+
 RekeyPayload generate_rekey_payload(const KeyTree& tree,
                                     const BatchUpdate& update,
-                                    std::uint32_t msg_id) {
+                                    std::uint32_t msg_id,
+                                    rekey::ThreadPool* pool) {
   RekeyPayload out;
+  generate_rekey_payload_into(tree, update, msg_id, out, pool);
+  return out;
+}
+
+void generate_rekey_payload_into(const KeyTree& tree,
+                                 const BatchUpdate& update,
+                                 std::uint32_t msg_id, RekeyPayload& out,
+                                 rekey::ThreadPool* pool) {
   out.msg_id = msg_id;
   out.degree = tree.degree();
   out.max_kid = update.max_kid;
+  out.encryptions.clear();
+  out.user_needs.clear();
+  out.labels.clear();
+
   const unsigned d = tree.degree();
+  const NodeIdSet& changed = update.changed_knodes;
+  const std::size_t n_changed = changed.size();
+  const bool parallel = pool != nullptr && pool->size() > 1;
 
   // Labels: a changed k-node above any departed or split-relocated slot is
-  // Replace; one whose changes are joins only is Join.
-  for (const NodeId x : update.changed_knodes) out.labels[x] = Label::Join;
+  // Replace; one whose changes are joins only is Join. The label array is
+  // parallel to the (sorted) changed set, so the taint walk is a binary
+  // search per ancestor. Replace labels are upward-closed at every step,
+  // so a walk may stop at an already-Replace node — everything above it is
+  // already tainted. (It must NOT stop at an unlabeled ancestor: pruning
+  // can leave gaps of absent nodes below changed ones.)
+  auto& labels = out.labels.entries_;
+  labels.reserve(n_changed);
+  for (std::size_t i = 0; i < n_changed; ++i)
+    labels.emplace_back(changed[i], Label::Join);
   auto taint = [&](NodeId slot) {
     NodeId id = slot;
     while (id != kRootId) {
       id = parent_of(id, d);
-      const auto it = out.labels.find(id);
-      if (it != out.labels.end()) it->second = Label::Replace;
+      const std::size_t i = changed.index_of(id);
+      if (i == n_changed) continue;
+      if (labels[i].second == Label::Replace) break;
+      labels[i].second = Label::Replace;
     }
   };
   for (const auto& [member, slot] : update.departed) taint(slot);
   for (const auto& [old_slot, new_slot] : update.moved) {
     taint(old_slot);
     // The split node itself hides a relocation from users beneath it.
-    const auto it = out.labels.find(old_slot);
-    if (it != out.labels.end()) it->second = Label::Replace;
+    const std::size_t i = changed.index_of(old_slot);
+    if (i != n_changed) labels[i].second = Label::Replace;
   }
 
   // Encryptions, deepest changed k-nodes first (bottom-up traversal).
-  std::vector<NodeId> order(update.changed_knodes.begin(),
-                            update.changed_knodes.end());
-  std::sort(order.begin(), order.end(), std::greater<NodeId>());
-
-  std::unordered_map<NodeId, std::uint32_t> index_of_enc;
-  for (const NodeId x : order) {
-    const crypto::SymmetricKey& new_key = tree.node(x).key;
-    for (unsigned j = 0; j < d; ++j) {
-      const NodeId c = child_of(x, j, d);
-      if (!tree.contains(c)) continue;  // n-node
-      Encryption e;
-      e.enc_id = c;
-      e.target_id = x;
-      e.payload = crypto::encrypt_key(tree.node(c).key, new_key, msg_id, c);
-      index_of_enc.emplace(c, static_cast<std::uint32_t>(
-                                  out.encryptions.size()));
-      out.encryptions.push_back(e);
+  // Descending position k corresponds to ascending index n_changed-1-k;
+  // enc_offset[k] is the first encryption of that k-node's children.
+  std::vector<std::uint32_t> enc_offset(n_changed + 1, 0);
+  if (parallel && n_changed >= kParallelEncThreshold) {
+    // Fixed output slots make the fan-out bit-identical to the serial
+    // pass: count children first, prefix-sum, then encrypt in place.
+    parallel_chunks(*pool, n_changed, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        const NodeId x = changed[n_changed - 1 - k];
+        std::uint32_t cnt = 0;
+        for (unsigned j = 0; j < d; ++j)
+          if (tree.contains(child_of(x, j, d))) ++cnt;
+        enc_offset[k + 1] = cnt;
+      }
+    });
+    for (std::size_t k = 0; k < n_changed; ++k)
+      enc_offset[k + 1] += enc_offset[k];
+    out.encryptions.resize(enc_offset[n_changed]);
+    parallel_chunks(*pool, n_changed, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        const NodeId x = changed[n_changed - 1 - k];
+        const crypto::SymmetricKey& new_key = tree.key_of(x);
+        std::uint32_t at = enc_offset[k];
+        for (unsigned j = 0; j < d; ++j) {
+          const NodeId c = child_of(x, j, d);
+          if (!tree.contains(c)) continue;  // n-node
+          Encryption& enc = out.encryptions[at++];
+          enc.enc_id = c;
+          enc.target_id = x;
+          enc.payload =
+              crypto::encrypt_key(tree.key_of(c), new_key, msg_id, c);
+        }
+      }
+    });
+  } else {
+    for (std::size_t k = 0; k < n_changed; ++k) {
+      const NodeId x = changed[n_changed - 1 - k];
+      const crypto::SymmetricKey& new_key = tree.key_of(x);
+      for (unsigned j = 0; j < d; ++j) {
+        const NodeId c = child_of(x, j, d);
+        if (!tree.contains(c)) continue;  // n-node
+        Encryption& enc = out.encryptions.emplace_back();
+        enc.enc_id = c;
+        enc.target_id = x;
+        enc.payload = crypto::encrypt_key(tree.key_of(c), new_key, msg_id, c);
+      }
+      enc_offset[k + 1] = static_cast<std::uint32_t>(out.encryptions.size());
     }
   }
+
+  // Index of the encryption whose enc_id is child c of changed k-node p:
+  // locate p's block via its position in the descending order, then scan
+  // the <= d entries of that block.
+  auto enc_index = [&](NodeId c, NodeId p) -> std::uint32_t {
+    const std::size_t k = n_changed - 1 - changed.index_of(p);
+    for (std::uint32_t i = enc_offset[k]; i < enc_offset[k + 1]; ++i)
+      if (out.encryptions[i].enc_id == c) return i;
+    REKEY_ENSURE_MSG(false, "missing encryption for an existing child");
+    return 0;  // unreachable
+  };
 
   // Which encryptions each user needs: for every node c on the user's path
   // (excluding the root), the encryption with id c exists iff parent(c)
   // changed. Changed sets are upward-closed, so these form the top segment
   // of the path; we record them bottom-up so a receiver can decrypt in
   // order with the keys it already holds.
-  for (const NodeId slot : tree.user_slots()) {
-    std::vector<std::uint32_t> needs;
-    for (NodeId c = slot; c != kRootId; c = parent_of(c, d)) {
-      if (update.changed_knodes.count(parent_of(c, d))) {
-        const auto it = index_of_enc.find(c);
-        REKEY_ENSURE_MSG(it != index_of_enc.end(),
-                         "missing encryption for an existing child");
-        needs.push_back(it->second);
+  UserNeeds& un = out.user_needs;
+  if (n_changed == 0) return;
+  if (parallel && tree.num_users() >= kParallelNeedsThreshold) {
+    std::vector<NodeId> slots;
+    slots.reserve(tree.num_users());
+    tree.user_slots_into(slots);
+    // Pass 1: per-user need counts.
+    std::vector<std::uint32_t> counts(slots.size(), 0);
+    parallel_chunks(*pool, slots.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        std::uint32_t cnt = 0;
+        for (NodeId c = slots[i]; c != kRootId; c = parent_of(c, d))
+          if (changed.contains(parent_of(c, d))) ++cnt;
+        counts[i] = cnt;
       }
+    });
+    // Compact to users with needs and lay out the CSR.
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (counts[i] == 0) continue;
+      un.slots_.push_back(slots[i]);
+      un.offsets_.push_back(total);
+      total += counts[i];
     }
-    if (!needs.empty()) out.user_needs.emplace(slot, std::move(needs));
+    un.offsets_.push_back(total);
+    un.indices_.resize(total);
+    // Pass 2: fill each user's fixed span.
+    parallel_chunks(*pool, un.slots_.size(),
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t i = b; i < e; ++i) {
+                        std::uint32_t at = un.offsets_[i];
+                        for (NodeId c = un.slots_[i]; c != kRootId;
+                             c = parent_of(c, d)) {
+                          const NodeId p = parent_of(c, d);
+                          if (changed.contains(p))
+                            un.indices_[at++] = enc_index(c, p);
+                        }
+                      }
+                    });
+  } else {
+    tree.for_each_user_slot([&](NodeId slot) {
+      const std::size_t before = un.indices_.size();
+      for (NodeId c = slot; c != kRootId; c = parent_of(c, d)) {
+        const NodeId p = parent_of(c, d);
+        if (changed.contains(p)) un.indices_.push_back(enc_index(c, p));
+      }
+      if (un.indices_.size() != before) {
+        un.slots_.push_back(slot);
+        un.offsets_.push_back(static_cast<std::uint32_t>(before));
+      }
+    });
+    un.offsets_.push_back(static_cast<std::uint32_t>(un.indices_.size()));
   }
-  return out;
 }
 
 }  // namespace rekey::tree

@@ -39,13 +39,13 @@ Bytes snapshot_tree(const KeyTree& tree) {
   w.put_u32(kTreeMagic);
   w.put_u8(kVersion);
   w.put_u8(static_cast<std::uint8_t>(tree.degree()));
-  w.put_u32(static_cast<std::uint32_t>(tree.nodes().size()));
-  for (const auto& [id, n] : tree.nodes()) {
+  w.put_u32(static_cast<std::uint32_t>(tree.num_nodes()));
+  tree.for_each_node([&](NodeId id, const Node& n) {
     w.put_u64(id);
     w.put_u8(static_cast<std::uint8_t>(n.kind));
     w.put_u32(n.kind == NodeKind::UNode ? n.member : 0);
     w.put_bytes(n.key.bytes);
-  }
+  });
   Bytes blob = std::move(w).take();
   append_digest(blob);
   return blob;

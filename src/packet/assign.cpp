@@ -23,33 +23,47 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
   out.unique_encryptions = payload.encryptions.size();
   if (payload.user_needs.empty()) return out;
 
-  // user_needs is keyed by user id, already in increasing order.
+  // user_needs iterates user ids in increasing order. Membership ("is
+  // encryption idx already in the open packet?") is O(1): last_pkt[idx]
+  // records the packet sequence number that last took idx, so a compare
+  // against the current sequence replaces the old sorted-vector binary
+  // search — the dominant cost when adjacent users share most of their
+  // key chains. The packet itself accumulates unsorted; flush() orders
+  // entries by enc_id, which is unique per encryption, so the emitted
+  // packets are identical to the sorted-insert version's.
   EncPacket current;
   current.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
   current.max_kid = static_cast<std::uint16_t>(payload.max_kid);
-  std::set<std::uint32_t> in_packet;  // encryption indices in `current`
+  std::vector<std::uint32_t> in_packet;  // encryption indices, unsorted
+  in_packet.reserve(capacity);
+  std::vector<std::uint32_t> last_pkt(payload.encryptions.size(),
+                                      ~std::uint32_t{0});
+  std::uint32_t pkt_seq = 0;
   bool open = false;
+
+  const auto member = [&](std::uint32_t idx) {
+    return last_pkt[idx] == pkt_seq;
+  };
 
   auto flush = [&]() {
     REKEY_ENSURE(open && !in_packet.empty());
     // Emit entries bottom-up (descending enc_id == descending depth) so a
     // receiver can decrypt its chain in one pass.
-    std::vector<const tree::Encryption*> encs;
-    encs.reserve(in_packet.size());
-    for (const std::uint32_t idx : in_packet)
-      encs.push_back(&payload.encryptions[idx]);
-    std::sort(encs.begin(), encs.end(),
-              [](const tree::Encryption* a, const tree::Encryption* b) {
-                return a->enc_id > b->enc_id;
+    std::sort(in_packet.begin(), in_packet.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return payload.encryptions[a].enc_id >
+                       payload.encryptions[b].enc_id;
               });
-    for (const tree::Encryption* e : encs)
-      current.entries.push_back(to_wire_entry(*e));
+    current.entries.reserve(in_packet.size());
+    for (const std::uint32_t idx : in_packet)
+      current.entries.push_back(to_wire_entry(payload.encryptions[idx]));
     out.total_entries += current.entries.size();
     out.packets.push_back(std::move(current));
     current = EncPacket{};
     current.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
     current.max_kid = static_cast<std::uint16_t>(payload.max_kid);
     in_packet.clear();
+    ++pkt_seq;
     open = false;
   };
 
@@ -59,7 +73,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
     // How many new entries would this user add?
     std::size_t added = 0;
     for (const std::uint32_t idx : needs)
-      if (!in_packet.count(idx)) ++added;
+      if (!member(idx)) ++added;
 
     if (open && in_packet.size() + added > capacity) flush();
 
@@ -67,7 +81,12 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
       current.frm_id = static_cast<std::uint16_t>(user);
       open = true;
     }
-    for (const std::uint32_t idx : needs) in_packet.insert(idx);
+    for (const std::uint32_t idx : needs) {
+      if (!member(idx)) {
+        last_pkt[idx] = pkt_seq;
+        in_packet.push_back(idx);
+      }
+    }
     current.to_id = static_cast<std::uint16_t>(user);
   }
   if (open) flush();

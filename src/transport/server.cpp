@@ -245,10 +245,8 @@ std::size_t ServerTransport::shards_scheduled(std::size_t block) const {
 }
 
 std::size_t ServerTransport::usr_wire_bytes(std::uint16_t new_id) const {
-  const auto it = payload_.user_needs.find(new_id);
-  const std::size_t needs =
-      it == payload_.user_needs.end() ? 0 : it->second.size();
-  return packet::kUsrHeaderSize + packet::kEntrySize * needs +
+  const auto needs = payload_.user_needs.needs_of(new_id);
+  return packet::kUsrHeaderSize + packet::kEntrySize * needs.size() +
          packet::kUdpIpOverheadBytes;
 }
 
@@ -257,11 +255,11 @@ packet::UsrPacket ServerTransport::usr_for(std::uint16_t new_id) const {
   usr.msg_id = msg_id_;
   usr.new_user_id = new_id;
   usr.max_kid = static_cast<std::uint16_t>(payload_.max_kid);
-  const auto it = payload_.user_needs.find(new_id);
-  REKEY_ENSURE_MSG(it != payload_.user_needs.end(),
+  const auto needs = payload_.user_needs.needs_of(new_id);
+  REKEY_ENSURE_MSG(!needs.empty(),
                    "USR requested for a user with no pending keys");
-  usr.entries.reserve(it->second.size());
-  for (const std::uint32_t idx : it->second)
+  usr.entries.reserve(needs.size());
+  for (const std::uint32_t idx : needs)
     usr.entries.push_back(
         packet::to_wire_entry(payload_.encryptions[idx]));
   return usr;

@@ -37,12 +37,13 @@ GeneratedMessage generate_message(const WorkloadConfig& config,
   std::map<tree::NodeId, tree::NodeId> old_of_new;
   for (const auto& [old_slot, new_slot] : update.moved)
     old_of_new.emplace(new_slot, old_slot);
-  for (const tree::NodeId slot : kt.user_slots()) {
+  out.old_ids.reserve(kt.num_users());
+  kt.for_each_user_slot([&](tree::NodeId slot) {
     const auto it = old_of_new.find(slot);
     const tree::NodeId old_id = it == old_of_new.end() ? slot : it->second;
     REKEY_ENSURE(old_id <= 0xFFFF);
     out.old_ids.push_back(static_cast<std::uint16_t>(old_id));
-  }
+  });
   return out;
 }
 

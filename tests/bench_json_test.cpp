@@ -49,6 +49,7 @@ constexpr BenchBinary kBenches[] = {
     {"bench_ab5_unicast_switch", "AB5"},
     {"bench_ab6_eager", "AB6"},
     {"bench_r1_degraded", "R1"},
+    {"bench_ks1_server_throughput", "KS1"},
 };
 
 Json run_bench(const BenchBinary& bench) {

@@ -1,0 +1,70 @@
+// Tier-1 performance smoke: the batched rekey pipeline (marking +
+// payload generation + UKA assignment) on a 2^15-user tree must finish a
+// churn batch well under a generous wall-clock bound. This is a
+// regression tripwire, not a benchmark — the bound is set an order of
+// magnitude above what the arena implementation needs on slow CI
+// hardware, so it only fires if the hot path regresses to something like
+// the old node-per-allocation behavior (or worse). Real numbers live in
+// bench_ks1_server_throughput and EXPERIMENTS.md.
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "keytree/keytree.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
+#include "packet/assign.h"
+
+namespace rekey::tree {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(KeyTreePerfSmoke, ChurnBatchAt32kUsersStaysUnderBound) {
+  constexpr std::size_t kN = std::size_t{1} << 15;
+  constexpr std::size_t kChurn = kN / 16;
+  // Sanitizer / debug builds run this code 10-50x slower; the bound only
+  // needs to catch order-of-magnitude regressions, so it is generous
+  // everywhere and tighter only for optimized builds.
+#ifdef NDEBUG
+  constexpr auto kBound = std::chrono::milliseconds(2500);
+#else
+  constexpr auto kBound = std::chrono::seconds(30);
+#endif
+
+  double best_ms = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    Rng rng(0x5E15 + static_cast<std::uint64_t>(trial));
+    KeyTree kt(4, rng.next_u64());
+    kt.populate(kN);
+    std::vector<MemberId> joins, leaves;
+    for (std::size_t i = 0; i < kChurn; ++i)
+      joins.push_back(static_cast<MemberId>(kN + i));
+    for (const auto pick : rng.sample_without_replacement(kN, kChurn))
+      leaves.push_back(static_cast<MemberId>(pick));
+
+    const auto start = Clock::now();
+    Marker marker(kt);
+    const BatchUpdate upd = marker.run(joins, leaves);
+    const RekeyPayload payload = generate_rekey_payload(kt, upd, 1);
+    const auto assignment = packet::assign_keys(payload, 1027);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (ms < best_ms) best_ms = ms;
+
+    ASSERT_FALSE(payload.encryptions.empty());
+    ASSERT_FALSE(assignment.packets.empty());
+  }
+
+  const double bound_ms =
+      std::chrono::duration<double, std::milli>(kBound).count();
+  EXPECT_LT(best_ms, bound_ms)
+      << "rekey pipeline took " << best_ms << " ms for a J=L=" << kChurn
+      << " batch at N=" << kN << " — hot path has regressed";
+}
+
+}  // namespace
+}  // namespace rekey::tree

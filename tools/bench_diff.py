@@ -12,12 +12,16 @@ or I/O errors.
 
 Usage:
   bench_diff.py golden.json candidate.json [--rtol R] [--atol A]
-                [--ignore KEY ...]
+                [--ignore KEY ...] [--col-rtol COL=R ...]
 
 --ignore drops a top-level key from both documents before comparing
 (e.g. --ignore notes, or --ignore sections for a metadata-only check).
-Timing figures such as A4 should be compared with a wide --rtol or not
-golden-diffed at all.
+--col-rtol overrides the relative tolerance for one named table column in
+every section (repeatable); cells of an overridden column are compared
+numerically whether int or float. This is how timing columns (e.g. KS1's
+mark_us/payload_us) ride in an otherwise exact golden: give them a huge
+tolerance while counts stay exact. Timing figures with no exact columns,
+such as A4, should not be golden-diffed at all.
 """
 
 import argparse
@@ -35,8 +39,35 @@ def load(path):
         sys.exit(2)
 
 
-def diff(a, b, rtol, atol, path, out):
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def diff_rows(rows_a, rows_b, columns, rtol, atol, col_rtol, path, out):
+    """Row-cell comparison with per-column relative-tolerance overrides."""
+    if len(rows_a) != len(rows_b):
+        out.append(f"{path}: length {len(rows_a)} != {len(rows_b)}")
+    for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+        if not isinstance(ra, list) or not isinstance(rb, list):
+            diff(ra, rb, rtol, atol, f"{path}[{i}]", out, col_rtol)
+            continue
+        if len(ra) != len(rb):
+            out.append(f"{path}[{i}]: length {len(ra)} != {len(rb)}")
+        for j, (x, y) in enumerate(zip(ra, rb)):
+            name = columns[j] if j < len(columns) else None
+            cell_path = f"{path}[{i}][{j}]"
+            if name in col_rtol and is_number(x) and is_number(y):
+                r = col_rtol[name]
+                if not math.isclose(x, y, rel_tol=r, abs_tol=atol):
+                    out.append(f"{cell_path} ({name}): {x!r} != {y!r} "
+                               f"(col rtol={r})")
+            else:
+                diff(x, y, rtol, atol, cell_path, out, col_rtol)
+
+
+def diff(a, b, rtol, atol, path, out, col_rtol=None):
     """Appends human-readable difference records to `out`."""
+    col_rtol = col_rtol or {}
     if isinstance(a, bool) or isinstance(b, bool):
         # bool is an int subclass; compare identity-of-type first.
         if type(a) is not type(b) or a != b:
@@ -50,23 +81,47 @@ def diff(a, b, rtol, atol, path, out):
         out.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
         return
     if isinstance(a, dict):
+        # A figure section: rows get per-column tolerance overrides.
+        tabular = (col_rtol and isinstance(a.get("columns"), list)
+                   and isinstance(a.get("rows"), list)
+                   and isinstance(b.get("rows"), list))
         for k in a.keys() | b.keys():
             if k not in a:
                 out.append(f"{path}.{k}: missing in golden")
             elif k not in b:
                 out.append(f"{path}.{k}: missing in candidate")
+            elif tabular and k == "rows":
+                diff_rows(a[k], b[k], a["columns"], rtol, atol, col_rtol,
+                          f"{path}.rows", out)
             else:
-                diff(a[k], b[k], rtol, atol, f"{path}.{k}", out)
+                diff(a[k], b[k], rtol, atol, f"{path}.{k}", out, col_rtol)
         return
     if isinstance(a, list):
         if len(a) != len(b):
             out.append(f"{path}: length {len(a)} != {len(b)}")
         for i, (x, y) in enumerate(zip(a, b)):
-            diff(x, y, rtol, atol, f"{path}[{i}]", out)
+            diff(x, y, rtol, atol, f"{path}[{i}]", out, col_rtol)
         return
     # int / str / None: exact.
     if a != b:
         out.append(f"{path}: {a!r} != {b!r}")
+
+
+def parse_col_rtol(specs):
+    out = {}
+    for spec in specs:
+        name, sep, value = spec.rpartition("=")
+        if not sep or not name:
+            print(f"bench_diff: bad --col-rtol {spec!r} (expected COL=R)",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            out[name] = float(value)
+        except ValueError:
+            print(f"bench_diff: bad --col-rtol value in {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return out
 
 
 def main():
@@ -79,6 +134,10 @@ def main():
                     help="absolute tolerance for float fields (default 1e-12)")
     ap.add_argument("--ignore", action="append", default=[], metavar="KEY",
                     help="top-level key to drop from both documents")
+    ap.add_argument("--col-rtol", action="append", default=[],
+                    metavar="COL=R", dest="col_rtol",
+                    help="relative tolerance override for a named table "
+                         "column (repeatable)")
     ap.add_argument("--max-report", type=int, default=20,
                     help="differences to print before truncating")
     args = ap.parse_args()
@@ -88,9 +147,10 @@ def main():
     for key in args.ignore:
         golden.pop(key, None)
         candidate.pop(key, None)
+    col_rtol = parse_col_rtol(args.col_rtol)
 
     differences = []
-    diff(golden, candidate, args.rtol, args.atol, "$", differences)
+    diff(golden, candidate, args.rtol, args.atol, "$", differences, col_rtol)
     if differences:
         figure = golden.get("figure", "?")
         print(f"bench_diff: {len(differences)} difference(s) in figure "

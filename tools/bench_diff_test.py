@@ -122,6 +122,45 @@ class BenchDiffTest(unittest.TestCase):
         candidate["smoke"] = 1  # truthy, but not a bool
         self.assertEqual(self.diff_docs(DOC, candidate).returncode, 1)
 
+    def test_col_rtol_widens_one_named_column(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][2][2] = 2.75 * 3.0  # bw_overhead
+        self.assertEqual(self.diff_docs(DOC, candidate).returncode, 1)
+        self.assertEqual(
+            self.diff_docs(DOC, candidate,
+                           "--col-rtol", "bw_overhead=1e9").returncode, 0)
+        # Other columns keep the exact/default comparison.
+        candidate["sections"][0]["rows"][1][1] = 8  # nacks (int, exact)
+        self.assertEqual(
+            self.diff_docs(DOC, candidate,
+                           "--col-rtol", "bw_overhead=1e9").returncode, 1)
+
+    def test_col_rtol_applies_to_ints_and_zero_values(self):
+        # An overridden column compares numerically even for ints, and a
+        # huge rtol accepts 0-vs-nonzero (rel >= 1 covers it).
+        golden = copy.deepcopy(DOC)
+        golden["sections"][0]["rows"][0][2] = 0.0
+        candidate = copy.deepcopy(golden)
+        candidate["sections"][0]["rows"][0][2] = 123.0
+        candidate["sections"][0]["rows"][1][2] = 2  # float 1.5 -> int 2
+        self.assertEqual(
+            self.diff_docs(golden, candidate,
+                           "--col-rtol", "bw_overhead=1e9").returncode, 0)
+
+    def test_col_rtol_report_names_the_column(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["rows"][2][2] = 100.0
+        proc = self.diff_docs(DOC, candidate,
+                              "--col-rtol", "bw_overhead=0.5")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("bw_overhead", proc.stdout)
+
+    def test_col_rtol_bad_spec_is_a_usage_error(self):
+        proc = self.diff_docs(DOC, DOC, "--col-rtol", "no_equals_sign")
+        self.assertEqual(proc.returncode, 2)
+        proc = self.diff_docs(DOC, DOC, "--col-rtol", "col=notafloat")
+        self.assertEqual(proc.returncode, 2)
+
     def test_unreadable_file_is_a_usage_error(self):
         golden = self.write("golden.json", DOC)
         missing = os.path.join(self.tmp.name, "nope.json")
