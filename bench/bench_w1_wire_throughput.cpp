@@ -1,0 +1,238 @@
+// W1 — real-wire rekey throughput: rekeyd's pipeline over UDP loopback.
+//
+// Runs the key-server daemon (wire/daemon.h) and a set of client fleets
+// (wire/fleet.h) in one process, each on its own UDP socket, and drives
+// churn batches through the full wire protocol: subscription, slot maps,
+// data bursts via sendmmsg, lockstep round marks/reports, NACK-driven
+// reactive parities, unicast USR fragments, and the Fin handshake.
+//
+// Two scenarios: a zero-loss run (every client recovers in round 1) and
+// a deterministically shaped lossy run (client-side Bernoulli draws from
+// a fixed seed — identical shaping regardless of socket timing, so
+// protocol counters stay golden-diffable even though the transport is a
+// real kernel socket). Delivery-composition columns are exact; the
+// throughput section's wall-clock columns (wall_ms, kpkt_s, mb_s,
+// recovery percentiles) are hardware-dependent and diffed with unbounded
+// tolerance in CI.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.h"
+#include "sweep.h"
+#include "wire/daemon.h"
+#include "wire/fleet.h"
+#include "wire/udp.h"
+
+namespace {
+
+using namespace rekey;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kLoopback = 0x7F000001;  // 127.0.0.1
+
+struct WireRun {
+  wire::DaemonStats daemon;
+  wire::FleetStats fleet;  // aggregated over all fleets
+  double wall_ms = 0.0;
+};
+
+struct Scenario {
+  const char* name;
+  std::uint32_t clients;
+  unsigned endpoints;
+  std::uint32_t batches;
+  std::uint32_t churn;  // joins == leaves per batch
+  double down_loss;
+  double up_loss;
+  int max_rounds;
+  // Small packets force multiple FEC blocks with little duplication, so
+  // the lossy scenario actually exercises NACKs and reactive parities
+  // (with few packets the partition pads blocks by duplicating them and
+  // almost any frame recovers a client).
+  std::size_t packet_size;
+};
+
+WireRun run_scenario(const Scenario& sc, std::uint64_t shape_seed) {
+  wire::DaemonConfig dc;
+  dc.clients = sc.clients;
+  dc.churn_pool = std::max<std::uint32_t>(64, 2 * sc.churn);
+  dc.batches = sc.batches;
+  dc.churn_joins = sc.churn;
+  dc.churn_leaves = sc.churn;
+  dc.max_multicast_rounds = sc.max_rounds;
+  dc.protocol.packet_size = sc.packet_size;
+  dc.round_wait_ms = 20000;
+  dc.retry_ms = 20;
+
+  wire::UdpWire daemon_udp(kLoopback, 0);
+  const wire::Endpoint server = daemon_udp.local_endpoint();
+  wire::KeyServerDaemon daemon(daemon_udp, dc);
+
+  const auto t0 = Clock::now();
+  wire::DaemonStats ds;
+  std::thread daemon_thread([&] { ds = daemon.run(); });
+
+  // Contiguous uid slices, one fleet+socket per endpoint thread.
+  std::vector<wire::FleetStats> fss(sc.endpoints);
+  std::vector<std::thread> fleets;
+  const std::uint32_t base = sc.clients / sc.endpoints;
+  const std::uint32_t extra = sc.clients % sc.endpoints;
+  std::uint32_t uid = 0;
+  for (unsigned t = 0; t < sc.endpoints; ++t) {
+    const std::uint32_t count = base + (t < extra ? 1 : 0);
+    fleets.emplace_back([&, t, uid, count] {
+      wire::UdpWire udp(kLoopback, 0);
+      wire::FleetConfig fc;
+      fc.first_uid = uid;
+      fc.count = count;
+      fc.shaping.down_loss = sc.down_loss;
+      fc.shaping.up_loss = sc.up_loss;
+      fc.shaping.seed = shape_seed;
+      wire::ClientFleet fleet(udp, server, fc);
+      fss[t] = fleet.run();
+    });
+    uid += count;
+  }
+  for (auto& f : fleets) f.join();
+  daemon_thread.join();
+
+  WireRun r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.daemon = ds;
+  for (const wire::FleetStats& fs : fss) {
+    r.fleet.clients += fs.clients;
+    r.fleet.batches = std::max(r.fleet.batches, fs.batches);
+    r.fleet.recovered += fs.recovered;
+    r.fleet.via_usr += fs.via_usr;
+    r.fleet.unrecovered += fs.unrecovered;
+    r.fleet.data_frames += fs.data_frames;
+    r.fleet.shaped_off += fs.shaped_off;
+    r.fleet.nacks_suppressed += fs.nacks_suppressed;
+    r.fleet.finished = fleets.empty() ? false : true;
+    for (const wire::FleetStats& check : fss)
+      r.fleet.finished = r.fleet.finished && check.finished;
+    r.fleet.recovery_ms.insert(r.fleet.recovery_ms.end(),
+                               fs.recovery_ms.begin(), fs.recovery_ms.end());
+  }
+  std::sort(r.fleet.recovery_ms.begin(), r.fleet.recovery_ms.end());
+  return r;
+}
+
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rekey::bench;
+  BenchCli cli = parse_bench_cli(argc, argv);
+  FigureJson json("W1", cli);
+
+  const std::uint32_t N = cli.smoke ? 512 : (1u << 15);
+  const unsigned endpoints = cli.smoke ? 2 : 8;
+  const std::uint32_t batches = cli.smoke ? 2 : 3;
+  const std::uint32_t churn = cli.smoke ? 128 : 256;
+  const std::uint64_t shape_seed = 0x5751ull;  // fixed: shaping is golden
+  json.add_seed(shape_seed);
+
+  const std::size_t shaped_pkt = cli.smoke ? 300 : 1027;
+  const Scenario scenarios[] = {
+      {"zero-loss", N, endpoints, batches, churn, 0.0, 0.0, 8, 1027},
+      {"shaped", N, endpoints, batches, churn, 0.15, 0.05, 4, shaped_pkt},
+  };
+  std::vector<WireRun> runs;
+  for (const Scenario& sc : scenarios) runs.push_back(run_scenario(sc, shape_seed));
+
+  json.header(std::cout, "W1 (delivery)",
+              "wire protocol composition per scenario, all batches",
+              "d=4, k=10, UDP loopback, MTU 1500, " +
+                  std::to_string(endpoints) + " endpoints");
+  {
+    Table t({"scenario", "N", "pkt_size", "batches", "churn", "enc_pkts",
+             "slots", "rounds", "react_par", "waves", "usr_frags",
+             "recovered", "via_usr", "gave_up", "rho_final"});
+    t.set_precision(3);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Scenario& sc = scenarios[i];
+      const wire::DaemonStats& d = runs[i].daemon;
+      t.add_row({std::string(sc.name), static_cast<long long>(sc.clients),
+                 static_cast<long long>(sc.packet_size),
+                 static_cast<long long>(d.batches_run),
+                 static_cast<long long>(sc.churn),
+                 static_cast<long long>(d.enc_packets),
+                 static_cast<long long>(d.slots),
+                 static_cast<long long>(d.rounds),
+                 static_cast<long long>(d.reactive_parities),
+                 static_cast<long long>(d.unicast_waves),
+                 static_cast<long long>(d.usr_frags),
+                 static_cast<long long>(d.recovered),
+                 static_cast<long long>(d.via_usr),
+                 static_cast<long long>(d.gave_up), d.rho_final});
+    }
+    json.table(std::cout, t);
+  }
+
+  json.header(std::cout, "W1 (shaping)",
+              "deterministic client-side loss draws (fixed seed)",
+              "down_loss/up_loss per scenario; counters are seed-exact");
+  {
+    Table t({"scenario", "down_loss", "up_loss", "frames_rx", "shaped_off",
+             "nacks_dropped", "nack_users"});
+    t.set_precision(3);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      t.add_row({std::string(scenarios[i].name), scenarios[i].down_loss,
+                 scenarios[i].up_loss,
+                 static_cast<long long>(runs[i].fleet.data_frames),
+                 static_cast<long long>(runs[i].fleet.shaped_off),
+                 static_cast<long long>(runs[i].fleet.nacks_suppressed),
+                 static_cast<long long>(runs[i].daemon.nack_users)});
+    }
+    json.table(std::cout, t);
+  }
+
+  json.header(std::cout, "W1 (throughput)",
+              "wall-clock rates and rekey-recovery latency percentiles",
+              "timing columns are hardware-dependent (CI tolerance "
+              "unbounded)");
+  {
+    Table t({"scenario", "data_frames", "data_mb", "wall_ms", "kpkt_s",
+             "mb_s", "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+    t.set_precision(3);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const wire::DaemonStats& d = runs[i].daemon;
+      const double mb = static_cast<double>(d.data_bytes) / 1e6;
+      const double s = runs[i].wall_ms / 1e3;
+      const auto& lat = runs[i].fleet.recovery_ms;
+      t.add_row({std::string(scenarios[i].name),
+                 static_cast<long long>(d.data_frames), mb, runs[i].wall_ms,
+                 static_cast<double>(d.data_frames) / s / 1e3, mb / s,
+                 pct(lat, 0.50), pct(lat, 0.90), pct(lat, 0.99),
+                 lat.empty() ? 0.0 : lat.back()});
+    }
+    json.table(std::cout, t);
+  }
+
+  // The wire path is only worth benchmarking if it actually delivered.
+  bool all_recovered = true;
+  for (const WireRun& r : runs)
+    all_recovered = all_recovered && r.fleet.finished &&
+                    r.fleet.unrecovered == 0 &&
+                    r.fleet.recovered ==
+                        static_cast<std::uint64_t>(r.fleet.clients) *
+                            r.fleet.batches;
+  REKEY_ENSURE_MSG(all_recovered,
+                   "a wire scenario left clients unrecovered or unfinished");
+  json.note(std::cout,
+            "Delivery and shaping counters are deterministic (seeded "
+            "client-side shaping; lockstep rounds); every client recovered "
+            "every batch in both scenarios. Throughput columns are "
+            "wall-clock and machine-dependent.");
+  return json.write();
+}

@@ -1,0 +1,62 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace rekey::env {
+
+namespace {
+
+std::mutex& warn_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<std::string>& warned_set() {
+  static std::set<std::string> s;
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string_view> raw(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string_view(v);
+}
+
+void warn_once(const char* name, const std::string& message) {
+  std::lock_guard lock(warn_mutex());
+  if (!warned_set().insert(name).second) return;
+  std::fprintf(stderr, "rekey: %s\n", message.c_str());
+}
+
+void reset_warnings_for_test() {
+  std::lock_guard lock(warn_mutex());
+  warned_set().clear();
+}
+
+std::optional<long long> int_value(const char* name, long long min,
+                                   long long max) {
+  const auto v = raw(name);
+  if (!v.has_value()) return std::nullopt;
+  const std::string s(*v);  // strtoll needs NUL termination
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(s.c_str(), &end, 10);
+  const bool overflowed = errno == ERANGE;
+  const bool numeric = end != s.c_str() && *end == '\0' && !s.empty();
+  if (!numeric || overflowed || parsed < min || parsed > max) {
+    warn_once(name, std::string(name) + "=" + s +
+                        " is not an integer in [" + std::to_string(min) +
+                        ", " + std::to_string(max) + "]; ignoring it");
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace rekey::env

@@ -1,0 +1,39 @@
+// Hardened environment-variable parsing, shared by every REKEY_* knob.
+//
+// The knobs (REKEY_THREADS, REKEY_SIMD, REKEY_TRACE, ...) are operator
+// input from a shell, not trusted configuration: "REKEY_THREADS=max",
+// "REKEY_THREADS=-3" and "REKEY_THREADS=99999999999999999999" have all
+// been typed in anger. Before this helper each call site ran its own
+// strtol and silently used garbage (or 0 workers) on malformed input;
+// now a malformed value produces one warning on stderr per variable per
+// process and falls back to the unset behavior.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rekey::env {
+
+// Raw value of the variable, or nullopt when unset. (An empty string is
+// returned as an empty view, not nullopt: "REKEY_SIMD=" was set, however
+// uselessly, and callers may want to warn about it.)
+std::optional<std::string_view> raw(const char* name);
+
+// Strictly-parsed decimal integer in [min, max]. Returns nullopt when the
+// variable is unset. When it is set but non-numeric, has trailing junk,
+// overflows long long, or falls outside [min, max], warns once per
+// variable on stderr and returns nullopt so the caller applies its
+// documented default instead of garbage.
+std::optional<long long> int_value(const char* name, long long min,
+                                   long long max);
+
+// Emit `message` for `name` at most once per process (used by string
+// knobs like REKEY_SIMD that validate against their own token lists but
+// want the same warn-once discipline).
+void warn_once(const char* name, const std::string& message);
+
+// Test hook: forget which variables have already warned.
+void reset_warnings_for_test();
+
+}  // namespace rekey::env

@@ -1,9 +1,10 @@
 #include "common/obs.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "common/env.h"
 
 namespace rekey::obs {
 
@@ -170,9 +171,9 @@ struct TraceSink {
   std::uint64_t seq = 0;
 
   TraceSink() {
-    if (const char* path = std::getenv("REKEY_TRACE");
-        path != nullptr && *path != '\0') {
-      out.open(path, std::ios::out | std::ios::app);
+    if (const auto path = env::raw("REKEY_TRACE");
+        path.has_value() && !path->empty()) {
+      out.open(std::string(*path), std::ios::out | std::ios::app);
       if (out.is_open())
         detail::g_trace_on.store(true, std::memory_order_relaxed);
     }

@@ -1,19 +1,19 @@
 #include "common/parallel.h"
 
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 
 #include "common/ensure.h"
+#include "common/env.h"
 
 namespace rekey {
 
 unsigned default_thread_count() {
-  if (const char* env = std::getenv("REKEY_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0') return v < 1 ? 1u : static_cast<unsigned>(v);
-  }
+  // Strict parse: non-numeric, negative, or overflowing values warn once
+  // and fall through to hardware concurrency instead of silently running
+  // with garbage (or zero) workers. 0 explicitly means "serial".
+  if (const auto v = env::int_value("REKEY_THREADS", 0, 4096))
+    return *v < 1 ? 1u : static_cast<unsigned>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }

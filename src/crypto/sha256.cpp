@@ -1,10 +1,10 @@
 #include "crypto/sha256.h"
 
-#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
 #include "common/ensure.h"
+#include "common/env.h"
 
 namespace rekey::crypto {
 
@@ -94,9 +94,8 @@ CompressPath resolve_compress_path() {
   // REKEY_SIMD=scalar forces the reference path (same convention as the
   // FEC kernels); any other value keeps autodetection — the ISA names it
   // takes (ssse3/avx2/neon) say nothing about the SHA extension.
-  bool force_scalar = false;
-  if (const char* env = std::getenv("REKEY_SIMD"))
-    force_scalar = std::string_view(env) == "scalar";
+  const auto env = rekey::env::raw("REKEY_SIMD");
+  const bool force_scalar = env.has_value() && *env == "scalar";
   if (!force_scalar && detail::cpu_has_sha_extensions())
     return {detail::compress_sha_ni, "sha_ni"};
 #endif

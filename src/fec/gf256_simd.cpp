@@ -1,8 +1,9 @@
 #include "fec/gf256_simd.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
+#include "common/env.h"
 #include "fec/gf256.h"
 #include "fec/gf256_simd_tables.h"
 
@@ -88,17 +89,17 @@ struct ActiveState {
 
 ActiveState resolve_active() {
   SimdPath path = detect_best_path();
-  if (const char* env = std::getenv("REKEY_SIMD")) {
-    const std::string_view v(env);
+  if (const auto env = rekey::env::raw("REKEY_SIMD")) {
+    const std::string_view v = *env;
     if (!v.empty() && v != "auto" && v != "native") {
       const auto requested = parse_simd_name(v);
       if (requested.has_value() && simd_path_supported(*requested)) {
         path = *requested;
       } else {
-        std::fprintf(stderr,
-                     "rekey: REKEY_SIMD=%s is not a supported path on this "
-                     "build/CPU; using %s\n",
-                     env, simd_path_name(path));
+        rekey::env::warn_once(
+            "REKEY_SIMD", "REKEY_SIMD=" + std::string(v) +
+                              " is not a supported path on this build/CPU; "
+                              "using " + simd_path_name(path));
       }
     }
   }

@@ -77,9 +77,12 @@ std::optional<std::vector<Bytes>> RseCoder::decode(
   }
   if (static_cast<int>(chosen.size()) < k_) return std::nullopt;
 
+  // Mixed-length shards cannot come from one block's equal-length regions;
+  // on network input (a truncated datagram stored as a shard) this is a
+  // decode failure to report, not a programming error to abort on.
   const std::size_t len = chosen[0]->payload.size();
   for (const Shard* s : chosen)
-    REKEY_ENSURE_MSG(s->payload.size() == len, "unequal shard sizes");
+    if (s->payload.size() != len) return std::nullopt;
 
   const bool all_data =
       std::all_of(have_data.begin(), have_data.end(), [](bool b) { return b; });

@@ -79,7 +79,7 @@ Bytes EncPacket::serialize(std::size_t packet_size) const {
   return std::move(w).take();
 }
 
-std::optional<EncPacket> EncPacket::parse(const Bytes& wire) {
+std::optional<EncPacket> EncPacket::parse(WireView wire) {
   if (wire.size() < kEncHeaderSize) return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Enc))
@@ -109,7 +109,7 @@ Bytes ParityPacket::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<ParityPacket> ParityPacket::parse(const Bytes& wire) {
+std::optional<ParityPacket> ParityPacket::parse(WireView wire) {
   if (wire.size() < kFecOffset) return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Parity))
@@ -133,7 +133,7 @@ Bytes UsrPacket::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<UsrPacket> UsrPacket::parse(const Bytes& wire) {
+std::optional<UsrPacket> UsrPacket::parse(WireView wire) {
   if (wire.size() < 5) return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Usr))
@@ -161,7 +161,7 @@ Bytes NackPacket::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<NackPacket> NackPacket::parse(const Bytes& wire) {
+std::optional<NackPacket> NackPacket::parse(WireView wire) {
   if (wire.empty()) return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Nack))
@@ -180,24 +180,31 @@ std::optional<NackPacket> NackPacket::parse(const Bytes& wire) {
   return p;
 }
 
-std::optional<PacketType> peek_type(const Bytes& wire) {
+std::optional<PacketType> peek_type(WireView wire) {
   if (wire.empty()) return std::nullopt;
   return static_cast<PacketType>(wire[0] >> 6);
 }
 
-std::uint16_t udp_checksum(const Bytes& wire) {
+std::uint16_t udp_checksum(WireView wire) {
   // Ones'-complement sum of big-endian 16-bit words, odd byte zero-padded,
-  // carries folded back in; complemented like RFC 768/1071.
+  // complemented like RFC 768/1071. The end-around-carry fold must loop:
+  // on long (jumbo-sized) payloads the first fold can itself carry past
+  // bit 16, and a single-pass `~sum & 0xFFFF` would bake that deferred
+  // carry into the result.
   std::uint32_t sum = 0;
   std::size_t i = 0;
   for (; i + 1 < wire.size(); i += 2)
     sum += static_cast<std::uint32_t>(wire[i]) << 8 | wire[i + 1];
   if (i < wire.size()) sum += static_cast<std::uint32_t>(wire[i]) << 8;
   while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
-  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+  const auto folded = static_cast<std::uint16_t>(~sum & 0xFFFF);
+  // RFC 768: a computed checksum of zero is transmitted as all ones —
+  // on the wire 0x0000 means "no checksum", and a receiver would wave the
+  // datagram through unverified.
+  return folded == 0 ? std::uint16_t{0xFFFF} : folded;
 }
 
-std::optional<EncHeader> parse_enc_header(const Bytes& wire) {
+std::optional<EncHeader> parse_enc_header(WireView wire) {
   if (wire.size() < kEncHeaderSize || peek_type(wire) != PacketType::Enc)
     return std::nullopt;
   EncHeader h;
@@ -211,7 +218,7 @@ std::optional<EncHeader> parse_enc_header(const Bytes& wire) {
   return h;
 }
 
-std::optional<ParityHeader> parse_parity_header(const Bytes& wire) {
+std::optional<ParityHeader> parse_parity_header(WireView wire) {
   if (wire.size() < kFecOffset || peek_type(wire) != PacketType::Parity)
     return std::nullopt;
   ParityHeader h;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -30,6 +31,13 @@
 #include "keytree/rekey_subtree.h"
 
 namespace rekey::packet {
+
+// Parsers take a borrowed byte view rather than a Bytes: the wire path
+// (tools/rekeyd, tools/rekey_load) parses straight out of recvmmsg
+// buffers, and a sub-header datagram from a real socket must come back
+// nullopt — every fixed offset is bounds-checked against the view length
+// before it is read.
+using WireView = std::span<const std::uint8_t>;
 
 enum class PacketType : std::uint8_t { Enc = 0, Parity = 1, Usr = 2, Nack = 3 };
 
@@ -69,7 +77,7 @@ struct EncPacket {
   std::vector<EncEntry> entries;
 
   Bytes serialize(std::size_t packet_size = kDefaultPacketSize) const;
-  static std::optional<EncPacket> parse(const Bytes& wire);
+  static std::optional<EncPacket> parse(WireView wire);
 };
 
 struct ParityPacket {
@@ -79,7 +87,7 @@ struct ParityPacket {
   Bytes fec;                    // packet_size - kFecOffset bytes
 
   Bytes serialize() const;
-  static std::optional<ParityPacket> parse(const Bytes& wire);
+  static std::optional<ParityPacket> parse(WireView wire);
 };
 
 struct UsrPacket {
@@ -89,7 +97,7 @@ struct UsrPacket {
   std::vector<EncEntry> entries;
 
   Bytes serialize() const;
-  static std::optional<UsrPacket> parse(const Bytes& wire);
+  static std::optional<UsrPacket> parse(WireView wire);
 };
 
 struct NackEntry {
@@ -110,18 +118,18 @@ struct NackPacket {
   std::vector<NackEntry> entries;
 
   Bytes serialize() const;
-  static std::optional<NackPacket> parse(const Bytes& wire);
+  static std::optional<NackPacket> parse(WireView wire);
 };
 
 // Inspect the 2-bit type tag of any serialized packet.
-std::optional<PacketType> peek_type(const Bytes& wire);
+std::optional<PacketType> peek_type(WireView wire);
 
 // RFC-768-style 16-bit ones'-complement checksum over the wire bytes: the
 // UDP checksum already charged in kUdpIpOverheadBytes, made explicit. The
 // fault-injected delivery path verifies it so a bit-corrupted copy is
 // dropped like a real UDP datagram — counted as corruption, not loss —
 // instead of reaching the structural parsers.
-std::uint16_t udp_checksum(const Bytes& wire);
+std::uint16_t udp_checksum(WireView wire);
 
 // Header-only views: the receive path classifies hundreds of packets per
 // round and only fully parses the few it actually consumes, so these avoid
@@ -135,13 +143,13 @@ struct EncHeader {
   std::uint16_t frm_id = 0;
   std::uint16_t to_id = 0;
 };
-std::optional<EncHeader> parse_enc_header(const Bytes& wire);
+std::optional<EncHeader> parse_enc_header(WireView wire);
 
 struct ParityHeader {
   std::uint8_t msg_id = 0;
   std::uint16_t block_id = 0;
   std::uint8_t parity_seq = 0;
 };
-std::optional<ParityHeader> parse_parity_header(const Bytes& wire);
+std::optional<ParityHeader> parse_parity_header(WireView wire);
 
 }  // namespace rekey::packet

@@ -146,8 +146,9 @@ Bytes ServerTransport::make_parity(std::size_t block, int parity_index) const {
   return p.serialize();
 }
 
-std::vector<Bytes> ServerTransport::round_packets(int round) {
-  std::vector<Bytes> out;
+void ServerTransport::for_each_round_wire(
+    int round, const std::function<void(const Bytes&)>& stable,
+    const std::function<void(Bytes&&)>& fresh) {
   const std::size_t nb = partition_.num_blocks();
   const std::size_t k = config_.block_size;
 
@@ -155,28 +156,26 @@ std::vector<Bytes> ServerTransport::round_packets(int round) {
     // ENC slots, interleaved across blocks (or block-sequential).
     const auto order = config_.interleave ? partition_.interleaved_order()
                                           : partition_.sequential_order();
-    out.reserve(order.size() + nb * static_cast<std::size_t>(
-                                        proactive_parities_));
     for (const fec::BlockSlot& s : order)
-      out.push_back(slot_wires_[s.block * k + s.seq]);
+      stable(slot_wires_[s.block * k + s.seq]);
     // Proactive parities, interleaved the same way.
+    std::size_t parities = 0;
     for (int p = 0; p < proactive_parities_; ++p)
-      for (std::size_t b = 0; b < nb; ++b)
-        out.push_back(make_parity(b, next_parity_[b]++));
+      for (std::size_t b = 0; b < nb; ++b, ++parities)
+        fresh(make_parity(b, next_parity_[b]++));
     if (obs::trace_enabled())
-      obs::Trace::emit(
-          "server_round",
-          {{"msg", static_cast<int>(msg_id_)},
-           {"round", round},
-           {"enc_slots", static_cast<std::int64_t>(order.size())},
-           {"parities",
-            static_cast<std::int64_t>(out.size() - order.size())},
-           {"amax_total", 0}});
-    return out;
+      obs::Trace::emit("server_round",
+                       {{"msg", static_cast<int>(msg_id_)},
+                        {"round", round},
+                        {"enc_slots", static_cast<std::int64_t>(order.size())},
+                        {"parities", static_cast<std::int64_t>(parities)},
+                        {"amax_total", 0}});
+    return;
   }
 
   // Reactive round: amax[b] fresh parities per block.
   const std::size_t amax_total = pending_parities();
+  std::size_t parities = 0;
   int max_amax = 0;
   for (std::size_t b = 0; b < nb; ++b)
     max_amax = std::max(max_amax, static_cast<int>(amax_[b]));
@@ -186,7 +185,8 @@ std::vector<Bytes> ServerTransport::round_packets(int round) {
       // Fresh parity indices; wrap around if a pathological run exhausts
       // the code (re-sent parities are still useful to whoever lost them).
       if (next_parity_[b] >= coder_.max_parity()) next_parity_[b] = 0;
-      out.push_back(make_parity(b, next_parity_[b]++));
+      fresh(make_parity(b, next_parity_[b]++));
+      ++parities;
     }
   }
   std::fill(amax_.begin(), amax_.end(), 0);
@@ -195,8 +195,19 @@ std::vector<Bytes> ServerTransport::round_packets(int round) {
                      {{"msg", static_cast<int>(msg_id_)},
                       {"round", round},
                       {"enc_slots", 0},
-                      {"parities", static_cast<std::int64_t>(out.size())},
+                      {"parities", static_cast<std::int64_t>(parities)},
                       {"amax_total", static_cast<std::int64_t>(amax_total)}});
+}
+
+std::vector<Bytes> ServerTransport::round_packets(int round) {
+  std::vector<Bytes> out;
+  if (round == 1)
+    out.reserve(partition_.num_slots() +
+                partition_.num_blocks() *
+                    static_cast<std::size_t>(proactive_parities_));
+  for_each_round_wire(
+      round, [&out](const Bytes& w) { out.push_back(w); },
+      [&out](Bytes&& w) { out.push_back(std::move(w)); });
   return out;
 }
 

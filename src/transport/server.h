@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -75,6 +76,17 @@ class ServerTransport {
   // plus the proactive parities; later rounds: amax[b] fresh parities per
   // block (and amax is reset).
   std::vector<Bytes> round_packets(int round);
+
+  // Zero-copy walk of the same send order, for the wire path (the UDP
+  // daemon hands frames to sendmmsg without materializing a per-round
+  // vector of slot copies). `stable` receives wires whose storage lives
+  // as long as this transport (the serialized ENC slots); `fresh`
+  // receives newly encoded parities by value. Exactly one of
+  // round_packets / for_each_round_wire may drive a given round — both
+  // consume the round's amax aggregate.
+  void for_each_round_wire(int round,
+                           const std::function<void(const Bytes&)>& stable,
+                           const std::function<void(Bytes&&)>& fresh);
 
   // A NACK from topology-level user `user`; entries as received.
   void accept_nack(std::size_t user,

@@ -134,6 +134,14 @@ void UserTransport::store_shard(std::uint32_t block, std::uint32_t shard,
   auto& shards = blocks_[block];
   for (const StoredShard& s : shards)
     if (s.shard == shard) return;
+  // All shards of a block must be the same wire size (the FEC code is over
+  // equal-length regions). The simnet always pads to packet_size, but a
+  // real socket can hand us a truncated datagram whose header still parses
+  // — storing it would poison the decode. First full-length shard wins;
+  // the RSE decoder additionally refuses mixed-size inputs outright.
+  if (!shards.empty() &&
+      (*pool_)[pool_index].size() != (*pool_)[shards.front().pool_index].size())
+    return;
   shards.push_back({shard, static_cast<std::uint32_t>(pool_index)});
 }
 

@@ -1,0 +1,414 @@
+#include "wire/control.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace rekey::wire {
+
+namespace {
+
+// Serialized sizes (op byte included).
+constexpr std::size_t kSubSize = 9;
+constexpr std::size_t kSubAckSize = 17;
+constexpr std::size_t kSlotMapHeaderSize = 7;  // op + base_uid + count
+constexpr std::size_t kSlotMapAckSize = 5;
+constexpr std::size_t kBatchStartSize = 6;
+constexpr std::size_t kRoundMarkSize = 9;
+constexpr std::size_t kReportHeaderSize = 16;
+constexpr std::size_t kReportUserSize = 5;   // uid + entry_count
+constexpr std::size_t kReportEntrySize = 4;  // parities + block + max_shard
+constexpr std::size_t kUsrFragHeaderSize = 13;
+constexpr std::size_t kBatchDoneSize = 6;
+constexpr std::size_t kDoneAckSize = 17;
+
+ByteWriter begin_frame(ControlOp op) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(op));
+  return w;
+}
+
+}  // namespace
+
+Bytes serialize(const SubFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::Sub);
+  w.put_u32(f.first_uid);
+  w.put_u32(f.count);
+  return std::move(w).take();
+}
+
+Bytes serialize(const SubAckFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::SubAck);
+  w.put_u32(f.group_size);
+  w.put_u32(f.expected_clients);
+  w.put_u8(f.degree);
+  w.put_u8(f.block_size);
+  w.put_u16(f.packet_size);
+  w.put_u32(f.batches);
+  return std::move(w).take();
+}
+
+Bytes serialize(const SlotMapFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::SlotMap);
+  w.put_u32(f.base_uid);
+  REKEY_ENSURE(f.slots.size() <= 0xFFFF);
+  w.put_u16(static_cast<std::uint16_t>(f.slots.size()));
+  for (const std::uint16_t s : f.slots) w.put_u16(s);
+  return std::move(w).take();
+}
+
+Bytes serialize(const SlotMapAckFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::SlotMapAck);
+  w.put_u32(f.first_uid);
+  return std::move(w).take();
+}
+
+Bytes serialize(const BatchStartFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::BatchStart);
+  w.put_u32(f.batch_seq);
+  w.put_u8(f.msg_id);
+  return std::move(w).take();
+}
+
+Bytes serialize(const RoundMarkFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::RoundMark);
+  w.put_u32(f.batch_seq);
+  w.put_u8(f.msg_id);
+  w.put_u16(f.round);
+  w.put_u8(f.phase);
+  return std::move(w).take();
+}
+
+Bytes serialize(const ReportFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::Report);
+  w.put_u32(f.batch_seq);
+  w.put_u16(f.round);
+  w.put_u8(f.phase);
+  w.put_u16(f.part);
+  w.put_u16(f.nparts);
+  w.put_u32(f.unrecovered);
+  REKEY_ENSURE(f.users.size() <= 0xFFFF);
+  w.put_u16(static_cast<std::uint16_t>(f.users.size()));
+  for (const ReportUser& u : f.users) {
+    REKEY_ENSURE(u.entries.size() <= 0xFF);
+    w.put_u32(u.uid);
+    w.put_u8(static_cast<std::uint8_t>(u.entries.size()));
+    for (const packet::NackEntry& e : u.entries) {
+      w.put_u8(e.parities_needed);
+      w.put_u16(e.block_id);
+      w.put_u8(e.max_shard_seen);
+    }
+  }
+  return std::move(w).take();
+}
+
+Bytes serialize(const UsrFragFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::UsrFrag);
+  w.put_u32(f.batch_seq);
+  w.put_u32(f.uid);
+  w.put_u8(f.frag);
+  w.put_u8(f.nfrags);
+  REKEY_ENSURE(f.bytes.size() <= 0xFFFF);
+  w.put_u16(static_cast<std::uint16_t>(f.bytes.size()));
+  w.put_bytes(f.bytes);
+  return std::move(w).take();
+}
+
+Bytes serialize(const BatchDoneFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::BatchDone);
+  w.put_u32(f.batch_seq);
+  w.put_u8(f.last_batch);
+  return std::move(w).take();
+}
+
+Bytes serialize(const DoneAckFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::DoneAck);
+  w.put_u32(f.batch_seq);
+  w.put_u32(f.recovered);
+  w.put_u32(f.via_usr);
+  w.put_u32(f.gave_up);
+  return std::move(w).take();
+}
+
+Bytes serialize(const FinFrame&) {
+  return std::move(begin_frame(ControlOp::Fin)).take();
+}
+
+Bytes serialize(const FinAckFrame&) {
+  return std::move(begin_frame(ControlOp::FinAck)).take();
+}
+
+std::optional<ControlOp> peek_op(packet::WireView payload) {
+  if (payload.empty()) return std::nullopt;
+  const std::uint8_t op = payload[0];
+  if (op < static_cast<std::uint8_t>(ControlOp::Sub) ||
+      op > static_cast<std::uint8_t>(ControlOp::FinAck))
+    return std::nullopt;
+  return static_cast<ControlOp>(op);
+}
+
+std::optional<SubFrame> parse_sub(packet::WireView payload) {
+  if (payload.size() != kSubSize || peek_op(payload) != ControlOp::Sub)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SubFrame f;
+  f.first_uid = r.get_u32();
+  f.count = r.get_u32();
+  return f;
+}
+
+std::optional<SubAckFrame> parse_sub_ack(packet::WireView payload) {
+  if (payload.size() != kSubAckSize || peek_op(payload) != ControlOp::SubAck)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SubAckFrame f;
+  f.group_size = r.get_u32();
+  f.expected_clients = r.get_u32();
+  f.degree = r.get_u8();
+  f.block_size = r.get_u8();
+  f.packet_size = r.get_u16();
+  f.batches = r.get_u32();
+  return f;
+}
+
+std::optional<SlotMapFrame> parse_slot_map(packet::WireView payload) {
+  if (payload.size() < kSlotMapHeaderSize ||
+      peek_op(payload) != ControlOp::SlotMap)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SlotMapFrame f;
+  f.base_uid = r.get_u32();
+  const std::uint16_t n = r.get_u16();
+  if (r.remaining() != static_cast<std::size_t>(n) * 2) return std::nullopt;
+  f.slots.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) f.slots.push_back(r.get_u16());
+  return f;
+}
+
+std::optional<SlotMapAckFrame> parse_slot_map_ack(packet::WireView payload) {
+  if (payload.size() != kSlotMapAckSize ||
+      peek_op(payload) != ControlOp::SlotMapAck)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SlotMapAckFrame f;
+  f.first_uid = r.get_u32();
+  return f;
+}
+
+std::optional<BatchStartFrame> parse_batch_start(packet::WireView payload) {
+  if (payload.size() != kBatchStartSize ||
+      peek_op(payload) != ControlOp::BatchStart)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  BatchStartFrame f;
+  f.batch_seq = r.get_u32();
+  f.msg_id = r.get_u8();
+  return f;
+}
+
+std::optional<RoundMarkFrame> parse_round_mark(packet::WireView payload) {
+  if (payload.size() != kRoundMarkSize ||
+      peek_op(payload) != ControlOp::RoundMark)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  RoundMarkFrame f;
+  f.batch_seq = r.get_u32();
+  f.msg_id = r.get_u8();
+  f.round = r.get_u16();
+  f.phase = r.get_u8();
+  return f;
+}
+
+std::optional<ReportFrame> parse_report(packet::WireView payload) {
+  if (payload.size() < kReportHeaderSize + 2 ||
+      peek_op(payload) != ControlOp::Report)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  ReportFrame f;
+  f.batch_seq = r.get_u32();
+  f.round = r.get_u16();
+  f.phase = r.get_u8();
+  f.part = r.get_u16();
+  f.nparts = r.get_u16();
+  f.unrecovered = r.get_u32();
+  const std::uint16_t n = r.get_u16();
+  if (f.nparts == 0 || f.part >= f.nparts) return std::nullopt;
+  f.users.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    if (r.remaining() < kReportUserSize) return std::nullopt;
+    ReportUser u;
+    u.uid = r.get_u32();
+    const std::uint8_t entries = r.get_u8();
+    if (r.remaining() < entries * kReportEntrySize) return std::nullopt;
+    u.entries.reserve(entries);
+    for (std::uint8_t e = 0; e < entries; ++e) {
+      packet::NackEntry ne;
+      ne.parities_needed = r.get_u8();
+      ne.block_id = r.get_u16();
+      ne.max_shard_seen = r.get_u8();
+      u.entries.push_back(ne);
+    }
+    f.users.push_back(std::move(u));
+  }
+  if (r.remaining() != 0) return std::nullopt;  // trailing garbage
+  return f;
+}
+
+std::optional<UsrFragFrame> parse_usr_frag(packet::WireView payload) {
+  if (payload.size() < kUsrFragHeaderSize ||
+      peek_op(payload) != ControlOp::UsrFrag)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  UsrFragFrame f;
+  f.batch_seq = r.get_u32();
+  f.uid = r.get_u32();
+  f.frag = r.get_u8();
+  f.nfrags = r.get_u8();
+  const std::uint16_t len = r.get_u16();
+  if (f.nfrags == 0 || f.frag >= f.nfrags) return std::nullopt;
+  if (r.remaining() != len) return std::nullopt;  // truncated or padded
+  f.bytes = r.get_bytes(len);
+  return f;
+}
+
+std::optional<BatchDoneFrame> parse_batch_done(packet::WireView payload) {
+  if (payload.size() != kBatchDoneSize ||
+      peek_op(payload) != ControlOp::BatchDone)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  BatchDoneFrame f;
+  f.batch_seq = r.get_u32();
+  f.last_batch = r.get_u8();
+  return f;
+}
+
+std::optional<DoneAckFrame> parse_done_ack(packet::WireView payload) {
+  if (payload.size() != kDoneAckSize || peek_op(payload) != ControlOp::DoneAck)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  DoneAckFrame f;
+  f.batch_seq = r.get_u32();
+  f.recovered = r.get_u32();
+  f.via_usr = r.get_u32();
+  f.gave_up = r.get_u32();
+  return f;
+}
+
+std::vector<SlotMapFrame> chunk_slot_map(
+    std::uint32_t first_uid, const std::vector<std::uint16_t>& slots,
+    std::size_t max_payload) {
+  REKEY_ENSURE(max_payload > kSlotMapHeaderSize + 2);
+  const std::size_t per_chunk =
+      std::min<std::size_t>((max_payload - kSlotMapHeaderSize) / 2, 0xFFFF);
+  std::vector<SlotMapFrame> out;
+  for (std::size_t base = 0; base < slots.size(); base += per_chunk) {
+    SlotMapFrame f;
+    f.base_uid = first_uid + static_cast<std::uint32_t>(base);
+    const std::size_t end = std::min(slots.size(), base + per_chunk);
+    f.slots.assign(slots.begin() + static_cast<std::ptrdiff_t>(base),
+                   slots.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(f));
+  }
+  if (out.empty()) out.push_back(SlotMapFrame{first_uid, {}});
+  return out;
+}
+
+std::vector<ReportFrame> chunk_report(std::uint32_t batch_seq,
+                                      std::uint16_t round, std::uint8_t phase,
+                                      std::uint32_t unrecovered,
+                                      const std::vector<ReportUser>& users,
+                                      std::size_t max_payload) {
+  REKEY_ENSURE(max_payload > kReportHeaderSize + 2 + kReportUserSize +
+                                 kReportEntrySize);
+  std::vector<ReportFrame> parts;
+  ReportFrame cur;
+  cur.batch_seq = batch_seq;
+  cur.round = round;
+  cur.phase = phase;
+  cur.unrecovered = unrecovered;
+  std::size_t size = kReportHeaderSize + 2;
+  const auto flush = [&] {
+    parts.push_back(std::move(cur));
+    cur = ReportFrame{};
+    cur.batch_seq = batch_seq;
+    cur.round = round;
+    cur.phase = phase;
+    cur.unrecovered = unrecovered;
+    size = kReportHeaderSize + 2;
+  };
+  for (const ReportUser& u : users) {
+    ReportUser clipped = u;
+    // entry_count is a u8, and one user must fit one frame: clip the
+    // entry list if need be — the protocol treats missing NACK entries
+    // as lost NACKs and retries next round.
+    const std::size_t entry_budget =
+        std::min<std::size_t>(0xFF, (max_payload - kReportHeaderSize - 2 -
+                                     kReportUserSize) /
+                                        kReportEntrySize);
+    if (clipped.entries.size() > entry_budget)
+      clipped.entries.resize(entry_budget);
+    const std::size_t need =
+        kReportUserSize + clipped.entries.size() * kReportEntrySize;
+    if (size + need > max_payload || cur.users.size() == 0xFFFF) flush();
+    size += need;
+    cur.users.push_back(std::move(clipped));
+  }
+  parts.push_back(std::move(cur));
+  REKEY_ENSURE(parts.size() <= 0xFFFF);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].part = static_cast<std::uint16_t>(i);
+    parts[i].nparts = static_cast<std::uint16_t>(parts.size());
+  }
+  return parts;
+}
+
+std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
+                                       std::uint32_t uid, const Bytes& usr_wire,
+                                       std::size_t max_payload) {
+  REKEY_ENSURE(max_payload > kUsrFragHeaderSize);
+  const std::size_t chunk =
+      std::min<std::size_t>(max_payload - kUsrFragHeaderSize, 0xFFFF);
+  const std::size_t nfrags =
+      usr_wire.empty() ? 1 : (usr_wire.size() + chunk - 1) / chunk;
+  REKEY_ENSURE_MSG(nfrags <= 0xFF, "USR payload too large to fragment");
+  std::vector<UsrFragFrame> out;
+  out.reserve(nfrags);
+  for (std::size_t i = 0; i < nfrags; ++i) {
+    UsrFragFrame f;
+    f.batch_seq = batch_seq;
+    f.uid = uid;
+    f.frag = static_cast<std::uint8_t>(i);
+    f.nfrags = static_cast<std::uint8_t>(nfrags);
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(usr_wire.size(), begin + chunk);
+    f.bytes.assign(usr_wire.begin() + static_cast<std::ptrdiff_t>(begin),
+                   usr_wire.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<Bytes> UsrReassembly::add(const UsrFragFrame& frag) {
+  if (frag.nfrags == 0 || frag.frag >= frag.nfrags) return std::nullopt;
+  Partial& p = pending_[frag.uid];
+  if (p.seen.empty()) {
+    p.nfrags = frag.nfrags;
+    p.parts.resize(frag.nfrags);
+    p.seen.assign(frag.nfrags, false);
+  }
+  // A fragment disagreeing with the established count is a stale or
+  // damaged duplicate; keep the first wave's shape.
+  if (frag.nfrags != p.nfrags) return std::nullopt;
+  if (p.seen[frag.frag]) return std::nullopt;  // duplicate fragment
+  p.seen[frag.frag] = true;
+  p.parts[frag.frag] = frag.bytes;
+  ++p.have;
+  if (p.have < p.nfrags) return std::nullopt;
+  Bytes full;
+  for (const Bytes& part : p.parts)
+    full.insert(full.end(), part.begin(), part.end());
+  pending_.erase(frag.uid);
+  return full;
+}
+
+}  // namespace rekey::wire

@@ -1,0 +1,212 @@
+// Control-plane frames of the wire rekey session (wire/daemon.h,
+// wire/fleet.h).
+//
+// The rekey protocol itself (packet/wire.h) defines only the four data
+// packets; the paper's evaluation drives them from a simulator where
+// round boundaries and membership are ambient. On a real datagram
+// transport those have to travel too. Every datagram starts with a
+// 1-byte channel:
+//
+//   kChanData    — payload is exactly one protocol packet (ENC / PARITY /
+//                  USR / NACK wire bytes, unchanged from packet/wire.h).
+//   kChanControl — payload is one of the frames below.
+//
+// Control frames keep the round-based protocol's lockstep over a lossy
+// transport: the daemon re-marks a round until every endpoint's final
+// report (or the deadline) arrives, and endpoints answer duplicate marks
+// by resending their cached reports. Data-plane loss is the protocol's
+// own business (FEC + NACK); control frames are the only thing the wire
+// layer retransmits.
+//
+// All integers are big-endian, serialized with ByteWriter like the data
+// packets. Parsers are strict: any truncation, trailing bytes, or length
+// mismatch returns nullopt — these arrive off a real socket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "packet/wire.h"
+
+namespace rekey::wire {
+
+inline constexpr std::uint8_t kChanData = 0x00;
+inline constexpr std::uint8_t kChanControl = 0x01;
+
+enum class ControlOp : std::uint8_t {
+  Sub = 1,          // client -> server: subscribe a uid range
+  SubAck = 2,       // server -> client: group parameters
+  SlotMap = 3,      // server -> client: initial keytree slot of each uid
+  SlotMapAck = 4,   // client -> server: slot map fully received
+  BatchStart = 5,   // server -> client: a rekey message begins
+  RoundMark = 6,    // server -> client: end-of-round, report now
+  Report = 7,       // client -> server: aggregated NACKs + unrecovered count
+  UsrFrag = 8,      // server -> client: unicast USR payload fragment
+  BatchDone = 9,    // server -> client: message delivered / abandoned
+  DoneAck = 10,     // client -> server: per-endpoint batch stats
+  Fin = 11,         // server -> client: session over
+  FinAck = 12,      // client -> server
+};
+
+// An endpoint (one load-generator socket) speaks for a contiguous range
+// of virtual clients; uid is the stable client identity across batches
+// (its keytree slot changes every batch, its uid never does).
+struct SubFrame {
+  std::uint32_t first_uid = 0;
+  std::uint32_t count = 0;
+};
+
+struct SubAckFrame {
+  std::uint32_t group_size = 0;        // current keytree member count
+  std::uint32_t expected_clients = 0;  // fleet size the daemon waits for
+  std::uint8_t degree = 4;
+  std::uint8_t block_size = 10;  // FEC k
+  std::uint16_t packet_size = 0;
+  std::uint32_t batches = 0;  // churn batches the daemon will run
+};
+
+// Initial keytree slots for a contiguous run of uids. Only sent once per
+// session, right after subscription: a client must know its pre-batch-0
+// slot id to run the Theorem-4.2 id derivation; from then on ids evolve
+// client-side. Chunked to fit the MTU; the client acks once every uid in
+// its subscribed range has a slot.
+struct SlotMapFrame {
+  std::uint32_t base_uid = 0;
+  std::vector<std::uint16_t> slots;  // slot of base_uid, base_uid+1, ...
+};
+
+struct SlotMapAckFrame {
+  std::uint32_t first_uid = 0;  // identifies the endpoint's range
+};
+
+struct BatchStartFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint8_t msg_id = 0;  // 6-bit data-plane message id of this batch
+};
+
+// phase 0 = multicast round `round`; phase 1 = unicast wave `round`.
+struct RoundMarkFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint8_t msg_id = 0;  // lets a client that lost BatchStart bootstrap
+  std::uint16_t round = 0;
+  std::uint8_t phase = 0;
+};
+
+// One client's end-of-round feedback inside a report.
+struct ReportUser {
+  std::uint32_t uid = 0;
+  std::vector<packet::NackEntry> entries;  // empty in the unicast phase
+};
+
+// An endpoint's end-of-round report. Large fleets overflow one datagram,
+// so a report is `nparts` frames sharing (batch_seq, round, phase), each
+// carrying `part` and the authoritative unrecovered total; the server
+// holds the round open until all parts of every live endpoint arrive.
+struct ReportFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint16_t round = 0;
+  std::uint8_t phase = 0;
+  std::uint16_t part = 0;
+  std::uint16_t nparts = 1;
+  std::uint32_t unrecovered = 0;  // clients of this endpoint still short
+  std::vector<ReportUser> users;
+};
+
+// One fragment of a serialized USR packet (unicast straggler delivery).
+// `bytes` is a raw slice [frag * chunk, ...) of UsrPacket::serialize();
+// the receiver concatenates all `nfrags` slices and parses the result,
+// so a 9000-byte jumbo USR crosses a 1500-byte wire without the daemon
+// ever emitting an over-MTU datagram.
+struct UsrFragFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint32_t uid = 0;
+  std::uint8_t frag = 0;
+  std::uint8_t nfrags = 1;
+  Bytes bytes;
+};
+
+struct BatchDoneFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint8_t last_batch = 0;
+};
+
+struct DoneAckFrame {
+  std::uint32_t batch_seq = 0;
+  std::uint32_t recovered = 0;
+  std::uint32_t via_usr = 0;
+  std::uint32_t gave_up = 0;
+};
+
+struct FinFrame {};
+struct FinAckFrame {};
+
+Bytes serialize(const SubFrame&);
+Bytes serialize(const SubAckFrame&);
+Bytes serialize(const SlotMapFrame&);
+Bytes serialize(const SlotMapAckFrame&);
+Bytes serialize(const BatchStartFrame&);
+Bytes serialize(const RoundMarkFrame&);
+Bytes serialize(const ReportFrame&);
+Bytes serialize(const UsrFragFrame&);
+Bytes serialize(const BatchDoneFrame&);
+Bytes serialize(const DoneAckFrame&);
+Bytes serialize(const FinFrame&);
+Bytes serialize(const FinAckFrame&);
+
+// Peek the op of a control payload (nullopt on empty/unknown).
+std::optional<ControlOp> peek_op(packet::WireView payload);
+
+std::optional<SubFrame> parse_sub(packet::WireView payload);
+std::optional<SubAckFrame> parse_sub_ack(packet::WireView payload);
+std::optional<SlotMapFrame> parse_slot_map(packet::WireView payload);
+std::optional<SlotMapAckFrame> parse_slot_map_ack(packet::WireView payload);
+std::optional<BatchStartFrame> parse_batch_start(packet::WireView payload);
+std::optional<RoundMarkFrame> parse_round_mark(packet::WireView payload);
+std::optional<ReportFrame> parse_report(packet::WireView payload);
+std::optional<UsrFragFrame> parse_usr_frag(packet::WireView payload);
+std::optional<BatchDoneFrame> parse_batch_done(packet::WireView payload);
+std::optional<DoneAckFrame> parse_done_ack(packet::WireView payload);
+
+// Splits a uid range's slot assignments into SlotMap frames fitting
+// `max_payload` each.
+std::vector<SlotMapFrame> chunk_slot_map(std::uint32_t first_uid,
+                                         const std::vector<std::uint16_t>&
+                                             slots,
+                                         std::size_t max_payload);
+
+// Splits one client's end-of-round feedback stream into Report frames
+// whose serialized size never exceeds `max_payload`. `users` spans the
+// endpoint's unrecovered clients; `unrecovered` is stamped on each part.
+std::vector<ReportFrame> chunk_report(std::uint32_t batch_seq,
+                                      std::uint16_t round, std::uint8_t phase,
+                                      std::uint32_t unrecovered,
+                                      const std::vector<ReportUser>& users,
+                                      std::size_t max_payload);
+
+// Splits a serialized USR packet into UsrFrag frames fitting
+// `max_payload` each (at least one, even for an empty payload).
+std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
+                                       std::uint32_t uid, const Bytes& usr_wire,
+                                       std::size_t max_payload);
+
+// Reassembles UsrFrag frames per uid. Duplicate fragments are ignored;
+// returns the full USR wire once every fragment of a uid has arrived.
+class UsrReassembly {
+ public:
+  std::optional<Bytes> add(const UsrFragFrame& frag);
+  void clear() { pending_.clear(); }
+
+ private:
+  struct Partial {
+    std::uint8_t nfrags = 0;
+    std::size_t have = 0;
+    std::vector<Bytes> parts;
+    std::vector<bool> seen;  // emptiness of a part is not "missing"
+  };
+  std::map<std::uint32_t, Partial> pending_;
+};
+
+}  // namespace rekey::wire

@@ -1,0 +1,476 @@
+#include "wire/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include "common/ensure.h"
+#include "common/obs.h"
+#include "keytree/marking.h"
+#include "keytree/rekey_subtree.h"
+#include "packet/assign.h"
+
+namespace rekey::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+KeyServerDaemon::KeyServerDaemon(WireTransport& wire,
+                                 const DaemonConfig& config)
+    : wire_(wire),
+      config_(config),
+      tree_(config.degree, config.key_seed),
+      rho_(config.protocol, config.key_seed ^ 0x5EED) {
+  REKEY_ENSURE_MSG(config.clients > 0, "daemon needs at least one client");
+  REKEY_ENSURE_MSG(config.churn_pool >= config.churn_leaves,
+                   "churn pool smaller than per-batch leaves");
+  REKEY_ENSURE_MSG(config.max_multicast_rounds >= 1,
+                   "the wire lockstep needs at least one multicast round");
+  REKEY_ENSURE_MSG(config.protocol.packet_size <= wire.max_payload(),
+                   "protocol packet size exceeds the wire MTU budget");
+}
+
+void KeyServerDaemon::send_control(Endpoint to, const Bytes& frame) {
+  wire_.send(to, kChanControl, frame);
+  ++stats_.control_frames;
+}
+
+std::size_t KeyServerDaemon::pump(int timeout_ms) {
+  std::vector<Datagram> in;
+  wire_.receive(in, timeout_ms);
+  std::size_t processed = 0;
+  for (const Datagram& d : in) {
+    if (d.channel != kChanControl) continue;  // clients send control only
+    const auto op = peek_op(d.payload);
+    if (!op) continue;
+    ++processed;
+    switch (*op) {
+      case ControlOp::Sub: {
+        const auto f = parse_sub(d.payload);
+        if (!f || f->count == 0 || f->first_uid >= config_.clients ||
+            f->first_uid + f->count > config_.clients)
+          break;
+        EndpointState& es = endpoints_[d.from];
+        es.ep = d.from;
+        es.first_uid = f->first_uid;
+        es.count = f->count;
+        SubAckFrame ack;
+        ack.group_size = config_.clients + config_.churn_pool;
+        ack.expected_clients = config_.clients;
+        ack.degree = static_cast<std::uint8_t>(config_.degree);
+        ack.block_size =
+            static_cast<std::uint8_t>(config_.protocol.block_size);
+        ack.packet_size =
+            static_cast<std::uint16_t>(config_.protocol.packet_size);
+        ack.batches = config_.batches;
+        send_control(d.from, serialize(ack));
+        break;
+      }
+      case ControlOp::SlotMapAck: {
+        const auto f = parse_slot_map_ack(d.payload);
+        const auto it = endpoints_.find(d.from);
+        if (f && it != endpoints_.end() && f->first_uid == it->second.first_uid)
+          it->second.slot_map_acked = true;
+        break;
+      }
+      case ControlOp::Report: {
+        const auto f = parse_report(d.payload);
+        const auto it = endpoints_.find(d.from);
+        if (!f || it == endpoints_.end()) break;
+        if (f->batch_seq != cur_batch_ || f->round != cur_round_ ||
+            f->phase != cur_phase_)
+          break;  // stale retransmit from an earlier lockstep step
+        handle_report(it->second, *f, cur_server_);
+        break;
+      }
+      case ControlOp::DoneAck: {
+        const auto f = parse_done_ack(d.payload);
+        const auto it = endpoints_.find(d.from);
+        if (!f || it == endpoints_.end() || f->batch_seq != cur_batch_) break;
+        if (!it->second.done_acked) {
+          it->second.done_acked = true;
+          stats_.recovered += f->recovered;
+          stats_.via_usr += f->via_usr;
+          stats_.gave_up += f->gave_up;
+        }
+        break;
+      }
+      case ControlOp::FinAck: {
+        const auto it = endpoints_.find(d.from);
+        if (it != endpoints_.end()) it->second.done_acked = true;
+        break;
+      }
+      default:
+        break;  // server-to-client ops echoed back: ignore
+    }
+  }
+  return processed;
+}
+
+void KeyServerDaemon::handle_report(EndpointState& es, const ReportFrame& f,
+                                    transport::ServerTransport* server) {
+  if (es.dead || es.report_done) return;
+  if (es.parts_expected == 0) {
+    es.parts_expected = f.nparts;
+    es.parts_seen.assign(f.nparts, false);
+    es.parts_have = 0;
+    es.unrecovered_uids.clear();
+  }
+  if (f.nparts != es.parts_expected || f.part >= es.parts_expected) return;
+  if (es.parts_seen[f.part]) return;  // duplicate part
+  es.parts_seen[f.part] = true;
+  ++es.parts_have;
+  es.reported_unrecovered = f.unrecovered;
+  ++stats_.reports;
+  for (const ReportUser& u : f.users) {
+    if (u.uid < es.first_uid || u.uid >= es.first_uid + es.count) continue;
+    es.unrecovered_uids.push_back(u.uid);
+    if (server != nullptr && !u.entries.empty()) {
+      server->accept_nack(u.uid, u.entries);
+      ++stats_.nack_users;
+    }
+  }
+  if (es.parts_have == es.parts_expected) {
+    es.report_done = true;
+    es.missed_deadlines = 0;
+  }
+}
+
+void KeyServerDaemon::wait_for_subscriptions() {
+  std::vector<bool> covered(config_.clients, false);
+  std::size_t have = 0;
+  while (!stopped() && have < config_.clients) {
+    pump(config_.retry_ms);
+    have = 0;
+    std::fill(covered.begin(), covered.end(), false);
+    for (const auto& [ep, es] : endpoints_)
+      for (std::uint32_t u = es.first_uid; u < es.first_uid + es.count; ++u)
+        covered[u] = true;
+    for (const bool c : covered) have += c ? 1 : 0;
+  }
+  stats_.endpoints = static_cast<std::uint32_t>(endpoints_.size());
+}
+
+void KeyServerDaemon::send_slot_maps() {
+  // Serialize each endpoint's slot map once; retransmit until acked.
+  std::map<Endpoint, std::vector<Bytes>> frames;
+  for (auto& [ep, es] : endpoints_) {
+    std::vector<std::uint16_t> slots;
+    slots.reserve(es.count);
+    for (std::uint32_t u = es.first_uid; u < es.first_uid + es.count; ++u) {
+      const tree::NodeId slot = tree_.slot_of(u);
+      REKEY_ENSURE_MSG(slot <= 0xFFFF, "slot id exceeds the u16 wire format");
+      slots.push_back(static_cast<std::uint16_t>(slot));
+    }
+    auto& out = frames[ep];
+    for (const SlotMapFrame& f :
+         chunk_slot_map(es.first_uid, slots, wire_.max_payload()))
+      out.push_back(serialize(f));
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  bool first = true;
+  while (!stopped()) {
+    bool all = true;
+    for (const auto& [ep, es] : endpoints_) all = all && es.slot_map_acked;
+    if (all) return;
+    REKEY_ENSURE_MSG(Clock::now() < deadline,
+                     "slot map delivery timed out before the first batch");
+    for (auto& [ep, es] : endpoints_) {
+      if (es.slot_map_acked) continue;
+      for (const Bytes& f : frames[ep]) send_control(ep, f);
+      if (!first) ++stats_.control_retransmits;
+    }
+    first = false;
+    const auto retry =
+        Clock::now() + std::chrono::milliseconds(config_.retry_ms);
+    while (!stopped() && Clock::now() < retry) pump(ms_until(retry));
+  }
+}
+
+void KeyServerDaemon::collect_reports(std::uint32_t batch_seq,
+                                      std::uint8_t msg_id, std::uint16_t round,
+                                      std::uint8_t phase,
+                                      transport::ServerTransport& server) {
+  cur_batch_ = batch_seq;
+  cur_round_ = round;
+  cur_phase_ = phase;
+  cur_server_ = &server;
+  for (auto& [ep, es] : endpoints_) {
+    es.parts_expected = 0;
+    es.parts_have = 0;
+    es.report_done = false;
+  }
+  const Bytes mark = serialize(RoundMarkFrame{batch_seq, msg_id, round, phase});
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  bool first = true;
+  for (;;) {
+    bool all = true;
+    for (const auto& [ep, es] : endpoints_)
+      all = all && (es.dead || es.report_done);
+    if (all || stopped()) break;
+    if (Clock::now() >= deadline) {
+      // Proceed with partial feedback; an endpoint that keeps missing
+      // deadlines is dead weight and gets dropped from the lockstep.
+      for (auto& [ep, es] : endpoints_) {
+        if (es.dead || es.report_done) continue;
+        if (++es.missed_deadlines >= config_.endpoint_dead_after) {
+          es.dead = true;
+          ++stats_.endpoints_dropped;
+        }
+      }
+      break;
+    }
+    for (auto& [ep, es] : endpoints_) {
+      if (es.dead || es.report_done) continue;
+      send_control(ep, mark);
+      if (!first) ++stats_.control_retransmits;
+    }
+    first = false;
+    const auto retry = std::min(
+        deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
+    while (Clock::now() < retry && !stopped()) {
+      pump(ms_until(retry));
+      bool done = true;
+      for (const auto& [ep, es] : endpoints_)
+        done = done && (es.dead || es.report_done);
+      if (done) break;
+    }
+  }
+  cur_server_ = nullptr;
+}
+
+void KeyServerDaemon::collect_done_acks(std::uint32_t batch_seq,
+                                        bool last_batch) {
+  cur_batch_ = batch_seq;
+  for (auto& [ep, es] : endpoints_) es.done_acked = false;
+  const Bytes done = serialize(
+      BatchDoneFrame{batch_seq, static_cast<std::uint8_t>(last_batch)});
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  bool first = true;
+  for (;;) {
+    bool all = true;
+    for (const auto& [ep, es] : endpoints_) all = all && (es.dead || es.done_acked);
+    if (all || stopped() || Clock::now() >= deadline) break;
+    for (auto& [ep, es] : endpoints_) {
+      if (es.dead || es.done_acked) continue;
+      send_control(ep, done);
+      if (!first) ++stats_.control_retransmits;
+    }
+    first = false;
+    const auto retry = std::min(
+        deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
+    while (Clock::now() < retry && !stopped()) pump(ms_until(retry));
+  }
+}
+
+bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
+  const std::uint8_t msg_id = static_cast<std::uint8_t>(batch_seq % 64);
+
+  // Churn: rotate the silent pool — the oldest pool members leave, fresh
+  // member ids join. Fleet members are never touched.
+  std::vector<tree::MemberId> joins;
+  for (std::uint32_t j = 0; j < config_.churn_joins; ++j)
+    joins.push_back(next_member_++);
+  const std::size_t leave_n =
+      std::min<std::size_t>(config_.churn_leaves, churn_members_.size());
+  std::vector<tree::MemberId> leaves(churn_members_.begin(),
+                                     churn_members_.begin() +
+                                         static_cast<std::ptrdiff_t>(leave_n));
+  churn_members_.erase(churn_members_.begin(),
+                       churn_members_.begin() +
+                           static_cast<std::ptrdiff_t>(leave_n));
+  churn_members_.insert(churn_members_.end(), joins.begin(), joins.end());
+
+  tree::Marker marker(tree_);
+  const tree::BatchUpdate update = marker.run(joins, leaves);
+  const tree::RekeyPayload payload =
+      tree::generate_rekey_payload(tree_, update, msg_id);
+  packet::Assignment assignment =
+      packet::assign_keys(payload, config_.protocol.packet_size);
+
+  transport::ServerTransport server(config_.protocol, payload,
+                                    std::move(assignment),
+                                    rho_.proactive_parities(), msg_id);
+  stats_.enc_packets += server.enc_packets();
+  stats_.slots += server.num_slots();
+
+  const Bytes start = serialize(BatchStartFrame{batch_seq, msg_id});
+  for (const auto& [ep, es] : endpoints_)
+    if (!es.dead) send_control(ep, start);
+
+  // Parity wires of the round in flight. A deque keeps element addresses
+  // stable while frames_ holds pointers into it (the zero-copy batch that
+  // sendmmsg walks).
+  std::deque<Bytes> parity_store;
+  std::vector<const Bytes*> frames;
+
+  bool to_unicast = false;
+  int round = 0;
+  for (;;) {
+    ++round;
+    REKEY_ENSURE_MSG(round <= config_.protocol.max_rounds_cap,
+                     "wire lockstep did not converge within the round cap");
+    parity_store.clear();
+    frames.clear();
+    server.for_each_round_wire(
+        round, [&](const Bytes& w) { frames.push_back(&w); },
+        [&](Bytes&& w) {
+          parity_store.push_back(std::move(w));
+          frames.push_back(&parity_store.back());
+        });
+    if (round == 1) {
+      stats_.proactive_parities += parity_store.size();
+    } else {
+      stats_.reactive_parities += parity_store.size();
+    }
+    std::size_t frame_bytes = 0;
+    for (const Bytes* f : frames) frame_bytes += f->size();
+    for (const auto& [ep, es] : endpoints_) {
+      if (es.dead) continue;
+      const std::size_t sent = wire_.send_frames(ep, kChanData, frames);
+      stats_.data_frames += sent;
+      stats_.data_bytes +=
+          sent == frames.size()
+              ? frame_bytes
+              : sent * (frames.empty() ? 0 : frames[0]->size());
+    }
+    ++stats_.rounds;
+
+    collect_reports(batch_seq, msg_id, static_cast<std::uint16_t>(round), 0,
+                    server);
+    if (stopped()) return false;
+    auto feedback = server.take_feedback();
+    if (round == 1 && config_.protocol.adaptive_rho)
+      rho_.on_round1_feedback(std::move(feedback));
+
+    std::uint64_t unrecovered = 0;
+    for (const auto& [ep, es] : endpoints_)
+      if (!es.dead) unrecovered += es.reported_unrecovered;
+    if (obs::trace_enabled())
+      obs::Trace::emit("wire_round",
+                       {{"batch", static_cast<std::int64_t>(batch_seq)},
+                        {"round", round},
+                        {"frames", static_cast<std::int64_t>(frames.size())},
+                        {"unrecovered",
+                         static_cast<std::int64_t>(unrecovered)}});
+    if (unrecovered == 0) break;
+    if (round >= config_.max_multicast_rounds) {
+      to_unicast = true;
+      break;
+    }
+  }
+
+  if (to_unicast) {
+    // Unicast phase: fragment-and-duplicate USR delivery to the uids the
+    // endpoints reported unrecovered, wave by wave until silence.
+    std::set<std::uint32_t> stragglers;
+    for (const auto& [ep, es] : endpoints_) {
+      if (es.dead) continue;
+      stragglers.insert(es.unrecovered_uids.begin(),
+                        es.unrecovered_uids.end());
+    }
+    std::map<std::uint32_t, std::vector<Bytes>> frag_cache;
+    int wave = 0;
+    while (!stragglers.empty() && !stopped()) {
+      if (config_.unicast_max_waves > 0 &&
+          wave >= config_.unicast_max_waves)
+        break;  // abandoned stragglers surface in the DoneAck gave_up count
+      ++wave;
+      const int dups = config_.protocol.usr_initial_duplicates + wave - 1;
+      for (const std::uint32_t uid : stragglers) {
+        auto it = frag_cache.find(uid);
+        if (it == frag_cache.end()) {
+          const tree::NodeId slot = tree_.slot_of(uid);
+          REKEY_ENSURE(slot <= 0xFFFF);
+          const Bytes usr_wire =
+              server.usr_for(static_cast<std::uint16_t>(slot)).serialize();
+          std::vector<Bytes> frames_for_uid;
+          for (const UsrFragFrame& f : fragment_usr(batch_seq, uid, usr_wire,
+                                                    wire_.max_payload()))
+            frames_for_uid.push_back(serialize(f));
+          it = frag_cache.emplace(uid, std::move(frames_for_uid)).first;
+        }
+        // Locate the endpoint owning this uid.
+        const EndpointState* owner = nullptr;
+        for (const auto& [ep, es] : endpoints_) {
+          if (es.dead) continue;
+          if (uid >= es.first_uid && uid < es.first_uid + es.count) {
+            owner = &es;
+            break;
+          }
+        }
+        if (owner == nullptr) continue;
+        for (int d = 0; d < dups; ++d)
+          for (const Bytes& f : it->second) {
+            send_control(owner->ep, f);
+            ++stats_.usr_frags;
+          }
+      }
+      ++stats_.unicast_waves;
+      collect_reports(batch_seq, msg_id, static_cast<std::uint16_t>(wave), 1,
+                      server);
+      if (stopped()) return false;
+      server.take_feedback();  // unicast-phase reports carry no entries
+      stragglers.clear();
+      for (const auto& [ep, es] : endpoints_) {
+        if (es.dead) continue;
+        stragglers.insert(es.unrecovered_uids.begin(),
+                          es.unrecovered_uids.end());
+      }
+    }
+  }
+
+  collect_done_acks(batch_seq, batch_seq + 1 == config_.batches);
+  ++stats_.batches_run;
+  return !stopped();
+}
+
+DaemonStats KeyServerDaemon::run() {
+  wait_for_subscriptions();
+  if (stopped()) return stats_;
+
+  tree_.populate(config_.clients + config_.churn_pool, 0);
+  next_member_ = config_.clients + config_.churn_pool;
+  churn_members_.clear();
+  for (std::uint32_t m = 0; m < config_.churn_pool; ++m)
+    churn_members_.push_back(config_.clients + m);
+
+  send_slot_maps();
+
+  for (std::uint32_t b = 0; b < config_.batches && !stopped(); ++b)
+    if (!run_batch(b)) break;
+
+  // Session teardown: Fin until every live endpoint acks (short grace).
+  for (auto& [ep, es] : endpoints_) es.done_acked = false;
+  const Bytes fin = serialize(FinFrame{});
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  while (!stopped() && Clock::now() < deadline) {
+    bool all = true;
+    for (const auto& [ep, es] : endpoints_) all = all && (es.dead || es.done_acked);
+    if (all) break;
+    for (const auto& [ep, es] : endpoints_)
+      if (!es.dead && !es.done_acked) send_control(ep, fin);
+    const auto retry = std::min(
+        deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
+    while (Clock::now() < retry && !stopped()) pump(ms_until(retry));
+  }
+
+  stats_.rho_final = rho_.rho();
+  return stats_;
+}
+
+}  // namespace rekey::wire

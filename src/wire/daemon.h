@@ -1,0 +1,174 @@
+// KeyServerDaemon — the batch-rekey key server over a real datagram
+// transport (the wire counterpart of transport::RekeySession).
+//
+// The daemon owns a persistent KeyTree whose members split into two
+// populations:
+//
+//   * the fleet: uids [0, clients), one per remote virtual client, which
+//     never leave — their slot ids evolve across batches exactly as the
+//     protocol prescribes (Theorem 4.2), and the remote UserTransports
+//     track them without any further server help after the initial
+//     SlotMap;
+//   * a churn pool of silent members that the daemon joins/leaves each
+//     batch to generate real rekey traffic. They have no transport; the
+//     multicast serves them but nobody reports for them.
+//
+// Per batch the daemon runs the same pipeline as the simulator —
+// Marker -> generate_rekey_payload -> assign_keys -> ServerTransport —
+// and drives the rounds over the wire in lockstep:
+//
+//   1. data burst: every endpoint gets the round's ENC/PARITY frames
+//      (ENC slot wires go to sendmmsg straight out of the transport's
+//      arena via ServerTransport::for_each_round_wire — no copies);
+//   2. RoundMark, re-sent on a timer until every live endpoint's final
+//      Report (or the round deadline) arrives;
+//   3. NACK feedback into accept_nack / RhoController, then the next
+//      round's reactive parities — identical control law to the simnet.
+//
+// After max_multicast_rounds the unicast phase serves reported
+// stragglers with (fragmented, duplicated) USR packets wave by wave.
+// Data-plane loss needs no transport-level reliability — FEC and NACKs
+// are the protocol's own answer; only control frames are retransmitted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "keytree/keytree.h"
+#include "transport/config.h"
+#include "transport/server.h"
+#include "wire/control.h"
+#include "wire/wire.h"
+
+namespace rekey::wire {
+
+struct DaemonConfig {
+  transport::ProtocolConfig protocol;
+  unsigned degree = 4;
+  std::uint64_t key_seed = 20010827;  // SIGCOMM'01
+
+  std::uint32_t clients = 0;  // fleet size; uids [0, clients)
+  // Silent members available for churn; batch churn rotates through them.
+  std::uint32_t churn_pool = 64;
+  std::uint32_t batches = 1;
+  std::uint32_t churn_joins = 8;
+  std::uint32_t churn_leaves = 8;
+
+  // Lockstep timing: a round's report-collection deadline, and the
+  // control-frame retransmit cadence within it.
+  int round_wait_ms = 5000;
+  int retry_ms = 50;
+  // Rounds before switching to unicast (the wire path always switches —
+  // a multicast-only daemon would wait forever for a dead client).
+  int max_multicast_rounds = 8;
+  // Unicast waves before the remaining stragglers are abandoned.
+  int unicast_max_waves = 64;
+  // Consecutive missed report deadlines before an endpoint is declared
+  // dead and dropped from the lockstep.
+  int endpoint_dead_after = 3;
+};
+
+struct DaemonStats {
+  std::uint32_t endpoints = 0;
+  std::uint32_t batches_run = 0;
+  std::uint64_t enc_packets = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t data_frames = 0;       // ENC+PARITY frames handed to the wire
+  std::uint64_t data_bytes = 0;        // payload bytes of those frames
+  std::uint64_t proactive_parities = 0;
+  std::uint64_t reactive_parities = 0;
+  std::uint64_t rounds = 0;            // multicast rounds across batches
+  std::uint64_t unicast_waves = 0;
+  std::uint64_t usr_frags = 0;
+  std::uint64_t control_frames = 0;
+  std::uint64_t control_retransmits = 0;
+  std::uint64_t reports = 0;        // report parts processed
+  std::uint64_t nack_users = 0;     // per-round per-user NACK arrivals
+  std::uint64_t recovered = 0;      // client-batch recoveries (DoneAcks)
+  std::uint64_t via_usr = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t endpoints_dropped = 0;
+  double rho_final = 1.0;
+};
+
+class KeyServerDaemon {
+ public:
+  KeyServerDaemon(WireTransport& wire, const DaemonConfig& config);
+
+  // Blocks: waits for subscriptions covering every uid, runs the batches,
+  // broadcasts Fin, returns the aggregate stats. Safe to call once.
+  DaemonStats run();
+
+  // Asks run() to bail out at the next lockstep boundary (test harness
+  // timeouts). Callable from another thread.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct EndpointState {
+    Endpoint ep;
+    std::uint32_t first_uid = 0;
+    std::uint32_t count = 0;
+    bool slot_map_acked = false;
+    bool dead = false;
+    int missed_deadlines = 0;
+
+    // Report collection for the lockstep step in progress.
+    std::uint16_t parts_expected = 0;
+    std::vector<bool> parts_seen;
+    std::size_t parts_have = 0;
+    std::uint32_t reported_unrecovered = 0;
+    bool report_done = false;
+    // uids this endpoint last reported unrecovered (feeds the unicast
+    // straggler set).
+    std::vector<std::uint32_t> unrecovered_uids;
+
+    bool done_acked = false;  // BatchDone / Fin acks
+  };
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  void send_control(Endpoint to, const Bytes& frame);
+  // One receive-and-dispatch pass; control frames outside the current
+  // lockstep interest (duplicates, stale batches) are answered or
+  // dropped here. Returns the number of datagrams processed.
+  std::size_t pump(int timeout_ms);
+
+  void wait_for_subscriptions();
+  void send_slot_maps();
+
+  // Runs one churn batch end to end; returns false on stop request.
+  bool run_batch(std::uint32_t batch_seq);
+
+  // Lockstep report collection: marks the step, retransmits, waits for
+  // every live endpoint (deadline round_wait_ms). `phase` 0/1.
+  void collect_reports(std::uint32_t batch_seq, std::uint8_t msg_id,
+                       std::uint16_t round, std::uint8_t phase,
+                       transport::ServerTransport& server);
+  void collect_done_acks(std::uint32_t batch_seq, bool last_batch);
+
+  void handle_report(EndpointState& es, const ReportFrame& f,
+                     transport::ServerTransport* server);
+
+  WireTransport& wire_;
+  DaemonConfig config_;
+  std::atomic<bool> stop_{false};
+
+  tree::KeyTree tree_;
+  transport::RhoController rho_;
+  tree::MemberId next_member_ = 0;
+  std::vector<tree::MemberId> churn_members_;  // silent, in join order
+
+  std::map<Endpoint, EndpointState> endpoints_;
+  // Lockstep the receive pump matches reports against.
+  std::uint32_t cur_batch_ = 0;
+  std::uint16_t cur_round_ = 0;
+  std::uint8_t cur_phase_ = 0;
+  transport::ServerTransport* cur_server_ = nullptr;
+
+  DaemonStats stats_;
+};
+
+}  // namespace rekey::wire

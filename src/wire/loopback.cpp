@@ -1,0 +1,73 @@
+#include "wire/loopback.h"
+
+#include <chrono>
+
+namespace rekey::wire {
+
+LoopbackHub::LoopbackHub(std::size_t max_payload) : max_payload_(max_payload) {}
+
+LoopbackHub::~LoopbackHub() = default;
+
+std::unique_ptr<LoopbackWire> LoopbackHub::attach() {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  const Endpoint self{ports_.size()};
+  ports_.push_back(std::make_unique<Port>());
+  return std::unique_ptr<LoopbackWire>(new LoopbackWire(this, self));
+}
+
+bool LoopbackHub::deliver(Endpoint to, Datagram&& d) {
+  Port* port = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ports_mu_);
+    if (to.id >= ports_.size()) return false;
+    port = ports_[to.id].get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(port->mu);
+    port->inbox.push_back(std::move(d));
+  }
+  port->cv.notify_one();
+  return true;
+}
+
+bool LoopbackWire::send(Endpoint to, std::uint8_t channel,
+                        std::span<const std::uint8_t> payload) {
+  if (payload.size() > hub_->max_payload()) return false;
+  Datagram d;
+  d.from = self_;
+  d.channel = channel;
+  d.payload.assign(payload.begin(), payload.end());
+  return hub_->deliver(to, std::move(d));
+}
+
+std::size_t LoopbackWire::send_frames(Endpoint to, std::uint8_t channel,
+                                      std::span<const Bytes* const> frames) {
+  std::size_t sent = 0;
+  for (const Bytes* frame : frames) {
+    if (!send(to, channel, *frame)) break;
+    ++sent;
+  }
+  return sent;
+}
+
+std::size_t LoopbackWire::receive(std::vector<Datagram>& out, int timeout_ms) {
+  LoopbackHub::Port* port;
+  {
+    std::lock_guard<std::mutex> lock(hub_->ports_mu_);
+    port = hub_->ports_[self_.id].get();
+  }
+  std::unique_lock<std::mutex> lock(port->mu);
+  if (port->inbox.empty() && timeout_ms > 0) {
+    port->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [port] { return !port->inbox.empty(); });
+  }
+  std::size_t n = 0;
+  while (!port->inbox.empty()) {
+    out.push_back(std::move(port->inbox.front()));
+    port->inbox.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rekey::wire

@@ -1,0 +1,76 @@
+// LoopbackWire — an in-process WireTransport for tests and benches.
+//
+// A LoopbackHub is a tiny lossless switch: each attach() creates a port
+// (its Endpoint id is the port index) with its own locked inbox, so a
+// daemon thread and several fleet threads exchange datagrams exactly as
+// they would over UDP loopback, minus the sockets, syscalls, and any
+// possibility of kernel-side drops. Loss and jitter are injected by the
+// fleet's deterministic shaper (wire/fleet.h), never by the hub — that
+// keeps loopback runs reproducible.
+//
+// The hub must outlive every wire attached to it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace rekey::wire {
+
+class LoopbackWire;
+
+class LoopbackHub {
+ public:
+  // `max_payload` models the MTU budget (default: 1500-byte ethernet
+  // minus IP/UDP headers minus the channel byte). Tests shrink it to
+  // force control-plane fragmentation.
+  explicit LoopbackHub(std::size_t max_payload = 1471);
+  ~LoopbackHub();
+
+  LoopbackHub(const LoopbackHub&) = delete;
+  LoopbackHub& operator=(const LoopbackHub&) = delete;
+
+  std::unique_ptr<LoopbackWire> attach();
+
+  std::size_t max_payload() const { return max_payload_; }
+
+ private:
+  friend class LoopbackWire;
+
+  struct Port {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Datagram> inbox;
+  };
+
+  bool deliver(Endpoint to, Datagram&& d);
+
+  const std::size_t max_payload_;
+  std::mutex ports_mu_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+class LoopbackWire : public WireTransport {
+ public:
+  bool send(Endpoint to, std::uint8_t channel,
+            std::span<const std::uint8_t> payload) override;
+  std::size_t send_frames(Endpoint to, std::uint8_t channel,
+                          std::span<const Bytes* const> frames) override;
+  std::size_t receive(std::vector<Datagram>& out, int timeout_ms) override;
+  std::size_t max_payload() const override { return hub_->max_payload(); }
+
+  Endpoint endpoint() const { return self_; }
+
+ private:
+  friend class LoopbackHub;
+  LoopbackWire(LoopbackHub* hub, Endpoint self) : hub_(hub), self_(self) {}
+
+  LoopbackHub* hub_;
+  Endpoint self_;
+};
+
+}  // namespace rekey::wire

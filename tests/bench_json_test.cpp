@@ -50,6 +50,7 @@ constexpr BenchBinary kBenches[] = {
     {"bench_ab6_eager", "AB6"},
     {"bench_r1_degraded", "R1"},
     {"bench_ks1_server_throughput", "KS1"},
+    {"bench_w1_wire_throughput", "W1"},
 };
 
 Json run_bench(const BenchBinary& bench) {

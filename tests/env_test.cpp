@@ -1,0 +1,114 @@
+// Hardened REKEY_* environment parsing (common/env.h): strict integer
+// validation, range clamps rejected rather than saturated, and the
+// warn-once-per-variable discipline.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.h"
+
+namespace rekey::env {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("REKEY_TEST_VAR");
+    reset_warnings_for_test();
+  }
+  void TearDown() override { ::unsetenv("REKEY_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, RawUnsetIsNullopt) {
+  EXPECT_FALSE(raw("REKEY_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, RawEmptyStringIsSetButEmpty) {
+  ::setenv("REKEY_TEST_VAR", "", 1);
+  const auto v = raw("REKEY_TEST_VAR");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+TEST_F(EnvTest, IntValueParsesValidInput) {
+  ::setenv("REKEY_TEST_VAR", "42", 1);
+  EXPECT_EQ(int_value("REKEY_TEST_VAR", 0, 100), 42);
+  ::setenv("REKEY_TEST_VAR", "-7", 1);
+  EXPECT_EQ(int_value("REKEY_TEST_VAR", -10, 10), -7);
+  ::setenv("REKEY_TEST_VAR", "0", 1);
+  EXPECT_EQ(int_value("REKEY_TEST_VAR", 0, 100), 0);
+}
+
+TEST_F(EnvTest, IntValueUnsetIsNulloptWithoutWarning) {
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(EnvTest, IntValueRejectsNonNumeric) {
+  ::setenv("REKEY_TEST_VAR", "abc", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("REKEY_TEST_VAR"),
+            std::string::npos);
+}
+
+TEST_F(EnvTest, IntValueRejectsTrailingJunk) {
+  ::setenv("REKEY_TEST_VAR", "12abc", 1);
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  reset_warnings_for_test();
+  ::setenv("REKEY_TEST_VAR", "3 ", 1);
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+}
+
+TEST_F(EnvTest, IntValueRejectsEmpty) {
+  ::setenv("REKEY_TEST_VAR", "", 1);
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+}
+
+TEST_F(EnvTest, IntValueRejectsOutOfRange) {
+  ::setenv("REKEY_TEST_VAR", "-3", 1);
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 4096).has_value());
+  reset_warnings_for_test();
+  ::setenv("REKEY_TEST_VAR", "5000", 1);
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 4096).has_value());
+}
+
+TEST_F(EnvTest, IntValueRejectsOverflow) {
+  // Larger than any long long: strtoll saturates and sets ERANGE; the
+  // helper must reject, not hand back LLONG_MAX.
+  ::setenv("REKEY_TEST_VAR", "99999999999999999999", 1);
+  EXPECT_FALSE(
+      int_value("REKEY_TEST_VAR", 0, (1ll << 62)).has_value());
+  reset_warnings_for_test();
+  ::setenv("REKEY_TEST_VAR", "-99999999999999999999", 1);
+  EXPECT_FALSE(
+      int_value("REKEY_TEST_VAR", -(1ll << 62), 0).has_value());
+}
+
+TEST_F(EnvTest, WarnsOncePerVariable) {
+  ::setenv("REKEY_TEST_VAR", "garbage", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("REKEY_TEST_VAR"), err.rfind("REKEY_TEST_VAR"))
+      << "warned more than once: " << err;
+
+  // After a reset (fresh process semantics) it warns again.
+  reset_warnings_for_test();
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(int_value("REKEY_TEST_VAR", 0, 100).has_value());
+  EXPECT_FALSE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(EnvTest, WarnOnceCoversStringKnobs) {
+  ::testing::internal::CaptureStderr();
+  warn_once("REKEY_TEST_VAR", "REKEY_TEST_VAR=weird is not a known mode");
+  warn_once("REKEY_TEST_VAR", "REKEY_TEST_VAR=weird is not a known mode");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("weird"), err.rfind("weird")) << err;
+}
+
+}  // namespace
+}  // namespace rekey::env

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/env.h"
 #include "common/parallel.h"
 
 namespace rekey {
@@ -75,10 +76,41 @@ TEST(ThreadPool, ResultsIndependentOfThreadCount) {
 TEST(DefaultThreadCount, HonoursEnvironmentOverride) {
   ::setenv("REKEY_THREADS", "3", 1);
   EXPECT_EQ(default_thread_count(), 3u);
-  ::setenv("REKEY_THREADS", "0", 1);  // nonsense values clamp to 1
+  ::setenv("REKEY_THREADS", "0", 1);  // 0 means serial: clamps to 1
   EXPECT_EQ(default_thread_count(), 1u);
   ::unsetenv("REKEY_THREADS");
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(DefaultThreadCount, GarbageOverrideWarnsAndFallsBack) {
+  ::unsetenv("REKEY_THREADS");
+  const unsigned fallback = default_thread_count();  // hardware default
+
+  // Non-numeric, negative, trailing junk, and overflowing values must all
+  // behave exactly like an unset variable (plus one stderr warning) — not
+  // like 0 workers, not like LLONG_MAX workers.
+  for (const char* bad :
+       {"abc", "-3", "12abc", "", "99999999999999999999", "4097"}) {
+    ::setenv("REKEY_THREADS", bad, 1);
+    env::reset_warnings_for_test();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(default_thread_count(), fallback) << "REKEY_THREADS=" << bad;
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("REKEY_THREADS"), std::string::npos)
+        << "no warning for REKEY_THREADS=" << bad;
+  }
+
+  // The warning fires once per process, not once per query.
+  ::setenv("REKEY_THREADS", "junk", 1);
+  env::reset_warnings_for_test();
+  ::testing::internal::CaptureStderr();
+  (void)default_thread_count();
+  (void)default_thread_count();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("REKEY_THREADS"), err.rfind("REKEY_THREADS")) << err;
+
+  ::unsetenv("REKEY_THREADS");
+  env::reset_warnings_for_test();
 }
 
 }  // namespace

@@ -1,0 +1,345 @@
+// Control-plane frame tests (wire/control.h): round-trips, strict
+// parsing off a real socket, slot-map/report chunking, USR fragmentation
+// and reassembly, and MTU-boundary behavior at 1472/1500/9000-byte
+// datagram budgets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "crypto/keys.h"
+#include "wire/control.h"
+
+namespace rekey::wire {
+namespace {
+
+packet::NackEntry nack(std::uint8_t p, std::uint16_t b, std::uint8_t s) {
+  packet::NackEntry e;
+  e.parities_needed = p;
+  e.block_id = b;
+  e.max_shard_seen = s;
+  return e;
+}
+
+// A serialized USR packet with `n` entries (realistic unicast payload).
+Bytes usr_wire(std::size_t n, std::uint64_t seed) {
+  packet::UsrPacket p;
+  p.msg_id = 9;
+  p.new_user_id = 311;
+  p.max_kid = 512;
+  crypto::KeyGenerator gen(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    packet::EncEntry e;
+    e.enc_id = static_cast<std::uint32_t>(100 + i);
+    const auto k = gen.next();
+    std::copy(k.bytes.begin(), k.bytes.end(), e.enc.ciphertext.begin());
+    e.enc.tag = static_cast<std::uint16_t>(i * 31 + 1);
+    p.entries.push_back(e);
+  }
+  return p.serialize();
+}
+
+TEST(Control, FixedFrameRoundtrips) {
+  {
+    const SubFrame f{12345, 678};
+    const auto r = parse_sub(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->first_uid, f.first_uid);
+    EXPECT_EQ(r->count, f.count);
+  }
+  {
+    SubAckFrame f;
+    f.group_size = 4096;
+    f.expected_clients = 1000;
+    f.degree = 4;
+    f.block_size = 10;
+    f.packet_size = 1027;
+    f.batches = 25;
+    const auto r = parse_sub_ack(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->group_size, f.group_size);
+    EXPECT_EQ(r->expected_clients, f.expected_clients);
+    EXPECT_EQ(r->degree, f.degree);
+    EXPECT_EQ(r->block_size, f.block_size);
+    EXPECT_EQ(r->packet_size, f.packet_size);
+    EXPECT_EQ(r->batches, f.batches);
+  }
+  {
+    const BatchStartFrame f{7, 63};
+    const auto r = parse_batch_start(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->batch_seq, 7u);
+    EXPECT_EQ(r->msg_id, 63);
+  }
+  {
+    RoundMarkFrame f;
+    f.batch_seq = 3;
+    f.msg_id = 5;
+    f.round = 2;
+    f.phase = 1;
+    const auto r = parse_round_mark(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->batch_seq, 3u);
+    EXPECT_EQ(r->msg_id, 5);
+    EXPECT_EQ(r->round, 2);
+    EXPECT_EQ(r->phase, 1);
+  }
+  {
+    const BatchDoneFrame f{11, 1};
+    const auto r = parse_batch_done(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->batch_seq, 11u);
+    EXPECT_EQ(r->last_batch, 1);
+  }
+  {
+    DoneAckFrame f;
+    f.batch_seq = 11;
+    f.recovered = 100;
+    f.via_usr = 3;
+    f.gave_up = 1;
+    const auto r = parse_done_ack(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->recovered, 100u);
+    EXPECT_EQ(r->via_usr, 3u);
+    EXPECT_EQ(r->gave_up, 1u);
+  }
+  {
+    const SlotMapAckFrame f{4242};
+    const auto r = parse_slot_map_ack(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->first_uid, 4242u);
+  }
+  EXPECT_EQ(peek_op(serialize(FinFrame{})), ControlOp::Fin);
+  EXPECT_EQ(peek_op(serialize(FinAckFrame{})), ControlOp::FinAck);
+}
+
+TEST(Control, ReportRoundtripWithEntries) {
+  ReportFrame f;
+  f.batch_seq = 2;
+  f.round = 3;
+  f.phase = 0;
+  f.part = 1;
+  f.nparts = 4;
+  f.unrecovered = 17;
+  f.users.push_back(ReportUser{100, {nack(2, 0, 9), nack(1, 3, 11)}});
+  f.users.push_back(ReportUser{101, {}});
+  const auto r = parse_report(serialize(f));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->batch_seq, 2u);
+  EXPECT_EQ(r->round, 3);
+  EXPECT_EQ(r->part, 1);
+  EXPECT_EQ(r->nparts, 4);
+  EXPECT_EQ(r->unrecovered, 17u);
+  ASSERT_EQ(r->users.size(), 2u);
+  EXPECT_EQ(r->users[0].uid, 100u);
+  ASSERT_EQ(r->users[0].entries.size(), 2u);
+  EXPECT_EQ(r->users[0].entries[0].parities_needed, 2);
+  EXPECT_EQ(r->users[0].entries[1].block_id, 3);
+  EXPECT_EQ(r->users[0].entries[1].max_shard_seen, 11);
+  EXPECT_TRUE(r->users[1].entries.empty());
+}
+
+TEST(Control, ParsersRejectTrailingGarbage) {
+  for (const Bytes& base :
+       {serialize(SubFrame{1, 2}), serialize(RoundMarkFrame{}),
+        serialize(BatchDoneFrame{}), serialize(FinFrame{})}) {
+    Bytes padded = base;
+    padded.push_back(0x00);
+    EXPECT_FALSE(parse_sub(padded) || parse_round_mark(padded) ||
+                 parse_batch_done(padded));
+  }
+  ReportFrame f;
+  f.users.push_back(ReportUser{5, {nack(1, 0, 2)}});
+  Bytes padded = serialize(f);
+  padded.push_back(0xAA);
+  EXPECT_FALSE(parse_report(padded).has_value());
+}
+
+TEST(Control, ParsersNeverThrowOnRandomInput) {
+  Rng rng(0xC0117701);
+  for (int t = 0; t < 20000; ++t) {
+    Bytes wire(rng.next_u64() % 96);
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+    ASSERT_NO_THROW({
+      (void)peek_op(wire);
+      (void)parse_sub(wire);
+      (void)parse_sub_ack(wire);
+      (void)parse_slot_map(wire);
+      (void)parse_slot_map_ack(wire);
+      (void)parse_batch_start(wire);
+      (void)parse_round_mark(wire);
+      (void)parse_report(wire);
+      (void)parse_usr_frag(wire);
+      (void)parse_batch_done(wire);
+      (void)parse_done_ack(wire);
+    });
+  }
+}
+
+TEST(Control, TruncationSweepNeverAccepts) {
+  // Valid frames cut at every byte boundary, including inside the fixed
+  // header: strict parsers must reject every proper prefix (control
+  // frames, unlike ENC entry lists, are never self-delimiting).
+  ReportFrame rep;
+  rep.batch_seq = 9;
+  rep.unrecovered = 2;
+  rep.users.push_back(ReportUser{7, {nack(3, 1, 4), nack(1, 2, 0)}});
+  rep.users.push_back(ReportUser{8, {}});
+  UsrFragFrame uf;
+  uf.batch_seq = 9;
+  uf.uid = 7;
+  uf.frag = 0;
+  uf.nfrags = 2;
+  uf.bytes = Bytes(33, 0x5C);
+  SlotMapFrame sm;
+  sm.base_uid = 40;
+  sm.slots = {100, 101, 102, 103};
+  for (const Bytes& full :
+       {serialize(rep), serialize(uf), serialize(sm), serialize(SubFrame{}),
+        serialize(SubAckFrame{}), serialize(DoneAckFrame{})}) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const Bytes wire(full.begin(), full.begin() + cut);
+      ASSERT_NO_THROW({
+        EXPECT_FALSE(parse_report(wire) || parse_usr_frag(wire) ||
+                     parse_slot_map(wire) || parse_sub(wire) ||
+                     parse_sub_ack(wire) || parse_done_ack(wire))
+            << "cut " << cut;
+      });
+    }
+  }
+}
+
+TEST(Control, SlotMapChunkingCoversEveryUidOnce) {
+  std::vector<std::uint16_t> slots(5000);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    slots[i] = static_cast<std::uint16_t>(i * 3 + 7);
+  const std::size_t max_payload = 300;
+  const auto frames = chunk_slot_map(1000, slots, max_payload);
+  ASSERT_GT(frames.size(), 1u);
+  std::vector<bool> seen(slots.size(), false);
+  for (const SlotMapFrame& f : frames) {
+    EXPECT_LE(serialize(f).size(), max_payload);
+    const auto rt = parse_slot_map(serialize(f));
+    ASSERT_TRUE(rt);
+    for (std::size_t i = 0; i < rt->slots.size(); ++i) {
+      const std::size_t idx = rt->base_uid - 1000 + i;
+      ASSERT_LT(idx, slots.size());
+      EXPECT_FALSE(seen[idx]) << "uid covered twice";
+      seen[idx] = true;
+      EXPECT_EQ(rt->slots[i], slots[idx]);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Control, ReportChunkingFitsBudgetAndCoversEveryUser) {
+  std::vector<ReportUser> users;
+  Rng rng(0xBEEF);
+  for (std::uint32_t u = 0; u < 400; ++u) {
+    ReportUser ru;
+    ru.uid = u;
+    const std::size_t n = rng.next_u64() % 5;
+    for (std::size_t i = 0; i < n; ++i)
+      ru.entries.push_back(
+          nack(static_cast<std::uint8_t>(1 + i),
+               static_cast<std::uint16_t>(u % 7), static_cast<std::uint8_t>(i)));
+    users.push_back(std::move(ru));
+  }
+  const std::size_t max_payload = 256;
+  const auto parts = chunk_report(3, 2, 0, 400, users, max_payload);
+  ASSERT_GT(parts.size(), 1u);
+  std::vector<bool> seen(users.size(), false);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].part, i);
+    EXPECT_EQ(parts[i].nparts, parts.size());
+    EXPECT_EQ(parts[i].unrecovered, 400u);
+    const Bytes wire = serialize(parts[i]);
+    EXPECT_LE(wire.size(), max_payload);
+    const auto rt = parse_report(wire);
+    ASSERT_TRUE(rt);
+    for (const ReportUser& u : rt->users) {
+      ASSERT_LT(u.uid, seen.size());
+      EXPECT_FALSE(seen[u.uid]);
+      seen[u.uid] = true;
+      EXPECT_EQ(u.entries.size(), users[u.uid].entries.size());
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Control, UsrFragmentationRoundtrip) {
+  const Bytes usr = usr_wire(46, 0xFACE);  // a full 1027-byte packet
+  for (const std::size_t max_payload : {64u, 200u, 1471u}) {
+    const auto frags = fragment_usr(5, 77, usr, max_payload);
+    ASSERT_GE(frags.size(), 1u);
+    UsrReassembly reasm;
+    std::optional<Bytes> full;
+    for (const UsrFragFrame& f : frags) {
+      EXPECT_LE(serialize(f).size(), max_payload);
+      EXPECT_FALSE(full.has_value());
+      full = reasm.add(f);
+    }
+    ASSERT_TRUE(full.has_value()) << "max_payload " << max_payload;
+    EXPECT_EQ(*full, usr);
+  }
+}
+
+TEST(Control, UsrReassemblyHandlesDuplicatesAndReordering) {
+  const Bytes usr = usr_wire(20, 0xD1CE);
+  auto frags = fragment_usr(1, 9, usr, 100);
+  ASSERT_GE(frags.size(), 3u);
+  UsrReassembly reasm;
+  // Deliver in reverse, each fragment twice; completion exactly once, on
+  // the final missing fragment.
+  std::optional<Bytes> full;
+  for (std::size_t i = frags.size(); i-- > 0;) {
+    EXPECT_FALSE(reasm.add(frags[i == 0 ? frags.size() - 1 : i]).has_value());
+    const auto r = reasm.add(frags[i]);
+    if (i == 0) {
+      ASSERT_TRUE(r.has_value());
+      full = r;
+    } else {
+      EXPECT_FALSE(r.has_value());
+    }
+  }
+  EXPECT_EQ(*full, usr);
+
+  // A fresh uid with a different nfrags claim must not mix streams.
+  auto other = fragment_usr(1, 9, usr_wire(4, 0xD2), 100);
+  EXPECT_FALSE(reasm.add(other[0]).has_value());
+}
+
+TEST(Control, UsrFragmentationAtMtuBoundaries) {
+  // Real deployment MTU budgets: 1472 (ethernet, pre-channel-byte 1473
+  // payload would overflow), 1500, and 9000 (jumbo). max_payload models
+  // mtu - 28 (IP+UDP) - 1 (channel byte).
+  for (const std::size_t mtu : {1472u, 1500u, 9000u}) {
+    const std::size_t max_payload = mtu - 28 - 1;
+    // A USR wire exactly at, one under, and one over the per-fragment
+    // byte budget, plus a jumbo-sized one.
+    const std::size_t chunk = max_payload - 13;  // UsrFrag header
+    for (const std::size_t wire_size :
+         {chunk - 1, chunk, chunk + 1, 3 * chunk + 5}) {
+      Bytes usr(wire_size);
+      Rng rng(wire_size);
+      for (auto& b : usr) b = static_cast<std::uint8_t>(rng.next_u64());
+      const auto frags = fragment_usr(0, 1, usr, max_payload);
+      const std::size_t expect =
+          wire_size <= chunk ? 1 : (wire_size + chunk - 1) / chunk;
+      EXPECT_EQ(frags.size(), expect) << "mtu " << mtu << " sz " << wire_size;
+      UsrReassembly reasm;
+      std::optional<Bytes> full;
+      for (const UsrFragFrame& f : frags) {
+        // No fragment may exceed the datagram budget — this is the
+        // "rekeyd never emits an over-MTU datagram" invariant.
+        EXPECT_LE(serialize(f).size(), max_payload);
+        full = reasm.add(f);
+      }
+      ASSERT_TRUE(full.has_value());
+      EXPECT_EQ(*full, usr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rekey::wire

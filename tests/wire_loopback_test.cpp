@@ -1,0 +1,210 @@
+// End-to-end wire protocol tests over the in-process loopback hub:
+// KeyServerDaemon and ClientFleet threads exchanging real datagrams with
+// deterministic client-side loss shaping. These cover the full session
+// lifecycle — subscription, slot maps, lockstep rounds, NACK-driven
+// reactive parities, the unicast USR phase with fragmentation, id
+// evolution across batches, and the Fin handshake — without sockets, so
+// they run anywhere and never flake on kernel buffers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "wire/daemon.h"
+#include "wire/fleet.h"
+#include "wire/loopback.h"
+
+namespace rekey::wire {
+namespace {
+
+struct RunResult {
+  DaemonStats daemon;
+  std::vector<FleetStats> fleets;
+};
+
+RunResult run_session(LoopbackHub& hub, DaemonConfig dc,
+                      const std::vector<FleetConfig>& fleet_configs) {
+  auto daemon_wire = hub.attach();
+  KeyServerDaemon daemon(*daemon_wire, dc);
+  RunResult r;
+  r.fleets.resize(fleet_configs.size());
+  std::thread daemon_thread([&] { r.daemon = daemon.run(); });
+  std::vector<std::thread> fleet_threads;
+  for (std::size_t i = 0; i < fleet_configs.size(); ++i) {
+    fleet_threads.emplace_back([&, i] {
+      auto wire = hub.attach();
+      ClientFleet fleet(*wire, daemon_wire->endpoint(), fleet_configs[i]);
+      r.fleets[i] = fleet.run();
+    });
+  }
+  for (auto& t : fleet_threads) t.join();
+  daemon_thread.join();
+  return r;
+}
+
+DaemonConfig base_daemon(std::uint32_t clients) {
+  DaemonConfig dc;
+  dc.clients = clients;
+  dc.churn_pool = 64;
+  dc.churn_joins = 16;
+  dc.churn_leaves = 16;
+  dc.retry_ms = 10;
+  dc.round_wait_ms = 10000;
+  return dc;
+}
+
+FleetConfig fleet_slice(std::uint32_t first, std::uint32_t count) {
+  FleetConfig fc;
+  fc.first_uid = first;
+  fc.count = count;
+  fc.retry_ms = 10;
+  fc.idle_timeout_ms = 15000;
+  return fc;
+}
+
+TEST(WireLoopback, ZeroLossDeliversInOneRound) {
+  LoopbackHub hub;
+  auto r = run_session(hub, base_daemon(64),
+                       {fleet_slice(0, 32), fleet_slice(32, 32)});
+  EXPECT_EQ(r.daemon.batches_run, 1u);
+  EXPECT_EQ(r.daemon.rounds, 1u);  // nothing lost, nobody NACKs
+  EXPECT_EQ(r.daemon.recovered, 64u);
+  EXPECT_EQ(r.daemon.via_usr, 0u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_EQ(r.daemon.unicast_waves, 0u);
+  EXPECT_EQ(r.daemon.endpoints, 2u);
+  for (const FleetStats& fs : r.fleets) {
+    EXPECT_TRUE(fs.finished);
+    EXPECT_EQ(fs.recovered, fs.clients);
+    EXPECT_EQ(fs.unrecovered, 0u);
+  }
+}
+
+TEST(WireLoopback, LossyRecoveryViaNacksAndParities) {
+  // Small packets force several FEC blocks with little duplication, so
+  // shaped loss produces real NACK traffic and reactive parities.
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(128);
+  dc.batches = 2;
+  dc.churn_pool = 128;
+  dc.churn_joins = 64;
+  dc.churn_leaves = 64;
+  dc.protocol.packet_size = 300;
+  auto fc = fleet_slice(0, 128);
+  fc.shaping.down_loss = 0.25;
+  fc.shaping.seed = 42;
+  auto r = run_session(hub, dc, {fc});
+  EXPECT_EQ(r.daemon.batches_run, 2u);
+  EXPECT_GT(r.daemon.rounds, 2u) << "loss should force extra rounds";
+  EXPECT_GT(r.daemon.nack_users, 0u);
+  EXPECT_GT(r.daemon.reactive_parities, 0u);
+  EXPECT_EQ(r.daemon.recovered, 256u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].unrecovered, 0u);
+  EXPECT_GT(r.fleets[0].shaped_off, 0u);
+}
+
+TEST(WireLoopback, LossyRunsAreDeterministic) {
+  const auto run_once = [] {
+    LoopbackHub hub;
+    DaemonConfig dc = base_daemon(96);
+    dc.batches = 2;
+    dc.protocol.packet_size = 300;
+    auto fc = fleet_slice(0, 96);
+    fc.shaping.down_loss = 0.3;
+    fc.shaping.seed = 1234;
+    return run_session(hub, dc, {fc});
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  // Socket timing varies between runs; the protocol counters must not.
+  EXPECT_EQ(a.daemon.rounds, b.daemon.rounds);
+  EXPECT_EQ(a.daemon.reactive_parities, b.daemon.reactive_parities);
+  EXPECT_EQ(a.daemon.nack_users, b.daemon.nack_users);
+  EXPECT_EQ(a.daemon.usr_frags, b.daemon.usr_frags);
+  EXPECT_EQ(a.daemon.recovered, b.daemon.recovered);
+  EXPECT_EQ(a.fleets[0].shaped_off, b.fleets[0].shaped_off);
+  EXPECT_EQ(a.fleets[0].nacks_suppressed, b.fleets[0].nacks_suppressed);
+}
+
+TEST(WireLoopback, MultiBatchIdEvolutionSurvives) {
+  // Five churn batches: every client's id moves per Theorem 4.2 after
+  // each batch. If the client-side derivation diverged from the server's
+  // tree, later batches would address the wrong ids and clients would
+  // stop recovering from their ENC packets.
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(64);
+  dc.batches = 5;
+  auto r = run_session(hub, dc, {fleet_slice(0, 64)});
+  EXPECT_EQ(r.daemon.batches_run, 5u);
+  EXPECT_EQ(r.daemon.recovered, 5u * 64u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_EQ(r.fleets[0].batches, 5u);
+  EXPECT_TRUE(r.fleets[0].finished);
+}
+
+TEST(WireLoopback, UnicastPhaseServesStragglersWithFragmentation) {
+  // One multicast round, then heavy per-client loss: stragglers must be
+  // served by unicast USR packets. The tiny hub MTU forces every USR to
+  // fragment, so this also proves the daemon never needs an over-MTU
+  // datagram (the hub refuses oversize sends outright).
+  LoopbackHub hub(150);
+  DaemonConfig dc = base_daemon(48);
+  dc.batches = 2;
+  dc.max_multicast_rounds = 1;
+  dc.protocol.packet_size = 120;
+  auto fc = fleet_slice(0, 48);
+  fc.shaping.down_loss = 0.5;
+  fc.shaping.seed = 7;
+  auto r = run_session(hub, dc, {fc});
+  EXPECT_EQ(r.daemon.recovered, 96u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_GT(r.daemon.unicast_waves, 0u);
+  EXPECT_GT(r.daemon.via_usr, 0u);
+  // USR wires (5-byte header + 22-byte entries) cannot fit one 149-byte
+  // payload whenever a straggler owes several keys; fragmentation must
+  // have produced more frags than stragglers served.
+  EXPECT_GT(r.daemon.usr_frags, r.daemon.via_usr);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].unrecovered, 0u);
+}
+
+TEST(WireLoopback, UpstreamLossDelaysButDoesNotLoseClients) {
+  // Suppressed NACK reports starve the server of parity requests, but the
+  // lockstep report's unrecovered count keeps the round open, so every
+  // client still converges (possibly via more rounds or unicast).
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(96);
+  dc.churn_pool = 128;
+  dc.churn_joins = 64;  // enough traffic for multiple FEC blocks
+  dc.churn_leaves = 64;
+  dc.protocol.packet_size = 300;
+  dc.max_multicast_rounds = 4;
+  auto fc = fleet_slice(0, 96);
+  fc.shaping.down_loss = 0.25;
+  fc.shaping.up_loss = 0.5;
+  fc.shaping.seed = 99;
+  auto r = run_session(hub, dc, {fc});
+  EXPECT_EQ(r.daemon.recovered, 96u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_GT(r.fleets[0].nacks_suppressed, 0u);
+  EXPECT_TRUE(r.fleets[0].finished);
+}
+
+TEST(WireLoopback, ManyEndpointsPartitionTheFleet) {
+  LoopbackHub hub;
+  std::vector<FleetConfig> fleets;
+  for (std::uint32_t i = 0; i < 8; ++i) fleets.push_back(fleet_slice(i * 16, 16));
+  DaemonConfig dc = base_daemon(128);
+  dc.batches = 2;
+  auto r = run_session(hub, dc, fleets);
+  EXPECT_EQ(r.daemon.endpoints, 8u);
+  EXPECT_EQ(r.daemon.recovered, 256u);
+  for (const FleetStats& fs : r.fleets) {
+    EXPECT_TRUE(fs.finished);
+    EXPECT_EQ(fs.unrecovered, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rekey::wire

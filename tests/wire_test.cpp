@@ -204,6 +204,66 @@ TEST(Wire, MsgIdRange) {
   EXPECT_THROW(p.serialize(64), EnsureError);
 }
 
+// Independent RFC 1071 reference: accumulate into 64 bits, then fold the
+// carries in a loop until none remain. The production routine must agree
+// with this on every input, including ones whose first fold itself
+// carries past bit 16.
+std::uint16_t reference_checksum(const Bytes& wire) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < wire.size(); i += 2) {
+    const std::uint16_t hi = wire[i];
+    const std::uint16_t lo = i + 1 < wire.size() ? wire[i + 1] : 0;
+    sum += static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  const auto c = static_cast<std::uint16_t>(~sum & 0xFFFF);
+  return c == 0 ? std::uint16_t{0xFFFF} : c;
+}
+
+TEST(Wire, ChecksumMatchesReferenceOnCarryHeavyPayloads) {
+  // All-0xFF payloads maximize per-word sums: by ~64 KiB of 0xFFFF words
+  // the 32-bit accumulator's first end-around fold carries again, which a
+  // single-pass fold would bake into the result as an off-by-one.
+  for (const std::size_t n : {2u, 3u, 1500u, 9000u, 65535u, 65536u, 70000u}) {
+    const Bytes wire(n, 0xFF);
+    EXPECT_EQ(udp_checksum(wire), reference_checksum(wire)) << "n=" << n;
+  }
+  // Random payloads, jumbo-sized so the sum leaves the low 16 bits.
+  Rng rng(0xC5C5);
+  for (int t = 0; t < 50; ++t) {
+    Bytes wire(9000);
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_EQ(udp_checksum(wire), reference_checksum(wire)) << "trial " << t;
+  }
+}
+
+TEST(Wire, ChecksumZeroTransmitsAsAllOnes) {
+  // RFC 768: a computed checksum of zero is transmitted as all ones. A
+  // single 0xFFFF word sums to 0xFFFF, whose complement is zero.
+  const Bytes wire{0xFF, 0xFF};
+  EXPECT_EQ(udp_checksum(wire), 0xFFFF);
+  // Same with enough words to require folding first.
+  Bytes many;
+  for (int i = 0; i < 17; ++i) {
+    many.push_back(0xFF);
+    many.push_back(0xFF);
+  }
+  EXPECT_EQ(udp_checksum(many), 0xFFFF);
+  EXPECT_EQ(udp_checksum(Bytes{}), 0xFFFF);  // empty sum is zero too
+}
+
+TEST(Wire, ChecksumDetectsSingleByteFlips) {
+  Rng rng(0xF11F);
+  Bytes wire(257);  // odd length: exercises the padded tail byte
+  for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint16_t good = udp_checksum(wire);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes flipped = wire;
+    flipped[i] ^= 0x5A;
+    EXPECT_NE(udp_checksum(flipped), good) << "flip at " << i;
+  }
+}
+
 TEST(Wire, TreeEncryptionConversionRoundtrip) {
   tree::Encryption t;
   t.enc_id = 21;

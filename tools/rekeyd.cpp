@@ -1,0 +1,150 @@
+// rekeyd — the batch-rekey key server on a real UDP socket.
+//
+// Binds one datagram socket, waits until load generators (rekey_load)
+// have subscribed every uid in [0, clients), then runs `--batches` churn
+// batches of the paper's protocol over the wire and prints a JSON stats
+// document on stdout. Exit code 0 means the session completed (every
+// batch ran and the Fin handshake finished); endpoints that died are
+// reported in the stats, not fatal.
+//
+// A single group instance is bounded by the protocol's 16-bit slot ids
+// (~48k members at degree 4); million-client deployments run multiple
+// rekeyd instances, one group each — see README "Running the daemon".
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/json.h"
+#include "wire/daemon.h"
+#include "wire/udp.h"
+
+namespace {
+
+using namespace rekey;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --clients N [options]\n"
+               "  --bind A.B.C.D:PORT   listen address (default :9915)\n"
+               "  --clients N           fleet size the daemon waits for\n"
+               "  --batches B           churn batches to run (default 1)\n"
+               "  --joins J             joins per batch (default 8)\n"
+               "  --leaves L            leaves per batch (default 8)\n"
+               "  --churn-pool P        silent churn members (default 64)\n"
+               "  --degree D            key tree degree (default 4)\n"
+               "  --packet-size S       ENC packet size (default 1027)\n"
+               "  --rho R               initial proactivity factor\n"
+               "  --no-adaptive-rho     freeze rho at its initial value\n"
+               "  --max-rounds R        multicast rounds before unicast\n"
+               "  --round-wait-ms MS    report-collection deadline\n"
+               "  --retry-ms MS         control retransmit cadence\n"
+               "  --mtu BYTES           datagram size cap (default 1500)\n"
+               "  --seed S              key material seed\n",
+               argv0);
+  std::exit(2);
+}
+
+long long arg_int(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  char* end = nullptr;
+  const long long v = std::strtoll(argv[++i], &end, 10);
+  if (end == argv[i] || *end != '\0') usage(argv[0]);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bind_spec = ":9915";
+  std::size_t mtu = 1500;
+  bool churn_pool_set = false;
+  wire::DaemonConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--bind" && i + 1 < argc) {
+      bind_spec = argv[++i];
+    } else if (a == "--clients") {
+      cfg.clients = static_cast<std::uint32_t>(arg_int(argc, argv, i));
+    } else if (a == "--batches") {
+      cfg.batches = static_cast<std::uint32_t>(arg_int(argc, argv, i));
+    } else if (a == "--joins") {
+      cfg.churn_joins = static_cast<std::uint32_t>(arg_int(argc, argv, i));
+    } else if (a == "--leaves") {
+      cfg.churn_leaves = static_cast<std::uint32_t>(arg_int(argc, argv, i));
+    } else if (a == "--churn-pool") {
+      cfg.churn_pool = static_cast<std::uint32_t>(arg_int(argc, argv, i));
+      churn_pool_set = true;
+    } else if (a == "--degree") {
+      cfg.degree = static_cast<unsigned>(arg_int(argc, argv, i));
+    } else if (a == "--packet-size") {
+      cfg.protocol.packet_size =
+          static_cast<std::size_t>(arg_int(argc, argv, i));
+    } else if (a == "--rho" && i + 1 < argc) {
+      cfg.protocol.initial_rho = std::atof(argv[++i]);
+    } else if (a == "--no-adaptive-rho") {
+      cfg.protocol.adaptive_rho = false;
+    } else if (a == "--max-rounds") {
+      cfg.max_multicast_rounds = static_cast<int>(arg_int(argc, argv, i));
+    } else if (a == "--round-wait-ms") {
+      cfg.round_wait_ms = static_cast<int>(arg_int(argc, argv, i));
+    } else if (a == "--retry-ms") {
+      cfg.retry_ms = static_cast<int>(arg_int(argc, argv, i));
+    } else if (a == "--mtu") {
+      mtu = static_cast<std::size_t>(arg_int(argc, argv, i));
+    } else if (a == "--seed") {
+      cfg.key_seed = static_cast<std::uint64_t>(arg_int(argc, argv, i));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cfg.clients == 0) usage(argv[0]);
+  // The silent pool must absorb each batch's leaves; grow the default to
+  // fit large --joins/--leaves instead of aborting on the size check.
+  if (!churn_pool_set)
+    cfg.churn_pool = std::max(
+        {cfg.churn_pool, 2 * cfg.churn_joins, 2 * cfg.churn_leaves});
+
+  const auto bind_ep = wire::parse_endpoint(bind_spec);
+  if (!bind_ep) {
+    std::fprintf(stderr, "rekeyd: bad --bind %s\n", bind_spec.c_str());
+    return 2;
+  }
+
+  wire::UdpWire udp(wire::endpoint_addr(*bind_ep),
+                    wire::endpoint_port(*bind_ep), mtu);
+  std::fprintf(stderr, "rekeyd: listening on %s, waiting for %u clients\n",
+               wire::endpoint_to_string(udp.local_endpoint()).c_str(),
+               cfg.clients);
+
+  wire::KeyServerDaemon daemon(udp, cfg);
+  const wire::DaemonStats st = daemon.run();
+
+  Json out = Json::object();
+  out.set("tool", "rekeyd");
+  out.set("clients", cfg.clients);
+  out.set("endpoints", st.endpoints);
+  out.set("batches_run", st.batches_run);
+  out.set("enc_packets", st.enc_packets);
+  out.set("slots", st.slots);
+  out.set("data_frames", st.data_frames);
+  out.set("data_bytes", st.data_bytes);
+  out.set("proactive_parities", st.proactive_parities);
+  out.set("reactive_parities", st.reactive_parities);
+  out.set("rounds", st.rounds);
+  out.set("unicast_waves", st.unicast_waves);
+  out.set("usr_frags", st.usr_frags);
+  out.set("control_frames", st.control_frames);
+  out.set("control_retransmits", st.control_retransmits);
+  out.set("reports", st.reports);
+  out.set("nack_users", st.nack_users);
+  out.set("recovered", st.recovered);
+  out.set("via_usr", st.via_usr);
+  out.set("gave_up", st.gave_up);
+  out.set("endpoints_dropped", st.endpoints_dropped);
+  out.set("rho_final", st.rho_final);
+  std::cout << out.dump(2) << "\n";
+
+  return st.batches_run == cfg.batches ? 0 : 1;
+}
