@@ -13,6 +13,12 @@
 // (REKEY_THREADS / hardware concurrency): the fan-out writes to fixed
 // output slots, so its payload is bit-identical to the serial one — the
 // bench asserts that — and only the wall time changes.
+// The third section sweeps the shard count (keytree/shard.h): the whole
+// batch pipeline — sharded marking, per-shard payload generation, and the
+// two-phase parallel UKA — runs at 1..8 shards on a fixed worker pool,
+// with a serial-pipeline baseline row (shards=0). The sharded output is
+// asserted bit-identical to the serial baseline at every shard count;
+// only the wall time may move.
 #include <chrono>
 #include <iostream>
 
@@ -22,6 +28,8 @@
 #include "common/rng.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "keytree/shard.h"
+#include "keytree/shard_pipeline.h"
 #include "packet/assign.h"
 #include "sweep.h"
 
@@ -99,6 +107,103 @@ PointResult run_point(std::size_t N, std::size_t J, std::size_t L,
         r.parallel_identical =
             par.encryptions[i].enc_id == payload.encryptions[i].enc_id &&
             par.encryptions[i].payload == payload.encryptions[i].payload;
+    }
+  }
+  return r;
+}
+
+// One shard-axis configuration: shards == 0 is the serial pipeline
+// baseline, shards >= 1 the sharded pipeline at that shard count.
+struct ShardPoint {
+  std::size_t encryptions = 0;
+  std::size_t enc_packets = 0;
+  double mark_us = 0.0;
+  double payload_us = 0.0;
+  double assign_us = 0.0;
+  bool identical = true;  // artifacts match the serial baseline
+};
+
+// Serial-baseline artifacts the sharded runs are compared against
+// (trial 0 only: trials differ only in seed, and one exact comparison
+// per configuration is the determinism gate, not a statistics game).
+struct ShardBaseline {
+  std::vector<tree::Encryption> encryptions;
+  std::vector<rekey::Bytes> packet_wires;
+};
+
+ShardPoint run_shard_point(std::size_t N, std::size_t J, std::size_t L,
+                           unsigned d, unsigned shards, std::uint64_t seed,
+                           int trials, ThreadPool* pool,
+                           ShardBaseline* baseline) {
+  ShardPoint r;
+  r.mark_us = r.payload_us = r.assign_us = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    // Identical tree/batch construction across shard counts: the rng
+    // stream below depends only on (seed, t).
+    Rng rng(bench::point_seed(seed, static_cast<std::uint64_t>(t)));
+    tree::KeyTree kt(d, rng.next_u64());
+    kt.populate(N);
+    std::vector<tree::MemberId> leaves;
+    leaves.reserve(L);
+    for (const auto pick : rng.sample_without_replacement(N, L))
+      leaves.push_back(static_cast<tree::MemberId>(pick));
+    std::vector<tree::MemberId> joins;
+    joins.reserve(J);
+    for (std::size_t j = 0; j < J; ++j)
+      joins.push_back(static_cast<tree::MemberId>(N + j));
+
+    tree::Marker marker(kt);
+    tree::RekeyPayload payload;
+    packet::Assignment assignment;
+    if (shards == 0) {
+      auto t0 = Clock::now();
+      const auto upd = marker.run(joins, leaves);
+      r.mark_us = std::min(r.mark_us, us_since(t0));
+      t0 = Clock::now();
+      tree::generate_rekey_payload_into(kt, upd, 1, payload);
+      r.payload_us = std::min(r.payload_us, us_since(t0));
+      t0 = Clock::now();
+      assignment = packet::assign_keys(payload, 1027);
+      r.assign_us = std::min(r.assign_us, us_since(t0));
+    } else {
+      const tree::ShardPlan plan = tree::ShardPlan::make(d, shards);
+      TaskRunner runner(pool);
+      auto t0 = Clock::now();
+      const auto upd = marker.run_sharded(joins, leaves, plan, runner);
+      r.mark_us = std::min(r.mark_us, us_since(t0));
+      t0 = Clock::now();
+      tree::generate_rekey_payload_sharded(kt, upd, 1, payload, plan,
+                                           runner);
+      r.payload_us = std::min(r.payload_us, us_since(t0));
+      t0 = Clock::now();
+      assignment = packet::assign_keys(payload, 1027, plan, runner);
+      r.assign_us = std::min(r.assign_us, us_since(t0));
+    }
+    r.encryptions = payload.encryptions.size();
+    r.enc_packets = assignment.packets.size();
+
+    if (t == 0 && baseline != nullptr) {
+      if (shards == 0) {
+        baseline->encryptions = payload.encryptions;
+        baseline->packet_wires.clear();
+        for (const auto& pkt : assignment.packets)
+          baseline->packet_wires.push_back(pkt.serialize(1027));
+      } else {
+        r.identical =
+            payload.encryptions.size() == baseline->encryptions.size() &&
+            assignment.packets.size() == baseline->packet_wires.size();
+        for (std::size_t i = 0;
+             r.identical && i < payload.encryptions.size(); ++i)
+          r.identical =
+              payload.encryptions[i].enc_id ==
+                  baseline->encryptions[i].enc_id &&
+              payload.encryptions[i].payload ==
+                  baseline->encryptions[i].payload;
+        for (std::size_t p = 0;
+             r.identical && p < assignment.packets.size(); ++p)
+          r.identical = assignment.packets[p].serialize(1027) ==
+                        baseline->packet_wires[p];
+      }
     }
   }
   return r;
@@ -184,11 +289,53 @@ int main(int argc, char** argv) {
     }
     json.table(std::cout, t);
   }
+  // Shard-count axis: the full sharded pipeline at a fixed worker pool.
+  // Shard count doubles as the pipeline's concurrency knob (chunk counts
+  // derive from it), so this is the marking+assignment scaling figure.
+  const std::vector<std::size_t> shard_sizes =
+      cli.smoke ? std::vector<std::size_t>{1u << 12}
+                : std::vector<std::size_t>{1u << 20, 1u << 22};
+  const int kShardTrials = cli.smoke ? 1 : 2;
+  json.header(std::cout, "KS1 (shard scaling)",
+              "sharded batch pipeline vs shard count; shards=0 is the "
+              "serial pipeline baseline",
+              "d=4, churn J=L=N/16, 1027-byte packets, fixed worker pool");
+  {
+    Table t({"N", "shards", "enc", "model_enc", "enc_pkts", "mark_us",
+             "payload_us", "assign_us", "mark_assign_us", "speedup"});
+    t.set_precision(2);
+    for (const std::size_t N : shard_sizes) {
+      const std::size_t J = N / 16, L = N / 16;
+      const std::uint64_t seed = point_seed(0x4B5311ull, 1000 + idx);
+      json.add_seed(seed);
+      ++idx;
+      ShardBaseline baseline;
+      double one_shard_ma = 0.0;
+      for (const unsigned shards : {0u, 1u, 2u, 4u, 8u}) {
+        const ShardPoint r = run_shard_point(N, J, L, d, shards, seed,
+                                             kShardTrials, par, &baseline);
+        all_identical = all_identical && r.identical;
+        const double ma = r.mark_us + r.assign_us;
+        if (shards == 1) one_shard_ma = ma;
+        t.add_row({static_cast<long long>(N),
+                   static_cast<long long>(shards),
+                   static_cast<long long>(r.encryptions),
+                   analysis::expected_encryptions(N, J, L, d),
+                   static_cast<long long>(r.enc_packets), r.mark_us,
+                   r.payload_us, r.assign_us, ma,
+                   shards == 0 || one_shard_ma == 0.0 ? 1.0
+                                                      : one_shard_ma / ma});
+      }
+    }
+    json.table(std::cout, t);
+  }
   REKEY_ENSURE_MSG(all_identical,
-                   "parallel payload diverged from the serial payload");
+                   "parallel or sharded pipeline diverged from the serial "
+                   "baseline");
   json.note(std::cout,
             "Counts are deterministic and match the A1 model; timing "
             "columns are hardware-dependent (CI diffs them with unbounded "
-            "tolerance). Parallel payloads are bit-identical to serial.");
+            "tolerance). Parallel payloads and the sharded pipeline at "
+            "every shard count are bit-identical to serial.");
   return json.write();
 }

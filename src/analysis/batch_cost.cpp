@@ -1,5 +1,6 @@
 #include "analysis/batch_cost.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/ensure.h"
@@ -58,10 +59,16 @@ double expected_j_le_l(std::size_t N, std::size_t J, std::size_t L,
   double total = 0.0;
   std::size_t nodes_at_level = 1;  // root level
   for (unsigned level = 0; level < h; ++level) {
-    // children of a level-`level` node span m leaves each.
+    // children of a level-`level` node span m leaves each. When N is not
+    // a power of d the full-tree capacity d^h exceeds N, so the top
+    // levels' nominal spans overshoot the group; a node can never span
+    // more leaves than exist, so clamp both spans to N (the departure
+    // probabilities below are monotone in the span, and the clamped span
+    // is exact for the root).
     std::size_t m = 1;
     for (unsigned i = 0; i + level + 1 < h; ++i) m *= d;
-    const std::size_t M = m * d;
+    m = std::min(m, N);
+    const std::size_t M = std::min(m * d, N);
     // P(all m leaves of c are pure removals): choose departures such that
     // c's m leaves all depart AND all m are among the unreplaced ones.
     // Departed slots are uniform; of the L departed, the J smallest-id are

@@ -118,6 +118,37 @@ void ThreadPool::for_each_index(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void TaskRunner::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (permute_) {
+    // splitmix64 over (seed, round) seeds a Fisher–Yates shuffle; the
+    // permutation is a pure function of (seed, round), so a replayed
+    // sequence of run() calls sees the same adversarial orders.
+    std::uint64_t x = permute_seed_ + (round_++) * 0x9E3779B97F4A7C15ull;
+    auto next = [&x]() {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next() % i);
+      std::swap(order[i - 1], order[j]);
+    }
+    for (const std::size_t i : order) fn(i);
+    return;
+  }
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->for_each_index(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
 void parallel_for_each_index(std::size_t n,
                              const std::function<void(std::size_t)>& fn,
                              unsigned threads) {

@@ -76,4 +76,38 @@ void parallel_for_each_index(std::size_t n,
                              const std::function<void(std::size_t)>& fn,
                              unsigned threads = 0);
 
+// Runs batches of independent tasks that write to disjoint, pre-assigned
+// output slots — the execution discipline of the sharded rekey pipeline.
+// With a pool of more than one worker the tasks fan out across it;
+// otherwise they run inline in index order. A permutation seed (test
+// hook) forces inline execution in a seeded adversarial shuffle of the
+// index order instead: because every task owns its output slots, every
+// order must yield bit-identical results, and the hook lets tests prove
+// that without relying on scheduler luck. Successive run() calls under
+// one seed use distinct derived permutations.
+class TaskRunner {
+ public:
+  explicit TaskRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  // Degree of concurrency callers should size chunk counts for.
+  unsigned parallelism() const {
+    return pool_ == nullptr ? 1u : pool_->size();
+  }
+
+  bool has_permutation() const { return permute_; }
+  void set_permutation_seed(std::uint64_t seed) {
+    permute_ = true;
+    permute_seed_ = seed;
+    round_ = 0;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  ThreadPool* pool_;
+  bool permute_ = false;
+  std::uint64_t permute_seed_ = 0;
+  std::uint64_t round_ = 0;
+};
+
 }  // namespace rekey

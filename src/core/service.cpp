@@ -5,6 +5,7 @@
 
 #include "common/ensure.h"
 #include "common/obs.h"
+#include "keytree/shard_pipeline.h"
 #include "keytree/snapshot.h"
 #include "packet/assign.h"
 
@@ -13,7 +14,14 @@ namespace rekey::core {
 GroupKeyService::GroupKeyService(const ServiceConfig& config)
     : config_(config),
       tree_(config.degree, config.key_seed),
-      rho_(config.protocol, config.key_seed ^ 0x5EED) {}
+      rho_(config.protocol, config.key_seed ^ 0x5EED) {
+  if (config.shards > 1 || config.worker_threads != 1) {
+    plan_ = tree::ShardPlan::make(config.degree,
+                                  std::max(1u, config.shards));
+    const unsigned threads = config.worker_threads;
+    if (threads != 1) pool_ = std::make_unique<rekey::ThreadPool>(threads);
+  }
+}
 
 tree::MemberId GroupKeyService::register_member() { return next_member_++; }
 
@@ -78,7 +86,12 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
   const auto batch_start = std::chrono::steady_clock::now();
 
   tree::Marker marker(tree_);
-  const tree::BatchUpdate update = marker.run(pending_joins_, pending_leaves_);
+  rekey::TaskRunner runner(pool_.get());
+  const tree::BatchUpdate update =
+      plan_.has_value()
+          ? marker.run_sharded(pending_joins_, pending_leaves_, *plan_,
+                               runner)
+          : marker.run(pending_joins_, pending_leaves_);
   pending_joins_.clear();
   pending_leaves_.clear();
 
@@ -92,12 +105,19 @@ IntervalReport GroupKeyService::run_batch(simnet::Topology* topology) {
         m, GroupMember(m, slot, config_.degree, std::span(&cred, 1)));
   }
 
-  const tree::RekeyPayload payload =
-      tree::generate_rekey_payload(tree_, update, next_msg_id_);
+  tree::RekeyPayload payload;
+  if (plan_.has_value())
+    tree::generate_rekey_payload_sharded(tree_, update, next_msg_id_,
+                                         payload, *plan_, runner);
+  else
+    tree::generate_rekey_payload_into(tree_, update, next_msg_id_, payload);
   report.encryptions = payload.encryptions.size();
 
   packet::Assignment assignment =
-      packet::assign_keys(payload, config_.protocol.packet_size);
+      plan_.has_value()
+          ? packet::assign_keys(payload, config_.protocol.packet_size,
+                                *plan_, runner)
+          : packet::assign_keys(payload, config_.protocol.packet_size);
   report.enc_packets = assignment.packets.size();
   report.duplication_overhead = assignment.duplication_overhead();
 

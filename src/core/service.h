@@ -17,11 +17,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/parallel.h"
 #include "core/member.h"
 #include "keytree/marking.h"
+#include "keytree/shard.h"
 #include "simnet/topology.h"
 #include "transport/metrics.h"
 #include "transport/session.h"
@@ -32,6 +36,13 @@ struct ServiceConfig {
   unsigned degree = 4;
   std::uint64_t key_seed = 0xC0FFEE;
   transport::ProtocolConfig protocol;  // used only with simulated delivery
+  // Sharded batch pipeline (keytree/shard.h). shards > 1 partitions
+  // marking, payload generation, and packet assignment into per-shard
+  // tasks; worker_threads > 1 gives those tasks a pool. Output is
+  // bit-identical to the serial pipeline for every setting — the defaults
+  // (1, 1) run the exact serial path.
+  unsigned shards = 1;          // power of two in [1, 256]
+  unsigned worker_threads = 1;  // 0 picks default_thread_count()
 };
 
 struct IntervalReport {
@@ -93,6 +104,9 @@ class GroupKeyService {
 
   ServiceConfig config_;
   tree::KeyTree tree_;
+  // Present when the config asks for the sharded pipeline.
+  std::optional<tree::ShardPlan> plan_;
+  std::unique_ptr<rekey::ThreadPool> pool_;
   tree::MemberId next_member_ = 0;
   std::uint32_t next_msg_id_ = 0;
   std::vector<tree::MemberId> pending_joins_;

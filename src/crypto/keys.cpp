@@ -98,11 +98,12 @@ KeyGenerator::KeyGenerator(std::uint64_t master_seed) {
   Sha256::compress(outer_mid_, opad.data(), 1);
 }
 
-SymmetricKey KeyGenerator::next() {
+SymmetricKey KeyGenerator::next() { return key_at(counter_++); }
+
+SymmetricKey KeyGenerator::key_at(std::uint64_t counter) const {
   std::array<std::uint8_t, 8> ctr;
   for (int i = 0; i < 8; ++i)
-    ctr[i] = static_cast<std::uint8_t>(counter_ >> (56 - 8 * i));
-  ++counter_;
+    ctr[i] = static_cast<std::uint8_t>(counter >> (56 - 8 * i));
   Sha256 inner(inner_mid_, 1);
   inner.update(ctr);
   const auto inner_digest = inner.finish();

@@ -62,6 +62,23 @@ class KeyGenerator {
 
   SymmetricKey next();
 
+  // The draw stream is a pure function of (master seed, counter): key_at
+  // computes the key of an arbitrary counter value without touching the
+  // generator's own position. It is const and uses only the cached
+  // mid-states, so concurrent key_at calls from worker threads are safe —
+  // the sharded marking phase assigns every draw its counter index up front
+  // and materializes the keys in parallel, bit-identical to a serial
+  // next() sequence.
+  SymmetricKey key_at(std::uint64_t counter) const;
+
+  // Stream position: the counter the next next() will consume. Snapshots
+  // persist it so a restored server continues the exact draw sequence an
+  // uninterrupted run would have produced.
+  std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t counter) { counter_ = counter; }
+  // Consume n draws without computing them (deferred materialization).
+  void skip(std::uint64_t n) { counter_ += n; }
+
  private:
   std::array<std::uint8_t, 32> master_{};
   Sha256::State inner_mid_{};  // state after absorbing master ^ ipad

@@ -117,6 +117,8 @@ class KeyTree {
   void check_invariants() const;
 
   crypto::KeyGenerator& key_generator() { return keygen_; }
+  // Read-only access (sharded snapshots persist the stream counter).
+  const crypto::KeyGenerator& key_generator() const { return keygen_; }
 
   // Read-only iteration over all nodes in ascending id order (snapshots,
   // tests). The Node reference is a per-call scratch — copy what you keep.

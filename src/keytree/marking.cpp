@@ -3,13 +3,53 @@
 #include <algorithm>
 
 #include "common/ensure.h"
+#include "common/parallel.h"
 
 namespace rekey::tree {
 
+void Marker::defer_user_draw(MemberId m) {
+  draws_.push_back({tree_.keygen_.counter(), 0, m, true});
+  tree_.keygen_.skip(1);
+}
+
+void Marker::defer_knode_draw(NodeId id, bool live) {
+  // Dead draws (creation draws overwritten by the final refresh) still
+  // consume their counter index — the stream position must match the
+  // fully inline draw sequence exactly.
+  if (live) draws_.push_back({tree_.keygen_.counter(), id, 0, false});
+  tree_.keygen_.skip(1);
+}
+
+void Marker::materialize(rekey::TaskRunner* runner, std::size_t chunks) {
+  const std::size_t n = draws_.size();
+  if (n == 0) return;
+  auto fill_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Draw& d = draws_[i];
+      const crypto::SymmetricKey key = tree_.keygen_.key_at(d.counter);
+      // Distinct draws target distinct nodes (one draw per member, one
+      // refresh per k-node), so writes are disjoint across chunks.
+      const NodeId id = d.is_member ? tree_.slot_of(d.member) : d.node;
+      tree_.key_ref(id) = key;
+    }
+  };
+  if (runner != nullptr && chunks > 1) {
+    const std::size_t parts = std::min(chunks, n);
+    runner->run(parts, [&](std::size_t c) {
+      fill_range(n * c / parts, n * (c + 1) / parts);
+    });
+  } else {
+    fill_range(0, n);
+  }
+  draws_.clear();
+}
+
 NodeId Marker::place_user(MemberId m, NodeId slot) {
   // Key-generator call order matters: one draw per placed user, exactly as
-  // the map-based implementation made them (determinism contract).
-  tree_.set_unode(slot, tree_.keygen_.next(), m);
+  // the inline implementation made them (determinism contract). The key
+  // itself is deferred; the arena holds a placeholder until materialize.
+  tree_.set_unode(slot, crypto::SymmetricKey{}, m);
+  defer_user_draw(m);
   return slot;
 }
 
@@ -28,7 +68,7 @@ void Marker::prune_upwards(NodeId from_parent) {
   }
 }
 
-void Marker::create_ancestors(NodeId slot) {
+void Marker::create_ancestors(NodeId slot, bool live_draws) {
   NodeId id = slot;
   while (id != kRootId) {
     id = parent_of(id, tree_.degree_);
@@ -37,7 +77,8 @@ void Marker::create_ancestors(NodeId slot) {
       REKEY_ENSURE(s == KeyTree::kKNode);
       return;  // existing ancestors are all present (invariant I1)
     }
-    tree_.set_knode(id, tree_.keygen_.next());
+    tree_.set_knode(id, crypto::SymmetricKey{});
+    defer_knode_draw(id, live_draws);
     changed_scratch_.push_back(id);
   }
 }
@@ -52,13 +93,18 @@ void Marker::split_first_user(BatchUpdate& upd,
                    "split target is not a u-node");
 
   // The user at s descends to s's leftmost child; s becomes a k-node.
+  // The key copy may be a placeholder when the user was placed this very
+  // batch — its deferred draw is member-keyed, so materialization writes
+  // the real key to the final slot either way.
   const crypto::SymmetricKey user_key = tree_.key_cref(s);
   const MemberId member = tree_.member_at(s);
   const NodeId dest = child_of(s, 0, tree_.degree_);
   tree_.remove_node(s);
   tree_.set_unode(dest, user_key, member);
 
-  tree_.set_knode(s, tree_.keygen_.next());
+  tree_.set_knode(s, crypto::SymmetricKey{});
+  // s is in the changed set, so its creation draw is dead (refreshed).
+  defer_knode_draw(s, false);
   changed_scratch_.push_back(s);
   upd.moved[s] = dest;
   // If the relocated user joined in this very batch, report its final slot.
@@ -71,10 +117,12 @@ void Marker::split_first_user(BatchUpdate& upd,
     free_slots.push_back(child_of(s, j, tree_.degree_));
 }
 
-BatchUpdate Marker::run(std::span<const MemberId> joins,
-                        std::span<const MemberId> leaves) {
-  BatchUpdate upd;
+bool Marker::structural_pass(std::span<const MemberId> joins,
+                             std::span<const MemberId> leaves,
+                             BatchUpdate& upd,
+                             std::vector<NodeId>& changed_slots) {
   changed_scratch_.clear();
+  draws_.clear();
 
   for (const MemberId m : joins)
     REKEY_ENSURE_MSG(!tree_.has_member(m), "join of an existing member");
@@ -82,10 +130,10 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
     REKEY_ENSURE_MSG(tree_.has_member(m), "leave of an unknown member");
 
   // Bootstrap: an empty tree is (re)built directly; every k-node is new and
-  // therefore changed. No final refresh — all keys are already fresh.
+  // therefore changed. No final refresh — all draws are live.
   if (tree_.empty()) {
     REKEY_ENSURE(leaves.empty());
-    if (joins.empty()) return upd;
+    if (joins.empty()) return true;
     unsigned height = 1;
     std::size_t capacity = tree_.degree_;
     while (capacity < joins.size()) {
@@ -98,14 +146,13 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
     for (std::size_t i = 0; i < joins.size(); ++i) {
       const NodeId slot = first_leaf + i;
       place_user(joins[i], slot);
-      create_ancestors(slot);
+      create_ancestors(slot, /*live_draws=*/true);
       upd.joined.emplace(joins[i], slot);
     }
     upd.changed_knodes.assign(std::move(changed_scratch_));
     changed_scratch_ = {};
     upd.max_kid = tree_.max_knode_id().value_or(0);
-    tree_.rebalance();
-    return upd;
+    return true;
   }
 
   const std::size_t J = joins.size();
@@ -120,7 +167,6 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
   }
   std::sort(departed.begin(), departed.end());
 
-  std::vector<NodeId> changed_slots;
   changed_slots.reserve(std::max(J, L));
 
   // Replace the min(J, L) smallest-id departed slots with joins. The new
@@ -166,7 +212,7 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
       const NodeId slot = free_slots.back();
       free_slots.pop_back();
       place_user(joins[i], slot);
-      create_ancestors(slot);
+      create_ancestors(slot, /*live_draws=*/false);
       upd.joined.emplace(joins[i], slot);
       changed_slots.push_back(slot);
     }
@@ -175,6 +221,18 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
   // Users relocated by splits count as changed slots too.
   for (const auto& [old_slot, new_slot] : upd.moved)
     changed_slots.push_back(new_slot);
+  return false;
+}
+
+BatchUpdate Marker::run(std::span<const MemberId> joins,
+                        std::span<const MemberId> leaves) {
+  BatchUpdate upd;
+  std::vector<NodeId> changed_slots;
+  if (structural_pass(joins, leaves, upd, changed_slots)) {
+    materialize(nullptr, 1);
+    if (!tree_.empty()) tree_.rebalance();
+    return upd;
+  }
 
   // Every existing k-node on a path from a changed slot to the root gets a
   // fresh key. (Ancestors pruned away no longer exist and need none.)
@@ -195,8 +253,113 @@ BatchUpdate Marker::run(std::span<const MemberId> joins,
     // pruned afterwards only in the J<L path, which never creates nodes;
     // so every changed k-node still exists.
     REKEY_ENSURE(tree_.state_at(x) == KeyTree::kKNode);
-    tree_.key_ref(x) = tree_.keygen_.next();
+    defer_knode_draw(x, /*live=*/true);
   }
+  materialize(nullptr, 1);
+
+  upd.max_kid = tree_.max_knode_id().value_or(0);
+  tree_.rebalance();
+  return upd;
+}
+
+BatchUpdate Marker::run_sharded(std::span<const MemberId> joins,
+                                std::span<const MemberId> leaves,
+                                const ShardPlan& plan,
+                                rekey::TaskRunner& runner,
+                                ShardBatchStats* stats) {
+  REKEY_ENSURE_MSG(plan.degree == tree_.degree_,
+                   "shard plan degree does not match the tree");
+  BatchUpdate upd;
+  std::vector<NodeId> changed_slots;
+  if (structural_pass(joins, leaves, upd, changed_slots)) {
+    // Bootstrap builds the whole changed set serially; only the key
+    // materialization (the HMAC-heavy part) fans out.
+    materialize(&runner, plan.shards);
+    if (!tree_.empty()) tree_.rebalance();
+    if (stats != nullptr) {
+      stats->shard_changed.assign(plan.shards, 0);
+      stats->aggregator_changed = 0;
+      for (std::size_t i = 0; i < upd.changed_knodes.size(); ++i) {
+        const unsigned s = plan.shard_of(upd.changed_knodes[i]);
+        if (s == ShardPlan::kAggregator)
+          ++stats->aggregator_changed;
+        else
+          ++stats->shard_changed[s];
+      }
+    }
+    return upd;
+  }
+
+  const unsigned S = plan.shards;
+  // Bin changed slots by owning shard; slots above the cut (tiny trees)
+  // go to the aggregator task's bin.
+  std::vector<std::vector<NodeId>> slot_bins(S + 1);
+  for (const NodeId slot : changed_slots) {
+    const unsigned s = plan.shard_of(slot);
+    slot_bins[s == ShardPlan::kAggregator ? S : s].push_back(slot);
+  }
+
+  // Per-shard path walks. A slot's ancestors at or below the cut stay in
+  // the slot's own shard (they share its cut-level ancestor), so each
+  // task writes only its own below-cut vector; above-cut ancestors go to
+  // the task's private aggregator contribution. Created k-nodes need no
+  // separate seeding: every one is an ancestor of some changed slot, so
+  // the walks rediscover them, exactly as the serial scratch collection
+  // does after sort+unique.
+  std::vector<std::vector<NodeId>> shard_sets(S);
+  std::vector<std::vector<NodeId>> agg_contrib(S + 1);
+  runner.run(S + 1, [&](std::size_t t) {
+    std::vector<NodeId>& above = agg_contrib[t];
+    std::vector<NodeId>* below = t < S ? &shard_sets[t] : nullptr;
+    for (const NodeId slot : slot_bins[t]) {
+      NodeId id = slot;
+      while (id != kRootId) {
+        id = parent_of(id, tree_.degree_);
+        if (tree_.state_at(id) != KeyTree::kKNode) continue;
+        if (below != nullptr && id >= plan.first_cut_id)
+          below->push_back(id);
+        else
+          above.push_back(id);
+      }
+    }
+    if (below != nullptr) {
+      std::sort(below->begin(), below->end());
+      below->erase(std::unique(below->begin(), below->end()), below->end());
+    }
+  });
+
+  // Aggregator set: the region above the cut is tiny (< d^cut_level
+  // * d/(d-1) ids), so a serial sort+unique of the contributions is noise.
+  std::vector<NodeId> aggregator;
+  for (const std::vector<NodeId>& contrib : agg_contrib)
+    aggregator.insert(aggregator.end(), contrib.begin(), contrib.end());
+  std::sort(aggregator.begin(), aggregator.end());
+  aggregator.erase(std::unique(aggregator.begin(), aggregator.end()),
+                   aggregator.end());
+
+  if (stats != nullptr) {
+    stats->shard_changed.assign(S, 0);
+    for (unsigned s = 0; s < S; ++s)
+      stats->shard_changed[s] = shard_sets[s].size();
+    stats->aggregator_changed = aggregator.size();
+    check_shard_partition(plan, shard_sets, aggregator);
+  }
+
+  // Deterministic merge: aggregator ids all precede the first cut id, and
+  // the per-shard sets are pairwise disjoint, so the merged vector equals
+  // the serial sort+unique of the full scratch regardless of the order
+  // the shard tasks completed in.
+  std::vector<std::vector<NodeId>> parts;
+  parts.reserve(S + 1);
+  parts.push_back(std::move(aggregator));
+  for (std::vector<NodeId>& set : shard_sets) parts.push_back(std::move(set));
+  upd.changed_knodes.assign_sorted(merge_disjoint_sorted(std::move(parts)));
+
+  for (const NodeId x : upd.changed_knodes) {
+    REKEY_ENSURE(tree_.state_at(x) == KeyTree::kKNode);
+    defer_knode_draw(x, /*live=*/true);
+  }
+  materialize(&runner, plan.shards);
 
   upd.max_kid = tree_.max_knode_id().value_or(0);
   tree_.rebalance();

@@ -16,6 +16,21 @@
 // Every k-node on a path from a changed slot to the root receives a fresh
 // key; the rekey subtree (keytree/rekey_subtree.h) is derived from this
 // changed set.
+//
+// Key draws are deferred: the structural pass assigns every draw its
+// serial counter index (KeyGenerator::skip) and records where the key
+// belongs; materialization then computes key_at(index) for each live
+// draw and writes it to its final location. Because the stream is a pure
+// function of (seed, counter), materialization order is irrelevant — the
+// serial run materializes inline, the sharded run fans the draws out
+// across a TaskRunner, and both produce the byte-identical tree a fully
+// inline next() sequence would. Two draw classes exist:
+//   * user draws, keyed by MemberId so a split relocating the slot still
+//     lands the key in the member's final slot;
+//   * k-node draws, keyed by NodeId. A k-node creation draw is dead in a
+//     non-bootstrap batch (every created k-node is in the changed set and
+//     its key is overwritten by the final refresh), so only the counter
+//     advances; in bootstrap there is no refresh and the draw is live.
 #pragma once
 
 #include <algorithm>
@@ -24,7 +39,13 @@
 #include <span>
 #include <vector>
 
+#include "common/ensure.h"
 #include "keytree/keytree.h"
+#include "keytree/shard.h"
+
+namespace rekey {
+class TaskRunner;
+}
 
 namespace rekey::tree {
 
@@ -42,6 +63,16 @@ class NodeIdSet {
     ids_ = std::move(ids);
     std::sort(ids_.begin(), ids_.end());
     ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  // Takes ownership of ids that are already sorted and duplicate-free
+  // (the sharded merge produces exactly that); verified, not re-sorted.
+  void assign_sorted(std::vector<NodeId> ids) {
+    REKEY_ENSURE_MSG(std::is_sorted(ids.begin(), ids.end()) &&
+                         std::adjacent_find(ids.begin(), ids.end()) ==
+                             ids.end(),
+                     "assign_sorted input is not sorted and unique");
+    ids_ = std::move(ids);
   }
 
   const_iterator begin() const { return ids_.begin(); }
@@ -102,17 +133,54 @@ class Marker {
   BatchUpdate run(std::span<const MemberId> joins,
                   std::span<const MemberId> leaves);
 
+  // Sharded variant: the structural pass runs serially (it is O(batch)),
+  // then changed-set collection runs as one independent task per shard
+  // plus an aggregator task on `runner`, the per-shard sorted sets merge
+  // deterministically (shard-order-independent), and the deferred key
+  // draws materialize in parallel. The resulting tree, update, and key
+  // material are bit-identical to run() for every shard/thread count.
+  // When `stats` is non-null it is filled with per-shard changed counts
+  // and the partition is validated with check_shard_partition.
+  BatchUpdate run_sharded(std::span<const MemberId> joins,
+                          std::span<const MemberId> leaves,
+                          const ShardPlan& plan, rekey::TaskRunner& runner,
+                          ShardBatchStats* stats = nullptr);
+
  private:
+  // One deferred key draw: stream index plus the final destination.
+  struct Draw {
+    std::uint64_t counter = 0;
+    NodeId node = 0;      // k-node draws
+    MemberId member = 0;  // user draws (slot resolved at materialization)
+    bool is_member = false;
+  };
+
   NodeId place_user(MemberId m, NodeId slot);           // create u-node
   void prune_upwards(NodeId from_parent);               // drop empty k-nodes
-  void create_ancestors(NodeId slot);                   // n-node -> k-node
+  void create_ancestors(NodeId slot, bool live_draws);  // n-node -> k-node
   void split_first_user(BatchUpdate& upd,
                         std::vector<NodeId>& free_slots);
+
+  void defer_user_draw(MemberId m);
+  void defer_knode_draw(NodeId id, bool live);
+  // Computes every recorded live draw via key_at and writes it home. With
+  // a runner and chunks > 1 the draws fan out in fixed chunks (disjoint
+  // destinations, so any execution order is safe).
+  void materialize(rekey::TaskRunner* runner, std::size_t chunks);
+
+  // The marking algorithm proper (draws deferred). Returns true when the
+  // bootstrap path ran, in which case upd is complete except for
+  // materialization; otherwise fills upd's membership maps and
+  // changed_slots, leaving changed-set collection to the caller.
+  bool structural_pass(std::span<const MemberId> joins,
+                       std::span<const MemberId> leaves, BatchUpdate& upd,
+                       std::vector<NodeId>& changed_slots);
 
   KeyTree& tree_;
   // Ids of k-nodes created or path-touched this batch, with duplicates;
   // sorted+uniqued once into BatchUpdate::changed_knodes.
   std::vector<NodeId> changed_scratch_;
+  std::vector<Draw> draws_;
 };
 
 }  // namespace rekey::tree

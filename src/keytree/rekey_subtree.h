@@ -37,9 +37,24 @@
 
 namespace rekey {
 class ThreadPool;
+class TaskRunner;
 }
 
 namespace rekey::tree {
+
+struct ShardPlan;        // keytree/shard.h
+struct ShardBatchStats;  // keytree/shard.h
+struct RekeyPayload;
+struct BatchUpdate;
+
+// Sharded generator (keytree/shard_pipeline.h); declared here so the flat
+// payload containers can befriend it.
+void generate_rekey_payload_sharded(const KeyTree& tree,
+                                    const BatchUpdate& update,
+                                    std::uint32_t msg_id, RekeyPayload& out,
+                                    const ShardPlan& plan,
+                                    rekey::TaskRunner& runner,
+                                    ShardBatchStats* stats);
 
 enum class Label : std::uint8_t { Join, Replace };
 
@@ -112,6 +127,12 @@ class UserNeeds {
   friend void generate_rekey_payload_into(const KeyTree&, const BatchUpdate&,
                                           std::uint32_t, RekeyPayload&,
                                           rekey::ThreadPool*);
+  friend void generate_rekey_payload_sharded(const KeyTree&,
+                                             const BatchUpdate&,
+                                             std::uint32_t, RekeyPayload&,
+                                             const ShardPlan&,
+                                             rekey::TaskRunner&,
+                                             ShardBatchStats*);
 
   std::size_t index_of(NodeId slot) const {
     const auto it = std::lower_bound(slots_.begin(), slots_.end(), slot);
@@ -154,6 +175,12 @@ class LabelMap {
   friend void generate_rekey_payload_into(const KeyTree&, const BatchUpdate&,
                                           std::uint32_t, RekeyPayload&,
                                           rekey::ThreadPool*);
+  friend void generate_rekey_payload_sharded(const KeyTree&,
+                                             const BatchUpdate&,
+                                             std::uint32_t, RekeyPayload&,
+                                             const ShardPlan&,
+                                             rekey::TaskRunner&,
+                                             ShardBatchStats*);
 
   std::size_t index_of(NodeId id) const {
     const auto it = std::lower_bound(

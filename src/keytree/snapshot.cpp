@@ -13,6 +13,8 @@ namespace {
 constexpr std::uint32_t kTreeMagic = 0x524B5453;  // "RKTS"
 constexpr std::uint32_t kViewMagic = 0x524B5653;  // "RKVS"
 constexpr std::uint8_t kVersion = 1;
+// v2: sharded layout — per-shard node sections + the keygen counter.
+constexpr std::uint8_t kShardedVersion = 2;
 
 void append_digest(Bytes& blob) {
   const auto digest = crypto::Sha256::hash(blob);
@@ -77,6 +79,98 @@ std::optional<KeyTree> restore_tree(const Bytes& blob,
     return KeyTree::from_nodes(degree, key_seed, nodes);
   } catch (const EnsureError&) {
     // Truncated fields or invariant violations: a corrupt snapshot.
+    return std::nullopt;
+  }
+}
+
+Bytes snapshot_sharded_tree(const KeyTree& tree, const ShardPlan& plan) {
+  REKEY_ENSURE_MSG(tree.degree() == plan.degree,
+                   "shard plan degree does not match the tree");
+  // Group nodes by owner: sections [0, shards) hold each shard's subtree
+  // nodes, section `shards` holds the aggregator's top-of-tree nodes.
+  // Within a section ids stay ascending (for_each_node order).
+  const unsigned S = plan.shards;
+  std::vector<std::vector<std::pair<NodeId, Node>>> sections(S + 1);
+  tree.for_each_node([&](NodeId id, const Node& n) {
+    const unsigned s = plan.shard_of(id);
+    sections[s == ShardPlan::kAggregator ? S : s].emplace_back(id, n);
+  });
+
+  ByteWriter w;
+  w.put_u32(kTreeMagic);
+  w.put_u8(kShardedVersion);
+  w.put_u8(static_cast<std::uint8_t>(tree.degree()));
+  w.put_u32(S);
+  w.put_u32(plan.cut_level);
+  w.put_u64(tree.key_generator().counter());
+  for (unsigned s = 0; s <= S; ++s) {
+    w.put_u32(s);
+    w.put_u32(static_cast<std::uint32_t>(sections[s].size()));
+    for (const auto& [id, n] : sections[s]) {
+      w.put_u64(id);
+      w.put_u8(static_cast<std::uint8_t>(n.kind));
+      w.put_u32(n.kind == NodeKind::UNode ? n.member : 0);
+      w.put_bytes(n.key.bytes);
+    }
+  }
+  Bytes blob = std::move(w).take();
+  append_digest(blob);
+  return blob;
+}
+
+std::optional<KeyTree> restore_sharded_tree(const Bytes& blob,
+                                            std::uint64_t key_seed,
+                                            ShardPlan* plan_out) {
+  const auto body = checked_body(blob);
+  if (!body) return std::nullopt;
+  try {
+    ByteReader r(*body);
+    if (r.get_u32() != kTreeMagic) return std::nullopt;
+    if (r.get_u8() != kShardedVersion) return std::nullopt;
+    const unsigned degree = r.get_u8();
+    const std::uint32_t shards = r.get_u32();
+    const std::uint32_t cut_level = r.get_u32();
+    const std::uint64_t counter = r.get_u64();
+    if (degree < 2 || shards < 1 || shards > 256 ||
+        (shards & (shards - 1)) != 0)
+      return std::nullopt;
+    const ShardPlan plan = ShardPlan::make(degree, shards);
+    if (plan.cut_level != cut_level) return std::nullopt;
+
+    std::map<NodeId, Node> nodes;
+    for (std::uint32_t s = 0; s <= shards; ++s) {
+      if (r.get_u32() != s) return std::nullopt;
+      const std::uint32_t count = r.get_u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const NodeId id = r.get_u64();
+        // Section ownership check: a node filed under the wrong shard
+        // (or a below-cut node in the aggregator section) means the
+        // shard boundary is corrupt.
+        const unsigned own = plan.shard_of(id);
+        if (s == shards) {
+          if (own != ShardPlan::kAggregator) return std::nullopt;
+        } else if (own != s) {
+          return std::nullopt;
+        }
+        Node n;
+        n.kind = static_cast<NodeKind>(r.get_u8());
+        if (n.kind != NodeKind::KNode && n.kind != NodeKind::UNode)
+          return std::nullopt;
+        n.member = r.get_u32();
+        const Bytes key = r.get_bytes(crypto::SymmetricKey::kSize);
+        std::copy(key.begin(), key.end(), n.key.bytes.begin());
+        if (!nodes.emplace(id, n).second) return std::nullopt;
+      }
+    }
+    if (r.remaining() != 0) return std::nullopt;
+    KeyTree tree = KeyTree::from_nodes(degree, key_seed, nodes);
+    // Resume the draw stream exactly where the snapshotted server left
+    // it: the next batch's keys match an uninterrupted run bit for bit.
+    tree.key_generator().set_counter(counter);
+    check_sharded_tree(tree, plan);
+    if (plan_out != nullptr) *plan_out = plan;
+    return tree;
+  } catch (const EnsureError&) {
     return std::nullopt;
   }
 }

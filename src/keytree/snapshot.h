@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "keytree/keytree.h"
+#include "keytree/shard.h"
 #include "keytree/user_view.h"
 
 namespace rekey::tree {
@@ -24,6 +25,19 @@ Bytes snapshot_tree(const KeyTree& tree);
 // unknown version. `key_seed` seeds the generator for *future* keys.
 std::optional<KeyTree> restore_tree(const Bytes& blob,
                                     std::uint64_t key_seed);
+
+// Sharded snapshot (format v2): nodes are grouped into one section per
+// shard plus an aggregator section, and the key generator's stream
+// counter is persisted, so a restored server resumes the exact draw
+// sequence — the next sharded (or serial) batch is bit-identical to an
+// uninterrupted run's, even mid-epoch. Restore validates that every node
+// in a shard section is owned by that shard under the recorded plan; a
+// corrupted shard boundary yields nullopt.
+Bytes snapshot_sharded_tree(const KeyTree& tree, const ShardPlan& plan);
+
+std::optional<KeyTree> restore_sharded_tree(const Bytes& blob,
+                                            std::uint64_t key_seed,
+                                            ShardPlan* plan_out = nullptr);
 
 // Serialize a member's key view (member id, slot, held keys).
 Bytes snapshot_view(const UserKeyView& view, unsigned degree);

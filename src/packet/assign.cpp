@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/ensure.h"
+#include "common/parallel.h"
 
 namespace rekey::packet {
 
@@ -90,6 +91,129 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
     current.to_id = static_cast<std::uint16_t>(user);
   }
   if (open) flush();
+  return out;
+}
+
+Assignment assign_keys(const tree::RekeyPayload& payload,
+                       std::size_t packet_size, const tree::ShardPlan& plan,
+                       rekey::TaskRunner& runner) {
+  const std::size_t capacity = max_entries(packet_size);
+  REKEY_ENSURE(capacity >= 1);
+
+  Assignment out;
+  out.unique_encryptions = payload.encryptions.size();
+  if (payload.user_needs.empty()) return out;
+
+  // Phase A: serial boundary scan. Replays the greedy packing decisions
+  // of the serial scan — same stamps, same flush points — but only counts
+  // entries and records each packet's user range instead of gathering and
+  // sorting them.
+  struct PacketSpec {
+    std::size_t user_begin = 0;  // index into user_needs iteration order
+    std::size_t user_end = 0;
+    std::size_t entries = 0;
+    tree::NodeId frm = 0;
+    tree::NodeId to = 0;
+  };
+  std::vector<PacketSpec> specs;
+  {
+    std::vector<std::uint32_t> last_pkt(payload.encryptions.size(),
+                                        ~std::uint32_t{0});
+    std::uint32_t pkt_seq = 0;
+    std::size_t in_packet = 0;
+    PacketSpec cur;
+    bool open = false;
+    std::size_t u = 0;
+    for (const auto& [user, needs] : payload.user_needs) {
+      REKEY_ENSURE_MSG(needs.size() <= capacity,
+                       "one user's encryptions exceed a packet");
+      std::size_t added = 0;
+      for (const std::uint32_t idx : needs)
+        if (last_pkt[idx] != pkt_seq) ++added;
+      if (open && in_packet + added > capacity) {
+        cur.user_end = u;
+        cur.entries = in_packet;
+        specs.push_back(cur);
+        ++pkt_seq;
+        in_packet = 0;
+        open = false;
+      }
+      if (!open) {
+        cur = PacketSpec{};
+        cur.user_begin = u;
+        cur.frm = user;
+        open = true;
+      }
+      for (const std::uint32_t idx : needs) {
+        if (last_pkt[idx] != pkt_seq) {
+          last_pkt[idx] = pkt_seq;
+          ++in_packet;
+        }
+      }
+      cur.to = user;
+      ++u;
+    }
+    if (open) {
+      cur.user_end = u;
+      cur.entries = in_packet;
+      specs.push_back(cur);
+    }
+  }
+
+  // Phase B: independent per-packet fills into preallocated slots. The
+  // task count follows the shard count (sharding is the concurrency
+  // knob); each task reuses one stamp array across its packets.
+  out.packets.resize(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    EncPacket& pkt = out.packets[p];
+    pkt.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
+    pkt.max_kid = static_cast<std::uint16_t>(payload.max_kid);
+    pkt.frm_id = static_cast<std::uint16_t>(specs[p].frm);
+    pkt.to_id = static_cast<std::uint16_t>(specs[p].to);
+    out.total_entries += specs[p].entries;
+  }
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(specs.size(),
+                               static_cast<std::size_t>(plan.shards) * 4));
+  // Iterating a CSR range needs positional access; rebuild the per-user
+  // spans once (cheap: two vectors of views into the payload).
+  std::vector<tree::UserNeeds::needs_span> spans;
+  spans.reserve(payload.user_needs.size());
+  for (const auto& [user, needs] : payload.user_needs) spans.push_back(needs);
+  runner.run(chunks, [&](std::size_t c) {
+    const std::size_t pb = specs.size() * c / chunks;
+    const std::size_t pe = specs.size() * (c + 1) / chunks;
+    std::vector<std::uint32_t> stamp(payload.encryptions.size(),
+                                     ~std::uint32_t{0});
+    std::vector<std::uint32_t> gathered;
+    for (std::size_t p = pb; p < pe; ++p) {
+      const PacketSpec& spec = specs[p];
+      gathered.clear();
+      gathered.reserve(spec.entries);
+      const auto mark = static_cast<std::uint32_t>(p);
+      for (std::size_t i = spec.user_begin; i < spec.user_end; ++i) {
+        for (const std::uint32_t idx : spans[i]) {
+          if (stamp[idx] != mark) {
+            stamp[idx] = mark;
+            gathered.push_back(idx);
+          }
+        }
+      }
+      REKEY_ENSURE(gathered.size() == spec.entries);
+      // Emit entries bottom-up (descending enc_id == descending depth);
+      // enc_id is unique, so the sorted order is independent of the
+      // first-encounter gather order above.
+      std::sort(gathered.begin(), gathered.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return payload.encryptions[a].enc_id >
+                         payload.encryptions[b].enc_id;
+                });
+      EncPacket& pkt = out.packets[p];
+      pkt.entries.reserve(gathered.size());
+      for (const std::uint32_t idx : gathered)
+        pkt.entries.push_back(to_wire_entry(payload.encryptions[idx]));
+    }
+  });
   return out;
 }
 

@@ -16,7 +16,12 @@
 #include <vector>
 
 #include "keytree/rekey_subtree.h"
+#include "keytree/shard.h"
 #include "packet/wire.h"
+
+namespace rekey {
+class TaskRunner;
+}
 
 namespace rekey::packet {
 
@@ -34,6 +39,19 @@ struct Assignment {
 // encryption appears in exactly one packet's range.
 Assignment assign_keys(const tree::RekeyPayload& payload,
                        std::size_t packet_size = kDefaultPacketSize);
+
+// Sharded/parallel variant. Phase A scans the users serially and decides
+// the exact packet boundaries the serial greedy scan would (the cut
+// points are inherently sequential); phase B fills the packets as
+// independent tasks on `runner` — a packet's entry set is the
+// de-duplicated union of its own users' needs, so each packet is
+// recomputable in isolation, and entries sort by their globally unique
+// enc_id. Packets land in preallocated slots, so the flush order is
+// stable and the result is bit-identical to assign_keys regardless of
+// shard count, thread count, or task completion order.
+Assignment assign_keys(const tree::RekeyPayload& payload,
+                       std::size_t packet_size, const tree::ShardPlan& plan,
+                       rekey::TaskRunner& runner);
 
 // Baseline comparator: the *sequential* (encryption-oriented) assignment
 // the paper argues against. Encryptions are packed in generation order

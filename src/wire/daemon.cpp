@@ -8,6 +8,7 @@
 #include "common/obs.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "keytree/shard_pipeline.h"
 #include "packet/assign.h"
 
 namespace rekey::wire {
@@ -38,6 +39,11 @@ KeyServerDaemon::KeyServerDaemon(WireTransport& wire,
                    "the wire lockstep needs at least one multicast round");
   REKEY_ENSURE_MSG(config.protocol.packet_size <= wire.max_payload(),
                    "protocol packet size exceeds the wire MTU budget");
+  if (config.shards > 1 || config.worker_threads != 1) {
+    plan_ = tree::ShardPlan::make(config.degree, std::max(1u, config.shards));
+    if (config.worker_threads != 1)
+      pool_ = std::make_unique<ThreadPool>(config.worker_threads);
+  }
 }
 
 void KeyServerDaemon::send_control(Endpoint to, const Bytes& frame) {
@@ -295,11 +301,22 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
   churn_members_.insert(churn_members_.end(), joins.begin(), joins.end());
 
   tree::Marker marker(tree_);
-  const tree::BatchUpdate update = marker.run(joins, leaves);
-  const tree::RekeyPayload payload =
-      tree::generate_rekey_payload(tree_, update, msg_id);
+  TaskRunner runner(pool_.get());
+  const tree::BatchUpdate update =
+      plan_.has_value()
+          ? marker.run_sharded(joins, leaves, *plan_, runner)
+          : marker.run(joins, leaves);
+  tree::RekeyPayload payload;
+  if (plan_.has_value())
+    tree::generate_rekey_payload_sharded(tree_, update, msg_id, payload,
+                                         *plan_, runner);
+  else
+    tree::generate_rekey_payload_into(tree_, update, msg_id, payload);
   packet::Assignment assignment =
-      packet::assign_keys(payload, config_.protocol.packet_size);
+      plan_.has_value()
+          ? packet::assign_keys(payload, config_.protocol.packet_size,
+                                *plan_, runner)
+          : packet::assign_keys(payload, config_.protocol.packet_size);
 
   transport::ServerTransport server(config_.protocol, payload,
                                     std::move(assignment),

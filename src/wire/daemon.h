@@ -34,10 +34,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
+#include "common/parallel.h"
 #include "keytree/keytree.h"
+#include "keytree/shard.h"
 #include "transport/config.h"
 #include "transport/server.h"
 #include "wire/control.h"
@@ -69,6 +73,13 @@ struct DaemonConfig {
   // Consecutive missed report deadlines before an endpoint is declared
   // dead and dropped from the lockstep.
   int endpoint_dead_after = 3;
+
+  // Sharded batch pipeline (keytree/shard.h): shards > 1 runs marking,
+  // payload generation, and UKA as per-shard tasks; worker_threads > 1
+  // backs them with a pool. Bit-identical output to the serial pipeline
+  // (the wire traffic does not change); defaults keep the serial path.
+  unsigned shards = 1;          // power of two in [1, 256]
+  unsigned worker_threads = 1;  // 0 picks default_thread_count()
 };
 
 struct DaemonStats {
@@ -157,6 +168,8 @@ class KeyServerDaemon {
   std::atomic<bool> stop_{false};
 
   tree::KeyTree tree_;
+  std::optional<tree::ShardPlan> plan_;  // set when config asks for shards
+  std::unique_ptr<rekey::ThreadPool> pool_;
   transport::RhoController rho_;
   tree::MemberId next_member_ = 0;
   std::vector<tree::MemberId> churn_members_;  // silent, in join order

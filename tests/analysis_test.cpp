@@ -3,6 +3,9 @@
 // the packet-level simulator, and the scalability model's monotonicity.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 #include "analysis/batch_cost.h"
 #include "analysis/scalability.h"
 #include "analysis/transport_model.h"
@@ -112,6 +115,29 @@ TEST(BatchCost, ExpectedPacketsScale) {
   const double pkts = expected_enc_packets(4096, 0, 1024, 4, 46);
   EXPECT_GT(pkts, 60.0);
   EXPECT_LT(pkts, 130.0);
+}
+
+TEST(BatchCost, NonPowerOfDegreeGroupSizes) {
+  // Regression: when N is not a power of d the full-tree capacity d^h
+  // exceeds N and the top levels' nominal leaf spans used to overshoot
+  // the group, tripping the hypergeometric precondition (m <= N). The
+  // spans are clamped to N now; the model must evaluate finitely across
+  // the whole KS1 sweep, including N = 2^17 and 2^22 (d = 4).
+  for (const std::size_t N :
+       {std::size_t{1} << 13, std::size_t{1} << 17, std::size_t{1} << 22}) {
+    const std::pair<std::size_t, std::size_t> mixes[] = {
+        {N / 16, N / 16}, {0, N / 4}, {N / 4, 0}};
+    for (const auto& [J, L] : mixes) {
+      const double c = expected_encryptions(N, J, L, 4);
+      EXPECT_TRUE(std::isfinite(c)) << "N=" << N << " J=" << J << " L=" << L;
+      EXPECT_GT(c, 0.0) << "N=" << N << " J=" << J << " L=" << L;
+      // Hard upper bound: every departure/join marks at most its full
+      // root path (h levels x d encryptions each) plus a split.
+      const unsigned h = 12;  // ceil(log4 2^22)
+      EXPECT_LT(c, static_cast<double>((J + L + 1) * (h + 1) * 4))
+          << "N=" << N << " J=" << J << " L=" << L;
+    }
+  }
 }
 
 TEST(BatchCost, DuplicationBoundMatchesPaperForm) {

@@ -7,6 +7,7 @@
 // observationally identical, not just "equivalent".
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <span>
 #include <vector>
@@ -20,6 +21,9 @@
 #include "keytree/keytree.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "keytree/shard.h"
+#include "keytree/shard_pipeline.h"
+#include "packet/assign.h"
 
 namespace rekey::tree {
 namespace {
@@ -473,6 +477,258 @@ TEST(KeyTreeDifferential, ParallelPayloadEightWorkers) {
   rekey::ThreadPool pool(8);
   run_differential(4, 0xD1FF20, 60, 300, &pool);
   run_differential(8, 0xD1FF21, 30, 200, &pool);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-serial differential: the same scripted churn drives two
+// identical trees, one through the serial pipeline (Marker::run ->
+// generate_rekey_payload_into -> assign_keys) and one through the sharded
+// pipeline (run_sharded -> generate_rekey_payload_sharded -> sharded
+// assign_keys). The determinism contract says sharding changes who
+// computes what, never what is computed: every artifact — tree nodes and
+// key material, the draw-stream counter, the batch update, payload bytes,
+// and the assigned packets — must match exactly for every shard count and
+// thread count.
+// ---------------------------------------------------------------------------
+
+void expect_flat_trees_equal(const KeyTree& a, const KeyTree& b, int batch) {
+  EXPECT_EQ(a.key_generator().counter(), b.key_generator().counter())
+      << "draw-stream counter diverged at batch " << batch;
+  const std::map<NodeId, Node> na = a.nodes();
+  const std::map<NodeId, Node> nb = b.nodes();
+  ASSERT_EQ(na.size(), nb.size()) << "node count diverged at batch " << batch;
+  auto ib = nb.begin();
+  for (const auto& [id, n] : na) {
+    ASSERT_EQ(id, ib->first) << "node id diverged at batch " << batch;
+    ASSERT_EQ(n.kind, ib->second.kind)
+        << "kind of node " << id << " diverged at batch " << batch;
+    ASSERT_EQ(n.key, ib->second.key)
+        << "key of node " << id << " diverged at batch " << batch;
+    if (n.kind == NodeKind::UNode) {
+      ASSERT_EQ(n.member, ib->second.member)
+          << "member at node " << id << " diverged at batch " << batch;
+    }
+    ++ib;
+  }
+}
+
+void expect_batch_updates_equal(const BatchUpdate& a, const BatchUpdate& b,
+                                int batch) {
+  EXPECT_TRUE(a.changed_knodes == b.changed_knodes)
+      << "changed_knodes diverged at batch " << batch;
+  EXPECT_EQ(a.joined, b.joined) << "joined diverged at batch " << batch;
+  EXPECT_EQ(a.departed, b.departed) << "departed diverged at batch " << batch;
+  EXPECT_EQ(a.moved, b.moved) << "moved diverged at batch " << batch;
+  EXPECT_EQ(a.max_kid, b.max_kid) << "max_kid diverged at batch " << batch;
+}
+
+void expect_flat_payloads_equal(const RekeyPayload& a, const RekeyPayload& b,
+                                int batch) {
+  ASSERT_EQ(a.encryptions.size(), b.encryptions.size())
+      << "encryption count diverged at batch " << batch;
+  for (std::size_t i = 0; i < a.encryptions.size(); ++i) {
+    ASSERT_EQ(a.encryptions[i].enc_id, b.encryptions[i].enc_id)
+        << "enc_id at position " << i << ", batch " << batch;
+    ASSERT_EQ(a.encryptions[i].target_id, b.encryptions[i].target_id)
+        << "target_id at position " << i << ", batch " << batch;
+    ASSERT_EQ(a.encryptions[i].payload, b.encryptions[i].payload)
+        << "ciphertext at position " << i << ", batch " << batch;
+  }
+  EXPECT_EQ(a.max_kid, b.max_kid) << "max_kid diverged at batch " << batch;
+
+  ASSERT_EQ(a.user_needs.size(), b.user_needs.size())
+      << "user_needs size diverged at batch " << batch;
+  auto ib = b.user_needs.begin();
+  for (const auto& [slot, needs] : a.user_needs) {
+    const auto [slot_b, needs_b] = *ib;
+    ASSERT_EQ(slot, slot_b) << "user_needs slot order, batch " << batch;
+    ASSERT_TRUE(std::equal(needs.begin(), needs.end(), needs_b.begin(),
+                           needs_b.end()))
+        << "needs of slot " << slot << ", batch " << batch;
+    ++ib;
+  }
+
+  ASSERT_EQ(a.labels.size(), b.labels.size())
+      << "label count diverged at batch " << batch;
+  auto lb = b.labels.begin();
+  for (const auto& [id, label] : a.labels) {
+    ASSERT_EQ(id, lb->first) << "label id order, batch " << batch;
+    ASSERT_EQ(label, lb->second) << "label of " << id << ", batch " << batch;
+    ++lb;
+  }
+}
+
+void expect_assignments_equal(const packet::Assignment& a,
+                              const packet::Assignment& b, int batch) {
+  ASSERT_EQ(a.packets.size(), b.packets.size())
+      << "packet count diverged at batch " << batch;
+  for (std::size_t p = 0; p < a.packets.size(); ++p) {
+    const packet::EncPacket& pa = a.packets[p];
+    const packet::EncPacket& pb = b.packets[p];
+    ASSERT_EQ(pa.msg_id, pb.msg_id) << "packet " << p << ", batch " << batch;
+    ASSERT_EQ(pa.max_kid, pb.max_kid) << "packet " << p << ", batch " << batch;
+    ASSERT_EQ(pa.frm_id, pb.frm_id) << "packet " << p << ", batch " << batch;
+    ASSERT_EQ(pa.to_id, pb.to_id) << "packet " << p << ", batch " << batch;
+    ASSERT_TRUE(pa.entries == pb.entries)
+        << "entries of packet " << p << " diverged at batch " << batch;
+  }
+  EXPECT_EQ(a.total_entries, b.total_entries) << "batch " << batch;
+  EXPECT_EQ(a.unique_encryptions, b.unique_encryptions) << "batch " << batch;
+}
+
+// What each non-bootstrap batch of the script should look like.
+enum class ShardScript {
+  Mixed,             // the serial differential's three churn regimes
+  SingleShardDirty,  // J == L leaves confined to one randomly chosen shard
+};
+
+void run_sharded_differential(unsigned degree, std::uint64_t seed,
+                              int batches, std::size_t initial,
+                              unsigned shards, unsigned pool_threads,
+                              ShardScript script = ShardScript::Mixed) {
+  Rng rng(seed);
+  KeyTree serial_tree(degree, seed);
+  KeyTree sharded_tree(degree, seed);
+  Marker serial_marker(serial_tree);
+  Marker sharded_marker(sharded_tree);
+  const ShardPlan plan = ShardPlan::make(degree, shards);
+  std::unique_ptr<rekey::ThreadPool> pool;
+  if (pool_threads != 1)
+    pool = std::make_unique<rekey::ThreadPool>(pool_threads);
+  rekey::TaskRunner runner(pool.get());
+
+  MemberId next_member = 0;
+  std::vector<MemberId> population;
+  RekeyPayload serial_payload, sharded_payload;
+
+  for (int batch = 0; batch < batches; ++batch) {
+    std::vector<MemberId> joins, leaves;
+    unsigned dirty_shard = ShardPlan::kAggregator;
+    if (batch == 0) {
+      for (std::size_t i = 0; i < initial; ++i) joins.push_back(next_member++);
+    } else if (script == ShardScript::SingleShardDirty &&
+               !population.empty()) {
+      // Leaves confined to one cut subtree's shard, replaced in place
+      // (J == L reuses the departed slots), so every below-cut changed
+      // k-node belongs to that single shard.
+      dirty_shard = static_cast<unsigned>(rng.next_in(0, plan.shards - 1));
+      std::vector<MemberId> in_target;
+      for (const MemberId m : population)
+        if (plan.shard_of(serial_tree.slot_of(m)) == dirty_shard)
+          in_target.push_back(m);
+      const std::size_t L = in_target.empty()
+                                ? 0
+                                : static_cast<std::size_t>(rng.next_in(
+                                      1, in_target.size()));
+      for (const auto pick :
+           rng.sample_without_replacement(in_target.size(), L))
+        leaves.push_back(in_target[pick]);
+      for (std::size_t i = 0; i < L; ++i) joins.push_back(next_member++);
+    } else {
+      const std::uint64_t regime = rng.next_in(0, 2);
+      const std::size_t n = population.size();
+      std::size_t J = 0, L = 0;
+      if (regime == 0) {
+        J = L = static_cast<std::size_t>(rng.next_in(0, n / 4));
+      } else if (regime == 1) {
+        L = static_cast<std::size_t>(rng.next_in(1, 1 + n / 2));
+        J = static_cast<std::size_t>(rng.next_in(0, L));
+      } else {
+        J = static_cast<std::size_t>(rng.next_in(1, 1 + n / 2));
+        L = static_cast<std::size_t>(rng.next_in(0, std::min(J, n / 4)));
+      }
+      L = std::min(L, n);
+      for (const auto pick : rng.sample_without_replacement(n, L))
+        leaves.push_back(population[pick]);
+      for (std::size_t i = 0; i < J; ++i) joins.push_back(next_member++);
+    }
+
+    const BatchUpdate upd_a = serial_marker.run(joins, leaves);
+    ShardBatchStats mark_stats;
+    const BatchUpdate upd_b =
+        sharded_marker.run_sharded(joins, leaves, plan, runner, &mark_stats);
+    expect_batch_updates_equal(upd_a, upd_b, batch);
+    expect_flat_trees_equal(serial_tree, sharded_tree, batch);
+    if (::testing::Test::HasFatalFailure()) return;
+    check_sharded_tree(sharded_tree, plan);
+
+    // The per-shard stats partition the changed set exactly.
+    std::size_t changed_total = mark_stats.aggregator_changed;
+    for (const std::size_t c : mark_stats.shard_changed) changed_total += c;
+    ASSERT_EQ(changed_total, upd_b.changed_knodes.size())
+        << "shard stats do not partition the changed set at batch " << batch;
+    if (dirty_shard != ShardPlan::kAggregator) {
+      for (unsigned s = 0; s < plan.shards; ++s) {
+        if (s == dirty_shard) continue;
+        EXPECT_EQ(mark_stats.shard_changed[s], 0u)
+            << "single-shard-dirty batch " << batch << " touched shard " << s;
+      }
+    }
+
+    const auto msg_id = static_cast<std::uint32_t>(batch + 1);
+    generate_rekey_payload_into(serial_tree, upd_a, msg_id, serial_payload);
+    ShardBatchStats pay_stats;
+    generate_rekey_payload_sharded(sharded_tree, upd_b, msg_id,
+                                   sharded_payload, plan, runner, &pay_stats);
+    expect_flat_payloads_equal(serial_payload, sharded_payload, batch);
+    if (::testing::Test::HasFatalFailure()) return;
+    check_enc_id_disjointness(sharded_payload, plan);
+    std::size_t enc_total = 0;
+    for (const std::size_t c : pay_stats.shard_encryptions) enc_total += c;
+    ASSERT_EQ(enc_total, sharded_payload.encryptions.size())
+        << "shard stats do not partition the encryptions at batch " << batch;
+
+    const packet::Assignment serial_asn =
+        packet::assign_keys(serial_payload, 1027);
+    const packet::Assignment sharded_asn =
+        packet::assign_keys(sharded_payload, 1027, plan, runner);
+    expect_assignments_equal(serial_asn, sharded_asn, batch);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    std::set<MemberId> gone(leaves.begin(), leaves.end());
+    std::vector<MemberId> next;
+    for (const MemberId m : population)
+      if (!gone.count(m)) next.push_back(m);
+    next.insert(next.end(), joins.begin(), joins.end());
+    population = std::move(next);
+    ASSERT_EQ(sharded_tree.num_users(), population.size());
+  }
+}
+
+// The acceptance matrix: shards {1,2,4,8} x worker threads {1,8}. A pool
+// of 8 with fewer shards also exercises partially idle task slots.
+TEST(ShardedDifferential, ShardByThreadMatrix) {
+  for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+    for (const unsigned threads : {1u, 8u}) {
+      run_sharded_differential(/*degree=*/4,
+                               /*seed=*/0x5AD0 + shards * 16 + threads,
+                               /*batches=*/20, /*initial=*/128, shards,
+                               threads);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ShardedDifferential, SingleShardDirtyBatches) {
+  run_sharded_differential(4, 0x5AD100, 30, 256, 4, 1,
+                           ShardScript::SingleShardDirty);
+  run_sharded_differential(4, 0x5AD101, 30, 256, 8, 8,
+                           ShardScript::SingleShardDirty);
+}
+
+// Tiny trees under a deep cut: most (or all) slots live at or above the
+// cut level, so the aggregator owns nearly everything and batches
+// straddle the cut constantly. Also covers total-leave + re-bootstrap
+// through the sharded path.
+TEST(ShardedDifferential, AggregatorCutStraddlingSmallTrees) {
+  run_sharded_differential(4, 0x5AD200, 30, 4, 8, 1);
+  run_sharded_differential(2, 0x5AD201, 30, 3, 8, 8);
+  run_sharded_differential(8, 0x5AD202, 25, 12, 64, 8);
+}
+
+TEST(ShardedDifferential, OtherDegrees) {
+  run_sharded_differential(2, 0x5AD300, 25, 64, 4, 8);
+  run_sharded_differential(8, 0x5AD301, 25, 200, 4, 8);
 }
 
 }  // namespace

@@ -41,7 +41,11 @@ using namespace rekey;
                "  --round-wait-ms MS    report-collection deadline\n"
                "  --retry-ms MS         control retransmit cadence\n"
                "  --mtu BYTES           datagram size cap (default 1500)\n"
-               "  --seed S              key material seed\n",
+               "  --seed S              key material seed\n"
+               "  --shards S            key-tree shards, power of two "
+               "(default 1)\n"
+               "  --workers W           rekey worker threads (0 = auto, "
+               "default 1)\n",
                argv0);
   std::exit(2);
 }
@@ -95,6 +99,10 @@ int main(int argc, char** argv) {
       mtu = static_cast<std::size_t>(arg_int(argc, argv, i));
     } else if (a == "--seed") {
       cfg.key_seed = static_cast<std::uint64_t>(arg_int(argc, argv, i));
+    } else if (a == "--shards") {
+      cfg.shards = static_cast<unsigned>(arg_int(argc, argv, i));
+    } else if (a == "--workers") {
+      cfg.worker_threads = static_cast<unsigned>(arg_int(argc, argv, i));
     } else {
       usage(argv[0]);
     }
