@@ -16,8 +16,8 @@ double Assignment::duplication_overhead() const {
 }
 
 Assignment assign_keys(const tree::RekeyPayload& payload,
-                       std::size_t packet_size) {
-  const std::size_t capacity = max_entries(packet_size);
+                       std::size_t packet_size, bool wide) {
+  const std::size_t capacity = max_entries(packet_size, wide);
   REKEY_ENSURE(capacity >= 1);
 
   Assignment out;
@@ -34,7 +34,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
   // packets are identical to the sorted-insert version's.
   EncPacket current;
   current.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
-  current.max_kid = static_cast<std::uint16_t>(payload.max_kid);
+  current.max_kid = static_cast<std::uint32_t>(payload.max_kid);
   std::vector<std::uint32_t> in_packet;  // encryption indices, unsorted
   in_packet.reserve(capacity);
   std::vector<std::uint32_t> last_pkt(payload.encryptions.size(),
@@ -62,7 +62,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
     out.packets.push_back(std::move(current));
     current = EncPacket{};
     current.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
-    current.max_kid = static_cast<std::uint16_t>(payload.max_kid);
+    current.max_kid = static_cast<std::uint32_t>(payload.max_kid);
     in_packet.clear();
     ++pkt_seq;
     open = false;
@@ -79,7 +79,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
     if (open && in_packet.size() + added > capacity) flush();
 
     if (!open) {
-      current.frm_id = static_cast<std::uint16_t>(user);
+      current.frm_id = static_cast<std::uint32_t>(user);
       open = true;
     }
     for (const std::uint32_t idx : needs) {
@@ -88,7 +88,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
         in_packet.push_back(idx);
       }
     }
-    current.to_id = static_cast<std::uint16_t>(user);
+    current.to_id = static_cast<std::uint32_t>(user);
   }
   if (open) flush();
   return out;
@@ -96,8 +96,8 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
 
 Assignment assign_keys(const tree::RekeyPayload& payload,
                        std::size_t packet_size, const tree::ShardPlan& plan,
-                       rekey::TaskRunner& runner) {
-  const std::size_t capacity = max_entries(packet_size);
+                       rekey::TaskRunner& runner, bool wide) {
+  const std::size_t capacity = max_entries(packet_size, wide);
   REKEY_ENSURE(capacity >= 1);
 
   Assignment out;
@@ -167,9 +167,9 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
   for (std::size_t p = 0; p < specs.size(); ++p) {
     EncPacket& pkt = out.packets[p];
     pkt.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
-    pkt.max_kid = static_cast<std::uint16_t>(payload.max_kid);
-    pkt.frm_id = static_cast<std::uint16_t>(specs[p].frm);
-    pkt.to_id = static_cast<std::uint16_t>(specs[p].to);
+    pkt.max_kid = static_cast<std::uint32_t>(payload.max_kid);
+    pkt.frm_id = static_cast<std::uint32_t>(specs[p].frm);
+    pkt.to_id = static_cast<std::uint32_t>(specs[p].to);
     out.total_entries += specs[p].entries;
   }
   const std::size_t chunks = std::max<std::size_t>(
@@ -242,7 +242,7 @@ Assignment assign_keys_sequential(const tree::RekeyPayload& payload,
        off += capacity) {
     EncPacket pkt;
     pkt.msg_id = static_cast<std::uint8_t>(payload.msg_id % 64);
-    pkt.max_kid = static_cast<std::uint16_t>(payload.max_kid);
+    pkt.max_kid = static_cast<std::uint32_t>(payload.max_kid);
     tree::NodeId lo = ~tree::NodeId{0}, hi = 0;
     const std::size_t end =
         std::min(off + capacity, payload.encryptions.size());
@@ -254,8 +254,8 @@ Assignment assign_keys_sequential(const tree::RekeyPayload& payload,
         hi = std::max(hi, it->second.second);
       }
     }
-    pkt.frm_id = static_cast<std::uint16_t>(lo == ~tree::NodeId{0} ? 0 : lo);
-    pkt.to_id = static_cast<std::uint16_t>(hi);
+    pkt.frm_id = static_cast<std::uint32_t>(lo == ~tree::NodeId{0} ? 0 : lo);
+    pkt.to_id = static_cast<std::uint32_t>(hi);
     out.total_entries += pkt.entries.size();
     out.packets.push_back(std::move(pkt));
   }

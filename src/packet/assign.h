@@ -36,9 +36,13 @@ struct Assignment {
 
 // Builds ENC packets (block ids and sequence numbers still unset; the
 // block partitioner fills those in). Every user with at least one needed
-// encryption appears in exactly one packet's range.
+// encryption appears in exactly one packet's range. `wide` sizes packet
+// capacity for the 16-byte wide (v2) ENC header instead of the 10-byte
+// narrow one; the id fields themselves always carry the full 32-bit
+// values and only narrow at serialization.
 Assignment assign_keys(const tree::RekeyPayload& payload,
-                       std::size_t packet_size = kDefaultPacketSize);
+                       std::size_t packet_size = kDefaultPacketSize,
+                       bool wide = false);
 
 // Sharded/parallel variant. Phase A scans the users serially and decides
 // the exact packet boundaries the serial greedy scan would (the cut
@@ -51,7 +55,7 @@ Assignment assign_keys(const tree::RekeyPayload& payload,
 // shard count, thread count, or task completion order.
 Assignment assign_keys(const tree::RekeyPayload& payload,
                        std::size_t packet_size, const tree::ShardPlan& plan,
-                       rekey::TaskRunner& runner);
+                       rekey::TaskRunner& runner, bool wide = false);
 
 // Baseline comparator: the *sequential* (encryption-oriented) assignment
 // the paper argues against. Encryptions are packed in generation order

@@ -6,7 +6,7 @@
 
 namespace rekey::packet {
 
-BlockIdEstimator::BlockIdEstimator(std::uint16_t my_id, std::size_t k,
+BlockIdEstimator::BlockIdEstimator(std::uint32_t my_id, std::size_t k,
                                    unsigned degree)
     : my_id_(my_id), k_(k), degree_(degree) {
   REKEY_ENSURE(k >= 1);

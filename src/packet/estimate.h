@@ -22,7 +22,7 @@ namespace rekey::packet {
 class BlockIdEstimator {
  public:
   // my_id: this user's (current) id; k: block size; degree: key tree degree.
-  BlockIdEstimator(std::uint16_t my_id, std::size_t k, unsigned degree);
+  BlockIdEstimator(std::uint32_t my_id, std::size_t k, unsigned degree);
 
   // Feed any received ENC packet of the message (header is sufficient).
   void observe(const EncHeader& pkt);
@@ -38,7 +38,7 @@ class BlockIdEstimator {
   bool found_own_packet() const { return found_own_; }
 
  private:
-  std::uint16_t my_id_;
+  std::uint32_t my_id_;
   std::size_t k_;
   unsigned degree_;
   std::uint32_t low_ = 0;

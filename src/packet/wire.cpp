@@ -60,10 +60,11 @@ EncEntry to_wire_entry(const tree::Encryption& e) {
   return w;
 }
 
-Bytes EncPacket::serialize(std::size_t packet_size) const {
+Bytes EncPacket::serialize(std::size_t packet_size, bool wide) const {
   REKEY_ENSURE(msg_id < 64);
   REKEY_ENSURE(seq < 128);
-  REKEY_ENSURE_MSG(kEncHeaderSize + entries.size() * kEntrySize <= packet_size,
+  const std::size_t header = wide ? kEncHeaderSizeWide : kEncHeaderSize;
+  REKEY_ENSURE_MSG(header + entries.size() * kEntrySize <= packet_size,
                    "too many encryptions for the packet size");
   ByteWriter w;
   w.put_bits(static_cast<std::uint32_t>(PacketType::Enc), 2);
@@ -71,16 +72,26 @@ Bytes EncPacket::serialize(std::size_t packet_size) const {
   w.put_u16(block_id);
   w.put_bits(duplicate ? 1 : 0, 1);
   w.put_bits(seq, 7);
-  w.put_u16(max_kid);
-  w.put_u16(frm_id);
-  w.put_u16(to_id);
+  if (wide) {
+    w.put_u32(max_kid);
+    w.put_u32(frm_id);
+    w.put_u32(to_id);
+  } else {
+    // Pre-wide behavior, kept bit-identical: ids silently truncate to 16
+    // bits (sim/bench paths that never put these bytes on a real wire
+    // depend on the narrow layout — groups that need more negotiate v2).
+    w.put_u16(static_cast<std::uint16_t>(max_kid));
+    w.put_u16(static_cast<std::uint16_t>(frm_id));
+    w.put_u16(static_cast<std::uint16_t>(to_id));
+  }
   for (const EncEntry& e : entries) put_entry(w, e);
   w.pad_to(packet_size);
   return std::move(w).take();
 }
 
-std::optional<EncPacket> EncPacket::parse(WireView wire) {
-  if (wire.size() < kEncHeaderSize) return std::nullopt;
+std::optional<EncPacket> EncPacket::parse(WireView wire, bool wide) {
+  const std::size_t header = wide ? kEncHeaderSizeWide : kEncHeaderSize;
+  if (wire.size() < header) return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Enc))
     return std::nullopt;
@@ -89,9 +100,15 @@ std::optional<EncPacket> EncPacket::parse(WireView wire) {
   p.block_id = r.get_u16();
   p.duplicate = r.get_bits(1) != 0;
   p.seq = static_cast<std::uint8_t>(r.get_bits(7));
-  p.max_kid = r.get_u16();
-  p.frm_id = r.get_u16();
-  p.to_id = r.get_u16();
+  if (wide) {
+    p.max_kid = r.get_u32();
+    p.frm_id = r.get_u32();
+    p.to_id = r.get_u32();
+  } else {
+    p.max_kid = r.get_u16();
+    p.frm_id = r.get_u16();
+    p.to_id = r.get_u16();
+  }
   auto entries = get_entries(r);
   if (!entries) return std::nullopt;  // truncated or damaged entry region
   p.entries = std::move(*entries);
@@ -122,26 +139,37 @@ std::optional<ParityPacket> ParityPacket::parse(WireView wire) {
   return p;
 }
 
-Bytes UsrPacket::serialize() const {
+Bytes UsrPacket::serialize(bool wide) const {
   REKEY_ENSURE(msg_id < 64);
   ByteWriter w;
   w.put_bits(static_cast<std::uint32_t>(PacketType::Usr), 2);
   w.put_bits(msg_id, 6);
-  w.put_u16(new_user_id);
-  w.put_u16(max_kid);
+  if (wide) {
+    w.put_u32(new_user_id);
+    w.put_u32(max_kid);
+  } else {
+    w.put_u16(static_cast<std::uint16_t>(new_user_id));
+    w.put_u16(static_cast<std::uint16_t>(max_kid));
+  }
   for (const EncEntry& e : entries) put_entry(w, e);
   return std::move(w).take();
 }
 
-std::optional<UsrPacket> UsrPacket::parse(WireView wire) {
-  if (wire.size() < 5) return std::nullopt;
+std::optional<UsrPacket> UsrPacket::parse(WireView wire, bool wide) {
+  if (wire.size() < (wide ? kUsrHeaderSizeWide : kUsrHeaderSize))
+    return std::nullopt;
   ByteReader r(wire);
   if (r.get_bits(2) != static_cast<std::uint32_t>(PacketType::Usr))
     return std::nullopt;
   UsrPacket p;
   p.msg_id = static_cast<std::uint8_t>(r.get_bits(6));
-  p.new_user_id = r.get_u16();
-  p.max_kid = r.get_u16();
+  if (wide) {
+    p.new_user_id = r.get_u32();
+    p.max_kid = r.get_u32();
+  } else {
+    p.new_user_id = r.get_u16();
+    p.max_kid = r.get_u16();
+  }
   auto entries = get_entries(r);
   if (!entries) return std::nullopt;  // truncated or damaged entry region
   p.entries = std::move(*entries);
@@ -204,17 +232,35 @@ std::uint16_t udp_checksum(WireView wire) {
   return folded == 0 ? std::uint16_t{0xFFFF} : folded;
 }
 
-std::optional<EncHeader> parse_enc_header(WireView wire) {
-  if (wire.size() < kEncHeaderSize || peek_type(wire) != PacketType::Enc)
+namespace {
+
+std::uint32_t read_u32_at(WireView wire, std::size_t off) {
+  return static_cast<std::uint32_t>(wire[off]) << 24 |
+         static_cast<std::uint32_t>(wire[off + 1]) << 16 |
+         static_cast<std::uint32_t>(wire[off + 2]) << 8 |
+         static_cast<std::uint32_t>(wire[off + 3]);
+}
+
+}  // namespace
+
+std::optional<EncHeader> parse_enc_header(WireView wire, bool wide) {
+  const std::size_t header = wide ? kEncHeaderSizeWide : kEncHeaderSize;
+  if (wire.size() < header || peek_type(wire) != PacketType::Enc)
     return std::nullopt;
   EncHeader h;
   h.msg_id = wire[0] & 0x3F;
   h.block_id = static_cast<std::uint16_t>(wire[1] << 8 | wire[2]);
   h.duplicate = (wire[3] & 0x80) != 0;
   h.seq = wire[3] & 0x7F;
-  h.max_kid = static_cast<std::uint16_t>(wire[4] << 8 | wire[5]);
-  h.frm_id = static_cast<std::uint16_t>(wire[6] << 8 | wire[7]);
-  h.to_id = static_cast<std::uint16_t>(wire[8] << 8 | wire[9]);
+  if (wide) {
+    h.max_kid = read_u32_at(wire, 4);
+    h.frm_id = read_u32_at(wire, 8);
+    h.to_id = read_u32_at(wire, 12);
+  } else {
+    h.max_kid = static_cast<std::uint16_t>(wire[4] << 8 | wire[5]);
+    h.frm_id = static_cast<std::uint16_t>(wire[6] << 8 | wire[7]);
+    h.to_id = static_cast<std::uint16_t>(wire[8] << 8 | wire[9]);
+  }
   return h;
 }
 

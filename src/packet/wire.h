@@ -44,15 +44,23 @@ enum class PacketType : std::uint8_t { Enc = 0, Parity = 1, Usr = 2, Nack = 3 };
 constexpr std::size_t kDefaultPacketSize = 1027;  // the paper's ENC size
 constexpr std::size_t kEncHeaderSize = 10;
 constexpr std::size_t kUsrHeaderSize = 5;  // type/msg byte + new_id + max_kid
+// Wide (v2) variants carry 32-bit slot ids — max_kid/frm/to in ENC,
+// new_user_id/max_kid in USR — for groups whose BFS slot ids exceed
+// 0xFFFF. The narrow layout above stays byte-identical; block_id and
+// dup/seq keep their positions so kFecOffset is width-independent.
+constexpr std::size_t kEncHeaderSizeWide = 16;
+constexpr std::size_t kUsrHeaderSizeWide = 9;
 constexpr std::size_t kEntrySize = 22;  // 4 id + 16 ciphertext + 2 tag
 constexpr std::size_t kFecOffset = 4;   // FEC covers maxKID onward
 // Per-datagram UDP + IPv4 header bytes added to every wire size that feeds
 // bandwidth accounting.
 constexpr std::size_t kUdpIpOverheadBytes = 28;
 
-// Max encryptions per ENC packet of a given size (46 for 1027 bytes).
-constexpr std::size_t max_entries(std::size_t packet_size) {
-  return (packet_size - kEncHeaderSize) / kEntrySize;
+// Max encryptions per ENC packet of a given size (46 for 1027 bytes
+// narrow, 45 wide).
+constexpr std::size_t max_entries(std::size_t packet_size, bool wide = false) {
+  return (packet_size - (wide ? kEncHeaderSizeWide : kEncHeaderSize)) /
+         kEntrySize;
 }
 
 struct EncEntry {
@@ -71,13 +79,16 @@ struct EncPacket {
   std::uint16_t block_id = 0;
   std::uint8_t seq = 0;  // 7 bits: sequence within the block
   bool duplicate = false;
-  std::uint16_t max_kid = 0;
-  std::uint16_t frm_id = 0;  // users in [frm_id, to_id] are served here
-  std::uint16_t to_id = 0;
+  std::uint32_t max_kid = 0;
+  std::uint32_t frm_id = 0;  // users in [frm_id, to_id] are served here
+  std::uint32_t to_id = 0;
   std::vector<EncEntry> entries;
 
-  Bytes serialize(std::size_t packet_size = kDefaultPacketSize) const;
-  static std::optional<EncPacket> parse(WireView wire);
+  // Narrow (default) truncates the id fields to 16 bits exactly as the
+  // pre-wide format did; wide emits the 16-byte v2 header.
+  Bytes serialize(std::size_t packet_size = kDefaultPacketSize,
+                  bool wide = false) const;
+  static std::optional<EncPacket> parse(WireView wire, bool wide = false);
 };
 
 struct ParityPacket {
@@ -92,12 +103,12 @@ struct ParityPacket {
 
 struct UsrPacket {
   std::uint8_t msg_id = 0;
-  std::uint16_t new_user_id = 0;
-  std::uint16_t max_kid = 0;
+  std::uint32_t new_user_id = 0;
+  std::uint32_t max_kid = 0;
   std::vector<EncEntry> entries;
 
-  Bytes serialize() const;
-  static std::optional<UsrPacket> parse(WireView wire);
+  Bytes serialize(bool wide = false) const;
+  static std::optional<UsrPacket> parse(WireView wire, bool wide = false);
 };
 
 struct NackEntry {
@@ -139,11 +150,11 @@ struct EncHeader {
   std::uint16_t block_id = 0;
   std::uint8_t seq = 0;
   bool duplicate = false;
-  std::uint16_t max_kid = 0;
-  std::uint16_t frm_id = 0;
-  std::uint16_t to_id = 0;
+  std::uint32_t max_kid = 0;
+  std::uint32_t frm_id = 0;
+  std::uint32_t to_id = 0;
 };
-std::optional<EncHeader> parse_enc_header(WireView wire);
+std::optional<EncHeader> parse_enc_header(WireView wire, bool wide = false);
 
 struct ParityHeader {
   std::uint8_t msg_id = 0;

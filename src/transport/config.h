@@ -50,6 +50,12 @@ struct ProtocolConfig {
   // Interleave packets across blocks when sending (paper §5.1).
   bool interleave = true;
 
+  // Wide (v2) slot ids: ENC/USR packets carry 32-bit maxKID/frm/to fields
+  // instead of 16-bit ones. Must match what the receivers negotiated —
+  // the wire daemon sets this from the Sub/SubAck version exchange. Off by
+  // default so every existing narrow byte stream stays bit-identical.
+  bool wide_slots = false;
+
   // Safety cap for multicast-only mode.
   int max_rounds_cap = 200;
 

@@ -120,7 +120,7 @@ ServerTransport::ServerTransport(const ProtocolConfig& config,
       pkt.block_id = static_cast<std::uint16_t>(b);
       pkt.seq = static_cast<std::uint8_t>(s);
       pkt.duplicate = slot.duplicate;
-      Bytes wire = pkt.serialize(config.packet_size);
+      Bytes wire = pkt.serialize(config.packet_size, config.wide_slots);
       block_regions_[b][s].assign(wire.begin() + packet::kFecOffset,
                                   wire.end());
       slot_wires_[b * config.block_size + s] = std::move(wire);
@@ -255,17 +255,19 @@ std::size_t ServerTransport::shards_scheduled(std::size_t block) const {
   return config_.block_size + static_cast<std::size_t>(next_parity_[block]);
 }
 
-std::size_t ServerTransport::usr_wire_bytes(std::uint16_t new_id) const {
+std::size_t ServerTransport::usr_wire_bytes(std::uint32_t new_id) const {
   const auto needs = payload_.user_needs.needs_of(new_id);
-  return packet::kUsrHeaderSize + packet::kEntrySize * needs.size() +
+  const std::size_t header = config_.wide_slots ? packet::kUsrHeaderSizeWide
+                                                : packet::kUsrHeaderSize;
+  return header + packet::kEntrySize * needs.size() +
          packet::kUdpIpOverheadBytes;
 }
 
-packet::UsrPacket ServerTransport::usr_for(std::uint16_t new_id) const {
+packet::UsrPacket ServerTransport::usr_for(std::uint32_t new_id) const {
   packet::UsrPacket usr;
   usr.msg_id = msg_id_;
   usr.new_user_id = new_id;
-  usr.max_kid = static_cast<std::uint16_t>(payload_.max_kid);
+  usr.max_kid = static_cast<std::uint32_t>(payload_.max_kid);
   const auto needs = payload_.user_needs.needs_of(new_id);
   REKEY_ENSURE_MSG(!needs.empty(),
                    "USR requested for a user with no pending keys");

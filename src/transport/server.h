@@ -104,13 +104,13 @@ class ServerTransport {
   std::size_t pending_parities() const;
 
   // Unicast USR packet for the user at (post-batch) slot id `new_id`.
-  packet::UsrPacket usr_for(std::uint16_t new_id) const;
+  packet::UsrPacket usr_for(std::uint32_t new_id) const;
 
   // Wire bytes (incl. UDP/IP) of usr_for(new_id): the single source of
   // truth for both the §7.1 early-unicast switch estimate and the unicast
   // phase's bandwidth accounting, so the two can never disagree. Users
   // with no pending keys cost a bare header (usr_for would refuse them).
-  std::size_t usr_wire_bytes(std::uint16_t new_id) const;
+  std::size_t usr_wire_bytes(std::uint32_t new_id) const;
 
   // Eager-mode interface (see transport/eager.h): one fresh parity for a
   // block, and the number of shards (ENC slots + parities) produced for it

@@ -13,19 +13,25 @@ namespace {
 
 // Decoded FEC region of an ENC packet: maxKID, frmID, toID, entries.
 struct DecodedRegion {
-  std::uint16_t max_kid = 0;
-  std::uint16_t frm_id = 0;
-  std::uint16_t to_id = 0;
+  std::uint32_t max_kid = 0;
+  std::uint32_t frm_id = 0;
+  std::uint32_t to_id = 0;
   std::vector<packet::EncEntry> entries;
 };
 
-DecodedRegion parse_region(const Bytes& region) {
-  REKEY_ENSURE(region.size() >= 6);
+DecodedRegion parse_region(const Bytes& region, bool wide) {
+  REKEY_ENSURE(region.size() >= (wide ? 12u : 6u));
   ByteReader r(region);
   DecodedRegion d;
-  d.max_kid = r.get_u16();
-  d.frm_id = r.get_u16();
-  d.to_id = r.get_u16();
+  if (wide) {
+    d.max_kid = r.get_u32();
+    d.frm_id = r.get_u32();
+    d.to_id = r.get_u32();
+  } else {
+    d.max_kid = r.get_u16();
+    d.frm_id = r.get_u16();
+    d.to_id = r.get_u16();
+  }
   while (r.remaining() >= packet::kEntrySize) {
     const std::uint32_t id = r.get_u32();
     if (id == 0) break;  // padding
@@ -41,20 +47,24 @@ DecodedRegion parse_region(const Bytes& region) {
 
 }  // namespace
 
-UserTransport::UserTransport(std::uint16_t old_id, std::size_t k,
-                             unsigned degree, const PacketPool* pool)
-    : id_(old_id), k_(k), degree_(degree), pool_(pool) {
+UserTransport::UserTransport(std::uint32_t old_id, std::size_t k,
+                             unsigned degree, const PacketPool* pool,
+                             bool wide)
+    : id_(old_id), k_(k), degree_(degree), pool_(pool), wide_(wide) {
   REKEY_ENSURE(pool != nullptr);
 }
 
-bool UserTransport::note_max_kid(std::uint16_t max_kid) {
+bool UserTransport::note_max_kid(std::uint32_t max_kid) {
   if (id_updated_) return true;
   const auto derived = tree::derive_new_user_id(id_, max_kid, degree_);
   // An undecodable maxKID means a corrupted packet (Theorem 4.2 guarantees
-  // derivability from genuine headers): ignore it.
-  if (!derived.has_value() || *derived > 0xFFFF) return false;
+  // derivability from genuine headers): ignore it. The bound is the wire
+  // format's id width — an id the frame could never carry is equally
+  // un-derivable.
+  const std::uint64_t id_cap = wide_ ? 0xFFFFFFFFull : 0xFFFFull;
+  if (!derived.has_value() || *derived > id_cap) return false;
   max_kid_ = max_kid;
-  id_ = static_cast<std::uint16_t>(*derived);
+  id_ = static_cast<std::uint32_t>(*derived);
   id_updated_ = true;
   estimator_.emplace(id_, k_, degree_);
   return true;
@@ -80,7 +90,7 @@ void UserTransport::on_packet(std::size_t pool_index, int round) {
   if (!type) return;
 
   if (*type == packet::PacketType::Enc) {
-    const auto h = packet::parse_enc_header(wire);
+    const auto h = packet::parse_enc_header(wire, wide_);
     if (!h) return;
     if (!note_max_kid(h->max_kid)) return;  // corrupt header
     if (h->frm_id <= id_ && id_ <= h->to_id) {
@@ -88,7 +98,7 @@ void UserTransport::on_packet(std::size_t pool_index, int round) {
       // entry region that slipped past the header checks (e.g. a
       // corrupted copy whose checksum collided); that is a bad datagram,
       // not a protocol error — drop it and wait for FEC or a resend.
-      const auto pkt = packet::EncPacket::parse(wire);
+      const auto pkt = packet::EncPacket::parse(wire, wide_);
       if (!pkt.has_value()) return;
       entries_ = pkt->entries;
       recovered_ = true;
@@ -173,7 +183,7 @@ bool UserTransport::try_decode_block(std::uint32_t block, int round) {
   if (!decoded.has_value()) return false;
 
   for (const Bytes& region : *decoded) {
-    const DecodedRegion d = parse_region(region);
+    const DecodedRegion d = parse_region(region, wide_);
     note_max_kid(d.max_kid);
     if (d.frm_id <= id_ && id_ <= d.to_id) {
       entries_ = d.entries;

@@ -30,9 +30,11 @@ using PacketPool = std::vector<Bytes>;
 class UserTransport {
  public:
   // old_id: the user's id before this rekey message; k: block size;
-  // degree: key tree degree; pool: the session packet pool.
-  UserTransport(std::uint16_t old_id, std::size_t k, unsigned degree,
-                const PacketPool* pool);
+  // degree: key tree degree; pool: the session packet pool. `wide` selects
+  // the v2 wide-slot packet formats (32-bit ids on the wire); it must
+  // match the sender's negotiated width.
+  UserTransport(std::uint32_t old_id, std::size_t k, unsigned degree,
+                const PacketPool* pool, bool wide = false);
 
   // Deliver the packet stored at pool[pool_index]. `round` is the current
   // multicast round (1-based), used for latency accounting.
@@ -55,8 +57,8 @@ class UserTransport {
   int rounds_ended() const { return rounds_ended_; }
 
   // This user's current id: updated from the first maxKID seen.
-  std::uint16_t current_id() const { return id_; }
-  std::uint16_t max_kid() const { return max_kid_; }
+  std::uint32_t current_id() const { return id_; }
+  std::uint32_t max_kid() const { return max_kid_; }
 
   // Eager-mode loss detection. With interleaved sending the ENC slots go
   // out wave by wave (seq 0 of every block, then seq 1, ...), so receiving
@@ -76,7 +78,7 @@ class UserTransport {
  private:
   // Updates this user's id from an advertised maxKID; false (packet
   // ignored) when the id cannot be derived, i.e. the header is corrupt.
-  bool note_max_kid(std::uint16_t max_kid);
+  bool note_max_kid(std::uint32_t max_kid);
   void prune_out_of_range();
   // Retains a shard for FEC decoding; duplicate shard indices (duplicated
   // or reordered redelivery) are ignored, keeping per-block counts honest.
@@ -84,13 +86,14 @@ class UserTransport {
                    std::size_t pool_index);
   bool try_decode_block(std::uint32_t block, int round);
 
-  std::uint16_t id_;
+  std::uint32_t id_;
   std::size_t k_;
   unsigned degree_;
   const PacketPool* pool_;
+  bool wide_;
 
   bool id_updated_ = false;
-  std::uint16_t max_kid_ = 0;
+  std::uint32_t max_kid_ = 0;
   std::optional<packet::BlockIdEstimator> estimator_;
 
   // Per candidate block: pool indices of its shards, ENC slots and

@@ -9,8 +9,8 @@ namespace rekey::wire {
 namespace {
 
 // Serialized sizes (op byte included).
-constexpr std::size_t kSubSize = 9;
-constexpr std::size_t kSubAckSize = 17;
+constexpr std::size_t kSubSize = 9;       // legacy v1 form; +1 with version
+constexpr std::size_t kSubAckSize = 17;   // legacy v1 form; +1 with version
 constexpr std::size_t kSlotMapHeaderSize = 7;  // op + base_uid + count
 constexpr std::size_t kSlotMapAckSize = 5;
 constexpr std::size_t kBatchStartSize = 6;
@@ -21,6 +21,10 @@ constexpr std::size_t kReportEntrySize = 4;  // parities + block + max_shard
 constexpr std::size_t kUsrFragHeaderSize = 13;
 constexpr std::size_t kBatchDoneSize = 6;
 constexpr std::size_t kDoneAckSize = 17;
+// v2 widened frames.
+constexpr std::size_t kSlotMapV2HeaderSize = 7;  // op + base_uid + count u16
+constexpr std::size_t kReportV2HeaderSize = 20;  // part/nparts are u32
+constexpr std::size_t kUsrFragV2HeaderSize = 15; // frag/nfrags are u16
 
 ByteWriter begin_frame(ControlOp op) {
   ByteWriter w;
@@ -34,6 +38,9 @@ Bytes serialize(const SubFrame& f) {
   ByteWriter w = begin_frame(ControlOp::Sub);
   w.put_u32(f.first_uid);
   w.put_u32(f.count);
+  // v1 clients emit the 9-byte legacy frame, byte-identical to the
+  // pre-negotiation protocol; the version byte only exists from v2 on.
+  if (f.max_version >= kWireV2) w.put_u8(f.max_version);
   return std::move(w).take();
 }
 
@@ -45,15 +52,25 @@ Bytes serialize(const SubAckFrame& f) {
   w.put_u8(f.block_size);
   w.put_u16(f.packet_size);
   w.put_u32(f.batches);
+  if (f.version >= kWireV2) w.put_u8(f.version);
   return std::move(w).take();
 }
 
-Bytes serialize(const SlotMapFrame& f) {
+std::optional<Bytes> serialize(const SlotMapFrame& f) {
+  if (f.slots.size() > 0xFFFF) return std::nullopt;  // count is a u16
   ByteWriter w = begin_frame(ControlOp::SlotMap);
   w.put_u32(f.base_uid);
-  REKEY_ENSURE(f.slots.size() <= 0xFFFF);
   w.put_u16(static_cast<std::uint16_t>(f.slots.size()));
   for (const std::uint16_t s : f.slots) w.put_u16(s);
+  return std::move(w).take();
+}
+
+std::optional<Bytes> serialize(const SlotMapV2Frame& f) {
+  if (f.slots.size() > 0xFFFF) return std::nullopt;  // count is a u16
+  ByteWriter w = begin_frame(ControlOp::SlotMapV2);
+  w.put_u32(f.base_uid);
+  w.put_u16(static_cast<std::uint16_t>(f.slots.size()));
+  for (const std::uint32_t s : f.slots) w.put_u32(s);
   return std::move(w).take();
 }
 
@@ -79,18 +96,13 @@ Bytes serialize(const RoundMarkFrame& f) {
   return std::move(w).take();
 }
 
-Bytes serialize(const ReportFrame& f) {
-  ByteWriter w = begin_frame(ControlOp::Report);
-  w.put_u32(f.batch_seq);
-  w.put_u16(f.round);
-  w.put_u8(f.phase);
-  w.put_u16(f.part);
-  w.put_u16(f.nparts);
-  w.put_u32(f.unrecovered);
-  REKEY_ENSURE(f.users.size() <= 0xFFFF);
-  w.put_u16(static_cast<std::uint16_t>(f.users.size()));
-  for (const ReportUser& u : f.users) {
-    REKEY_ENSURE(u.entries.size() <= 0xFF);
+namespace {
+
+// Shared entry-list emitter of both report widths; false when any user's
+// entry list overflows its u8 count field.
+bool put_report_users(ByteWriter& w, const std::vector<ReportUser>& users) {
+  for (const ReportUser& u : users) {
+    if (u.entries.size() > 0xFF) return false;
     w.put_u32(u.uid);
     w.put_u8(static_cast<std::uint8_t>(u.entries.size()));
     for (const packet::NackEntry& e : u.entries) {
@@ -99,16 +111,58 @@ Bytes serialize(const ReportFrame& f) {
       w.put_u8(e.max_shard_seen);
     }
   }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Bytes> serialize(const ReportFrame& f) {
+  if (f.users.size() > 0xFFFF) return std::nullopt;  // count is a u16
+  ByteWriter w = begin_frame(ControlOp::Report);
+  w.put_u32(f.batch_seq);
+  w.put_u16(f.round);
+  w.put_u8(f.phase);
+  w.put_u16(f.part);
+  w.put_u16(f.nparts);
+  w.put_u32(f.unrecovered);
+  w.put_u16(static_cast<std::uint16_t>(f.users.size()));
+  if (!put_report_users(w, f.users)) return std::nullopt;
   return std::move(w).take();
 }
 
-Bytes serialize(const UsrFragFrame& f) {
+std::optional<Bytes> serialize(const ReportV2Frame& f) {
+  if (f.users.size() > 0xFFFFFFFFull) return std::nullopt;
+  ByteWriter w = begin_frame(ControlOp::ReportV2);
+  w.put_u32(f.batch_seq);
+  w.put_u16(f.round);
+  w.put_u8(f.phase);
+  w.put_u32(f.part);
+  w.put_u32(f.nparts);
+  w.put_u32(f.unrecovered);
+  w.put_u32(static_cast<std::uint32_t>(f.users.size()));
+  if (!put_report_users(w, f.users)) return std::nullopt;
+  return std::move(w).take();
+}
+
+std::optional<Bytes> serialize(const UsrFragFrame& f) {
+  if (f.bytes.size() > 0xFFFF) return std::nullopt;  // length is a u16
   ByteWriter w = begin_frame(ControlOp::UsrFrag);
   w.put_u32(f.batch_seq);
   w.put_u32(f.uid);
   w.put_u8(f.frag);
   w.put_u8(f.nfrags);
-  REKEY_ENSURE(f.bytes.size() <= 0xFFFF);
+  w.put_u16(static_cast<std::uint16_t>(f.bytes.size()));
+  w.put_bytes(f.bytes);
+  return std::move(w).take();
+}
+
+std::optional<Bytes> serialize(const UsrFragV2Frame& f) {
+  if (f.bytes.size() > 0xFFFF) return std::nullopt;  // length is a u16
+  ByteWriter w = begin_frame(ControlOp::UsrFragV2);
+  w.put_u32(f.batch_seq);
+  w.put_u32(f.uid);
+  w.put_u16(f.frag);
+  w.put_u16(f.nfrags);
   w.put_u16(static_cast<std::uint16_t>(f.bytes.size()));
   w.put_bytes(f.bytes);
   return std::move(w).take();
@@ -142,23 +196,31 @@ std::optional<ControlOp> peek_op(packet::WireView payload) {
   if (payload.empty()) return std::nullopt;
   const std::uint8_t op = payload[0];
   if (op < static_cast<std::uint8_t>(ControlOp::Sub) ||
-      op > static_cast<std::uint8_t>(ControlOp::FinAck))
+      op > static_cast<std::uint8_t>(ControlOp::UsrFragV2))
     return std::nullopt;
   return static_cast<ControlOp>(op);
 }
 
 std::optional<SubFrame> parse_sub(packet::WireView payload) {
-  if (payload.size() != kSubSize || peek_op(payload) != ControlOp::Sub)
+  if ((payload.size() != kSubSize && payload.size() != kSubSize + 1) ||
+      peek_op(payload) != ControlOp::Sub)
     return std::nullopt;
   ByteReader r(payload.subspan(1));
   SubFrame f;
   f.first_uid = r.get_u32();
   f.count = r.get_u32();
+  if (r.remaining() > 0) {
+    f.max_version = r.get_u8();
+    // A trailing version byte announcing v1 (or 0) is not a frame any
+    // writer emits — v1 is expressed by the byte's absence.
+    if (f.max_version < kWireV2) return std::nullopt;
+  }
   return f;
 }
 
 std::optional<SubAckFrame> parse_sub_ack(packet::WireView payload) {
-  if (payload.size() != kSubAckSize || peek_op(payload) != ControlOp::SubAck)
+  if ((payload.size() != kSubAckSize && payload.size() != kSubAckSize + 1) ||
+      peek_op(payload) != ControlOp::SubAck)
     return std::nullopt;
   ByteReader r(payload.subspan(1));
   SubAckFrame f;
@@ -168,6 +230,10 @@ std::optional<SubAckFrame> parse_sub_ack(packet::WireView payload) {
   f.block_size = r.get_u8();
   f.packet_size = r.get_u16();
   f.batches = r.get_u32();
+  if (r.remaining() > 0) {
+    f.version = r.get_u8();
+    if (f.version < kWireV2) return std::nullopt;
+  }
   return f;
 }
 
@@ -182,6 +248,20 @@ std::optional<SlotMapFrame> parse_slot_map(packet::WireView payload) {
   if (r.remaining() != static_cast<std::size_t>(n) * 2) return std::nullopt;
   f.slots.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) f.slots.push_back(r.get_u16());
+  return f;
+}
+
+std::optional<SlotMapV2Frame> parse_slot_map_v2(packet::WireView payload) {
+  if (payload.size() < kSlotMapV2HeaderSize ||
+      peek_op(payload) != ControlOp::SlotMapV2)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SlotMapV2Frame f;
+  f.base_uid = r.get_u32();
+  const std::uint16_t n = r.get_u16();
+  if (r.remaining() != static_cast<std::size_t>(n) * 4) return std::nullopt;
+  f.slots.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) f.slots.push_back(r.get_u32());
   return f;
 }
 
@@ -219,6 +299,33 @@ std::optional<RoundMarkFrame> parse_round_mark(packet::WireView payload) {
   return f;
 }
 
+namespace {
+
+// Shared strict user-list reader of both report widths.
+bool get_report_users(ByteReader& r, std::uint32_t n,
+                      std::vector<ReportUser>& users) {
+  users.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (r.remaining() < kReportUserSize) return false;
+    ReportUser u;
+    u.uid = r.get_u32();
+    const std::uint8_t entries = r.get_u8();
+    if (r.remaining() < entries * kReportEntrySize) return false;
+    u.entries.reserve(entries);
+    for (std::uint8_t e = 0; e < entries; ++e) {
+      packet::NackEntry ne;
+      ne.parities_needed = r.get_u8();
+      ne.block_id = r.get_u16();
+      ne.max_shard_seen = r.get_u8();
+      u.entries.push_back(ne);
+    }
+    users.push_back(std::move(u));
+  }
+  return r.remaining() == 0;  // trailing garbage rejects the frame
+}
+
+}  // namespace
+
 std::optional<ReportFrame> parse_report(packet::WireView payload) {
   if (payload.size() < kReportHeaderSize + 2 ||
       peek_op(payload) != ControlOp::Report)
@@ -233,24 +340,29 @@ std::optional<ReportFrame> parse_report(packet::WireView payload) {
   f.unrecovered = r.get_u32();
   const std::uint16_t n = r.get_u16();
   if (f.nparts == 0 || f.part >= f.nparts) return std::nullopt;
-  f.users.reserve(n);
-  for (std::uint16_t i = 0; i < n; ++i) {
-    if (r.remaining() < kReportUserSize) return std::nullopt;
-    ReportUser u;
-    u.uid = r.get_u32();
-    const std::uint8_t entries = r.get_u8();
-    if (r.remaining() < entries * kReportEntrySize) return std::nullopt;
-    u.entries.reserve(entries);
-    for (std::uint8_t e = 0; e < entries; ++e) {
-      packet::NackEntry ne;
-      ne.parities_needed = r.get_u8();
-      ne.block_id = r.get_u16();
-      ne.max_shard_seen = r.get_u8();
-      u.entries.push_back(ne);
-    }
-    f.users.push_back(std::move(u));
-  }
-  if (r.remaining() != 0) return std::nullopt;  // trailing garbage
+  if (!get_report_users(r, n, f.users)) return std::nullopt;
+  return f;
+}
+
+std::optional<ReportV2Frame> parse_report_v2(packet::WireView payload) {
+  if (payload.size() < kReportV2HeaderSize + 4 ||
+      peek_op(payload) != ControlOp::ReportV2)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  ReportV2Frame f;
+  f.batch_seq = r.get_u32();
+  f.round = r.get_u16();
+  f.phase = r.get_u8();
+  f.part = r.get_u32();
+  f.nparts = r.get_u32();
+  f.unrecovered = r.get_u32();
+  const std::uint32_t n = r.get_u32();
+  if (f.nparts == 0 || f.part >= f.nparts) return std::nullopt;
+  // A count the remaining bytes cannot possibly hold is rejected before
+  // reserve() trusts it (each user costs at least kReportUserSize bytes).
+  if (static_cast<std::uint64_t>(n) * kReportUserSize > r.remaining())
+    return std::nullopt;
+  if (!get_report_users(r, n, f.users)) return std::nullopt;
   return f;
 }
 
@@ -264,6 +376,23 @@ std::optional<UsrFragFrame> parse_usr_frag(packet::WireView payload) {
   f.uid = r.get_u32();
   f.frag = r.get_u8();
   f.nfrags = r.get_u8();
+  const std::uint16_t len = r.get_u16();
+  if (f.nfrags == 0 || f.frag >= f.nfrags) return std::nullopt;
+  if (r.remaining() != len) return std::nullopt;  // truncated or padded
+  f.bytes = r.get_bytes(len);
+  return f;
+}
+
+std::optional<UsrFragV2Frame> parse_usr_frag_v2(packet::WireView payload) {
+  if (payload.size() < kUsrFragV2HeaderSize ||
+      peek_op(payload) != ControlOp::UsrFragV2)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  UsrFragV2Frame f;
+  f.batch_seq = r.get_u32();
+  f.uid = r.get_u32();
+  f.frag = r.get_u16();
+  f.nfrags = r.get_u16();
   const std::uint16_t len = r.get_u16();
   if (f.nfrags == 0 || f.frag >= f.nfrags) return std::nullopt;
   if (r.remaining() != len) return std::nullopt;  // truncated or padded
@@ -313,72 +442,128 @@ std::vector<SlotMapFrame> chunk_slot_map(
   return out;
 }
 
-std::vector<ReportFrame> chunk_report(std::uint32_t batch_seq,
-                                      std::uint16_t round, std::uint8_t phase,
-                                      std::uint32_t unrecovered,
-                                      const std::vector<ReportUser>& users,
-                                      std::size_t max_payload) {
-  REKEY_ENSURE(max_payload > kReportHeaderSize + 2 + kReportUserSize +
-                                 kReportEntrySize);
-  std::vector<ReportFrame> parts;
-  ReportFrame cur;
+std::vector<SlotMapV2Frame> chunk_slot_map_v2(
+    std::uint32_t first_uid, const std::vector<std::uint32_t>& slots,
+    std::size_t max_payload) {
+  REKEY_ENSURE(max_payload > kSlotMapV2HeaderSize + 4);
+  const std::size_t per_chunk =
+      std::min<std::size_t>((max_payload - kSlotMapV2HeaderSize) / 4, 0xFFFF);
+  std::vector<SlotMapV2Frame> out;
+  for (std::size_t base = 0; base < slots.size(); base += per_chunk) {
+    SlotMapV2Frame f;
+    f.base_uid = first_uid + static_cast<std::uint32_t>(base);
+    const std::size_t end = std::min(slots.size(), base + per_chunk);
+    f.slots.assign(slots.begin() + static_cast<std::ptrdiff_t>(base),
+                   slots.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(f));
+  }
+  if (out.empty()) out.push_back(SlotMapV2Frame{first_uid, {}});
+  return out;
+}
+
+namespace {
+
+// Shared chunking loop of both report widths. `header` is the serialized
+// header size including the user-count field; `user_cap` the per-frame
+// user-count limit; `part_cap` the part-counter limit.
+template <typename Frame>
+std::vector<Frame> chunk_report_impl(std::uint32_t batch_seq,
+                                     std::uint16_t round, std::uint8_t phase,
+                                     std::uint32_t unrecovered,
+                                     const std::vector<ReportUser>& users,
+                                     std::size_t max_payload,
+                                     std::size_t header, std::size_t user_cap,
+                                     std::size_t part_cap) {
+  REKEY_ENSURE(max_payload > header + kReportUserSize + kReportEntrySize);
+  std::vector<Frame> parts;
+  Frame cur;
   cur.batch_seq = batch_seq;
   cur.round = round;
   cur.phase = phase;
   cur.unrecovered = unrecovered;
-  std::size_t size = kReportHeaderSize + 2;
+  std::size_t size = header;
   const auto flush = [&] {
     parts.push_back(std::move(cur));
-    cur = ReportFrame{};
+    cur = Frame{};
     cur.batch_seq = batch_seq;
     cur.round = round;
     cur.phase = phase;
     cur.unrecovered = unrecovered;
-    size = kReportHeaderSize + 2;
+    size = header;
   };
   for (const ReportUser& u : users) {
     ReportUser clipped = u;
     // entry_count is a u8, and one user must fit one frame: clip the
     // entry list if need be — the protocol treats missing NACK entries
     // as lost NACKs and retries next round.
-    const std::size_t entry_budget =
-        std::min<std::size_t>(0xFF, (max_payload - kReportHeaderSize - 2 -
-                                     kReportUserSize) /
-                                        kReportEntrySize);
+    const std::size_t entry_budget = std::min<std::size_t>(
+        0xFF, (max_payload - header - kReportUserSize) / kReportEntrySize);
     if (clipped.entries.size() > entry_budget)
       clipped.entries.resize(entry_budget);
     const std::size_t need =
         kReportUserSize + clipped.entries.size() * kReportEntrySize;
-    if (size + need > max_payload || cur.users.size() == 0xFFFF) flush();
+    if (size + need > max_payload || cur.users.size() == user_cap) flush();
     size += need;
     cur.users.push_back(std::move(clipped));
   }
   parts.push_back(std::move(cur));
-  REKEY_ENSURE(parts.size() <= 0xFFFF);
+  // More parts than the part counter can number cannot be represented:
+  // fail (empty) rather than emit frames that alias each other's part ids.
+  if (parts.size() > part_cap) return {};
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    parts[i].part = static_cast<std::uint16_t>(i);
-    parts[i].nparts = static_cast<std::uint16_t>(parts.size());
+    parts[i].part = static_cast<decltype(cur.part)>(i);
+    parts[i].nparts = static_cast<decltype(cur.nparts)>(parts.size());
   }
   return parts;
 }
 
-std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
-                                       std::uint32_t uid, const Bytes& usr_wire,
-                                       std::size_t max_payload) {
-  REKEY_ENSURE(max_payload > kUsrFragHeaderSize);
-  const std::size_t chunk =
-      std::min<std::size_t>(max_payload - kUsrFragHeaderSize, 0xFFFF);
+}  // namespace
+
+std::vector<ReportFrame> chunk_report(std::uint32_t batch_seq,
+                                      std::uint16_t round, std::uint8_t phase,
+                                      std::uint32_t unrecovered,
+                                      const std::vector<ReportUser>& users,
+                                      std::size_t max_payload) {
+  return chunk_report_impl<ReportFrame>(batch_seq, round, phase, unrecovered,
+                                        users, max_payload,
+                                        kReportHeaderSize + 2, 0xFFFF, 0xFFFF);
+}
+
+std::vector<ReportV2Frame> chunk_report_v2(std::uint32_t batch_seq,
+                                           std::uint16_t round,
+                                           std::uint8_t phase,
+                                           std::uint32_t unrecovered,
+                                           const std::vector<ReportUser>& users,
+                                           std::size_t max_payload) {
+  return chunk_report_impl<ReportV2Frame>(
+      batch_seq, round, phase, unrecovered, users, max_payload,
+      kReportV2HeaderSize + 4, 0xFFFFFFFFull, 0xFFFFFFFFull);
+}
+
+namespace {
+
+// Shared fragmentation loop of both widths; `frag_cap` is the fragment
+// counter's limit (u8 for v1, u16 for v2). Empty on overflow: emitting
+// aliased fragment ids would reassemble a corrupt USR.
+template <typename Frame>
+std::vector<Frame> fragment_usr_impl(std::uint32_t batch_seq,
+                                     std::uint32_t uid, const Bytes& usr_wire,
+                                     std::size_t max_payload,
+                                     std::size_t header,
+                                     std::size_t frag_cap) {
+  REKEY_ENSURE(max_payload > header);
+  const std::size_t chunk = std::min<std::size_t>(max_payload - header, 0xFFFF);
   const std::size_t nfrags =
       usr_wire.empty() ? 1 : (usr_wire.size() + chunk - 1) / chunk;
-  REKEY_ENSURE_MSG(nfrags <= 0xFF, "USR payload too large to fragment");
-  std::vector<UsrFragFrame> out;
+  if (nfrags > frag_cap) return {};  // payload too large to fragment
+  std::vector<Frame> out;
   out.reserve(nfrags);
   for (std::size_t i = 0; i < nfrags; ++i) {
-    UsrFragFrame f;
+    Frame f;
     f.batch_seq = batch_seq;
     f.uid = uid;
-    f.frag = static_cast<std::uint8_t>(i);
-    f.nfrags = static_cast<std::uint8_t>(nfrags);
+    f.frag = static_cast<decltype(f.frag)>(i);
+    f.nfrags = static_cast<decltype(f.nfrags)>(nfrags);
     const std::size_t begin = i * chunk;
     const std::size_t end = std::min(usr_wire.size(), begin + chunk);
     f.bytes.assign(usr_wire.begin() + static_cast<std::ptrdiff_t>(begin),
@@ -388,26 +573,55 @@ std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
   return out;
 }
 
+}  // namespace
+
+std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
+                                       std::uint32_t uid, const Bytes& usr_wire,
+                                       std::size_t max_payload) {
+  return fragment_usr_impl<UsrFragFrame>(batch_seq, uid, usr_wire, max_payload,
+                                         kUsrFragHeaderSize, 0xFF);
+}
+
+std::vector<UsrFragV2Frame> fragment_usr_v2(std::uint32_t batch_seq,
+                                            std::uint32_t uid,
+                                            const Bytes& usr_wire,
+                                            std::size_t max_payload) {
+  return fragment_usr_impl<UsrFragV2Frame>(batch_seq, uid, usr_wire,
+                                           max_payload, kUsrFragV2HeaderSize,
+                                           0xFFFF);
+}
+
 std::optional<Bytes> UsrReassembly::add(const UsrFragFrame& frag) {
-  if (frag.nfrags == 0 || frag.frag >= frag.nfrags) return std::nullopt;
-  Partial& p = pending_[frag.uid];
+  return add_impl(frag.uid, frag.frag, frag.nfrags, frag.bytes);
+}
+
+std::optional<Bytes> UsrReassembly::add(const UsrFragV2Frame& frag) {
+  return add_impl(frag.uid, frag.frag, frag.nfrags, frag.bytes);
+}
+
+std::optional<Bytes> UsrReassembly::add_impl(std::uint32_t uid,
+                                             std::uint16_t frag,
+                                             std::uint16_t nfrags,
+                                             const Bytes& bytes) {
+  if (nfrags == 0 || frag >= nfrags) return std::nullopt;
+  Partial& p = pending_[uid];
   if (p.seen.empty()) {
-    p.nfrags = frag.nfrags;
-    p.parts.resize(frag.nfrags);
-    p.seen.assign(frag.nfrags, false);
+    p.nfrags = nfrags;
+    p.parts.resize(nfrags);
+    p.seen.assign(nfrags, false);
   }
   // A fragment disagreeing with the established count is a stale or
   // damaged duplicate; keep the first wave's shape.
-  if (frag.nfrags != p.nfrags) return std::nullopt;
-  if (p.seen[frag.frag]) return std::nullopt;  // duplicate fragment
-  p.seen[frag.frag] = true;
-  p.parts[frag.frag] = frag.bytes;
+  if (nfrags != p.nfrags) return std::nullopt;
+  if (p.seen[frag]) return std::nullopt;  // duplicate fragment
+  p.seen[frag] = true;
+  p.parts[frag] = bytes;
   ++p.have;
   if (p.have < p.nfrags) return std::nullopt;
   Bytes full;
   for (const Bytes& part : p.parts)
     full.insert(full.end(), part.begin(), part.end());
-  pending_.erase(frag.uid);
+  pending_.erase(uid);
   return full;
 }
 

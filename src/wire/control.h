@@ -21,6 +21,15 @@
 // All integers are big-endian, serialized with ByteWriter like the data
 // packets. Parsers are strict: any truncation, trailing bytes, or length
 // mismatch returns nullopt — these arrive off a real socket.
+//
+// Protocol versions. v1 (the original format) carries 16-bit keytree slot
+// ids; v2 widens SlotMap/Report/UsrFrag (ops 13–15) and the data-plane
+// ENC/USR headers to 32-bit slot ids, and raises the UsrFrag fragment
+// count to 16 bits. Versions are negotiated per session: Sub optionally
+// carries the client's max supported version (a trailing byte, absent for
+// v1 so the 9-byte legacy frame is unchanged) and SubAck optionally
+// carries the server's selection the same way. Everything else is shared
+// between versions byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +58,15 @@ enum class ControlOp : std::uint8_t {
   DoneAck = 10,     // client -> server: per-endpoint batch stats
   Fin = 11,         // server -> client: session over
   FinAck = 12,      // client -> server
+  SlotMapV2 = 13,   // server -> client: SlotMap with 32-bit slot ids
+  ReportV2 = 14,    // client -> server: Report with 32-bit part counters
+  UsrFragV2 = 15,   // server -> client: UsrFrag with 16-bit frag counters
 };
+
+// Wire protocol versions (see header comment).
+inline constexpr std::uint8_t kWireV1 = 1;  // 16-bit slot ids
+inline constexpr std::uint8_t kWireV2 = 2;  // 32-bit slot ids
+inline constexpr std::uint8_t kMaxWireVersion = kWireV2;
 
 // An endpoint (one load-generator socket) speaks for a contiguous range
 // of virtual clients; uid is the stable client identity across batches
@@ -57,6 +74,9 @@ enum class ControlOp : std::uint8_t {
 struct SubFrame {
   std::uint32_t first_uid = 0;
   std::uint32_t count = 0;
+  // Highest wire version this client speaks. kWireV1 serializes to the
+  // 9-byte legacy frame (no version byte); higher values append one byte.
+  std::uint8_t max_version = kWireV1;
 };
 
 struct SubAckFrame {
@@ -66,6 +86,10 @@ struct SubAckFrame {
   std::uint8_t block_size = 10;  // FEC k
   std::uint16_t packet_size = 0;
   std::uint32_t batches = 0;  // churn batches the daemon will run
+  // Wire version the server selected for the session (global: the data
+  // plane is multicast, so every endpoint speaks the same width). kWireV1
+  // keeps the 17-byte legacy ack; higher values append one byte.
+  std::uint8_t version = kWireV1;
 };
 
 // Initial keytree slots for a contiguous run of uids. Only sent once per
@@ -76,6 +100,12 @@ struct SubAckFrame {
 struct SlotMapFrame {
   std::uint32_t base_uid = 0;
   std::vector<std::uint16_t> slots;  // slot of base_uid, base_uid+1, ...
+};
+
+// v2: 32-bit slot ids (groups past 2^16 slots).
+struct SlotMapV2Frame {
+  std::uint32_t base_uid = 0;
+  std::vector<std::uint32_t> slots;  // slot of base_uid, base_uid+1, ...
 };
 
 struct SlotMapAckFrame {
@@ -115,6 +145,18 @@ struct ReportFrame {
   std::vector<ReportUser> users;
 };
 
+// v2: part counters and the per-frame user count widen to 32 bits so a
+// multi-million-client endpoint's report stream cannot overflow them.
+struct ReportV2Frame {
+  std::uint32_t batch_seq = 0;
+  std::uint16_t round = 0;
+  std::uint8_t phase = 0;
+  std::uint32_t part = 0;
+  std::uint32_t nparts = 1;
+  std::uint32_t unrecovered = 0;
+  std::vector<ReportUser> users;
+};
+
 // One fragment of a serialized USR packet (unicast straggler delivery).
 // `bytes` is a raw slice [frag * chunk, ...) of UsrPacket::serialize();
 // the receiver concatenates all `nfrags` slices and parses the result,
@@ -125,6 +167,16 @@ struct UsrFragFrame {
   std::uint32_t uid = 0;
   std::uint8_t frag = 0;
   std::uint8_t nfrags = 1;
+  Bytes bytes;
+};
+
+// v2: fragment counters widen to 16 bits — a wide-slot USR for a deep
+// tree can exceed 255 MTU-sized fragments on a tiny-MTU path.
+struct UsrFragV2Frame {
+  std::uint32_t batch_seq = 0;
+  std::uint32_t uid = 0;
+  std::uint16_t frag = 0;
+  std::uint16_t nfrags = 1;
   Bytes bytes;
 };
 
@@ -145,16 +197,26 @@ struct FinAckFrame {};
 
 Bytes serialize(const SubFrame&);
 Bytes serialize(const SubAckFrame&);
-Bytes serialize(const SlotMapFrame&);
 Bytes serialize(const SlotMapAckFrame&);
 Bytes serialize(const BatchStartFrame&);
 Bytes serialize(const RoundMarkFrame&);
-Bytes serialize(const ReportFrame&);
-Bytes serialize(const UsrFragFrame&);
 Bytes serialize(const BatchDoneFrame&);
 Bytes serialize(const DoneAckFrame&);
 Bytes serialize(const FinFrame&);
 Bytes serialize(const FinAckFrame&);
+
+// Variable-length frames can hold more than their length fields express
+// (a u16 slot count, a u8 entry count, a u16 fragment byte length).
+// Serializers for those return nullopt instead of aborting the daemon on
+// such malformed in-memory state — the chunkers below never construct an
+// over-limit frame, so a nullopt here means a caller bug, handled like a
+// parse failure rather than a crash.
+std::optional<Bytes> serialize(const SlotMapFrame&);
+std::optional<Bytes> serialize(const SlotMapV2Frame&);
+std::optional<Bytes> serialize(const ReportFrame&);
+std::optional<Bytes> serialize(const ReportV2Frame&);
+std::optional<Bytes> serialize(const UsrFragFrame&);
+std::optional<Bytes> serialize(const UsrFragV2Frame&);
 
 // Peek the op of a control payload (nullopt on empty/unknown).
 std::optional<ControlOp> peek_op(packet::WireView payload);
@@ -162,11 +224,14 @@ std::optional<ControlOp> peek_op(packet::WireView payload);
 std::optional<SubFrame> parse_sub(packet::WireView payload);
 std::optional<SubAckFrame> parse_sub_ack(packet::WireView payload);
 std::optional<SlotMapFrame> parse_slot_map(packet::WireView payload);
+std::optional<SlotMapV2Frame> parse_slot_map_v2(packet::WireView payload);
 std::optional<SlotMapAckFrame> parse_slot_map_ack(packet::WireView payload);
 std::optional<BatchStartFrame> parse_batch_start(packet::WireView payload);
 std::optional<RoundMarkFrame> parse_round_mark(packet::WireView payload);
 std::optional<ReportFrame> parse_report(packet::WireView payload);
+std::optional<ReportV2Frame> parse_report_v2(packet::WireView payload);
 std::optional<UsrFragFrame> parse_usr_frag(packet::WireView payload);
+std::optional<UsrFragV2Frame> parse_usr_frag_v2(packet::WireView payload);
 std::optional<BatchDoneFrame> parse_batch_done(packet::WireView payload);
 std::optional<DoneAckFrame> parse_done_ack(packet::WireView payload);
 
@@ -176,32 +241,55 @@ std::vector<SlotMapFrame> chunk_slot_map(std::uint32_t first_uid,
                                          const std::vector<std::uint16_t>&
                                              slots,
                                          std::size_t max_payload);
+std::vector<SlotMapV2Frame> chunk_slot_map_v2(
+    std::uint32_t first_uid, const std::vector<std::uint32_t>& slots,
+    std::size_t max_payload);
 
 // Splits one client's end-of-round feedback stream into Report frames
 // whose serialized size never exceeds `max_payload`. `users` spans the
 // endpoint's unrecovered clients; `unrecovered` is stamped on each part.
+// Returns empty (an error, not a report) if the stream needs more parts
+// than the part counter can number — practically unreachable for v1 and
+// astronomically so for v2.
 std::vector<ReportFrame> chunk_report(std::uint32_t batch_seq,
                                       std::uint16_t round, std::uint8_t phase,
                                       std::uint32_t unrecovered,
                                       const std::vector<ReportUser>& users,
                                       std::size_t max_payload);
+std::vector<ReportV2Frame> chunk_report_v2(std::uint32_t batch_seq,
+                                           std::uint16_t round,
+                                           std::uint8_t phase,
+                                           std::uint32_t unrecovered,
+                                           const std::vector<ReportUser>& users,
+                                           std::size_t max_payload);
 
 // Splits a serialized USR packet into UsrFrag frames fitting
-// `max_payload` each (at least one, even for an empty payload).
+// `max_payload` each (at least one, even for an empty payload). Returns
+// empty (an error) when the payload needs more fragments than the v1 u8
+// counter can number; the v2 u16 counter lifts that to 2^16-1 fragments.
 std::vector<UsrFragFrame> fragment_usr(std::uint32_t batch_seq,
                                        std::uint32_t uid, const Bytes& usr_wire,
                                        std::size_t max_payload);
+std::vector<UsrFragV2Frame> fragment_usr_v2(std::uint32_t batch_seq,
+                                            std::uint32_t uid,
+                                            const Bytes& usr_wire,
+                                            std::size_t max_payload);
 
 // Reassembles UsrFrag frames per uid. Duplicate fragments are ignored;
 // returns the full USR wire once every fragment of a uid has arrived.
+// v1 and v2 fragments feed the same per-uid state (a session only ever
+// sees one width, but the counters are compatible).
 class UsrReassembly {
  public:
   std::optional<Bytes> add(const UsrFragFrame& frag);
+  std::optional<Bytes> add(const UsrFragV2Frame& frag);
   void clear() { pending_.clear(); }
 
  private:
+  std::optional<Bytes> add_impl(std::uint32_t uid, std::uint16_t frag,
+                                std::uint16_t nfrags, const Bytes& bytes);
   struct Partial {
-    std::uint8_t nfrags = 0;
+    std::uint16_t nfrags = 0;
     std::size_t have = 0;
     std::vector<Bytes> parts;
     std::vector<bool> seen;  // emptiness of a part is not "missing"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 
 #include "common/ensure.h"
@@ -39,6 +40,13 @@ KeyServerDaemon::KeyServerDaemon(WireTransport& wire,
                    "the wire lockstep needs at least one multicast round");
   REKEY_ENSURE_MSG(config.protocol.packet_size <= wire.max_payload(),
                    "protocol packet size exceeds the wire MTU budget");
+  REKEY_ENSURE_MSG(config.wire_version <= kMaxWireVersion,
+                   "unknown wire protocol version");
+  // The round counter travels as a u16 in RoundMark/Report frames; the
+  // multicast loop ensures round <= max_rounds_cap, so the cap itself must
+  // fit (the unicast wave loop has its own explicit guard).
+  REKEY_ENSURE_MSG(config.protocol.max_rounds_cap <= 0xFFFF,
+                   "max_rounds_cap exceeds the u16 round counter");
   if (config.shards > 1 || config.worker_threads != 1) {
     plan_ = tree::ShardPlan::make(config.degree, std::max(1u, config.shards));
     if (config.worker_threads != 1)
@@ -66,10 +74,25 @@ std::size_t KeyServerDaemon::pump(int timeout_ms) {
         if (!f || f->count == 0 || f->first_uid >= config_.clients ||
             f->first_uid + f->count > config_.clients)
           break;
+        if (f->max_version < session_version_) {
+          // The session needs frames this client cannot parse: no ack, so
+          // the client times out instead of mis-parsing wide slot ids.
+          if (endpoints_.find(d.from) == endpoints_.end()) {
+            ++stats_.endpoints_incompatible;
+            std::fprintf(stderr,
+                         "rekeyd: refusing subscription for uids [%u, %u): "
+                         "client speaks wire v%u but the session needs v%u\n",
+                         f->first_uid, f->first_uid + f->count,
+                         static_cast<unsigned>(f->max_version),
+                         static_cast<unsigned>(session_version_));
+          }
+          break;
+        }
         EndpointState& es = endpoints_[d.from];
         es.ep = d.from;
         es.first_uid = f->first_uid;
         es.count = f->count;
+        es.max_version = f->max_version;
         SubAckFrame ack;
         ack.group_size = config_.clients + config_.churn_pool;
         ack.expected_clients = config_.clients;
@@ -79,6 +102,7 @@ std::size_t KeyServerDaemon::pump(int timeout_ms) {
         ack.packet_size =
             static_cast<std::uint16_t>(config_.protocol.packet_size);
         ack.batches = config_.batches;
+        ack.version = session_version_;
         send_control(d.from, serialize(ack));
         break;
       }
@@ -96,7 +120,23 @@ std::size_t KeyServerDaemon::pump(int timeout_ms) {
         if (f->batch_seq != cur_batch_ || f->round != cur_round_ ||
             f->phase != cur_phase_)
           break;  // stale retransmit from an earlier lockstep step
-        handle_report(it->second, *f, cur_server_);
+        handle_report(it->second,
+                      ReportView{f->part, f->nparts, f->unrecovered,
+                                 &f->users},
+                      cur_server_);
+        break;
+      }
+      case ControlOp::ReportV2: {
+        const auto f = parse_report_v2(d.payload);
+        const auto it = endpoints_.find(d.from);
+        if (!f || it == endpoints_.end()) break;
+        if (f->batch_seq != cur_batch_ || f->round != cur_round_ ||
+            f->phase != cur_phase_)
+          break;
+        handle_report(it->second,
+                      ReportView{f->part, f->nparts, f->unrecovered,
+                                 &f->users},
+                      cur_server_);
         break;
       }
       case ControlOp::DoneAck: {
@@ -123,9 +163,13 @@ std::size_t KeyServerDaemon::pump(int timeout_ms) {
   return processed;
 }
 
-void KeyServerDaemon::handle_report(EndpointState& es, const ReportFrame& f,
+void KeyServerDaemon::handle_report(EndpointState& es, const ReportView& f,
                                     transport::ServerTransport* server) {
   if (es.dead || es.report_done) return;
+  // Every report part carries at least one user (a clean report is one
+  // empty part), so a claimed part count beyond the endpoint's user count
+  // is garbage — and must not size parts_seen.
+  if (f.nparts == 0 || f.nparts > es.count + 1) return;
   if (es.parts_expected == 0) {
     es.parts_expected = f.nparts;
     es.parts_seen.assign(f.nparts, false);
@@ -138,7 +182,7 @@ void KeyServerDaemon::handle_report(EndpointState& es, const ReportFrame& f,
   ++es.parts_have;
   es.reported_unrecovered = f.unrecovered;
   ++stats_.reports;
-  for (const ReportUser& u : f.users) {
+  for (const ReportUser& u : *f.users) {
     if (u.uid < es.first_uid || u.uid >= es.first_uid + es.count) continue;
     es.unrecovered_uids.push_back(u.uid);
     if (server != nullptr && !u.entries.empty()) {
@@ -171,17 +215,26 @@ void KeyServerDaemon::send_slot_maps() {
   // Serialize each endpoint's slot map once; retransmit until acked.
   std::map<Endpoint, std::vector<Bytes>> frames;
   for (auto& [ep, es] : endpoints_) {
-    std::vector<std::uint16_t> slots;
-    slots.reserve(es.count);
-    for (std::uint32_t u = es.first_uid; u < es.first_uid + es.count; ++u) {
-      const tree::NodeId slot = tree_.slot_of(u);
-      REKEY_ENSURE_MSG(slot <= 0xFFFF, "slot id exceeds the u16 wire format");
-      slots.push_back(static_cast<std::uint16_t>(slot));
-    }
     auto& out = frames[ep];
-    for (const SlotMapFrame& f :
-         chunk_slot_map(es.first_uid, slots, wire_.max_payload()))
-      out.push_back(serialize(f));
+    if (wide()) {
+      std::vector<std::uint32_t> slots;
+      slots.reserve(es.count);
+      for (std::uint32_t u = es.first_uid; u < es.first_uid + es.count; ++u)
+        slots.push_back(static_cast<std::uint32_t>(tree_.slot_of(u)));
+      for (const SlotMapV2Frame& f :
+           chunk_slot_map_v2(es.first_uid, slots, wire_.max_payload()))
+        if (auto b = serialize(f)) out.push_back(std::move(*b));
+    } else {
+      // Version selection guarantees narrow slots fit u16 (with split
+      // headroom), so the truncating cast below cannot lose bits.
+      std::vector<std::uint16_t> slots;
+      slots.reserve(es.count);
+      for (std::uint32_t u = es.first_uid; u < es.first_uid + es.count; ++u)
+        slots.push_back(static_cast<std::uint16_t>(tree_.slot_of(u)));
+      for (const SlotMapFrame& f :
+           chunk_slot_map(es.first_uid, slots, wire_.max_payload()))
+        if (auto b = serialize(f)) out.push_back(std::move(*b));
+    }
   }
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
@@ -315,8 +368,9 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
   packet::Assignment assignment =
       plan_.has_value()
           ? packet::assign_keys(payload, config_.protocol.packet_size,
-                                *plan_, runner)
-          : packet::assign_keys(payload, config_.protocol.packet_size);
+                                *plan_, runner, wide())
+          : packet::assign_keys(payload, config_.protocol.packet_size,
+                                wide());
 
   transport::ServerTransport server(config_.protocol, payload,
                                     std::move(assignment),
@@ -405,19 +459,32 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
       if (config_.unicast_max_waves > 0 &&
           wave >= config_.unicast_max_waves)
         break;  // abandoned stragglers surface in the DoneAck gave_up count
+      // The wave counter travels as the u16 round field of RoundMark; an
+      // unbounded (unicast_max_waves == 0) run must stop before it wraps.
+      if (wave >= 0xFFFF) break;
       ++wave;
       const int dups = config_.protocol.usr_initial_duplicates + wave - 1;
       for (const std::uint32_t uid : stragglers) {
         auto it = frag_cache.find(uid);
         if (it == frag_cache.end()) {
           const tree::NodeId slot = tree_.slot_of(uid);
-          REKEY_ENSURE(slot <= 0xFFFF);
           const Bytes usr_wire =
-              server.usr_for(static_cast<std::uint16_t>(slot)).serialize();
+              server.usr_for(static_cast<std::uint32_t>(slot))
+                  .serialize(wide());
+          // A fragmenter overflow (empty result) leaves the uid without
+          // USR frames; it surfaces in gave_up instead of aborting.
           std::vector<Bytes> frames_for_uid;
-          for (const UsrFragFrame& f : fragment_usr(batch_seq, uid, usr_wire,
-                                                    wire_.max_payload()))
-            frames_for_uid.push_back(serialize(f));
+          if (wide()) {
+            for (const UsrFragV2Frame& f : fragment_usr_v2(
+                     batch_seq, uid, usr_wire, wire_.max_payload()))
+              if (auto b = serialize(f))
+                frames_for_uid.push_back(std::move(*b));
+          } else {
+            for (const UsrFragFrame& f : fragment_usr(
+                     batch_seq, uid, usr_wire, wire_.max_payload()))
+              if (auto b = serialize(f))
+                frames_for_uid.push_back(std::move(*b));
+          }
           it = frag_cache.emplace(uid, std::move(frames_for_uid)).first;
         }
         // Locate the endpoint owning this uid.
@@ -456,14 +523,34 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
 }
 
 DaemonStats KeyServerDaemon::run() {
-  wait_for_subscriptions();
-  if (stopped()) return stats_;
-
+  // Populate before subscriptions: version selection inspects the initial
+  // slot ids, and the SubAck already carries the negotiated version.
   tree_.populate(config_.clients + config_.churn_pool, 0);
   next_member_ = config_.clients + config_.churn_pool;
   churn_members_.clear();
   for (std::uint32_t m = 0; m < config_.churn_pool; ++m)
     churn_members_.push_back(config_.clients + m);
+
+  // Wire version selection. The group's slot ids deepen by at most one
+  // tree level per join, so requiring one level of headroom over the
+  // initial maximum keeps a narrow session narrow for its whole life.
+  tree::NodeId max_slot = 0;
+  for (std::uint32_t u = 0; u < config_.clients + config_.churn_pool; ++u)
+    max_slot = std::max(max_slot, tree_.slot_of(u));
+  const bool needs_wide =
+      max_slot * config_.degree + config_.degree > 0xFFFF;
+  if (config_.wire_version == 0) {
+    session_version_ = needs_wide ? kWireV2 : kWireV1;
+  } else {
+    REKEY_ENSURE_MSG(!(config_.wire_version == kWireV1 && needs_wide),
+                     "group slot ids exceed the forced v1 u16 wire format");
+    session_version_ = static_cast<std::uint8_t>(config_.wire_version);
+  }
+  config_.protocol.wide_slots = wide();
+  stats_.wire_version = session_version_;
+
+  wait_for_subscriptions();
+  if (stopped()) return stats_;
 
   send_slot_maps();
 

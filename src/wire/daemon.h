@@ -80,6 +80,12 @@ struct DaemonConfig {
   // (the wire traffic does not change); defaults keep the serial path.
   unsigned shards = 1;          // power of two in [1, 256]
   unsigned worker_threads = 1;  // 0 picks default_thread_count()
+
+  // Wire protocol version: 0 selects automatically (v2 when the group's
+  // initial slot ids could outgrow the v1 u16 fields, v1 otherwise so all
+  // legacy byte streams stay identical); kWireV1/kWireV2 force a version.
+  // Forcing v1 on a group that needs wide slots is refused at startup.
+  unsigned wire_version = 0;
 };
 
 struct DaemonStats {
@@ -102,6 +108,10 @@ struct DaemonStats {
   std::uint64_t via_usr = 0;
   std::uint64_t gave_up = 0;
   std::uint64_t endpoints_dropped = 0;
+  // Subscriptions refused because the client's advertised max version is
+  // below what the session requires.
+  std::uint64_t endpoints_incompatible = 0;
+  std::uint32_t wire_version = 1;  // negotiated session version
   double rho_final = 1.0;
 };
 
@@ -122,12 +132,13 @@ class KeyServerDaemon {
     Endpoint ep;
     std::uint32_t first_uid = 0;
     std::uint32_t count = 0;
+    std::uint8_t max_version = kWireV1;  // advertised in Sub
     bool slot_map_acked = false;
     bool dead = false;
     int missed_deadlines = 0;
 
     // Report collection for the lockstep step in progress.
-    std::uint16_t parts_expected = 0;
+    std::uint32_t parts_expected = 0;
     std::vector<bool> parts_seen;
     std::size_t parts_have = 0;
     std::uint32_t reported_unrecovered = 0;
@@ -160,8 +171,19 @@ class KeyServerDaemon {
                        transport::ServerTransport& server);
   void collect_done_acks(std::uint32_t batch_seq, bool last_batch);
 
-  void handle_report(EndpointState& es, const ReportFrame& f,
+  // Width-independent view of a report part; both report frame widths
+  // funnel into the same collection logic.
+  struct ReportView {
+    std::uint32_t part = 0;
+    std::uint32_t nparts = 1;
+    std::uint32_t unrecovered = 0;
+    const std::vector<ReportUser>* users = nullptr;
+  };
+  void handle_report(EndpointState& es, const ReportView& f,
                      transport::ServerTransport* server);
+
+  // True when the session speaks the wide-slot (v2) frame family.
+  bool wide() const { return session_version_ >= kWireV2; }
 
   WireTransport& wire_;
   DaemonConfig config_;
@@ -175,6 +197,7 @@ class KeyServerDaemon {
   std::vector<tree::MemberId> churn_members_;  // silent, in join order
 
   std::map<Endpoint, EndpointState> endpoints_;
+  std::uint8_t session_version_ = kWireV1;  // fixed before subscriptions
   // Lockstep the receive pump matches reports against.
   std::uint32_t cur_batch_ = 0;
   std::uint16_t cur_round_ = 0;

@@ -37,10 +37,25 @@ void ClientFleet::subscribe() {
   have_slot_.assign(config_.count, false);
   slots_have_ = 0;
 
-  const Bytes sub =
-      serialize(SubFrame{config_.first_uid, config_.count});
+  SubFrame sub_frame{config_.first_uid, config_.count};
+  sub_frame.max_version = config_.max_version;
+  const Bytes sub = serialize(sub_frame);
   const Bytes slot_ack = serialize(SlotMapAckFrame{config_.first_uid});
   bool sub_acked = false;
+  // Both slot-map widths land here; ids_ is wide enough for either.
+  const auto take_slots = [this](std::uint32_t base_uid, const auto& slots) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::uint64_t uid = base_uid + i;
+      if (uid < config_.first_uid || uid >= config_.first_uid + config_.count)
+        continue;
+      const std::size_t u = uid - config_.first_uid;
+      if (!have_slot_[u]) {
+        have_slot_[u] = true;
+        ids_[u] = slots[i];
+        ++slots_have_;
+      }
+    }
+  };
   auto last_heard = Clock::now();
   std::vector<Datagram> in;
   while (!stopped()) {
@@ -52,26 +67,22 @@ void ClientFleet::subscribe() {
       const auto op = peek_op(d.payload);
       if (op == ControlOp::SubAck) {
         const auto f = parse_sub_ack(d.payload);
-        if (!f) continue;
+        if (!f || f->version > config_.max_version) continue;
         k_ = f->block_size;
         degree_ = f->degree;
         batches_expected_ = f->batches;
+        version_ = f->version;
+        stats_.wire_version = version_;
         sub_acked = true;
       } else if (op == ControlOp::SlotMap) {
         const auto f = parse_slot_map(d.payload);
         if (!f) continue;
-        for (std::size_t i = 0; i < f->slots.size(); ++i) {
-          const std::uint64_t uid = f->base_uid + i;
-          if (uid < config_.first_uid ||
-              uid >= config_.first_uid + config_.count)
-            continue;
-          const std::size_t u = uid - config_.first_uid;
-          if (!have_slot_[u]) {
-            have_slot_[u] = true;
-            ids_[u] = f->slots[i];
-            ++slots_have_;
-          }
-        }
+        take_slots(f->base_uid, f->slots);
+        if (slots_have_ == config_.count) send_control(slot_ack);
+      } else if (op == ControlOp::SlotMapV2) {
+        const auto f = parse_slot_map_v2(d.payload);
+        if (!f) continue;
+        take_slots(f->base_uid, f->slots);
         if (slots_have_ == config_.count) send_control(slot_ack);
       }
     }
@@ -87,7 +98,7 @@ void ClientFleet::open_batch(std::uint32_t seq, std::uint8_t msg_id) {
   b.msg_id = msg_id;
   b.users.reserve(config_.count);
   for (std::size_t u = 0; u < config_.count; ++u)
-    b.users.emplace_back(ids_[u], k_, degree_, &b.pool);
+    b.users.emplace_back(ids_[u], k_, degree_, &b.pool, wide());
   b.via_usr.assign(config_.count, false);
   b.recover_ms.assign(config_.count, -1.0);
   b.usr_frag_arrivals.assign(config_.count, 0);
@@ -161,10 +172,17 @@ void ClientFleet::build_and_send_report(std::uint16_t round,
     }
   }
   b.cached_report.clear();
-  for (const ReportFrame& part :
-       chunk_report(b.seq, round, phase, unrecovered, users_out,
-                    wire_.max_payload()))
-    b.cached_report.push_back(serialize(part));
+  if (wide()) {
+    for (const ReportV2Frame& part :
+         chunk_report_v2(b.seq, round, phase, unrecovered, users_out,
+                         wire_.max_payload()))
+      if (auto w = serialize(part)) b.cached_report.push_back(std::move(*w));
+  } else {
+    for (const ReportFrame& part :
+         chunk_report(b.seq, round, phase, unrecovered, users_out,
+                      wire_.max_payload()))
+      if (auto w = serialize(part)) b.cached_report.push_back(std::move(*w));
+  }
   for (const Bytes& part : b.cached_report) {
     send_control(part);
     ++stats_.reports_sent;
@@ -210,7 +228,8 @@ void ClientFleet::on_round_mark(const RoundMarkFrame& f) {
   build_and_send_report(f.round, f.phase);
 }
 
-void ClientFleet::on_usr_frag(const UsrFragFrame& f) {
+template <typename Frame>
+void ClientFleet::on_usr_frag(const Frame& f) {
   if (!batch_ || batch_->seq != f.batch_seq) return;
   if (f.uid < config_.first_uid || f.uid >= config_.first_uid + config_.count)
     return;
@@ -226,7 +245,7 @@ void ClientFleet::on_usr_frag(const UsrFragFrame& f) {
   }
   const auto full = b.reasm.add(f);
   if (!full) return;
-  const auto usr = packet::UsrPacket::parse(*full);
+  const auto usr = packet::UsrPacket::parse(*full, wide());
   if (!usr) return;  // damaged reassembly — wait for the next wave
   user.on_usr(*usr);
   if (user.recovered()) note_recovered(u, true);
@@ -289,6 +308,7 @@ FleetStats ClientFleet::run() {
       if (!op) continue;
       switch (*op) {
         case ControlOp::SlotMap:
+        case ControlOp::SlotMapV2:
           // The server is still retransmitting: our ack was lost.
           send_control(serialize(SlotMapAckFrame{config_.first_uid}));
           break;
@@ -305,6 +325,11 @@ FleetStats ClientFleet::run() {
         }
         case ControlOp::UsrFrag: {
           const auto f = parse_usr_frag(d.payload);
+          if (f) on_usr_frag(*f);
+          break;
+        }
+        case ControlOp::UsrFragV2: {
+          const auto f = parse_usr_frag_v2(d.payload);
           if (f) on_usr_frag(*f);
           break;
         }

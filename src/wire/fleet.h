@@ -61,6 +61,9 @@ struct FleetConfig {
   int retry_ms = 50;
   // Abort if the server goes silent this long (keeps tests from hanging).
   int idle_timeout_ms = 30000;
+  // Highest wire protocol version this fleet advertises in Sub; the
+  // server picks the session version (kWireV1 emulates a legacy client).
+  std::uint8_t max_version = kMaxWireVersion;
 };
 
 struct FleetStats {
@@ -74,6 +77,7 @@ struct FleetStats {
   std::uint64_t nacks_suppressed = 0;
   std::uint64_t reports_sent = 0;  // report parts (incl. retransmits)
   std::uint64_t control_frames = 0;
+  std::uint32_t wire_version = 1;  // session version from SubAck
   bool finished = false;  // saw Fin (false = idle-timeout abort)
   // Per recovered client-batch: ms from batch open to group-key recovery.
   std::vector<double> recovery_ms;
@@ -124,8 +128,14 @@ class ClientFleet {
   void note_recovered(std::size_t u, bool usr);
   void on_round_mark(const RoundMarkFrame& f);
   void build_and_send_report(std::uint16_t round, std::uint8_t phase);
-  void on_usr_frag(const UsrFragFrame& f);
+  // Both USR fragment widths share one delivery path (UsrReassembly has
+  // an add() overload per frame family).
+  template <typename Frame>
+  void on_usr_frag(const Frame& f);
   void on_batch_done(const BatchDoneFrame& f);
+
+  // True once SubAck negotiated the wide-slot (v2) frame family.
+  bool wide() const { return version_ >= kWireV2; }
 
   WireTransport& wire_;
   Endpoint server_;
@@ -136,7 +146,10 @@ class ClientFleet {
   std::size_t k_ = 10;
   unsigned degree_ = 4;
   std::uint32_t batches_expected_ = 0;
-  std::vector<std::uint16_t> ids_;  // current id per client, evolves
+  std::uint8_t version_ = kWireV1;  // negotiated in SubAck
+  // Current id per client; evolves per Theorem 4.2 across batches, so it
+  // outgrows u16 exactly when the session runs wide slots.
+  std::vector<std::uint32_t> ids_;
   std::vector<bool> have_slot_;
   std::size_t slots_have_ = 0;
 

@@ -46,6 +46,7 @@ TEST(Control, FixedFrameRoundtrips) {
     ASSERT_TRUE(r);
     EXPECT_EQ(r->first_uid, f.first_uid);
     EXPECT_EQ(r->count, f.count);
+    EXPECT_EQ(r->max_version, kWireV1);
   }
   {
     SubAckFrame f;
@@ -123,7 +124,9 @@ TEST(Control, ReportRoundtripWithEntries) {
   f.unrecovered = 17;
   f.users.push_back(ReportUser{100, {nack(2, 0, 9), nack(1, 3, 11)}});
   f.users.push_back(ReportUser{101, {}});
-  const auto r = parse_report(serialize(f));
+  const auto w = serialize(f);
+  ASSERT_TRUE(w);
+  const auto r = parse_report(*w);
   ASSERT_TRUE(r);
   EXPECT_EQ(r->batch_seq, 2u);
   EXPECT_EQ(r->round, 3);
@@ -150,9 +153,146 @@ TEST(Control, ParsersRejectTrailingGarbage) {
   }
   ReportFrame f;
   f.users.push_back(ReportUser{5, {nack(1, 0, 2)}});
-  Bytes padded = serialize(f);
+  Bytes padded = *serialize(f);
   padded.push_back(0xAA);
   EXPECT_FALSE(parse_report(padded).has_value());
+
+  ReportV2Frame f2;
+  f2.users.push_back(ReportUser{5, {nack(1, 0, 2)}});
+  Bytes padded2 = *serialize(f2);
+  padded2.push_back(0xAA);
+  EXPECT_FALSE(parse_report_v2(padded2).has_value());
+
+  SlotMapV2Frame sm2;
+  sm2.base_uid = 1;
+  sm2.slots = {0x12345, 0x54321};
+  Bytes padded3 = *serialize(sm2);
+  padded3.push_back(0x00);
+  EXPECT_FALSE(parse_slot_map_v2(padded3).has_value());
+
+  UsrFragV2Frame uf2;
+  uf2.bytes = Bytes(10, 0x7E);
+  Bytes padded4 = *serialize(uf2);
+  padded4.push_back(0x00);
+  EXPECT_FALSE(parse_usr_frag_v2(padded4).has_value());
+}
+
+TEST(Control, VersionNegotiationBytes) {
+  // A v1 Sub/SubAck must serialize to the legacy byte stream exactly —
+  // old and new builds interoperate through these frames.
+  EXPECT_EQ(serialize(SubFrame{1, 2}).size(), 9u);
+  EXPECT_EQ(serialize(SubAckFrame{}).size(), 17u);
+
+  SubFrame sub{70000, 500};
+  sub.max_version = kWireV2;
+  const Bytes w = serialize(sub);
+  EXPECT_EQ(w.size(), 10u);
+  const auto r = parse_sub(w);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->first_uid, 70000u);
+  EXPECT_EQ(r->count, 500u);
+  EXPECT_EQ(r->max_version, kWireV2);
+
+  SubAckFrame ack;
+  ack.group_size = 1 << 17;
+  ack.version = kWireV2;
+  const Bytes aw = serialize(ack);
+  EXPECT_EQ(aw.size(), 18u);
+  const auto ra = parse_sub_ack(aw);
+  ASSERT_TRUE(ra);
+  EXPECT_EQ(ra->version, kWireV2);
+
+  // A trailing version byte claiming v1 (or v0) is not a valid encoding:
+  // v1 is expressed by the legacy length, so this is garbage.
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{1}}) {
+    Bytes padded = serialize(SubFrame{1, 2});
+    padded.push_back(bad);
+    EXPECT_FALSE(parse_sub(padded).has_value());
+    Bytes apadded = serialize(SubAckFrame{});
+    apadded.push_back(bad);
+    EXPECT_FALSE(parse_sub_ack(apadded).has_value());
+  }
+}
+
+TEST(Control, V2FrameRoundtrips) {
+  {
+    SlotMapV2Frame f;
+    f.base_uid = 0x0012D687;                  // > 2^16 uids
+    f.slots = {0x15555, 0x3FFFC, 0xFFFFFFFF};  // > 2^16 slot ids
+    const auto w = serialize(f);
+    ASSERT_TRUE(w);
+    const auto r = parse_slot_map_v2(*w);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->base_uid, f.base_uid);
+    EXPECT_EQ(r->slots, f.slots);
+    // The v1 parser must not accept a v2 frame (distinct ops).
+    EXPECT_FALSE(parse_slot_map(*w).has_value());
+  }
+  {
+    ReportV2Frame f;
+    f.batch_seq = 7;
+    f.round = 3;
+    f.phase = 0;
+    f.part = 70000;   // past the v1 u16 part counters
+    f.nparts = 70001;
+    f.unrecovered = 1 << 20;
+    f.users.push_back(ReportUser{0x20000, {nack(2, 5, 7)}});
+    f.users.push_back(ReportUser{0x20001, {}});
+    const auto w = serialize(f);
+    ASSERT_TRUE(w);
+    const auto r = parse_report_v2(*w);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->part, 70000u);
+    EXPECT_EQ(r->nparts, 70001u);
+    EXPECT_EQ(r->unrecovered, 1u << 20);
+    ASSERT_EQ(r->users.size(), 2u);
+    EXPECT_EQ(r->users[0].uid, 0x20000u);
+    ASSERT_EQ(r->users[0].entries.size(), 1u);
+    EXPECT_EQ(r->users[0].entries[0].block_id, 5);
+  }
+  {
+    UsrFragV2Frame f;
+    f.batch_seq = 2;
+    f.uid = 0x1ABCDE;
+    f.frag = 300;  // past the v1 u8 fragment counters
+    f.nfrags = 400;
+    f.bytes = Bytes(57, 0xA5);
+    const auto w = serialize(f);
+    ASSERT_TRUE(w);
+    const auto r = parse_usr_frag_v2(*w);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->uid, 0x1ABCDEu);
+    EXPECT_EQ(r->frag, 300);
+    EXPECT_EQ(r->nfrags, 400);
+    EXPECT_EQ(r->bytes, f.bytes);
+  }
+}
+
+TEST(Control, OversizeSerializersReturnErrorNotAbort) {
+  // Satellite of the wide-slot change: a frame whose counters cannot be
+  // represented serializes to nullopt instead of crashing the daemon.
+  SlotMapFrame sm;
+  sm.slots.assign(0x10000, 1);  // count field is a u16
+  EXPECT_FALSE(serialize(sm).has_value());
+  SlotMapV2Frame sm2;
+  sm2.slots.assign(0x10000, 1);
+  EXPECT_FALSE(serialize(sm2).has_value());
+
+  ReportFrame rep;
+  rep.users.push_back(ReportUser{1, {}});
+  rep.users[0].entries.assign(0x100, nack(1, 0, 0));  // entry count is a u8
+  EXPECT_FALSE(serialize(rep).has_value());
+  ReportV2Frame rep2;
+  rep2.users.push_back(ReportUser{1, {}});
+  rep2.users[0].entries.assign(0x100, nack(1, 0, 0));
+  EXPECT_FALSE(serialize(rep2).has_value());
+
+  UsrFragFrame uf;
+  uf.bytes.assign(0x10000, 0);  // length field is a u16
+  EXPECT_FALSE(serialize(uf).has_value());
+  UsrFragV2Frame uf2;
+  uf2.bytes.assign(0x10000, 0);
+  EXPECT_FALSE(serialize(uf2).has_value());
 }
 
 TEST(Control, ParsersNeverThrowOnRandomInput) {
@@ -165,11 +305,14 @@ TEST(Control, ParsersNeverThrowOnRandomInput) {
       (void)parse_sub(wire);
       (void)parse_sub_ack(wire);
       (void)parse_slot_map(wire);
+      (void)parse_slot_map_v2(wire);
       (void)parse_slot_map_ack(wire);
       (void)parse_batch_start(wire);
       (void)parse_round_mark(wire);
       (void)parse_report(wire);
+      (void)parse_report_v2(wire);
       (void)parse_usr_frag(wire);
+      (void)parse_usr_frag_v2(wire);
       (void)parse_batch_done(wire);
       (void)parse_done_ack(wire);
     });
@@ -194,17 +337,69 @@ TEST(Control, TruncationSweepNeverAccepts) {
   SlotMapFrame sm;
   sm.base_uid = 40;
   sm.slots = {100, 101, 102, 103};
-  for (const Bytes& full :
-       {serialize(rep), serialize(uf), serialize(sm), serialize(SubFrame{}),
-        serialize(SubAckFrame{}), serialize(DoneAckFrame{})}) {
+  ReportV2Frame rep2;
+  rep2.batch_seq = 9;
+  rep2.part = 70000;
+  rep2.nparts = 70002;
+  rep2.unrecovered = 2;
+  rep2.users.push_back(ReportUser{0x17007, {nack(3, 1, 4), nack(1, 2, 0)}});
+  rep2.users.push_back(ReportUser{0x17008, {}});
+  UsrFragV2Frame uf2;
+  uf2.batch_seq = 9;
+  uf2.uid = 0x17007;
+  uf2.frag = 0;
+  uf2.nfrags = 300;
+  uf2.bytes = Bytes(33, 0x5C);
+  SlotMapV2Frame sm2;
+  sm2.base_uid = 0x20028;
+  sm2.slots = {0x10000, 0x10001, 0x20002, 0xFFFFFFFF};
+  const std::vector<Bytes> fulls = {
+      *serialize(rep),  *serialize(uf),          *serialize(sm),
+      *serialize(rep2), *serialize(uf2),         *serialize(sm2),
+      serialize(SubFrame{}), serialize(SubAckFrame{}),
+      serialize(DoneAckFrame{})};
+  for (std::size_t fi = 0; fi < fulls.size(); ++fi) {
+    const Bytes& full = fulls[fi];
     for (std::size_t cut = 0; cut < full.size(); ++cut) {
       const Bytes wire(full.begin(), full.begin() + cut);
       ASSERT_NO_THROW({
         EXPECT_FALSE(parse_report(wire) || parse_usr_frag(wire) ||
-                     parse_slot_map(wire) || parse_sub(wire) ||
-                     parse_sub_ack(wire) || parse_done_ack(wire))
-            << "cut " << cut;
+                     parse_slot_map(wire) || parse_report_v2(wire) ||
+                     parse_usr_frag_v2(wire) || parse_slot_map_v2(wire) ||
+                     parse_sub(wire) || parse_sub_ack(wire) ||
+                     parse_done_ack(wire))
+            << "frame " << fi << " cut " << cut;
       });
+    }
+  }
+  // Version-extended Sub/SubAck are the one deliberate exception: the
+  // legacy 9/17-byte prefix IS a valid v1 frame (versioning is by
+  // length), so truncating exactly the version byte downgrades to v1;
+  // every other cut still rejects.
+  SubFrame sub2;
+  sub2.max_version = kWireV2;
+  SubAckFrame ack2;
+  ack2.version = kWireV2;
+  const Bytes sub_wire = serialize(sub2);
+  for (std::size_t cut = 0; cut < sub_wire.size(); ++cut) {
+    const Bytes wire(sub_wire.begin(), sub_wire.begin() + cut);
+    const auto r = parse_sub(wire);
+    if (cut == 9) {
+      ASSERT_TRUE(r);
+      EXPECT_EQ(r->max_version, kWireV1);
+    } else {
+      EXPECT_FALSE(r) << "cut " << cut;
+    }
+  }
+  const Bytes ack_wire = serialize(ack2);
+  for (std::size_t cut = 0; cut < ack_wire.size(); ++cut) {
+    const Bytes wire(ack_wire.begin(), ack_wire.begin() + cut);
+    const auto r = parse_sub_ack(wire);
+    if (cut == 17) {
+      ASSERT_TRUE(r);
+      EXPECT_EQ(r->version, kWireV1);
+    } else {
+      EXPECT_FALSE(r) << "cut " << cut;
     }
   }
 }
@@ -218,8 +413,10 @@ TEST(Control, SlotMapChunkingCoversEveryUidOnce) {
   ASSERT_GT(frames.size(), 1u);
   std::vector<bool> seen(slots.size(), false);
   for (const SlotMapFrame& f : frames) {
-    EXPECT_LE(serialize(f).size(), max_payload);
-    const auto rt = parse_slot_map(serialize(f));
+    const auto w = serialize(f);
+    ASSERT_TRUE(w);
+    EXPECT_LE(w->size(), max_payload);
+    const auto rt = parse_slot_map(*w);
     ASSERT_TRUE(rt);
     for (std::size_t i = 0; i < rt->slots.size(); ++i) {
       const std::size_t idx = rt->base_uid - 1000 + i;
@@ -253,9 +450,10 @@ TEST(Control, ReportChunkingFitsBudgetAndCoversEveryUser) {
     EXPECT_EQ(parts[i].part, i);
     EXPECT_EQ(parts[i].nparts, parts.size());
     EXPECT_EQ(parts[i].unrecovered, 400u);
-    const Bytes wire = serialize(parts[i]);
-    EXPECT_LE(wire.size(), max_payload);
-    const auto rt = parse_report(wire);
+    const auto wire = serialize(parts[i]);
+    ASSERT_TRUE(wire);
+    EXPECT_LE(wire->size(), max_payload);
+    const auto rt = parse_report(*wire);
     ASSERT_TRUE(rt);
     for (const ReportUser& u : rt->users) {
       ASSERT_LT(u.uid, seen.size());
@@ -275,13 +473,108 @@ TEST(Control, UsrFragmentationRoundtrip) {
     UsrReassembly reasm;
     std::optional<Bytes> full;
     for (const UsrFragFrame& f : frags) {
-      EXPECT_LE(serialize(f).size(), max_payload);
+      EXPECT_LE(serialize(f)->size(), max_payload);
       EXPECT_FALSE(full.has_value());
       full = reasm.add(f);
     }
     ASSERT_TRUE(full.has_value()) << "max_payload " << max_payload;
     EXPECT_EQ(*full, usr);
   }
+  // Same sweep through the wide fragmenter (2 bytes more header).
+  for (const std::size_t max_payload : {64u, 200u, 1471u}) {
+    const auto frags = fragment_usr_v2(5, 0x1084D, usr, max_payload);
+    ASSERT_GE(frags.size(), 1u);
+    UsrReassembly reasm;
+    std::optional<Bytes> full;
+    for (const UsrFragV2Frame& f : frags) {
+      EXPECT_EQ(f.uid, 0x1084Du);
+      EXPECT_LE(serialize(f)->size(), max_payload);
+      EXPECT_FALSE(full.has_value());
+      full = reasm.add(f);
+    }
+    ASSERT_TRUE(full.has_value()) << "max_payload " << max_payload;
+    EXPECT_EQ(*full, usr);
+  }
+}
+
+TEST(Control, FragmenterOverflowReturnsEmptyNotAbort) {
+  // 300 fragments needed: past the v1 u8 counter, fine for the v2 u16.
+  // The v1 fragmenter must signal the overflow by returning nothing
+  // rather than constructing frames with wrapped counters.
+  const std::size_t max_payload = 64;
+  const std::size_t v1_chunk = max_payload - 13;  // v1 UsrFrag header
+  Bytes big(v1_chunk * 300, 0x3C);
+  EXPECT_TRUE(fragment_usr(1, 7, big, max_payload).empty());
+  const auto frags = fragment_usr_v2(1, 7, big, max_payload);
+  ASSERT_GE(frags.size(), 300u);
+  UsrReassembly reasm;
+  std::optional<Bytes> full;
+  for (const UsrFragV2Frame& f : frags) full = reasm.add(f);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, big);
+}
+
+TEST(Control, SlotMapV2ChunkingCoversEveryUidOnce) {
+  // Slot ids beyond the u16 ceiling — the population the v2 frames exist
+  // for (degree-4 tree with 2^17 leaves).
+  std::vector<std::uint32_t> slots(5000);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    slots[i] = static_cast<std::uint32_t>(0x15555 + i * 4);
+  const std::size_t max_payload = 300;
+  const std::uint32_t first_uid = 0x20000;
+  const auto frames = chunk_slot_map_v2(first_uid, slots, max_payload);
+  ASSERT_GT(frames.size(), 1u);
+  std::vector<bool> seen(slots.size(), false);
+  for (const SlotMapV2Frame& f : frames) {
+    const auto w = serialize(f);
+    ASSERT_TRUE(w);
+    EXPECT_LE(w->size(), max_payload);
+    const auto rt = parse_slot_map_v2(*w);
+    ASSERT_TRUE(rt);
+    for (std::size_t i = 0; i < rt->slots.size(); ++i) {
+      const std::size_t idx = rt->base_uid - first_uid + i;
+      ASSERT_LT(idx, slots.size());
+      EXPECT_FALSE(seen[idx]) << "uid covered twice";
+      seen[idx] = true;
+      EXPECT_EQ(rt->slots[i], slots[idx]);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Control, ReportV2ChunkingCoversEveryUserAndV1Overflows) {
+  // 70000 unrecovered users at a tiny payload budget: the part counter
+  // passes the v1 u16 ceiling, so v1 chunking must return empty while v2
+  // covers every user exactly once.
+  std::vector<ReportUser> users(70000);
+  for (std::uint32_t u = 0; u < users.size(); ++u) {
+    users[u].uid = 0x10000 + u;
+    users[u].entries.push_back(nack(1, 0, 0));
+  }
+  // 34 bytes fits exactly one one-entry user per v2 part (24-byte header
+  // budget + 5-byte user + 4-byte entry), forcing 70000 parts.
+  const std::size_t max_payload = 34;
+  EXPECT_TRUE(chunk_report(1, 1, 0, 70000, users, max_payload).empty());
+  const auto parts =
+      chunk_report_v2(1, 1, 0, 70000, users, max_payload);
+  ASSERT_GT(parts.size(), 0xFFFFu);
+  std::vector<bool> seen(users.size(), false);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].part, i);
+    EXPECT_EQ(parts[i].nparts, parts.size());
+    const auto w = serialize(parts[i]);
+    ASSERT_TRUE(w);
+    ASSERT_LE(w->size(), max_payload);
+    for (const ReportUser& u : parts[i].users) {
+      const std::size_t idx = u.uid - 0x10000;
+      ASSERT_LT(idx, seen.size());
+      ASSERT_FALSE(seen[idx]);
+      seen[idx] = true;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, users.size());
 }
 
 TEST(Control, UsrReassemblyHandlesDuplicatesAndReordering) {
@@ -332,7 +625,7 @@ TEST(Control, UsrFragmentationAtMtuBoundaries) {
       for (const UsrFragFrame& f : frags) {
         // No fragment may exceed the datagram budget — this is the
         // "rekeyd never emits an over-MTU datagram" invariant.
-        EXPECT_LE(serialize(f).size(), max_payload);
+        EXPECT_LE(serialize(f)->size(), max_payload);
         full = reasm.add(f);
       }
       ASSERT_TRUE(full.has_value());

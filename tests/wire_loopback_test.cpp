@@ -191,6 +191,113 @@ TEST(WireLoopback, UpstreamLossDelaysButDoesNotLoseClients) {
   EXPECT_TRUE(r.fleets[0].finished);
 }
 
+TEST(WireLoopback, NegotiationPicksV1ForSmallGroups) {
+  // A v2-capable client against a small group: the server must keep the
+  // session on v1 so the byte streams match a pre-wide-slot deployment.
+  LoopbackHub hub;
+  auto fc = fleet_slice(0, 64);
+  ASSERT_EQ(fc.max_version, kWireV2);  // fleets advertise v2 by default
+  auto r = run_session(hub, base_daemon(64), {fc});
+  EXPECT_EQ(r.daemon.wire_version, 1u);
+  EXPECT_EQ(r.fleets[0].wire_version, 1u);
+  EXPECT_EQ(r.daemon.recovered, 64u);
+  EXPECT_TRUE(r.fleets[0].finished);
+}
+
+TEST(WireLoopback, NegotiationForcedV2OnSmallGroup) {
+  // Forcing v2 runs the whole stack wide — 16-byte ENC headers, u32 slot
+  // maps, v2 reports — on a group small enough to verify cheaply.
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(64);
+  dc.wire_version = kWireV2;
+  dc.batches = 2;
+  auto r = run_session(hub, dc, {fleet_slice(0, 64)});
+  EXPECT_EQ(r.daemon.wire_version, 2u);
+  EXPECT_EQ(r.fleets[0].wire_version, 2u);
+  EXPECT_EQ(r.daemon.recovered, 128u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].unrecovered, 0u);
+}
+
+TEST(WireLoopback, NegotiationRefusesLegacyClientOnWideSession) {
+  // A v1-only client subscribing to a session that requires wide slots
+  // gets no SubAck: it must time out cleanly, not mis-parse v2 frames.
+  LoopbackHub hub;
+  auto daemon_wire = hub.attach();
+  DaemonConfig dc = base_daemon(32);
+  dc.wire_version = kWireV2;
+  KeyServerDaemon daemon(*daemon_wire, dc);
+  DaemonStats ds;
+  std::thread daemon_thread([&] { ds = daemon.run(); });
+  auto fc = fleet_slice(0, 32);
+  fc.max_version = kWireV1;  // legacy client
+  fc.idle_timeout_ms = 500;
+  auto fleet_wire = hub.attach();
+  ClientFleet fleet(*fleet_wire, daemon_wire->endpoint(), fc);
+  const FleetStats fs = fleet.run();
+  daemon.request_stop();
+  daemon_thread.join();
+  EXPECT_FALSE(fs.finished);
+  EXPECT_EQ(fs.recovered, 0u);
+  EXPECT_EQ(ds.endpoints, 0u);
+  EXPECT_GE(ds.endpoints_incompatible, 1u);
+}
+
+TEST(WireLoopback, WideSlotUnicastServesStragglers) {
+  // The unicast USR path in a forced-wide session: 9-byte wide USR
+  // headers, v2 fragmentation, and wide reassembly under heavy loss.
+  LoopbackHub hub(150);
+  DaemonConfig dc = base_daemon(48);
+  dc.wire_version = kWireV2;
+  dc.max_multicast_rounds = 1;
+  dc.protocol.packet_size = 120;
+  auto fc = fleet_slice(0, 48);
+  fc.shaping.down_loss = 0.5;
+  fc.shaping.seed = 7;
+  auto r = run_session(hub, dc, {fc});
+  EXPECT_EQ(r.daemon.wire_version, 2u);
+  EXPECT_EQ(r.daemon.recovered, 48u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_GT(r.daemon.via_usr, 0u);
+  EXPECT_GT(r.daemon.usr_frags, r.daemon.via_usr);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].unrecovered, 0u);
+}
+
+TEST(WireLoopback, WideSlotGroupAllClientsRecover) {
+  // The tentpole acceptance test: a single wire group of N = 2^17
+  // clients — slot ids far past the old u16 ceiling — auto-negotiates
+  // v2, runs the sharded batch pipeline, and every client recovers.
+  constexpr std::uint32_t kClients = 1u << 17;
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(kClients);
+  dc.shards = 16;
+  dc.worker_threads = 4;
+  dc.round_wait_ms = 60000;
+  std::vector<FleetConfig> fleets;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    auto fc = fleet_slice(i * (kClients / 8), kClients / 8);
+    fc.idle_timeout_ms = 60000;
+    fleets.push_back(fc);
+  }
+  auto r = run_session(hub, dc, fleets);
+  EXPECT_EQ(r.daemon.wire_version, 2u);
+  EXPECT_EQ(r.daemon.endpoints, 8u);
+  EXPECT_EQ(r.daemon.batches_run, 1u);
+  EXPECT_EQ(r.daemon.recovered, kClients);
+  EXPECT_EQ(r.daemon.gave_up, 0u);
+  EXPECT_EQ(r.daemon.endpoints_dropped, 0u);
+  std::uint64_t recovered = 0;
+  for (const FleetStats& fs : r.fleets) {
+    EXPECT_TRUE(fs.finished);
+    EXPECT_EQ(fs.wire_version, 2u);
+    EXPECT_EQ(fs.unrecovered, 0u);
+    recovered += fs.recovered;
+  }
+  EXPECT_EQ(recovered, kClients);
+}
+
 TEST(WireLoopback, ManyEndpointsPartitionTheFleet) {
   LoopbackHub hub;
   std::vector<FleetConfig> fleets;

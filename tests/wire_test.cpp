@@ -24,6 +24,9 @@ EncEntry make_entry(std::uint32_t id, std::uint64_t seed) {
 TEST(Wire, CapacityMatchesPaper) {
   EXPECT_EQ(max_entries(1027), 46u);
   EXPECT_EQ(kEntrySize, 22u);
+  // The wide (32-bit slot id) header costs one entry at the paper's
+  // packet size: 16 header bytes instead of 10.
+  EXPECT_EQ(max_entries(1027, true), 45u);
 }
 
 TEST(Wire, EncRoundtrip) {
@@ -49,6 +52,46 @@ TEST(Wire, EncRoundtrip) {
   EXPECT_EQ(back->frm_id, p.frm_id);
   EXPECT_EQ(back->to_id, p.to_id);
   EXPECT_EQ(back->entries, p.entries);
+}
+
+TEST(Wire, EncWideRoundtripCarriesBigSlotIds) {
+  EncPacket p;
+  p.msg_id = 13;
+  p.block_id = 777;
+  p.seq = 9;
+  p.duplicate = true;
+  p.max_kid = 0x15554;  // past the u16 ceiling (degree-4, N = 2^17)
+  p.frm_id = 0x15555;
+  p.to_id = 0x5FFFC;
+  for (std::uint32_t i = 1; i <= 45; ++i) p.entries.push_back(make_entry(i, i));
+
+  const Bytes wire = p.serialize(1027, /*wide=*/true);
+  EXPECT_EQ(wire.size(), 1027u);
+  const auto back = EncPacket::parse(wire, /*wide=*/true);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->max_kid, p.max_kid);
+  EXPECT_EQ(back->frm_id, p.frm_id);
+  EXPECT_EQ(back->to_id, p.to_id);
+  EXPECT_EQ(back->block_id, p.block_id);
+  EXPECT_EQ(back->seq, p.seq);
+  EXPECT_EQ(back->duplicate, p.duplicate);
+  EXPECT_EQ(back->entries, p.entries);
+
+  const auto hdr = parse_enc_header(wire, /*wide=*/true);
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(hdr->max_kid, p.max_kid);
+  EXPECT_EQ(hdr->frm_id, p.frm_id);
+  EXPECT_EQ(hdr->to_id, p.to_id);
+
+  // The narrow format stays what it always was: ids overflowing u16 wrap
+  // silently (the simulator's flat-tree benches rely on the byte layout),
+  // which is exactly why the wire daemon negotiates the wide format.
+  const Bytes narrow = p.serialize(1027);
+  const auto nb = EncPacket::parse(narrow);
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->max_kid, p.max_kid & 0xFFFF);
+  EXPECT_EQ(nb->frm_id, p.frm_id & 0xFFFF);
+  EXPECT_EQ(nb->to_id, p.to_id & 0xFFFF);
 }
 
 TEST(Wire, EncPaddingStopsAtZeroId) {
@@ -152,6 +195,28 @@ TEST(Wire, UsrRoundtrip) {
   EXPECT_EQ(back->new_user_id, p.new_user_id);
   EXPECT_EQ(back->max_kid, p.max_kid);
   EXPECT_EQ(back->entries, p.entries);
+}
+
+TEST(Wire, UsrWideRoundtrip) {
+  UsrPacket p;
+  p.msg_id = 44;
+  p.new_user_id = 0x15555;  // wide slot id
+  p.max_kid = 0x15554;
+  p.entries.push_back(make_entry(0x15555, 1));
+  p.entries.push_back(make_entry(0x15554, 2));
+  const Bytes wire = p.serialize(/*wide=*/true);
+  // Wide USR header is 9 bytes (u32 new_user_id and max_kid).
+  EXPECT_EQ(wire.size(), 9u + 44u);
+  const auto back = UsrPacket::parse(wire, /*wide=*/true);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->new_user_id, p.new_user_id);
+  EXPECT_EQ(back->max_kid, p.max_kid);
+  EXPECT_EQ(back->entries, p.entries);
+  // A wide wire fed to the narrow parser must not round-trip the ids.
+  const auto narrow = UsrPacket::parse(wire);
+  if (narrow.has_value()) {
+    EXPECT_NE(narrow->new_user_id, p.new_user_id);
+  }
 }
 
 TEST(Wire, NackRoundtrip) {

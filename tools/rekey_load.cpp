@@ -3,9 +3,10 @@
 // Multiplexes `--clients` virtual rekey clients over `--threads` OS
 // threads: each thread owns one UDP socket and one wire::ClientFleet
 // speaking for a contiguous uid slice, so 10^5 clients cost ~8 sockets
-// and ~8 receive loops, not 10^5 of either. (Million-client runs drive
-// several rekeyd groups, each from its own rekey_load; a single group
-// is bounded by the protocol's 16-bit slot ids.)
+// and ~8 receive loops, not 10^5 of either. (A single group is no longer
+// bounded by 16-bit slot ids: the fleet advertises the wide-slot v2
+// frames and the server picks the session version; --wire 1 emulates a
+// legacy client.)
 //
 // Deterministic loss shaping (--down-loss / --up-loss / --shape-seed) is
 // applied per virtual client inside the fleet, so a lossy run is exactly
@@ -41,7 +42,9 @@ using namespace rekey;
                "  --shape-seed S        shaping determinism seed\n"
                "  --mtu BYTES           datagram size cap (default 1500)\n"
                "  --idle-timeout-ms MS  abort if the server goes silent\n"
-               "  --allow-unrecovered   don't fail on abandoned clients\n",
+               "  --allow-unrecovered   don't fail on abandoned clients\n"
+               "  --wire V              max wire version to advertise "
+               "(default 2)\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t mtu = 1500;
   int idle_timeout_ms = 30000;
   bool allow_unrecovered = false;
+  unsigned max_wire = wire::kMaxWireVersion;
   wire::ShapingConfig shaping;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -87,6 +91,9 @@ int main(int argc, char** argv) {
       idle_timeout_ms = static_cast<int>(arg_int(argc, argv, i));
     } else if (a == "--allow-unrecovered") {
       allow_unrecovered = true;
+    } else if (a == "--wire") {
+      max_wire = static_cast<unsigned>(arg_int(argc, argv, i));
+      if (max_wire < 1 || max_wire > wire::kMaxWireVersion) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -123,6 +130,7 @@ int main(int argc, char** argv) {
       fc.count = slices[t].count;
       fc.shaping = shaping;
       fc.idle_timeout_ms = idle_timeout_ms;
+      fc.max_version = static_cast<std::uint8_t>(max_wire);
       wire::ClientFleet fleet(udp, *server, fc);
       stats[t] = fleet.run();
     });
@@ -142,6 +150,7 @@ int main(int argc, char** argv) {
     sum.nacks_suppressed += s.nacks_suppressed;
     sum.reports_sent += s.reports_sent;
     sum.control_frames += s.control_frames;
+    sum.wire_version = std::max(sum.wire_version, s.wire_version);
     sum.finished = sum.finished && s.finished;
     sum.recovery_ms.insert(sum.recovery_ms.end(), s.recovery_ms.begin(),
                            s.recovery_ms.end());
@@ -160,6 +169,7 @@ int main(int argc, char** argv) {
   out.set("nacks_suppressed", sum.nacks_suppressed);
   out.set("reports_sent", sum.reports_sent);
   out.set("control_frames", sum.control_frames);
+  out.set("wire_version", sum.wire_version);
   out.set("finished", sum.finished);
   if (!sum.recovery_ms.empty()) {
     std::sort(sum.recovery_ms.begin(), sum.recovery_ms.end());

@@ -7,9 +7,10 @@
 // batch ran and the Fin handshake finished); endpoints that died are
 // reported in the stats, not fatal.
 //
-// A single group instance is bounded by the protocol's 16-bit slot ids
-// (~48k members at degree 4); million-client deployments run multiple
-// rekeyd instances, one group each — see README "Running the daemon".
+// Group size is no longer bounded by the legacy 16-bit slot ids: the
+// daemon negotiates the wide-slot (v2) control frames automatically when
+// the tree's slot ids could outgrow u16, so one group instance scales to
+// millions of members — see README "Wire protocol versions".
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -45,7 +46,9 @@ using namespace rekey;
                "  --shards S            key-tree shards, power of two "
                "(default 1)\n"
                "  --workers W           rekey worker threads (0 = auto, "
-               "default 1)\n",
+               "default 1)\n"
+               "  --wire V              wire version: 0 auto (default), "
+               "1 legacy u16 slots, 2 wide\n",
                argv0);
   std::exit(2);
 }
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
       cfg.shards = static_cast<unsigned>(arg_int(argc, argv, i));
     } else if (a == "--workers") {
       cfg.worker_threads = static_cast<unsigned>(arg_int(argc, argv, i));
+    } else if (a == "--wire") {
+      cfg.wire_version = static_cast<unsigned>(arg_int(argc, argv, i));
     } else {
       usage(argv[0]);
     }
@@ -151,6 +156,8 @@ int main(int argc, char** argv) {
   out.set("via_usr", st.via_usr);
   out.set("gave_up", st.gave_up);
   out.set("endpoints_dropped", st.endpoints_dropped);
+  out.set("endpoints_incompatible", st.endpoints_incompatible);
+  out.set("wire_version", st.wire_version);
   out.set("rho_final", st.rho_final);
   std::cout << out.dump(2) << "\n";
 
