@@ -7,6 +7,7 @@
 // rekey::crypto, not from here).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -56,6 +57,20 @@ class Rng {
 
   // Derive an independent generator (for per-entity streams).
   Rng fork();
+
+  // Raw generator state, for snapshot/restore of stateful controllers
+  // whose decision streams must survive a failover bit-identically.
+  // set_state refuses the all-zero state (a xoshiro fixed point that
+  // would make every later draw zero).
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  bool set_state(const std::array<std::uint64_t, 4>& s) {
+    if ((s[0] | s[1] | s[2] | s[3]) == 0) return false;
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+    return true;
+  }
 
  private:
   std::uint64_t s_[4];

@@ -16,13 +16,14 @@ constexpr std::uint8_t kVersion = 1;
 // v2: sharded layout — per-shard node sections + the keygen counter.
 constexpr std::uint8_t kShardedVersion = 2;
 
-void append_digest(Bytes& blob) {
+}  // namespace
+
+void snapshot_seal(Bytes& blob) {
   const auto digest = crypto::Sha256::hash(blob);
   blob.insert(blob.end(), digest.begin(), digest.end());
 }
 
-// Strips and checks the SHA-256 trailer; nullopt on mismatch.
-std::optional<std::span<const std::uint8_t>> checked_body(const Bytes& blob) {
+std::optional<std::span<const std::uint8_t>> snapshot_open(const Bytes& blob) {
   if (blob.size() < crypto::Sha256::kDigestSize) return std::nullopt;
   const std::size_t body_len = blob.size() - crypto::Sha256::kDigestSize;
   const std::span<const std::uint8_t> body(blob.data(), body_len);
@@ -32,6 +33,15 @@ std::optional<std::span<const std::uint8_t>> checked_body(const Bytes& blob) {
                                     crypto::Sha256::kDigestSize)))
     return std::nullopt;
   return body;
+}
+
+namespace {
+
+// Local aliases: the formats below predate the public seal/open names.
+void append_digest(Bytes& blob) { snapshot_seal(blob); }
+
+std::optional<std::span<const std::uint8_t>> checked_body(const Bytes& blob) {
+  return snapshot_open(blob);
 }
 
 }  // namespace

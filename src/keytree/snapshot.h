@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "common/bytes.h"
 #include "keytree/keytree.h"
@@ -17,6 +18,15 @@
 #include "keytree/user_view.h"
 
 namespace rekey::tree {
+
+// Integrity trailer shared by every snapshot format. snapshot_seal
+// appends the SHA-256 of the blob so far; snapshot_open verifies and
+// strips it, returning the body span (nullopt on truncation or any
+// corruption). Exposed so higher-level snapshot formats (the wire
+// layer's full-server snapshot embeds a tree snapshot) seal and check
+// the same way instead of inventing a second trailer.
+void snapshot_seal(Bytes& blob);
+std::optional<std::span<const std::uint8_t>> snapshot_open(const Bytes& blob);
 
 // Serialize the full key tree (degree, nodes, member bindings).
 Bytes snapshot_tree(const KeyTree& tree);

@@ -26,6 +26,18 @@ void FaultPlan::validate() const {
     REKEY_ENSURE_MSG(w.end_ms > w.start_ms, "empty blackout window");
 }
 
+bool FaultPlan::blackout_at(double t_ms) const {
+  for (const BlackoutWindow& w : blackouts)
+    if (t_ms >= w.start_ms && t_ms < w.end_ms) return true;
+  return false;
+}
+
+bool FaultPlan::blackout_overlaps(double a_ms, double b_ms) const {
+  for (const BlackoutWindow& w : blackouts)
+    if (w.start_ms <= b_ms && w.end_ms > a_ms) return true;
+  return false;
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
                              std::size_t num_users)
     : plan_(plan) {
@@ -53,19 +65,11 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
 }
 
 bool FaultInjector::blackout_at(double t_ms) const {
-  for (const BlackoutWindow& w : plan_.blackouts) {
-    if (w.start_ms > t_ms) break;  // sorted by start
-    if (t_ms < w.end_ms) return true;
-  }
-  return false;
+  return plan_.blackout_at(t_ms);
 }
 
 bool FaultInjector::blackout_overlaps(double a_ms, double b_ms) const {
-  for (const BlackoutWindow& w : plan_.blackouts) {
-    if (w.start_ms > b_ms) break;
-    if (w.end_ms > a_ms) return true;
-  }
-  return false;
+  return plan_.blackout_overlaps(a_ms, b_ms);
 }
 
 void FaultInjector::count_blackout_drop() {

@@ -69,6 +69,15 @@ struct FaultPlan {
   // transport on its exact fault-free code path.
   bool active() const;
   void validate() const;  // throws EnsureError on nonsense
+
+  // Deterministic blackout schedule, answerable straight off the plan
+  // (no RNG, no injector): is t_ms inside any window, and does any
+  // window intersect [a_ms, b_ms]? Works on unsorted windows, so a plan
+  // is queryable as declared — the wire daemon asks these against its
+  // protocol clock to schedule a replica's death without instantiating
+  // the per-user fault machinery.
+  bool blackout_at(double t_ms) const;
+  bool blackout_overlaps(double a_ms, double b_ms) const;
 };
 
 class FaultInjector {

@@ -89,6 +89,20 @@ void RhoController::on_deadline_report(std::size_t misses) {
   }
 }
 
+RhoController::State RhoController::state() const {
+  return State{proactive_parities_, num_nack_, rng_.state()};
+}
+
+bool RhoController::restore(const State& s) {
+  if (s.proactive_parities < 0 || s.proactive_parities > parity_cap())
+    return false;
+  if (s.num_nack < 0) return false;
+  if (!rng_.set_state(s.rng)) return false;
+  proactive_parities_ = s.proactive_parities;
+  num_nack_ = s.num_nack;
+  return true;
+}
+
 ServerTransport::ServerTransport(const ProtocolConfig& config,
                                  const tree::RekeyPayload& payload,
                                  packet::Assignment assignment,

@@ -48,6 +48,19 @@ class RhoController {
   // when deadline accounting is enabled.
   void on_deadline_report(std::size_t misses);
 
+  // Snapshot/restore of the adaptive state (replicated-server failover).
+  // A restored controller's future decision stream — including the
+  // probabilistic rho back-off draws — is bit-identical to the donor's.
+  struct State {
+    int proactive_parities = 0;
+    int num_nack = 0;
+    std::array<std::uint64_t, 4> rng{};
+  };
+  State state() const;
+  // False when the state is out of range for this config (negative or
+  // cap-exceeding parity count, degenerate RNG state).
+  bool restore(const State& s);
+
  private:
   // Largest proactive-parity count that still leaves at least k reactive
   // parity indices free in the RSE code's 256-index space.

@@ -22,6 +22,11 @@ void RekeySession::resume_clock_at(double t_ms) {
   clock_ms_ = t_ms;
 }
 
+double RekeySession::resume_clock_at_least(double t_ms) {
+  if (t_ms > clock_ms_) clock_ms_ = t_ms;
+  return clock_ms_;
+}
+
 MessageMetrics RekeySession::run_message(
     const tree::RekeyPayload& payload, packet::Assignment assignment,
     std::span<const std::uint16_t> old_ids, const RecoveredFn& on_recovered) {

@@ -48,6 +48,14 @@ class RekeySession {
   double clock_ms() const { return clock_ms_; }
   void resume_clock_at(double t_ms);
 
+  // Normalizing resume for restored state: a replica rebuilt from a
+  // snapshot carries the donor's clock, which may sit ahead of a locally
+  // recorded timestamp (the snapshot was cut after the last message the
+  // restorer saw). Instead of tripping the monotonicity assert above,
+  // clamp forward — the clock never moves backwards — and return the
+  // clock actually in effect.
+  double resume_clock_at_least(double t_ms);
+
  private:
   simnet::Topology& topology_;
   const ProtocolConfig& config_;

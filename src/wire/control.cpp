@@ -21,6 +21,11 @@ constexpr std::size_t kReportEntrySize = 4;  // parities + block + max_shard
 constexpr std::size_t kUsrFragHeaderSize = 13;
 constexpr std::size_t kBatchDoneSize = 6;
 constexpr std::size_t kDoneAckSize = 17;
+// Replication frames.
+constexpr std::size_t kSnapChunkHeaderSize = 15;  // op + seq + part + nparts + len
+constexpr std::size_t kSnapAckSize = 5;
+constexpr std::size_t kHeartbeatSize = 9;
+constexpr std::size_t kResubSize = 25;
 // v2 widened frames.
 constexpr std::size_t kSlotMapV2HeaderSize = 7;  // op + base_uid + count u16
 constexpr std::size_t kReportV2HeaderSize = 20;  // part/nparts are u32
@@ -84,6 +89,10 @@ Bytes serialize(const BatchStartFrame& f) {
   ByteWriter w = begin_frame(ControlOp::BatchStart);
   w.put_u32(f.batch_seq);
   w.put_u8(f.msg_id);
+  // Epoch 0 keeps the legacy 6-byte frame byte-identical (the fencing
+  // field only exists once a failover has happened), mirroring the
+  // Sub/SubAck version-byte pattern.
+  if (f.epoch > 0) w.put_u32(f.epoch);
   return std::move(w).take();
 }
 
@@ -184,6 +193,40 @@ Bytes serialize(const DoneAckFrame& f) {
   return std::move(w).take();
 }
 
+Bytes serialize(const SnapAckFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::SnapAck);
+  w.put_u32(f.snap_seq);
+  return std::move(w).take();
+}
+
+Bytes serialize(const HeartbeatFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::Heartbeat);
+  w.put_u32(f.epoch);
+  w.put_u32(f.next_batch);
+  return std::move(w).take();
+}
+
+Bytes serialize(const ResubFrame& f) {
+  ByteWriter w = begin_frame(ControlOp::Resub);
+  w.put_u32(f.first_uid);
+  w.put_u32(f.count);
+  w.put_u32(f.epoch);
+  w.put_u32(f.done_seq);
+  w.put_u64(f.first_id);
+  return std::move(w).take();
+}
+
+std::optional<Bytes> serialize(const SnapChunkFrame& f) {
+  if (f.bytes.size() > 0xFFFF) return std::nullopt;
+  ByteWriter w = begin_frame(ControlOp::SnapChunk);
+  w.put_u32(f.snap_seq);
+  w.put_u32(f.part);
+  w.put_u32(f.nparts);
+  w.put_u16(static_cast<std::uint16_t>(f.bytes.size()));
+  w.put_bytes(f.bytes);
+  return std::move(w).take();
+}
+
 Bytes serialize(const FinFrame&) {
   return std::move(begin_frame(ControlOp::Fin)).take();
 }
@@ -196,7 +239,7 @@ std::optional<ControlOp> peek_op(packet::WireView payload) {
   if (payload.empty()) return std::nullopt;
   const std::uint8_t op = payload[0];
   if (op < static_cast<std::uint8_t>(ControlOp::Sub) ||
-      op > static_cast<std::uint8_t>(ControlOp::UsrFragV2))
+      op > static_cast<std::uint8_t>(ControlOp::Resub))
     return std::nullopt;
   return static_cast<ControlOp>(op);
 }
@@ -276,13 +319,21 @@ std::optional<SlotMapAckFrame> parse_slot_map_ack(packet::WireView payload) {
 }
 
 std::optional<BatchStartFrame> parse_batch_start(packet::WireView payload) {
-  if (payload.size() != kBatchStartSize ||
+  if ((payload.size() != kBatchStartSize &&
+       payload.size() != kBatchStartSize + 4) ||
       peek_op(payload) != ControlOp::BatchStart)
     return std::nullopt;
   ByteReader r(payload.subspan(1));
   BatchStartFrame f;
   f.batch_seq = r.get_u32();
   f.msg_id = r.get_u8();
+  if (r.remaining() > 0) {
+    f.epoch = r.get_u32();
+    // A trailing epoch field carrying 0 is not a frame any writer emits —
+    // epoch 0 is expressed by the field's absence (as with Sub's version
+    // byte), so the 6-byte truncation of an epoch'd frame is itself valid.
+    if (f.epoch == 0) return std::nullopt;
+  }
   return f;
 }
 
@@ -420,6 +471,55 @@ std::optional<DoneAckFrame> parse_done_ack(packet::WireView payload) {
   f.recovered = r.get_u32();
   f.via_usr = r.get_u32();
   f.gave_up = r.get_u32();
+  return f;
+}
+
+std::optional<SnapChunkFrame> parse_snap_chunk(packet::WireView payload) {
+  if (payload.size() < kSnapChunkHeaderSize ||
+      peek_op(payload) != ControlOp::SnapChunk)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SnapChunkFrame f;
+  f.snap_seq = r.get_u32();
+  f.part = r.get_u32();
+  f.nparts = r.get_u32();
+  const std::uint16_t len = r.get_u16();
+  if (f.nparts == 0 || f.part >= f.nparts) return std::nullopt;
+  if (r.remaining() != len) return std::nullopt;  // truncated or padded
+  f.bytes = r.get_bytes(len);
+  return f;
+}
+
+std::optional<SnapAckFrame> parse_snap_ack(packet::WireView payload) {
+  if (payload.size() != kSnapAckSize || peek_op(payload) != ControlOp::SnapAck)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  SnapAckFrame f;
+  f.snap_seq = r.get_u32();
+  return f;
+}
+
+std::optional<HeartbeatFrame> parse_heartbeat(packet::WireView payload) {
+  if (payload.size() != kHeartbeatSize ||
+      peek_op(payload) != ControlOp::Heartbeat)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  HeartbeatFrame f;
+  f.epoch = r.get_u32();
+  f.next_batch = r.get_u32();
+  return f;
+}
+
+std::optional<ResubFrame> parse_resub(packet::WireView payload) {
+  if (payload.size() != kResubSize || peek_op(payload) != ControlOp::Resub)
+    return std::nullopt;
+  ByteReader r(payload.subspan(1));
+  ResubFrame f;
+  f.first_uid = r.get_u32();
+  f.count = r.get_u32();
+  f.epoch = r.get_u32();
+  f.done_seq = r.get_u32();
+  f.first_id = r.get_u64();
   return f;
 }
 
@@ -623,6 +723,74 @@ std::optional<Bytes> UsrReassembly::add_impl(std::uint32_t uid,
     full.insert(full.end(), part.begin(), part.end());
   pending_.erase(uid);
   return full;
+}
+
+std::vector<SnapChunkFrame> chunk_snapshot(std::uint32_t snap_seq,
+                                           const Bytes& blob,
+                                           std::size_t max_payload) {
+  if (max_payload <= kSnapChunkHeaderSize) return {};  // header doesn't fit
+  const std::size_t chunk =
+      std::min<std::size_t>(max_payload - kSnapChunkHeaderSize, 0xFFFF);
+  const std::size_t nparts =
+      blob.empty() ? 1 : (blob.size() + chunk - 1) / chunk;
+  std::vector<SnapChunkFrame> out;
+  out.reserve(nparts);
+  for (std::size_t i = 0; i < nparts; ++i) {
+    SnapChunkFrame f;
+    f.snap_seq = snap_seq;
+    f.part = static_cast<std::uint32_t>(i);
+    f.nparts = static_cast<std::uint32_t>(nparts);
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(blob.size(), begin + chunk);
+    f.bytes.assign(blob.begin() + static_cast<std::ptrdiff_t>(begin),
+                   blob.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<Bytes> SnapshotReassembly::add(const SnapChunkFrame& frag) {
+  if (frag.nparts == 0 || frag.part >= frag.nparts) return std::nullopt;
+  if (frag.nparts > kMaxChunks) return std::nullopt;
+  if ((active_ || complete_) && frag.snap_seq < seq_)
+    return std::nullopt;  // stale retransmit of a superseded snapshot
+  if (frag.snap_seq > seq_ || (!active_ && !complete_)) {
+    // Newer snapshot: any partial older blob is dead weight — the primary
+    // only retransmits its latest.
+    seq_ = frag.snap_seq;
+    active_ = true;
+    complete_ = false;
+    nparts_ = frag.nparts;
+    have_ = 0;
+    parts_.assign(frag.nparts, Bytes{});
+    seen_.assign(frag.nparts, false);
+  }
+  if (complete_) return std::nullopt;  // duplicate of a delivered snapshot
+  // A chunk disagreeing with the established count is a damaged duplicate.
+  if (frag.nparts != nparts_) return std::nullopt;
+  if (seen_[frag.part]) return std::nullopt;
+  seen_[frag.part] = true;
+  parts_[frag.part] = frag.bytes;
+  ++have_;
+  if (have_ < nparts_) return std::nullopt;
+  Bytes full;
+  for (const Bytes& part : parts_)
+    full.insert(full.end(), part.begin(), part.end());
+  active_ = false;
+  complete_ = true;
+  parts_.clear();
+  seen_.clear();
+  return full;
+}
+
+void SnapshotReassembly::clear() {
+  seq_ = 0;
+  active_ = false;
+  complete_ = false;
+  nparts_ = 0;
+  have_ = 0;
+  parts_.clear();
+  seen_.clear();
 }
 
 }  // namespace rekey::wire

@@ -30,6 +30,16 @@
 // v1 so the 9-byte legacy frame is unchanged) and SubAck optionally
 // carries the server's selection the same way. Everything else is shared
 // between versions byte-for-byte.
+//
+// Replication frames (ops 16–19) carry the replicated key server's
+// control traffic: full-server snapshots ship replica-to-replica as
+// SnapChunk/SnapAck at batch boundaries, Heartbeat lets a warm standby
+// detect primary death, and Resub is a client's re-subscription to a
+// freshly promoted replica. Epoch fencing rides in BatchStart the same
+// trailing-field way as version negotiation: epoch 0 (the unreplicated
+// and pre-failover case) keeps the legacy 6-byte frame byte-identical,
+// a promoted replica appends its nonzero epoch, and clients reject
+// BatchStarts fenced below the highest epoch they have seen.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +71,10 @@ enum class ControlOp : std::uint8_t {
   SlotMapV2 = 13,   // server -> client: SlotMap with 32-bit slot ids
   ReportV2 = 14,    // client -> server: Report with 32-bit part counters
   UsrFragV2 = 15,   // server -> client: UsrFrag with 16-bit frag counters
+  SnapChunk = 16,   // primary -> standby: full-server snapshot fragment
+  SnapAck = 17,     // standby -> primary: snapshot fully restored
+  Heartbeat = 18,   // primary -> standby: liveness + progress
+  Resub = 19,       // client -> promoted standby: failover re-subscribe
 };
 
 // Wire protocol versions (see header comment).
@@ -115,6 +129,12 @@ struct SlotMapAckFrame {
 struct BatchStartFrame {
   std::uint32_t batch_seq = 0;
   std::uint8_t msg_id = 0;  // 6-bit data-plane message id of this batch
+  // Fencing token of the sending replica. 0 (an unreplicated server, or
+  // a primary that was never failed over) serializes to the legacy
+  // 6-byte frame; a promoted replica's nonzero epoch appends four bytes.
+  // Clients track the highest epoch seen and drop BatchStarts below it,
+  // so a stale primary that comes back cannot drive the group.
+  std::uint32_t epoch = 0;
 };
 
 // phase 0 = multicast round `round`; phase 1 = unicast wave `round`.
@@ -192,6 +212,47 @@ struct DoneAckFrame {
   std::uint32_t gave_up = 0;
 };
 
+// One fragment of a serialized full-server snapshot (wire/server_snapshot.h)
+// shipped primary -> standby at a batch boundary. `snap_seq` is the batch
+// the snapshot precedes (monotone per session); `bytes` is the raw slice
+// [part * chunk, ...) of the snapshot blob, reassembled by concatenation
+// exactly like UsrFrag.
+struct SnapChunkFrame {
+  std::uint32_t snap_seq = 0;
+  std::uint32_t part = 0;
+  std::uint32_t nparts = 1;
+  Bytes bytes;
+};
+
+// Standby's confirmation that snapshot `snap_seq` arrived whole and
+// restored cleanly; the primary blocks the next batch on it so the
+// standby's state always corresponds to a known batch boundary.
+struct SnapAckFrame {
+  std::uint32_t snap_seq = 0;
+};
+
+// Primary -> standby liveness. `next_batch` is the batch the primary is
+// running (or about to run); a standby that stops hearing these past its
+// election timeout promotes itself with epoch = snapshot epoch + 1.
+struct HeartbeatFrame {
+  std::uint32_t epoch = 0;
+  std::uint32_t next_batch = 0;
+};
+
+// A client's re-subscription to a promoted replica. Carries the range
+// (as in Sub), the epoch the client is following, the first batch it has
+// not finalized, and the Theorem-4.2 evolved id of its first uid — the
+// standby spot-checks that id against its restored tree, so a client
+// whose id derivation diverged is caught at failover instead of
+// silently failing to decrypt.
+struct ResubFrame {
+  std::uint32_t first_uid = 0;
+  std::uint32_t count = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t done_seq = 0;   // batches finalized client-side
+  std::uint64_t first_id = 0;   // current id of first_uid
+};
+
 struct FinFrame {};
 struct FinAckFrame {};
 
@@ -202,6 +263,9 @@ Bytes serialize(const BatchStartFrame&);
 Bytes serialize(const RoundMarkFrame&);
 Bytes serialize(const BatchDoneFrame&);
 Bytes serialize(const DoneAckFrame&);
+Bytes serialize(const SnapAckFrame&);
+Bytes serialize(const HeartbeatFrame&);
+Bytes serialize(const ResubFrame&);
 Bytes serialize(const FinFrame&);
 Bytes serialize(const FinAckFrame&);
 
@@ -217,6 +281,7 @@ std::optional<Bytes> serialize(const ReportFrame&);
 std::optional<Bytes> serialize(const ReportV2Frame&);
 std::optional<Bytes> serialize(const UsrFragFrame&);
 std::optional<Bytes> serialize(const UsrFragV2Frame&);
+std::optional<Bytes> serialize(const SnapChunkFrame&);
 
 // Peek the op of a control payload (nullopt on empty/unknown).
 std::optional<ControlOp> peek_op(packet::WireView payload);
@@ -234,6 +299,10 @@ std::optional<UsrFragFrame> parse_usr_frag(packet::WireView payload);
 std::optional<UsrFragV2Frame> parse_usr_frag_v2(packet::WireView payload);
 std::optional<BatchDoneFrame> parse_batch_done(packet::WireView payload);
 std::optional<DoneAckFrame> parse_done_ack(packet::WireView payload);
+std::optional<SnapChunkFrame> parse_snap_chunk(packet::WireView payload);
+std::optional<SnapAckFrame> parse_snap_ack(packet::WireView payload);
+std::optional<HeartbeatFrame> parse_heartbeat(packet::WireView payload);
+std::optional<ResubFrame> parse_resub(packet::WireView payload);
 
 // Splits a uid range's slot assignments into SlotMap frames fitting
 // `max_payload` each.
@@ -274,6 +343,37 @@ std::vector<UsrFragV2Frame> fragment_usr_v2(std::uint32_t batch_seq,
                                             std::uint32_t uid,
                                             const Bytes& usr_wire,
                                             std::size_t max_payload);
+
+// Splits a snapshot blob into SnapChunk frames fitting `max_payload`
+// each (at least one, even for an empty blob). Returns empty (an error)
+// only when max_payload cannot fit the chunk header plus one byte.
+std::vector<SnapChunkFrame> chunk_snapshot(std::uint32_t snap_seq,
+                                           const Bytes& blob,
+                                           std::size_t max_payload);
+
+// Reassembles SnapChunk frames into snapshot blobs. Only the newest
+// snap_seq is tracked: a chunk of a higher sequence discards any partial
+// older state (the primary only ever retransmits its latest snapshot),
+// and chunks of completed or stale sequences are ignored. Returns the
+// full blob on the chunk that completes it.
+class SnapshotReassembly {
+ public:
+  std::optional<Bytes> add(const SnapChunkFrame& frag);
+  void clear();
+
+ private:
+  // Chunk-count cap: a hostile nparts must not size a huge vector. At
+  // ~1.4 KB per chunk this still admits multi-GB snapshots.
+  static constexpr std::uint32_t kMaxChunks = 1u << 20;
+
+  std::uint32_t seq_ = 0;
+  bool active_ = false;    // a partial blob of seq_ is in progress
+  bool complete_ = false;  // seq_ already delivered (ignore duplicates)
+  std::uint32_t nparts_ = 0;
+  std::size_t have_ = 0;
+  std::vector<Bytes> parts_;
+  std::vector<bool> seen_;
+};
 
 // Reassembles UsrFrag frames per uid. Duplicate fragments are ignored;
 // returns the full USR wire once every fragment of a uid has arrived.

@@ -10,6 +10,7 @@
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
 #include "keytree/shard_pipeline.h"
+#include "keytree/snapshot.h"
 #include "packet/assign.h"
 
 namespace rekey::wire {
@@ -47,6 +48,11 @@ KeyServerDaemon::KeyServerDaemon(WireTransport& wire,
   // fit (the unicast wave loop has its own explicit guard).
   REKEY_ENSURE_MSG(config.protocol.max_rounds_cap <= 0xFFFF,
                    "max_rounds_cap exceeds the u16 round counter");
+  REKEY_ENSURE_MSG(!config.standby || config.peer.has_value(),
+                   "a standby needs the primary's endpoint");
+  REKEY_ENSURE_MSG(config.round_quantum_ms > 0.0,
+                   "the protocol clock needs a positive quantum");
+  config.fault.validate();
   if (config.shards > 1 || config.worker_threads != 1) {
     plan_ = tree::ShardPlan::make(config.degree, std::max(1u, config.shards));
     if (config.worker_threads != 1)
@@ -55,16 +61,45 @@ KeyServerDaemon::KeyServerDaemon(WireTransport& wire,
 }
 
 void KeyServerDaemon::send_control(Endpoint to, const Bytes& frame) {
+  if (dead_) return;  // gone dark: a blacked-out replica emits nothing
   wire_.send(to, kChanControl, frame);
   ++stats_.control_frames;
 }
 
+bool KeyServerDaemon::step_clock() {
+  fault_clock_ms_ += config_.round_quantum_ms;
+  if (!dead_ && config_.fault.blackout_at(fault_clock_ms_)) {
+    dead_ = true;
+    stats_.died = true;
+    stats_.died_at_ms = fault_clock_ms_;
+    std::fprintf(stderr,
+                 "rekeyd: blackout at protocol clock %.0f ms - going dark\n",
+                 fault_clock_ms_);
+  }
+  return dead_;
+}
+
+void KeyServerDaemon::maybe_heartbeat() {
+  if (!config_.peer || config_.standby || peer_dead_ || dead_) return;
+  const int interval =
+      config_.heartbeat_ms > 0 ? config_.heartbeat_ms : config_.retry_ms;
+  const auto now = Clock::now();
+  if (last_heartbeat_ != Clock::time_point{} &&
+      now - last_heartbeat_ < std::chrono::milliseconds(interval))
+    return;
+  last_heartbeat_ = now;
+  send_control(*config_.peer, serialize(HeartbeatFrame{epoch_, next_batch_}));
+}
+
 std::size_t KeyServerDaemon::pump(int timeout_ms) {
+  maybe_heartbeat();
   std::vector<Datagram> in;
   wire_.receive(in, timeout_ms);
   std::size_t processed = 0;
   for (const Datagram& d : in) {
     if (d.channel != kChanControl) continue;  // clients send control only
+    const bool from_peer = config_.peer.has_value() && d.from == *config_.peer;
+    if (from_peer) last_peer_heard_ = Clock::now();
     const auto op = peek_op(d.payload);
     if (!op) continue;
     ++processed;
@@ -154,6 +189,74 @@ std::size_t KeyServerDaemon::pump(int timeout_ms) {
       case ControlOp::FinAck: {
         const auto it = endpoints_.find(d.from);
         if (it != endpoints_.end()) it->second.done_acked = true;
+        break;
+      }
+      case ControlOp::SnapChunk: {
+        if (!from_peer || !config_.standby) break;
+        const auto f = parse_snap_chunk(d.payload);
+        if (!f) break;
+        if (pending_snap_ && f->snap_seq == pending_snap_->next_batch) {
+          // The primary is retransmitting a snapshot we already restored:
+          // our ack was lost.
+          send_control(d.from, serialize(SnapAckFrame{f->snap_seq}));
+          break;
+        }
+        const auto blob = snap_reasm_.add(*f);
+        if (!blob) break;
+        auto snap = restore_server(*blob);
+        if (!snap || snap->next_batch != f->snap_seq ||
+            snap->degree != config_.degree ||
+            snap->clients != config_.clients ||
+            snap->churn_pool != config_.churn_pool ||
+            snap->batches != config_.batches) {
+          // No ack: a primary paired with a mismatched (or corrupted-at-
+          // source) standby gives up on it instead of failing over to it.
+          std::fprintf(stderr,
+                       "rekeyd: rejecting snapshot %u (corrupt or config "
+                       "mismatch)\n",
+                       f->snap_seq);
+          break;
+        }
+        pending_snap_ = std::move(*snap);
+        ++stats_.snapshots_restored;
+        send_control(d.from, serialize(SnapAckFrame{f->snap_seq}));
+        break;
+      }
+      case ControlOp::SnapAck: {
+        if (!from_peer) break;
+        const auto f = parse_snap_ack(d.payload);
+        if (f)
+          snap_acked_ = std::max<std::int64_t>(snap_acked_, f->snap_seq);
+        break;
+      }
+      case ControlOp::Heartbeat:
+        break;  // from_peer already refreshed last_peer_heard_
+      case ControlOp::Resub: {
+        const auto f = parse_resub(d.payload);
+        const auto it = endpoints_.find(d.from);
+        if (!f || it == endpoints_.end()) break;
+        EndpointState& es = it->second;
+        if (es.dead || es.resubbed) break;
+        if (f->epoch != epoch_ || epoch_ == 0 ||
+            f->first_uid != es.first_uid || f->count != es.count ||
+            f->done_seq != next_batch_)
+          break;  // stale, mis-addressed, or out-of-sync re-subscription
+        // Spot-check the Theorem-4.2 id evolution: at a batch boundary a
+        // client's id equals its slot in the (restored, pre-churn) tree.
+        if (f->first_id !=
+            static_cast<std::uint64_t>(tree_.slot_of(f->first_uid))) {
+          std::fprintf(stderr,
+                       "rekeyd: resub id mismatch for uid %u (client id "
+                       "evolution diverged)\n",
+                       f->first_uid);
+          break;
+        }
+        es.resubbed = true;
+        ++stats_.resubs;
+        break;
+      }
+      case ControlOp::Fin: {
+        if (from_peer) peer_fin_ = true;
         break;
       }
       default:
@@ -333,6 +436,24 @@ void KeyServerDaemon::collect_done_acks(std::uint32_t batch_seq,
         deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
     while (Clock::now() < retry && !stopped()) pump(ms_until(retry));
   }
+  // DoneAck collection is a lockstep step like any round: an endpoint
+  // that blows its deadline takes a missed-deadline strike (and is
+  // dropped once it accumulates endpoint_dead_after of them, so the
+  // daemon stops bursting data at a corpse for the remaining batches).
+  for (auto& [ep, es] : endpoints_) {
+    if (es.dead || es.done_acked) continue;
+    if (++es.missed_deadlines >= config_.endpoint_dead_after) {
+      es.dead = true;
+      ++stats_.endpoints_dropped;
+    }
+  }
+  // The batch is closed at the deadline: any endpoint that did not ack —
+  // already-dead or merely silent — finalized nothing, and its counts
+  // travel only in DoneAcks. Ledger its clients in gave_up_dead so
+  // recovered + gave_up + gave_up_dead accounts for every client-batch
+  // the daemon ran to completion.
+  for (const auto& [ep, es] : endpoints_)
+    if (!es.done_acked) stats_.gave_up_dead += es.count;
 }
 
 bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
@@ -378,7 +499,7 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
   stats_.enc_packets += server.enc_packets();
   stats_.slots += server.num_slots();
 
-  const Bytes start = serialize(BatchStartFrame{batch_seq, msg_id});
+  const Bytes start = serialize(BatchStartFrame{batch_seq, msg_id, epoch_});
   for (const auto& [ep, es] : endpoints_)
     if (!es.dead) send_control(ep, start);
 
@@ -394,6 +515,7 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
     ++round;
     REKEY_ENSURE_MSG(round <= config_.protocol.max_rounds_cap,
                      "wire lockstep did not converge within the round cap");
+    if (step_clock()) return false;  // death point: before the round burst
     parity_store.clear();
     frames.clear();
     server.for_each_round_wire(
@@ -463,6 +585,7 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
       // unbounded (unicast_max_waves == 0) run must stop before it wraps.
       if (wave >= 0xFFFF) break;
       ++wave;
+      if (step_clock()) return false;  // death point: before the wave
       const int dups = config_.protocol.usr_initial_duplicates + wave - 1;
       for (const std::uint32_t uid : stragglers) {
         auto it = frag_cache.find(uid);
@@ -517,12 +640,19 @@ bool KeyServerDaemon::run_batch(std::uint32_t batch_seq) {
     }
   }
 
+  // Death point: before BatchDone. A daemon that survives this step
+  // finishes the batch — so at any failover no client has finalized the
+  // interrupted batch, and the standby's from-the-top replay re-syncs
+  // everyone (the invariant the Resub done_seq check enforces).
+  if (step_clock()) return false;
   collect_done_acks(batch_seq, batch_seq + 1 == config_.batches);
   ++stats_.batches_run;
   return !stopped();
 }
 
 DaemonStats KeyServerDaemon::run() {
+  if (config_.standby) return run_standby();
+
   // Populate before subscriptions: version selection inspects the initial
   // slot ids, and the SubAck already carries the negotiated version.
   tree_.populate(config_.clients + config_.churn_pool, 0);
@@ -554,10 +684,36 @@ DaemonStats KeyServerDaemon::run() {
 
   send_slot_maps();
 
-  for (std::uint32_t b = 0; b < config_.batches && !stopped(); ++b)
-    if (!run_batch(b)) break;
+  bool aborted = false;
+  for (std::uint32_t b = 0; b < config_.batches; ++b) {
+    if (stopped()) {
+      aborted = true;
+      break;
+    }
+    next_batch_ = b;
+    // Ship before the boundary death point: wherever in batch b the
+    // blackout lands, the standby already holds snapshot b, and no
+    // client can have finalized batch b yet (its BatchStart hasn't been
+    // sent) — the done_seq invariant the Resub barrier checks.
+    if (config_.peer.has_value() && !peer_dead_) ship_snapshot(b);
+    if (step_clock()) {  // death point: batch boundary
+      aborted = true;
+      break;
+    }
+    if (!run_batch(b)) {
+      aborted = true;
+      break;
+    }
+  }
 
-  // Session teardown: Fin until every live endpoint acks (short grace).
+  stats_.rho_final = rho_.rho();
+  stats_.epoch = epoch_;
+  stats_.completed = !aborted;
+  if (!dead_) fin_handshake();
+  return stats_;
+}
+
+void KeyServerDaemon::fin_handshake() {
   for (auto& [ep, es] : endpoints_) es.done_acked = false;
   const Bytes fin = serialize(FinFrame{});
   const auto deadline =
@@ -568,13 +724,186 @@ DaemonStats KeyServerDaemon::run() {
     if (all) break;
     for (const auto& [ep, es] : endpoints_)
       if (!es.dead && !es.done_acked) send_control(ep, fin);
+    if (config_.peer.has_value() && !config_.standby && !peer_dead_)
+      send_control(*config_.peer, fin);
     const auto retry = std::min(
         deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
     while (Clock::now() < retry && !stopped()) pump(ms_until(retry));
   }
+  // Retire a healthy standby even when every client acked on the first
+  // try (the loop above may never have reached a Fin broadcast).
+  if (config_.peer.has_value() && !config_.standby && !peer_dead_)
+    send_control(*config_.peer, fin);
+}
+
+void KeyServerDaemon::ship_snapshot(std::uint32_t next_batch) {
+  ServerSnapshot s;
+  s.epoch = epoch_;
+  s.next_batch = next_batch;
+  s.session_version = session_version_;
+  s.degree = config_.degree;
+  s.clients = config_.clients;
+  s.churn_pool = config_.churn_pool;
+  s.batches = config_.batches;
+  s.next_member = next_member_;
+  s.churn_members = churn_members_;
+  for (const auto& [ep, es] : endpoints_)
+    s.endpoints.push_back(SnapshotEndpoint{ep.id, es.first_uid, es.count,
+                                           es.max_version, es.dead});
+  s.rho = rho_.state();
+  // Always the sharded (v2) tree format: it carries the keygen counter,
+  // and a serial session is just the one-shard plan.
+  s.tree_blob =
+      plan_.has_value()
+          ? tree::snapshot_sharded_tree(tree_, *plan_)
+          : tree::snapshot_sharded_tree(
+                tree_, tree::ShardPlan::make(config_.degree, 1));
+  const Bytes blob = snapshot_server(s);
+
+  std::vector<Bytes> frames;
+  for (const SnapChunkFrame& c :
+       chunk_snapshot(next_batch, blob, wire_.max_payload()))
+    if (auto b = serialize(c)) frames.push_back(std::move(*b));
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  while (!stopped() &&
+         snap_acked_ < static_cast<std::int64_t>(next_batch)) {
+    if (Clock::now() >= deadline) {
+      // A standby that cannot ack is written off: later batches run
+      // unreplicated rather than stalling the whole group every batch.
+      peer_dead_ = true;
+      std::fprintf(stderr,
+                   "rekeyd: standby did not ack snapshot %u - replication "
+                   "disabled\n",
+                   next_batch);
+      return;
+    }
+    for (const Bytes& f : frames) send_control(*config_.peer, f);
+    stats_.snapshot_chunks += frames.size();
+    const auto retry = std::min(
+        deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
+    while (Clock::now() < retry && !stopped() &&
+           snap_acked_ < static_cast<std::int64_t>(next_batch))
+      pump(ms_until(retry));
+  }
+  if (snap_acked_ >= static_cast<std::int64_t>(next_batch))
+    ++stats_.snapshots_sent;
+}
+
+DaemonStats KeyServerDaemon::run_standby() {
+  last_peer_heard_ = Clock::now();
+  for (;;) {
+    if (stopped()) return stats_;
+    pump(config_.retry_ms);
+    if (peer_fin_) {
+      stats_.completed = true;  // clean completion: never needed
+      return stats_;
+    }
+    const auto silent_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - last_peer_heard_)
+            .count();
+    if (pending_snap_ && silent_ms > config_.elect_timeout_ms) break;
+    if (!pending_snap_ &&
+        silent_ms > std::max(config_.round_wait_ms, config_.elect_timeout_ms))
+      return stats_;  // primary died before ever replicating: nothing to serve
+  }
+  promote();
+  resub_barrier();
+  if (stopped()) return stats_;
+
+  bool aborted = false;
+  for (std::uint32_t b = next_batch_; b < config_.batches; ++b) {
+    if (stopped()) {
+      aborted = true;
+      break;
+    }
+    next_batch_ = b;
+    if (step_clock()) {  // a standby can have its own blackout schedule
+      aborted = true;
+      break;
+    }
+    if (!run_batch(b)) {
+      aborted = true;
+      break;
+    }
+  }
 
   stats_.rho_final = rho_.rho();
+  stats_.epoch = epoch_;
+  stats_.completed = !aborted;
+  if (!dead_) fin_handshake();
   return stats_;
+}
+
+void KeyServerDaemon::promote() {
+  const ServerSnapshot& s = *pending_snap_;
+  epoch_ = s.epoch + 1;
+  next_batch_ = s.next_batch;
+  session_version_ = s.session_version;
+  config_.protocol.wide_slots = wide();
+  // The outer seal already covered the embedded tree blob byte for byte,
+  // so a restore failure here is a logic bug, not wire damage.
+  auto restored = tree::restore_sharded_tree(s.tree_blob, config_.key_seed);
+  REKEY_ENSURE_MSG(restored.has_value(),
+                   "acked server snapshot failed tree restore");
+  tree_ = std::move(*restored);
+  REKEY_ENSURE_MSG(rho_.restore(s.rho),
+                   "acked server snapshot failed rho restore");
+  next_member_ = s.next_member;
+  churn_members_ = s.churn_members;
+  endpoints_.clear();
+  for (const SnapshotEndpoint& e : s.endpoints) {
+    EndpointState es;
+    es.ep = Endpoint{e.ep_id};
+    es.first_uid = e.first_uid;
+    es.count = e.count;
+    es.max_version = e.max_version;
+    es.slot_map_acked = true;
+    es.dead = e.dead;
+    endpoints_.emplace(es.ep, es);
+  }
+  stats_.endpoints = static_cast<std::uint32_t>(endpoints_.size());
+  stats_.wire_version = session_version_;
+  stats_.promoted = true;
+  peer_dead_ = true;  // the old primary is fenced out; never replicate back
+  std::fprintf(stderr,
+               "rekeyd: standby promoted at epoch %u, replaying batch %u\n",
+               epoch_, next_batch_);
+}
+
+void KeyServerDaemon::resub_barrier() {
+  for (auto& [ep, es] : endpoints_) es.resubbed = false;
+  const std::uint8_t msg_id = static_cast<std::uint8_t>(next_batch_ % 64);
+  const Bytes start = serialize(BatchStartFrame{next_batch_, msg_id, epoch_});
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.round_wait_ms);
+  for (;;) {
+    bool all = true;
+    for (const auto& [ep, es] : endpoints_) all = all && (es.dead || es.resubbed);
+    if (all || stopped()) return;
+    if (Clock::now() >= deadline) {
+      // A client that cannot re-sync is dead weight, exactly like one
+      // that stops reporting: drop it so the replay can proceed.
+      for (auto& [ep, es] : endpoints_) {
+        if (es.dead || es.resubbed) continue;
+        es.dead = true;
+        ++stats_.endpoints_dropped;
+      }
+      return;
+    }
+    for (const auto& [ep, es] : endpoints_)
+      if (!es.dead && !es.resubbed) send_control(ep, start);
+    const auto retry = std::min(
+        deadline, Clock::now() + std::chrono::milliseconds(config_.retry_ms));
+    while (Clock::now() < retry && !stopped()) {
+      pump(ms_until(retry));
+      bool done = true;
+      for (const auto& [ep, es] : endpoints_) done = done && (es.dead || es.resubbed);
+      if (done) break;
+    }
+  }
 }
 
 }  // namespace rekey::wire

@@ -29,9 +29,19 @@
 // stragglers with (fragmented, duplicated) USR packets wave by wave.
 // Data-plane loss needs no transport-level reliability — FEC and NACKs
 // are the protocol's own answer; only control frames are retransmitted.
+//
+// Replication: two daemons form a primary/standby pair. The primary
+// ships a sealed full-server snapshot to the standby before every batch
+// and heartbeats between lockstep steps; the standby promotes itself
+// after elect_timeout_ms of silence and replays the interrupted batch
+// under a higher fencing epoch. Because snapshots sit at batch
+// boundaries and every daemon death point is a protocol-clock step, the
+// standby's replay is bit-identical to the batch the primary would have
+// run — the determinism contract the replica tests enforce.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -42,9 +52,11 @@
 #include "common/parallel.h"
 #include "keytree/keytree.h"
 #include "keytree/shard.h"
+#include "simnet/fault.h"
 #include "transport/config.h"
 #include "transport/server.h"
 #include "wire/control.h"
+#include "wire/server_snapshot.h"
 #include "wire/wire.h"
 
 namespace rekey::wire {
@@ -86,6 +98,29 @@ struct DaemonConfig {
   // legacy byte streams stay identical); kWireV1/kWireV2 force a version.
   // Forcing v1 on a group that needs wide slots is refused at startup.
   unsigned wire_version = 0;
+
+  // --- Replication (two-replica failover) ---
+  // Peer replica endpoint. A primary with a peer ships a sealed
+  // full-server snapshot (wire/server_snapshot.h) to it before every
+  // batch (ack-blocked, so the standby's state always sits at a known
+  // batch boundary) and heartbeats between lockstep steps. A standby
+  // (standby = true) ingests those snapshots and, once the primary has
+  // been silent past elect_timeout_ms, promotes itself with fencing
+  // epoch = snapshot epoch + 1, re-syncs the fleet via Resub, and
+  // replays the interrupted batch from its opening BatchStart.
+  std::optional<Endpoint> peer;
+  bool standby = false;
+  int elect_timeout_ms = 500;
+  int heartbeat_ms = 0;  // 0 uses retry_ms
+
+  // Deterministic blackout death: the daemon keeps a protocol clock that
+  // advances round_quantum_ms per lockstep step (batch boundary, round
+  // burst, unicast wave, batch-done) and goes permanently dark at the
+  // first step whose clock lands inside a fault-plan blackout window.
+  // Death is a pure function of (fault, config) — never wall time — so a
+  // failover scenario replays bit-identically.
+  simnet::FaultPlan fault;
+  double round_quantum_ms = 100.0;
 };
 
 struct DaemonStats {
@@ -113,6 +148,22 @@ struct DaemonStats {
   std::uint64_t endpoints_incompatible = 0;
   std::uint32_t wire_version = 1;  // negotiated session version
   double rho_final = 1.0;
+
+  // Replication & failover. Dead endpoints never DoneAck, so their
+  // abandoned client-batches are ledgered here: recovered + gave_up +
+  // gave_up_dead covers every client-batch the daemon ran to completion.
+  std::uint64_t gave_up_dead = 0;
+  std::uint64_t snapshots_sent = 0;      // primary: snapshots the standby acked
+  std::uint64_t snapshot_chunks = 0;     // SnapChunk frames sent (incl. resends)
+  std::uint64_t snapshots_restored = 0;  // standby: snapshots restored + acked
+  std::uint64_t resubs = 0;              // Resub frames accepted at failover
+  std::uint32_t epoch = 0;               // final fencing epoch
+  bool promoted = false;     // this daemon was a standby that took over
+  bool died = false;         // killed by the blackout schedule
+  double died_at_ms = -1.0;  // protocol clock at death
+  // Every batch this daemon was responsible for ran (for an un-promoted
+  // standby: the primary finished cleanly and retired it with Fin).
+  bool completed = false;
 };
 
 class KeyServerDaemon {
@@ -148,6 +199,7 @@ class KeyServerDaemon {
     std::vector<std::uint32_t> unrecovered_uids;
 
     bool done_acked = false;  // BatchDone / Fin acks
+    bool resubbed = false;    // re-subscribed after a failover (Resub)
   };
 
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
@@ -160,6 +212,29 @@ class KeyServerDaemon {
 
   void wait_for_subscriptions();
   void send_slot_maps();
+
+  // Advances the protocol clock by one lockstep quantum and evaluates the
+  // blackout schedule; returns true when the daemon is (now) dead.
+  bool step_clock();
+  // Rate-limited Heartbeat to the peer (primary role only; no-op otherwise).
+  void maybe_heartbeat();
+  // Ships the full-server snapshot preceding `next_batch` to the peer and
+  // blocks on its SnapAck; a standby that never acks is written off
+  // (peer_dead_) so later batches run unreplicated instead of stalling.
+  void ship_snapshot(std::uint32_t next_batch);
+
+  // Standby lifecycle: ingest snapshots until the primary falls silent
+  // (or Fins), then promote with a higher fencing epoch, re-sync the
+  // fleet, and serve the remaining batches.
+  DaemonStats run_standby();
+  void promote();
+  // Election barrier: broadcast the epoch'd BatchStart of the replay
+  // batch until every live endpoint has Resub'ed (laggards are dropped at
+  // the deadline, like endpoints that stop reporting).
+  void resub_barrier();
+
+  // Session teardown: Fin until every live endpoint acks (short grace).
+  void fin_handshake();
 
   // Runs one churn batch end to end; returns false on stop request.
   bool run_batch(std::uint32_t batch_seq);
@@ -203,6 +278,19 @@ class KeyServerDaemon {
   std::uint16_t cur_round_ = 0;
   std::uint8_t cur_phase_ = 0;
   transport::ServerTransport* cur_server_ = nullptr;
+
+  // Replication state.
+  std::uint32_t epoch_ = 0;       // fencing epoch carried in BatchStart
+  std::uint32_t next_batch_ = 0;  // batch being run (or about to run)
+  double fault_clock_ms_ = 0.0;   // protocol clock for the blackout schedule
+  bool dead_ = false;             // blackout hit: permanently dark
+  bool peer_dead_ = false;        // snapshot delivery gave up on the peer
+  bool peer_fin_ = false;         // peer announced clean session completion
+  std::int64_t snap_acked_ = -1;  // primary: highest snap_seq the peer acked
+  SnapshotReassembly snap_reasm_;            // standby: chunk reassembly
+  std::optional<ServerSnapshot> pending_snap_;  // standby: latest restored
+  std::chrono::steady_clock::time_point last_peer_heard_{};
+  std::chrono::steady_clock::time_point last_heartbeat_{};
 
   DaemonStats stats_;
 };

@@ -121,6 +121,10 @@ void ClientFleet::deliver_data(const Bytes& frame) {
     // daemon, lets the fleet open the batch lazily.
     if (msg_id != static_cast<std::uint8_t>(next_seq_ % 64)) return;
     if (batches_expected_ > 0 && next_seq_ >= batches_expected_) return;
+    if (dies_at(next_seq_)) {
+      die_now_ = true;
+      return;
+    }
     open_batch(next_seq_, msg_id);
   }
   Batch& b = *batch_;
@@ -192,9 +196,20 @@ void ClientFleet::build_and_send_report(std::uint16_t round,
 }
 
 void ClientFleet::on_round_mark(const RoundMarkFrame& f) {
+  if (config_.die_at_wave >= 0 && f.phase == 1 &&
+      f.round >= config_.die_at_wave) {
+    // Mid-wave endpoint death: go silent without a report. The server
+    // must land our clients in its gave-up accounting, not wait forever.
+    die_now_ = true;
+    return;
+  }
   if (!batch_ || batch_->seq != f.batch_seq) {
     if (f.batch_seq == next_seq_ &&
         (batches_expected_ == 0 || next_seq_ < batches_expected_)) {
+      if (dies_at(f.batch_seq)) {
+        die_now_ = true;
+        return;
+      }
       open_batch(f.batch_seq, f.msg_id);
     } else {
       return;  // a finalized or unknown batch
@@ -251,6 +266,38 @@ void ClientFleet::on_usr_frag(const Frame& f) {
   if (user.recovered()) note_recovered(u, true);
 }
 
+bool ClientFleet::maybe_failover(const Datagram& d) {
+  if (config_.failover.empty() || d.channel != kChanControl) return false;
+  if (peek_op(d.payload) != ControlOp::BatchStart) return false;
+  const auto f = parse_batch_start(d.payload);
+  if (!f || f->epoch <= epoch_) return false;  // fencing: not newer than ours
+  bool known = false;
+  for (const Endpoint& ep : config_.failover) known = known || ep == d.from;
+  if (!known) return false;
+  // A higher-epoch BatchStart from the failover set: a standby has been
+  // elected. Drop any half-received batch — the new primary replays it
+  // from its opening BatchStart — and re-subscribe with evolved state.
+  server_ = d.from;
+  epoch_ = f->epoch;
+  stats_.epoch = epoch_;
+  ++stats_.failovers;
+  batch_.reset();
+  need_resub_ = true;
+  send_resub();
+  return true;
+}
+
+void ClientFleet::send_resub() {
+  ResubFrame f;
+  f.first_uid = config_.first_uid;
+  f.count = config_.count;
+  f.epoch = epoch_;
+  f.done_seq = done_seq_;
+  f.first_id = ids_.empty() ? 0 : ids_[0];
+  send_control(serialize(f));
+  ++stats_.resubs_sent;
+}
+
 void ClientFleet::on_batch_done(const BatchDoneFrame& f) {
   if (batch_ && batch_->seq == f.batch_seq) {
     Batch& b = *batch_;
@@ -298,9 +345,14 @@ FleetStats ClientFleet::run() {
       return stats_;  // server went silent: abort without `finished`
     }
     for (const Datagram& d : in) {
-      if (d.from != server_) continue;
+      if (d.from != server_) {
+        maybe_failover(d);
+        continue;
+      }
       if (d.channel == kChanData) {
+        need_resub_ = false;  // the adopted server reached its data burst
         deliver_data(d.payload);
+        if (die_now_) return stats_;
         continue;
       }
       if (d.channel != kChanControl) continue;
@@ -314,12 +366,27 @@ FleetStats ClientFleet::run() {
           break;
         case ControlOp::BatchStart: {
           const auto f = parse_batch_start(d.payload);
-          if (f && !batch_ && f->batch_seq == next_seq_)
+          if (!f || f->epoch < epoch_) break;  // stale pre-failover primary
+          if (f->epoch > epoch_) {
+            // The current server re-announcing at a higher epoch (it won
+            // an election we didn't witness): adopt and re-subscribe.
+            epoch_ = f->epoch;
+            stats_.epoch = epoch_;
+            need_resub_ = true;
+          }
+          if (need_resub_) send_resub();
+          if (!batch_ && f->batch_seq == next_seq_) {
+            if (dies_at(f->batch_seq)) {
+              die_now_ = true;
+              break;
+            }
             open_batch(f->batch_seq, f->msg_id);
+          }
           break;
         }
         case ControlOp::RoundMark: {
           const auto f = parse_round_mark(d.payload);
+          need_resub_ = false;  // the lockstep is past the resub barrier
           if (f) on_round_mark(*f);
           break;
         }
@@ -345,6 +412,7 @@ FleetStats ClientFleet::run() {
         default:
           break;
       }
+      if (die_now_) return stats_;  // a die_at_* hook fired: go silent
     }
   }
   if (fin) {

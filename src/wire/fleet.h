@@ -64,6 +64,18 @@ struct FleetConfig {
   // Highest wire protocol version this fleet advertises in Sub; the
   // server picks the session version (kWireV1 emulates a legacy client).
   std::uint8_t max_version = kMaxWireVersion;
+
+  // Failover set: endpoints whose higher-epoch BatchStart the fleet
+  // adopts as its new server. Epoch fencing both ways: a BatchStart at a
+  // lower epoch than the one adopted is ignored even from the current
+  // server, so a stale primary can never reclaim the fleet.
+  std::vector<Endpoint> failover;
+
+  // Deterministic death hooks (dead-endpoint accounting tests): exit
+  // run() silently before opening batch `die_at_batch`, or on the
+  // phase-1 (unicast) RoundMark of wave `die_at_wave`. -1 = never.
+  std::int64_t die_at_batch = -1;
+  std::int64_t die_at_wave = -1;
 };
 
 struct FleetStats {
@@ -79,6 +91,9 @@ struct FleetStats {
   std::uint64_t control_frames = 0;
   std::uint32_t wire_version = 1;  // session version from SubAck
   bool finished = false;  // saw Fin (false = idle-timeout abort)
+  std::uint32_t epoch = 0;       // highest fencing epoch adopted
+  std::uint32_t failovers = 0;   // server switches to a failover endpoint
+  std::uint64_t resubs_sent = 0;
   // Per recovered client-batch: ms from batch open to group-key recovery.
   std::vector<double> recovery_ms;
 };
@@ -134,6 +149,19 @@ class ClientFleet {
   void on_usr_frag(const Frame& f);
   void on_batch_done(const BatchDoneFrame& f);
 
+  // Failover: adopt `d.from` as the new server iff it is in the failover
+  // set and carries a BatchStart with a higher epoch than ours. Returns
+  // true when the datagram was consumed (adoption or not-for-us).
+  bool maybe_failover(const Datagram& d);
+  // Re-subscription to the adopted server: our range, epoch, finalized
+  // batch count, and the Theorem-4.2 evolved id of our first uid.
+  void send_resub();
+  // True when the batch about to open is past the die_at_batch hook.
+  bool dies_at(std::uint32_t batch_seq) const {
+    return config_.die_at_batch >= 0 &&
+           batch_seq >= static_cast<std::uint64_t>(config_.die_at_batch);
+  }
+
   // True once SubAck negotiated the wide-slot (v2) frame family.
   bool wide() const { return version_ >= kWireV2; }
 
@@ -157,6 +185,11 @@ class ClientFleet {
   std::uint32_t next_seq_ = 0;
   std::uint32_t done_seq_ = 0;  // last finalized batch + 1
   Bytes cached_done_ack_;
+
+  // Failover state.
+  std::uint32_t epoch_ = 0;   // highest fencing epoch seen
+  bool need_resub_ = false;   // resend Resub per BatchStart until data flows
+  bool die_now_ = false;      // a die_at_* hook fired: exit silently
 
   FleetStats stats_;
 };

@@ -51,6 +51,7 @@ constexpr BenchBinary kBenches[] = {
     {"bench_r1_degraded", "R1"},
     {"bench_ks1_server_throughput", "KS1"},
     {"bench_w1_wire_throughput", "W1"},
+    {"bench_r2_failover", "R2"},
 };
 
 Json run_bench(const BenchBinary& bench) {

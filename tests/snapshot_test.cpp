@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "keytree/marking.h"
 #include "keytree/rekey_subtree.h"
+#include "keytree/shard.h"
 #include "keytree/snapshot.h"
 
 namespace rekey::tree {
@@ -124,6 +125,56 @@ TEST(ViewSnapshot, CorruptionDetected) {
   Bytes blob = snapshot_view(view, 4);
   blob[blob.size() / 2] ^= 0x80;
   EXPECT_FALSE(restore_view(blob).has_value());
+}
+
+// Exhaustive malformed-input sweeps: a snapshot cut at ANY byte length or
+// flipped in ANY single bit must restore to a clean nullopt — never an
+// abort, a throw, or a half-restored tree. The SHA-256 trailer makes the
+// corruption half trivially true once sealing is correct; the truncation
+// half additionally exercises every reader-side bounds check for cuts
+// shorter than the trailer itself.
+TEST(TreeSnapshot, TruncationAtEveryByteRejected) {
+  const KeyTree original = churned_tree(21);
+  const Bytes blob = snapshot_tree(original);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    const Bytes cut(blob.begin(), blob.begin() + len);
+    ASSERT_FALSE(restore_tree(cut, 1).has_value()) << "len " << len;
+  }
+}
+
+TEST(TreeSnapshot, SingleBitFlipAtEveryPositionRejected) {
+  const KeyTree original = churned_tree(22);
+  const Bytes blob = snapshot_tree(original);
+  for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = blob;
+      bad[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      ASSERT_FALSE(restore_tree(bad, 1).has_value())
+          << "pos " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(ShardedSnapshot, TruncationAtEveryByteRejected) {
+  const KeyTree original = churned_tree(23);
+  const Bytes blob = snapshot_sharded_tree(original, ShardPlan::make(4, 4));
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    const Bytes cut(blob.begin(), blob.begin() + len);
+    ASSERT_FALSE(restore_sharded_tree(cut, 1).has_value()) << "len " << len;
+  }
+}
+
+TEST(ShardedSnapshot, SingleBitFlipAtEveryPositionRejected) {
+  const KeyTree original = churned_tree(24);
+  const Bytes blob = snapshot_sharded_tree(original, ShardPlan::make(4, 4));
+  for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = blob;
+      bad[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      ASSERT_FALSE(restore_sharded_tree(bad, 1).has_value())
+          << "pos " << pos << " bit " << bit;
+    }
+  }
 }
 
 TEST(FromNodes, RejectsInconsistentData) {

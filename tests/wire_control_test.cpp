@@ -634,5 +634,216 @@ TEST(Control, UsrFragmentationAtMtuBoundaries) {
   }
 }
 
+TEST(Control, BatchStartEpochRoundtripAndLegacyBytes) {
+  // epoch == 0 serializes to the legacy 6-byte frame — byte-identical to
+  // a pre-replication writer, so every existing golden stays bit-exact.
+  const BatchStartFrame legacy{7, 7 % 64, 0};
+  const Bytes legacy_wire = serialize(legacy);
+  EXPECT_EQ(legacy_wire.size(), 6u);
+  {
+    const auto r = parse_batch_start(legacy_wire);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->batch_seq, 7u);
+    EXPECT_EQ(r->epoch, 0u);
+  }
+  // A nonzero epoch appends exactly four bytes and round-trips.
+  const BatchStartFrame fenced{7, 7 % 64, 3};
+  const Bytes fenced_wire = serialize(fenced);
+  EXPECT_EQ(fenced_wire.size(), 10u);
+  EXPECT_TRUE(std::equal(legacy_wire.begin(), legacy_wire.end(),
+                         fenced_wire.begin()));
+  {
+    const auto r = parse_batch_start(fenced_wire);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->batch_seq, 7u);
+    EXPECT_EQ(r->epoch, 3u);
+  }
+}
+
+TEST(Control, BatchStartEpochTruncationDowngradesLikeSub) {
+  // Versioning-by-length, the Sub/SubAck rule: cutting exactly the epoch
+  // field yields the valid legacy frame (epoch 0); every other cut
+  // rejects. And the long form announcing the default (epoch == 0 in 10
+  // bytes) is not a frame any writer emits, so the parser refuses it.
+  const Bytes wire = serialize(BatchStartFrame{9, 9, 42});
+  ASSERT_EQ(wire.size(), 10u);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const Bytes prefix(wire.begin(), wire.begin() + cut);
+    const auto r = parse_batch_start(prefix);
+    if (cut == 6) {
+      ASSERT_TRUE(r);
+      EXPECT_EQ(r->batch_seq, 9u);
+      EXPECT_EQ(r->epoch, 0u);
+    } else {
+      EXPECT_FALSE(r) << "cut " << cut;
+    }
+  }
+  Bytes zero_epoch = wire;
+  zero_epoch[6] = zero_epoch[7] = zero_epoch[8] = zero_epoch[9] = 0;
+  EXPECT_FALSE(parse_batch_start(zero_epoch));
+}
+
+TEST(Control, ReplicationFrameRoundtrips) {
+  {
+    const SnapAckFrame f{0xDEADBEEF};
+    const auto r = parse_snap_ack(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->snap_seq, 0xDEADBEEFu);
+  }
+  {
+    const HeartbeatFrame f{5, 17};
+    const auto r = parse_heartbeat(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->epoch, 5u);
+    EXPECT_EQ(r->next_batch, 17u);
+  }
+  {
+    const ResubFrame f{4096, 512, 2, 9, 0x123456789ABCull};
+    const auto r = parse_resub(serialize(f));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->first_uid, 4096u);
+    EXPECT_EQ(r->count, 512u);
+    EXPECT_EQ(r->epoch, 2u);
+    EXPECT_EQ(r->done_seq, 9u);
+    EXPECT_EQ(r->first_id, 0x123456789ABCull);
+  }
+  {
+    SnapChunkFrame f;
+    f.snap_seq = 3;
+    f.part = 1;
+    f.nparts = 4;
+    f.bytes = Bytes(100, 0xA5);
+    const auto wire = serialize(f);
+    ASSERT_TRUE(wire.has_value());
+    const auto r = parse_snap_chunk(*wire);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->snap_seq, 3u);
+    EXPECT_EQ(r->part, 1u);
+    EXPECT_EQ(r->nparts, 4u);
+    EXPECT_EQ(r->bytes, f.bytes);
+  }
+  // Oversize chunk payload is a serializer error, not an abort.
+  {
+    SnapChunkFrame f;
+    f.bytes = Bytes(0x10000, 0);  // one past the u16 length field
+    EXPECT_FALSE(serialize(f).has_value());
+  }
+}
+
+TEST(Control, ReplicationFrameTruncationSweepNeverAccepts) {
+  SnapChunkFrame chunk;
+  chunk.snap_seq = 3;
+  chunk.part = 0;
+  chunk.nparts = 2;
+  chunk.bytes = Bytes(25, 0x3C);
+  const std::vector<Bytes> fulls = {
+      *serialize(chunk), serialize(SnapAckFrame{1}),
+      serialize(HeartbeatFrame{1, 2}), serialize(ResubFrame{1, 2, 3, 4, 5})};
+  for (std::size_t fi = 0; fi < fulls.size(); ++fi) {
+    const Bytes& full = fulls[fi];
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const Bytes wire(full.begin(), full.begin() + cut);
+      ASSERT_NO_THROW({
+        EXPECT_FALSE(parse_snap_chunk(wire) || parse_snap_ack(wire) ||
+                     parse_heartbeat(wire) || parse_resub(wire))
+            << "frame " << fi << " cut " << cut;
+      });
+    }
+  }
+  // Structural nonsense inside an intact frame: zero nparts, part out of
+  // range, and a length field disagreeing with the remaining bytes.
+  SnapChunkFrame bad = chunk;
+  bad.nparts = 0;
+  bad.part = 0;
+  EXPECT_FALSE(serialize(bad).has_value() &&
+               parse_snap_chunk(*serialize(bad)));
+  Bytes wire = *serialize(chunk);
+  wire.push_back(0x00);  // trailing garbage after the declared length
+  EXPECT_FALSE(parse_snap_chunk(wire));
+}
+
+TEST(Control, ChunkSnapshotSplitsAndReassembles) {
+  Bytes blob(5000);
+  for (std::size_t i = 0; i < blob.size(); ++i)
+    blob[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  const auto frames = chunk_snapshot(11, blob, 1471);
+  ASSERT_GT(frames.size(), 1u);
+  std::size_t covered = 0;
+  for (const auto& f : frames) {
+    EXPECT_EQ(f.snap_seq, 11u);
+    EXPECT_EQ(f.nparts, frames.size());
+    ASSERT_TRUE(serialize(f).has_value());
+    EXPECT_LE(serialize(f)->size(), 1471u);
+    covered += f.bytes.size();
+  }
+  EXPECT_EQ(covered, blob.size());
+
+  // In-order reassembly returns the blob on the last chunk.
+  SnapshotReassembly reasm;
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i)
+    EXPECT_FALSE(reasm.add(frames[i]).has_value());
+  const auto full = reasm.add(frames.back());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, blob);
+  // Duplicates of a completed sequence are ignored, not re-delivered.
+  EXPECT_FALSE(reasm.add(frames[0]).has_value());
+
+  // An empty blob still travels (one empty chunk) — a snapshot is never
+  // simply absent.
+  const auto empty_frames = chunk_snapshot(12, Bytes{}, 1471);
+  ASSERT_EQ(empty_frames.size(), 1u);
+  SnapshotReassembly reasm2;
+  const auto empty_full = reasm2.add(empty_frames[0]);
+  ASSERT_TRUE(empty_full.has_value());
+  EXPECT_TRUE(empty_full->empty());
+
+  // A budget that cannot fit header + 1 byte is an error, not an abort.
+  EXPECT_TRUE(chunk_snapshot(13, blob, 10).empty());
+}
+
+TEST(Control, SnapshotReassemblyNewestSeqWins) {
+  Bytes old_blob(3000, 0x11);
+  Bytes new_blob(3000);
+  for (std::size_t i = 0; i < new_blob.size(); ++i)
+    new_blob[i] = static_cast<std::uint8_t>(i);
+  const auto old_frames = chunk_snapshot(5, old_blob, 600);
+  const auto new_frames = chunk_snapshot(6, new_blob, 600);
+  ASSERT_GT(old_frames.size(), 2u);
+
+  SnapshotReassembly reasm;
+  // Partial old snapshot...
+  EXPECT_FALSE(reasm.add(old_frames[0]).has_value());
+  EXPECT_FALSE(reasm.add(old_frames[1]).has_value());
+  // ...superseded by the newer sequence, out of order and with
+  // duplicates.
+  for (std::size_t i = new_frames.size(); i-- > 1;)
+    EXPECT_FALSE(reasm.add(new_frames[i]).has_value());
+  EXPECT_FALSE(reasm.add(new_frames[2]).has_value());  // duplicate part
+  // A stale chunk of the abandoned sequence is ignored mid-reassembly.
+  EXPECT_FALSE(reasm.add(old_frames[2]).has_value());
+  const auto full = reasm.add(new_frames[0]);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, new_blob);
+  // After completion, stale chunks stay ignored.
+  EXPECT_FALSE(reasm.add(old_frames[0]).has_value());
+
+  // clear() forgets everything, including the completed sequence.
+  reasm.clear();
+  SnapshotReassembly fresh;
+  for (std::size_t i = 0; i + 1 < new_frames.size(); ++i) {
+    EXPECT_FALSE(reasm.add(new_frames[i]).has_value());
+    EXPECT_FALSE(fresh.add(new_frames[i]).has_value());
+  }
+  EXPECT_TRUE(reasm.add(new_frames.back()).has_value());
+  EXPECT_TRUE(fresh.add(new_frames.back()).has_value());
+
+  // Hostile nparts past the chunk cap must not size a huge vector.
+  SnapChunkFrame hostile;
+  hostile.snap_seq = 99;
+  hostile.part = 0;
+  hostile.nparts = 0xFFFFFFFF;
+  EXPECT_FALSE(SnapshotReassembly{}.add(hostile).has_value());
+}
+
 }  // namespace
 }  // namespace rekey::wire

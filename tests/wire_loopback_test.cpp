@@ -298,6 +298,63 @@ TEST(WireLoopback, WideSlotGroupAllClientsRecover) {
   EXPECT_EQ(recovered, kClients);
 }
 
+TEST(WireLoopback, EndpointDeathMidUnicastLandsInDeadLedger) {
+  // An endpoint that goes silent during the unicast phase: the daemon
+  // must declare it dead after endpoint_dead_after missed wave
+  // deadlines, stop serving its stragglers, and account its clients in
+  // gave_up_dead — never hang the lockstep, never count them recovered.
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(64);
+  dc.max_multicast_rounds = 1;  // force the unicast phase for stragglers
+  dc.protocol.packet_size = 120;
+  dc.round_wait_ms = 600;  // 3 missed wave deadlines resolve quickly
+  auto live = fleet_slice(0, 48);
+  auto dying = fleet_slice(48, 16);
+  dying.shaping.down_loss = 0.6;  // guarantees unicast stragglers
+  dying.shaping.seed = 77;
+  dying.die_at_wave = 0;  // silent from the first unicast wave on
+  auto r = run_session(hub, dc, {live, dying});
+
+  EXPECT_EQ(r.daemon.batches_run, 1u);
+  EXPECT_GT(r.daemon.unicast_waves, 0u);
+  EXPECT_EQ(r.daemon.endpoints_dropped, 1u);
+  EXPECT_EQ(r.daemon.gave_up_dead, 16u);
+  EXPECT_EQ(r.daemon.gave_up, 0u);  // nobody live was abandoned
+  // The byte ledger: every client-batch the daemon ran to completion is
+  // either recovered (DoneAck'ed), given up live, or given up dead.
+  EXPECT_EQ(r.daemon.recovered + r.daemon.gave_up + r.daemon.gave_up_dead,
+            64u * r.daemon.batches_run);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].recovered, 48u);
+  EXPECT_FALSE(r.fleets[1].finished);  // died mid-wave, never saw Fin
+}
+
+TEST(WireLoopback, EndpointDeathAtBatchBoundaryKeepsLaterBatchesMoving) {
+  // Death between batches: the endpoint never reports in the next batch,
+  // eats three round deadlines, and is dropped; the remaining fleet
+  // finishes every batch. Its clients land in gave_up_dead once per
+  // remaining batch.
+  LoopbackHub hub;
+  DaemonConfig dc = base_daemon(64);
+  dc.batches = 3;
+  dc.round_wait_ms = 600;
+  auto live = fleet_slice(0, 48);
+  auto dying = fleet_slice(48, 16);
+  dying.die_at_batch = 1;  // finalizes batch 0, silent from batch 1 on
+  auto r = run_session(hub, dc, {live, dying});
+
+  EXPECT_EQ(r.daemon.batches_run, 3u);
+  EXPECT_EQ(r.daemon.endpoints_dropped, 1u);
+  // Batch 0 counted all 64; batches 1 and 2 count the dead 16 each.
+  EXPECT_EQ(r.daemon.gave_up_dead, 32u);
+  EXPECT_EQ(r.daemon.recovered + r.daemon.gave_up + r.daemon.gave_up_dead,
+            64u * 3u);
+  EXPECT_TRUE(r.fleets[0].finished);
+  EXPECT_EQ(r.fleets[0].recovered, 48u * 3u);
+  EXPECT_FALSE(r.fleets[1].finished);
+  EXPECT_EQ(r.fleets[1].recovered, 16u);  // batch 0 only
+}
+
 TEST(WireLoopback, ManyEndpointsPartitionTheFleet) {
   LoopbackHub hub;
   std::vector<FleetConfig> fleets;

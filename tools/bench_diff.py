@@ -13,6 +13,7 @@ or I/O errors.
 Usage:
   bench_diff.py golden.json candidate.json [--rtol R] [--atol A]
                 [--ignore KEY ...] [--col-rtol COL=R ...]
+                [--require-col COL ...]
 
 --ignore drops a top-level key from both documents before comparing
 (e.g. --ignore notes, or --ignore sections for a metadata-only check).
@@ -22,6 +23,11 @@ numerically whether int or float. This is how timing columns (e.g. KS1's
 mark_us/payload_us) ride in an otherwise exact golden: give them a huge
 tolerance while counts stay exact. Timing figures with no exact columns,
 such as A4, should not be golden-diffed at all.
+--require-col asserts that a named column exists in every table section
+of BOTH documents (repeatable). A structural identity check alone can't
+catch a golden that was regenerated after a column was dropped — the two
+documents still agree with each other. Requiring the column pins the
+schema itself, so CI fails loudly instead of silently diffing less.
 """
 
 import argparse
@@ -107,6 +113,24 @@ def diff(a, b, rtol, atol, path, out, col_rtol=None):
         out.append(f"{path}: {a!r} != {b!r}")
 
 
+def check_required_columns(doc, which, required, out):
+    """One record per (section, missing required column) in `doc`."""
+    sections = doc.get("sections")
+    if not isinstance(sections, list):
+        if required:
+            out.append(f"{which}: no sections to satisfy --require-col")
+        return
+    for i, sec in enumerate(sections):
+        columns = sec.get("columns") if isinstance(sec, dict) else None
+        if not isinstance(columns, list):
+            columns = []
+        sec_id = sec.get("id", i) if isinstance(sec, dict) else i
+        for col in required:
+            if col not in columns:
+                out.append(f"{which} section {sec_id!r}: required column "
+                           f"{col!r} missing")
+
+
 def parse_col_rtol(specs):
     out = {}
     for spec in specs:
@@ -138,6 +162,10 @@ def main():
                     metavar="COL=R", dest="col_rtol",
                     help="relative tolerance override for a named table "
                          "column (repeatable)")
+    ap.add_argument("--require-col", action="append", default=[],
+                    metavar="COL", dest="require_col",
+                    help="column that must exist in every table section of "
+                         "both documents (repeatable)")
     ap.add_argument("--max-report", type=int, default=20,
                     help="differences to print before truncating")
     args = ap.parse_args()
@@ -150,6 +178,9 @@ def main():
     col_rtol = parse_col_rtol(args.col_rtol)
 
     differences = []
+    check_required_columns(golden, "golden", args.require_col, differences)
+    check_required_columns(candidate, "candidate", args.require_col,
+                           differences)
     diff(golden, candidate, args.rtol, args.atol, "$", differences, col_rtol)
     if differences:
         figure = golden.get("figure", "?")

@@ -155,6 +155,50 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("bw_overhead", proc.stdout)
 
+    def test_require_col_present_matches(self):
+        self.assertEqual(
+            self.diff_docs(DOC, DOC, "--require-col", "nacks").returncode, 0)
+
+    def test_require_col_missing_in_both_fails(self):
+        # The regenerated-golden trap: both documents agree, but the column
+        # CI cares about is gone from both. --require-col still fails.
+        golden = copy.deepcopy(DOC)
+        golden["sections"][0]["columns"] = ["k", "nacks"]
+        golden["sections"][0]["rows"] = [[1, 40], [10, 7], [50, 3]]
+        proc = self.diff_docs(golden, copy.deepcopy(golden),
+                              "--require-col", "bw_overhead")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("required column", proc.stdout)
+        self.assertIn("golden", proc.stdout)
+        self.assertIn("candidate", proc.stdout)
+
+    def test_require_col_missing_in_one_side_names_it(self):
+        candidate = copy.deepcopy(DOC)
+        candidate["sections"][0]["columns"] = ["k", "nacks"]
+        candidate["sections"][0]["rows"] = [[1, 40], [10, 7], [50, 3]]
+        proc = self.diff_docs(DOC, candidate,
+                              "--require-col", "bw_overhead")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("candidate section 'F8'", proc.stdout)
+        self.assertNotIn("golden section", proc.stdout)
+
+    def test_require_col_applies_to_every_section(self):
+        golden = copy.deepcopy(DOC)
+        golden["sections"].append({
+            "id": "F8b", "columns": ["k"], "rows": [[1]]})
+        proc = self.diff_docs(golden, copy.deepcopy(golden),
+                              "--require-col", "nacks")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("'F8b'", proc.stdout)
+        self.assertNotIn("'F8':", proc.stdout)
+
+    def test_require_col_with_no_sections_fails(self):
+        golden = {"schema_version": 1, "figure": "X"}
+        proc = self.diff_docs(golden, copy.deepcopy(golden),
+                              "--require-col", "nacks")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no sections", proc.stdout)
+
     def test_col_rtol_bad_spec_is_a_usage_error(self):
         proc = self.diff_docs(DOC, DOC, "--col-rtol", "no_equals_sign")
         self.assertEqual(proc.returncode, 2)

@@ -44,7 +44,9 @@ using namespace rekey;
                "  --idle-timeout-ms MS  abort if the server goes silent\n"
                "  --allow-unrecovered   don't fail on abandoned clients\n"
                "  --wire V              max wire version to advertise "
-               "(default 2)\n",
+               "(default 2)\n"
+               "  --failover A.B:PORT   standby endpoint to adopt on a "
+               "higher-epoch BatchStart (repeatable)\n",
                argv0);
   std::exit(2);
 }
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   bool allow_unrecovered = false;
   unsigned max_wire = wire::kMaxWireVersion;
   wire::ShapingConfig shaping;
+  std::vector<wire::Endpoint> failover;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--server" && i + 1 < argc) {
@@ -94,6 +97,13 @@ int main(int argc, char** argv) {
     } else if (a == "--wire") {
       max_wire = static_cast<unsigned>(arg_int(argc, argv, i));
       if (max_wire < 1 || max_wire > wire::kMaxWireVersion) usage(argv[0]);
+    } else if (a == "--failover" && i + 1 < argc) {
+      const auto ep = wire::parse_endpoint(argv[++i]);
+      if (!ep) {
+        std::fprintf(stderr, "rekey_load: bad --failover %s\n", argv[i]);
+        return 2;
+      }
+      failover.push_back(*ep);
     } else {
       usage(argv[0]);
     }
@@ -131,6 +141,7 @@ int main(int argc, char** argv) {
       fc.shaping = shaping;
       fc.idle_timeout_ms = idle_timeout_ms;
       fc.max_version = static_cast<std::uint8_t>(max_wire);
+      fc.failover = failover;
       wire::ClientFleet fleet(udp, *server, fc);
       stats[t] = fleet.run();
     });
@@ -152,6 +163,9 @@ int main(int argc, char** argv) {
     sum.control_frames += s.control_frames;
     sum.wire_version = std::max(sum.wire_version, s.wire_version);
     sum.finished = sum.finished && s.finished;
+    sum.epoch = std::max(sum.epoch, s.epoch);
+    sum.failovers += s.failovers;
+    sum.resubs_sent += s.resubs_sent;
     sum.recovery_ms.insert(sum.recovery_ms.end(), s.recovery_ms.begin(),
                            s.recovery_ms.end());
   }
@@ -171,6 +185,9 @@ int main(int argc, char** argv) {
   out.set("control_frames", sum.control_frames);
   out.set("wire_version", sum.wire_version);
   out.set("finished", sum.finished);
+  out.set("epoch", sum.epoch);
+  out.set("failovers", sum.failovers);
+  out.set("resubs_sent", sum.resubs_sent);
   if (!sum.recovery_ms.empty()) {
     std::sort(sum.recovery_ms.begin(), sum.recovery_ms.end());
     const auto pct = [&](double p) {

@@ -3,9 +3,18 @@
 // Binds one datagram socket, waits until load generators (rekey_load)
 // have subscribed every uid in [0, clients), then runs `--batches` churn
 // batches of the paper's protocol over the wire and prints a JSON stats
-// document on stdout. Exit code 0 means the session completed (every
-// batch ran and the Fin handshake finished); endpoints that died are
-// reported in the stats, not fatal.
+// document on stdout. Exit code 0 means the daemon met its contract:
+// either every batch it was responsible for ran (a standby the primary
+// retired with Fin also counts), or a --blackout window killed it on
+// schedule; endpoints that died are reported in the stats, not fatal.
+//
+// Replication: `--replica-of HOST:PORT` names the peer. The primary
+// ships a sealed full-state snapshot to it before every batch; a
+// `--standby` process restores those snapshots and promotes itself —
+// higher fencing epoch, same deterministic batch replay — once the
+// primary has been silent past --elect-timeout-ms. `--blackout A:B`
+// kills the process at protocol-clock ms A (deterministic: the clock
+// advances --round-quantum-ms per lockstep step, never wall time).
 //
 // Group size is no longer bounded by the legacy 16-bit slot ids: the
 // daemon negotiates the wide-slot (v2) control frames automatically when
@@ -48,7 +57,19 @@ using namespace rekey;
                "  --workers W           rekey worker threads (0 = auto, "
                "default 1)\n"
                "  --wire V              wire version: 0 auto (default), "
-               "1 legacy u16 slots, 2 wide\n",
+               "1 legacy u16 slots, 2 wide\n"
+               "  --replica-of A.B:PORT peer daemon for snapshot "
+               "replication\n"
+               "  --standby             run as warm standby (requires "
+               "--replica-of)\n"
+               "  --elect-timeout-ms MS standby promotes after this much "
+               "primary silence\n"
+               "  --heartbeat-ms MS     primary->standby heartbeat cadence "
+               "(0 = retry-ms)\n"
+               "  --blackout A:B        die at protocol-clock ms A "
+               "(repeatable; B ends the window)\n"
+               "  --round-quantum-ms MS protocol-clock advance per lockstep "
+               "step (default 100)\n",
                argv0);
   std::exit(2);
 }
@@ -108,11 +129,47 @@ int main(int argc, char** argv) {
       cfg.worker_threads = static_cast<unsigned>(arg_int(argc, argv, i));
     } else if (a == "--wire") {
       cfg.wire_version = static_cast<unsigned>(arg_int(argc, argv, i));
+    } else if (a == "--replica-of" && i + 1 < argc) {
+      const auto peer = wire::parse_endpoint(argv[++i]);
+      if (!peer) {
+        std::fprintf(stderr, "rekeyd: bad --replica-of %s\n", argv[i]);
+        return 2;
+      }
+      cfg.peer = *peer;
+    } else if (a == "--standby") {
+      cfg.standby = true;
+    } else if (a == "--elect-timeout-ms") {
+      cfg.elect_timeout_ms = static_cast<int>(arg_int(argc, argv, i));
+    } else if (a == "--heartbeat-ms") {
+      cfg.heartbeat_ms = static_cast<int>(arg_int(argc, argv, i));
+    } else if (a == "--blackout" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto colon = spec.find(':');
+      char* e1 = nullptr;
+      char* e2 = nullptr;
+      double start = 0.0, end = 0.0;
+      if (colon != std::string::npos) {
+        start = std::strtod(spec.c_str(), &e1);
+        end = std::strtod(spec.c_str() + colon + 1, &e2);
+      }
+      if (colon == std::string::npos || e1 != spec.c_str() + colon ||
+          *e2 != '\0' || end <= start) {
+        std::fprintf(stderr, "rekeyd: bad --blackout %s (want START:END)\n",
+                     spec.c_str());
+        return 2;
+      }
+      cfg.fault.blackouts.push_back({start, end});
+    } else if (a == "--round-quantum-ms" && i + 1 < argc) {
+      cfg.round_quantum_ms = std::atof(argv[++i]);
     } else {
       usage(argv[0]);
     }
   }
   if (cfg.clients == 0) usage(argv[0]);
+  if (cfg.standby && !cfg.peer.has_value()) {
+    std::fprintf(stderr, "rekeyd: --standby requires --replica-of\n");
+    return 2;
+  }
   // The silent pool must absorb each batch's leaves; grow the default to
   // fit large --joins/--leaves instead of aborting on the size check.
   if (!churn_pool_set)
@@ -127,9 +184,15 @@ int main(int argc, char** argv) {
 
   wire::UdpWire udp(wire::endpoint_addr(*bind_ep),
                     wire::endpoint_port(*bind_ep), mtu);
-  std::fprintf(stderr, "rekeyd: listening on %s, waiting for %u clients\n",
-               wire::endpoint_to_string(udp.local_endpoint()).c_str(),
-               cfg.clients);
+  if (cfg.standby)
+    std::fprintf(stderr,
+                 "rekeyd: standby on %s, watching primary %s\n",
+                 wire::endpoint_to_string(udp.local_endpoint()).c_str(),
+                 wire::endpoint_to_string(*cfg.peer).c_str());
+  else
+    std::fprintf(stderr, "rekeyd: listening on %s, waiting for %u clients\n",
+                 wire::endpoint_to_string(udp.local_endpoint()).c_str(),
+                 cfg.clients);
 
   wire::KeyServerDaemon daemon(udp, cfg);
   const wire::DaemonStats st = daemon.run();
@@ -155,11 +218,23 @@ int main(int argc, char** argv) {
   out.set("recovered", st.recovered);
   out.set("via_usr", st.via_usr);
   out.set("gave_up", st.gave_up);
+  out.set("gave_up_dead", st.gave_up_dead);
   out.set("endpoints_dropped", st.endpoints_dropped);
   out.set("endpoints_incompatible", st.endpoints_incompatible);
   out.set("wire_version", st.wire_version);
   out.set("rho_final", st.rho_final);
+  out.set("snapshots_sent", st.snapshots_sent);
+  out.set("snapshot_chunks", st.snapshot_chunks);
+  out.set("snapshots_restored", st.snapshots_restored);
+  out.set("resubs", st.resubs);
+  out.set("epoch", st.epoch);
+  out.set("promoted", st.promoted);
+  out.set("died", st.died);
+  out.set("died_at_ms", st.died_at_ms);
+  out.set("completed", st.completed);
   std::cout << out.dump(2) << "\n";
 
-  return st.batches_run == cfg.batches ? 0 : 1;
+  // A scheduled blackout death is a planned outcome, not a failure — the
+  // CI failover smoke kills the primary this way and still wants exit 0.
+  return st.completed || st.died ? 0 : 1;
 }
