@@ -329,6 +329,41 @@ int main(int argc, char** argv) {
     }
     json.table(std::cout, t);
   }
+  // Worker-pinning axis: the same sharded pipeline, once with free-running
+  // workers and once with each worker pinned to its own CPU
+  // (common/parallel.h, REKEY_PIN) — the "NUMA pinning" headroom noted in
+  // the roadmap. The artifacts must stay bit-identical to the serial
+  // baseline either way; only the timing columns may move, and on a
+  // single-CPU host they barely do.
+  json.header(std::cout, "KS1 (pinning)",
+              "sharded pipeline with unpinned vs CPU-pinned workers",
+              "d=4, churn J=L=N/16, 1027-byte packets; worker and timing "
+              "columns are hardware-dependent");
+  {
+    Table t({"N", "shards", "config", "workers", "pinned_workers", "enc",
+             "mark_us", "payload_us", "assign_us", "mark_assign_us"});
+    t.set_precision(2);
+    const std::size_t N = shard_sizes.front();
+    const std::size_t J = N / 16, L = N / 16;
+    const std::uint64_t seed = point_seed(0x4B5311ull, 2000);
+    json.add_seed(seed);
+    ShardBaseline baseline;
+    run_shard_point(N, J, L, d, 0, seed, kShardTrials, nullptr, &baseline);
+    for (const int pin : {0, 1}) {
+      ThreadPool pin_pool(pool.size(), pin);
+      ThreadPool* pin_par = pin_pool.size() > 1 ? &pin_pool : nullptr;
+      const ShardPoint r = run_shard_point(N, J, L, d, 4, seed,
+                                           kShardTrials, pin_par, &baseline);
+      all_identical = all_identical && r.identical;
+      t.add_row({static_cast<long long>(N), 4ll,
+                 std::string(pin == 0 ? "unpinned" : "pinned"),
+                 static_cast<long long>(pin_pool.size()),
+                 static_cast<long long>(pin_pool.pinned_workers()),
+                 static_cast<long long>(r.encryptions), r.mark_us,
+                 r.payload_us, r.assign_us, r.mark_us + r.assign_us});
+    }
+    json.table(std::cout, t);
+  }
   REKEY_ENSURE_MSG(all_identical,
                    "parallel or sharded pipeline diverged from the serial "
                    "baseline");
@@ -336,6 +371,7 @@ int main(int argc, char** argv) {
             "Counts are deterministic and match the A1 model; timing "
             "columns are hardware-dependent (CI diffs them with unbounded "
             "tolerance). Parallel payloads and the sharded pipeline at "
-            "every shard count are bit-identical to serial.");
+            "every shard count are bit-identical to serial, with or "
+            "without worker CPU pinning.");
   return json.write();
 }

@@ -12,8 +12,16 @@
 // protocol counters stay golden-diffable even though the transport is a
 // real kernel socket). Delivery-composition columns are exact; the
 // throughput section's wall-clock columns (wall_ms, kpkt_s, mb_s,
-// recovery percentiles) are hardware-dependent and diffed with unbounded
-// tolerance in CI.
+// recovery percentiles, syscalls) are hardware-dependent and diffed with
+// unbounded tolerance in CI.
+//
+// Every scenario runs once per wire backend (wire/backend.h): epoll
+// always, io_uring when the kernel supports it. The delivery and shaping
+// counters must come out backend-invariant — the same differential the
+// wire_backend_test suite enforces — while the throughput table's
+// syscalls column shows what the io_uring backend buys: linked-SQE
+// submits and multishot receives in place of per-64-datagram sendmmsg/
+// recvmmsg/epoll_wait calls.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -22,6 +30,7 @@
 
 #include "common/ensure.h"
 #include "sweep.h"
+#include "wire/backend.h"
 #include "wire/daemon.h"
 #include "wire/fleet.h"
 #include "wire/udp.h"
@@ -37,6 +46,7 @@ struct WireRun {
   wire::DaemonStats daemon;
   wire::FleetStats fleet;  // aggregated over all fleets
   double wall_ms = 0.0;
+  std::uint64_t syscalls = 0;  // wire-layer syscalls across all sockets
 };
 
 struct Scenario {
@@ -59,7 +69,8 @@ struct Scenario {
   unsigned wire_version = 0;
 };
 
-WireRun run_scenario(const Scenario& sc, std::uint64_t shape_seed) {
+WireRun run_scenario(const Scenario& sc, wire::WireBackend backend,
+                     std::uint64_t shape_seed) {
   wire::DaemonConfig dc;
   dc.clients = sc.clients;
   dc.churn_pool = std::max<std::uint32_t>(64, 2 * sc.churn);
@@ -72,10 +83,11 @@ WireRun run_scenario(const Scenario& sc, std::uint64_t shape_seed) {
   dc.retry_ms = 20;
   dc.wire_version = sc.wire_version;
 
-  wire::UdpWire daemon_udp(kLoopback, 0);
-  const wire::Endpoint server = daemon_udp.local_endpoint();
-  wire::KeyServerDaemon daemon(daemon_udp, dc);
+  auto daemon_udp = wire::make_socket_wire(backend, kLoopback, 0);
+  const wire::Endpoint server = daemon_udp->local_endpoint();
+  wire::KeyServerDaemon daemon(*daemon_udp, dc);
 
+  const std::uint64_t sys0 = wire::wire_syscalls().value();
   const auto t0 = Clock::now();
   wire::DaemonStats ds;
   std::thread daemon_thread([&] { ds = daemon.run(); });
@@ -89,14 +101,14 @@ WireRun run_scenario(const Scenario& sc, std::uint64_t shape_seed) {
   for (unsigned t = 0; t < sc.endpoints; ++t) {
     const std::uint32_t count = base + (t < extra ? 1 : 0);
     fleets.emplace_back([&, t, uid, count] {
-      wire::UdpWire udp(kLoopback, 0);
+      auto udp = wire::make_socket_wire(backend, kLoopback, 0);
       wire::FleetConfig fc;
       fc.first_uid = uid;
       fc.count = count;
       fc.shaping.down_loss = sc.down_loss;
       fc.shaping.up_loss = sc.up_loss;
       fc.shaping.seed = shape_seed;
-      wire::ClientFleet fleet(udp, server, fc);
+      wire::ClientFleet fleet(*udp, server, fc);
       fss[t] = fleet.run();
     });
     uid += count;
@@ -107,6 +119,7 @@ WireRun run_scenario(const Scenario& sc, std::uint64_t shape_seed) {
   WireRun r;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.syscalls = wire::wire_syscalls().value() - sys0;
   r.daemon = ds;
   for (const wire::FleetStats& fs : fss) {
     r.fleet.clients += fs.clients;
@@ -157,22 +170,39 @@ int main(int argc, char** argv) {
       {"wide-slot", N, endpoints, batches, churn, 0.0, 0.0, 8, 1027,
        wire::kWireV2},
   };
-  std::vector<WireRun> runs;
-  for (const Scenario& sc : scenarios) runs.push_back(run_scenario(sc, shape_seed));
+  // Epoll rows first (they are the golden reference), then the same
+  // scenarios again on io_uring when the kernel can run it.
+  std::vector<wire::WireBackend> backends = {wire::WireBackend::kEpoll};
+  if (wire::io_uring_supported())
+    backends.push_back(wire::WireBackend::kIoUring);
+  else
+    std::cerr << "bench_w1: io_uring unsupported on this kernel; "
+                 "emitting epoll rows only\n";
+
+  struct Row {
+    const Scenario* sc;
+    wire::WireBackend backend;
+    WireRun run;
+  };
+  std::vector<Row> rows;
+  for (const wire::WireBackend b : backends)
+    for (const Scenario& sc : scenarios)
+      rows.push_back({&sc, b, run_scenario(sc, b, shape_seed)});
 
   json.header(std::cout, "W1 (delivery)",
-              "wire protocol composition per scenario, all batches",
+              "wire protocol composition per scenario and backend",
               "d=4, k=10, UDP loopback, MTU 1500, " +
                   std::to_string(endpoints) + " endpoints");
   {
-    Table t({"scenario", "N", "pkt_size", "wire_v", "batches", "churn",
-             "enc_pkts", "slots", "rounds", "react_par", "waves",
+    Table t({"scenario", "backend", "N", "pkt_size", "wire_v", "batches",
+             "churn", "enc_pkts", "slots", "rounds", "react_par", "waves",
              "usr_frags", "recovered", "via_usr", "gave_up", "rho_final"});
     t.set_precision(3);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const Scenario& sc = scenarios[i];
-      const wire::DaemonStats& d = runs[i].daemon;
-      t.add_row({std::string(sc.name), static_cast<long long>(sc.clients),
+    for (const Row& row : rows) {
+      const Scenario& sc = *row.sc;
+      const wire::DaemonStats& d = row.run.daemon;
+      t.add_row({std::string(sc.name), wire::backend_name(row.backend),
+                 static_cast<long long>(sc.clients),
                  static_cast<long long>(sc.packet_size),
                  static_cast<long long>(d.wire_version),
                  static_cast<long long>(d.batches_run),
@@ -194,16 +224,16 @@ int main(int argc, char** argv) {
               "deterministic client-side loss draws (fixed seed)",
               "down_loss/up_loss per scenario; counters are seed-exact");
   {
-    Table t({"scenario", "down_loss", "up_loss", "frames_rx", "shaped_off",
-             "nacks_dropped", "nack_users"});
+    Table t({"scenario", "backend", "down_loss", "up_loss", "frames_rx",
+             "shaped_off", "nacks_dropped", "nack_users"});
     t.set_precision(3);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      t.add_row({std::string(scenarios[i].name), scenarios[i].down_loss,
-                 scenarios[i].up_loss,
-                 static_cast<long long>(runs[i].fleet.data_frames),
-                 static_cast<long long>(runs[i].fleet.shaped_off),
-                 static_cast<long long>(runs[i].fleet.nacks_suppressed),
-                 static_cast<long long>(runs[i].daemon.nack_users)});
+    for (const Row& row : rows) {
+      t.add_row({std::string(row.sc->name), wire::backend_name(row.backend),
+                 row.sc->down_loss, row.sc->up_loss,
+                 static_cast<long long>(row.run.fleet.data_frames),
+                 static_cast<long long>(row.run.fleet.shaped_off),
+                 static_cast<long long>(row.run.fleet.nacks_suppressed),
+                 static_cast<long long>(row.run.daemon.nack_users)});
     }
     json.table(std::cout, t);
   }
@@ -213,24 +243,34 @@ int main(int argc, char** argv) {
               "timing columns are hardware-dependent (CI tolerance "
               "unbounded)");
   {
-    Table t({"scenario", "data_frames", "data_mb", "b_per_frame", "wall_ms",
-             "kpkt_s", "mb_s", "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+    Table t({"scenario", "backend", "data_frames", "data_mb", "b_per_frame",
+             "wall_ms", "kpkt_s", "mb_s", "syscalls", "sys_per_batch",
+             "p50_ms", "p90_ms", "p99_ms", "max_ms"});
     t.set_precision(3);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const wire::DaemonStats& d = runs[i].daemon;
+    for (const Row& row : rows) {
+      const wire::DaemonStats& d = row.run.daemon;
       const double mb = static_cast<double>(d.data_bytes) / 1e6;
-      const double s = runs[i].wall_ms / 1e3;
-      const auto& lat = runs[i].fleet.recovery_ms;
+      const double s = row.run.wall_ms / 1e3;
+      const auto& lat = row.run.fleet.recovery_ms;
       // b_per_frame is exact (two deterministic counters): the zero-loss
-      // vs wide-slot delta is the measured wide-header overhead.
-      t.add_row({std::string(scenarios[i].name),
+      // vs wide-slot delta is the measured wide-header overhead. syscalls
+      // counts every wire-layer kernel entry across the daemon and all
+      // fleet sockets — the epoll-vs-io_uring contrast this table exists
+      // to show — but retransmit timing makes it jitter, so CI diffs it
+      // unbounded like the wall-clock columns.
+      t.add_row({std::string(row.sc->name), wire::backend_name(row.backend),
                  static_cast<long long>(d.data_frames), mb,
                  d.data_frames == 0
                      ? 0.0
                      : static_cast<double>(d.data_bytes) /
                            static_cast<double>(d.data_frames),
-                 runs[i].wall_ms,
+                 row.run.wall_ms,
                  static_cast<double>(d.data_frames) / s / 1e3, mb / s,
+                 static_cast<long long>(row.run.syscalls),
+                 static_cast<double>(row.run.syscalls) /
+                     static_cast<double>(d.batches_run == 0
+                                             ? 1
+                                             : d.batches_run),
                  pct(lat, 0.50), pct(lat, 0.90), pct(lat, 0.99),
                  lat.empty() ? 0.0 : lat.back()});
     }
@@ -239,20 +279,21 @@ int main(int argc, char** argv) {
 
   // The wire path is only worth benchmarking if it actually delivered.
   bool all_recovered = true;
-  for (const WireRun& r : runs)
-    all_recovered = all_recovered && r.fleet.finished &&
-                    r.fleet.unrecovered == 0 &&
-                    r.fleet.recovered ==
-                        static_cast<std::uint64_t>(r.fleet.clients) *
-                            r.fleet.batches;
+  for (const Row& row : rows)
+    all_recovered = all_recovered && row.run.fleet.finished &&
+                    row.run.fleet.unrecovered == 0 &&
+                    row.run.fleet.recovered ==
+                        static_cast<std::uint64_t>(row.run.fleet.clients) *
+                            row.run.fleet.batches;
   REKEY_ENSURE_MSG(all_recovered,
                    "a wire scenario left clients unrecovered or unfinished");
   json.note(std::cout,
             "Delivery and shaping counters are deterministic (seeded "
-            "client-side shaping; lockstep rounds); every client recovered "
-            "every batch in every scenario. The wide-slot row pays for "
-            "32-bit slot ids in ENC packet capacity (45 vs 46 entries at "
-            "1027 bytes), not frame size. Throughput columns are "
-            "wall-clock and machine-dependent.");
+            "client-side shaping; lockstep rounds) and backend-invariant: "
+            "epoll and io_uring rows must agree on every protocol column. "
+            "The wide-slot row pays for 32-bit slot ids in ENC packet "
+            "capacity (45 vs 46 entries at 1027 bytes), not frame size. "
+            "Throughput and syscall columns are wall-clock and "
+            "machine-dependent.");
   return json.write();
 }

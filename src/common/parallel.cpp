@@ -1,10 +1,19 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <fstream>
+#include <map>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/ensure.h"
 #include "common/env.h"
+#include "common/obs.h"
 
 namespace rekey {
 
@@ -18,15 +27,88 @@ unsigned default_thread_count() {
   return hw == 0 ? 1u : hw;
 }
 
-ThreadPool::ThreadPool(unsigned threads)
+bool pin_by_default() {
+  if (const auto v = env::int_value("REKEY_PIN", 0, 1)) return *v == 1;
+  return false;
+}
+
+namespace {
+
+#ifdef __linux__
+// topology/core_id (or physical_package_id) for one CPU; -1 when the
+// sysfs file is missing (containers often mask /sys).
+int topology_value(int cpu, const char* leaf) {
+  std::ifstream in("/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                   "/topology/" + leaf);
+  int v = -1;
+  if (!(in >> v)) return -1;
+  return v;
+}
+#endif
+
+}  // namespace
+
+std::vector<int> pinning_cpu_order() {
+  std::vector<int> order;
+#ifdef __linux__
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof allowed, &allowed) != 0) return order;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+
+  // Bucket by physical core: (package, core) -> the CPUs (SMT siblings)
+  // sharing it. Any unreadable topology entry degrades the whole order to
+  // plain ascending — half-known topology is worse than none.
+  std::map<std::pair<int, int>, std::vector<int>> cores;
+  bool topology_ok = true;
+  for (const int c : cpus) {
+    const int pkg = topology_value(c, "physical_package_id");
+    const int core = topology_value(c, "core_id");
+    if (pkg < 0 || core < 0) {
+      topology_ok = false;
+      break;
+    }
+    cores[{pkg, core}].push_back(c);
+  }
+  if (!topology_ok) return cpus;  // already ascending
+
+  // Breadth-first over cores: every distinct core's first sibling, then
+  // every core's second, and so on.
+  for (std::size_t round = 0; order.size() < cpus.size(); ++round)
+    for (auto& [key, siblings] : cores)
+      if (round < siblings.size()) order.push_back(siblings[round]);
+#endif
+  return order;
+}
+
+ThreadPool::ThreadPool(unsigned threads, int pin)
     : threads_(threads == 0 ? default_thread_count() : threads) {
   if (threads_ == 1) return;  // inline execution, no workers
   queues_.reserve(threads_);
   for (unsigned i = 0; i < threads_; ++i)
     queues_.push_back(std::make_unique<Queue>());
+  const bool want_pin = pin == 0 ? false : pin == 1 || pin_by_default();
+  const std::vector<int> cpu_order =
+      want_pin ? pinning_cpu_order() : std::vector<int>{};
   workers_.reserve(threads_);
-  for (unsigned i = 0; i < threads_; ++i)
+  for (unsigned i = 0; i < threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
+#ifdef __linux__
+    if (!cpu_order.empty()) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(cpu_order[i % cpu_order.size()], &one);
+      if (pthread_setaffinity_np(workers_.back().native_handle(), sizeof one,
+                                 &one) == 0)
+        ++pinned_;
+    }
+#endif
+  }
+  if (pinned_ > 0)
+    obs::MetricsRegistry::global().counter("parallel.pinned_workers")
+        .add(pinned_);
 }
 
 ThreadPool::~ThreadPool() {

@@ -31,17 +31,37 @@ namespace rekey {
 // (at least 1).
 unsigned default_thread_count();
 
+// REKEY_PIN=1 opts workers into CPU affinity pinning (default off; strict
+// parse through common/env.h, warn-once on nonsense).
+bool pin_by_default();
+
+// The CPU ids workers are pinned to, round-robin by worker index:
+// the process's allowed CPUs (sched_getaffinity), ordered so distinct
+// physical cores come before SMT siblings — worker k lands on the k-th
+// least-contended execution resource, which is what the shard pipeline
+// wants (one memory-bound marking task per core, hyperthreads only once
+// cores are exhausted). Falls back to ascending CPU id when the sysfs
+// topology files are unreadable. Empty on non-Linux builds.
+std::vector<int> pinning_cpu_order();
+
 class ThreadPool {
  public:
   // threads == 0 picks default_thread_count(). With one thread no workers
   // are spawned and tasks run inline on the submitting thread.
-  explicit ThreadPool(unsigned threads = 0);
+  // `pin` overrides REKEY_PIN: -1 consults the environment, 0 forces
+  // unpinned, 1 forces pinning. Workers are pinned round-robin over
+  // pinning_cpu_order() from the constructing thread, so by the time the
+  // constructor returns pinned_workers() is final.
+  explicit ThreadPool(unsigned threads = 0, int pin = -1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return threads_; }
+  // Workers whose affinity mask was successfully applied (0 when pinning
+  // is off, on non-Linux builds, or with an inline single-thread pool).
+  unsigned pinned_workers() const { return pinned_; }
 
   // Runs fn(i) for every i in [0, n) across the pool and blocks until all
   // complete. If any invocation throws, the first exception is rethrown
@@ -59,6 +79,7 @@ class ThreadPool {
   bool try_run_one(unsigned self);
 
   unsigned threads_;
+  unsigned pinned_ = 0;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 

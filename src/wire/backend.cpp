@@ -1,0 +1,62 @@
+#include "wire/backend.h"
+
+#include <string>
+
+#include "common/env.h"
+#include "wire/udp.h"
+#include "wire/uring.h"
+
+namespace rekey::wire {
+
+std::optional<WireBackend> parse_backend(std::string_view name) {
+  if (name == "epoll") return WireBackend::kEpoll;
+  if (name == "io_uring" || name == "uring") return WireBackend::kIoUring;
+  return std::nullopt;
+}
+
+std::string backend_name(WireBackend b) {
+  return b == WireBackend::kEpoll ? "epoll" : "io_uring";
+}
+
+std::optional<WireBackend> env_wire_backend() {
+  const auto raw = env::raw("REKEY_WIRE_BACKEND");
+  if (!raw.has_value()) return std::nullopt;
+  const auto parsed = parse_backend(*raw);
+  if (!parsed.has_value()) {
+    env::warn_once("REKEY_WIRE_BACKEND",
+                   "unknown wire backend \"" + std::string(*raw) +
+                       "\" (expected epoll or io_uring); using epoll");
+  }
+  return parsed;
+}
+
+bool io_uring_supported() { return IoUringWire::supported(); }
+
+WireBackend effective_backend(std::optional<WireBackend> requested) {
+  const WireBackend want =
+      requested.has_value() ? *requested
+                            : env_wire_backend().value_or(WireBackend::kEpoll);
+  if (want == WireBackend::kIoUring && !io_uring_supported()) {
+    env::warn_once("REKEY_WIRE_BACKEND",
+                   "io_uring backend requested but the kernel refuses it "
+                   "(old kernel or seccomp filter); falling back to epoll");
+    return WireBackend::kEpoll;
+  }
+  return want;
+}
+
+std::unique_ptr<SocketWire> make_socket_wire(
+    std::optional<WireBackend> requested, std::uint32_t bind_addr_host,
+    std::uint16_t bind_port, std::size_t mtu) {
+  if (effective_backend(requested) == WireBackend::kIoUring)
+    return std::make_unique<IoUringWire>(bind_addr_host, bind_port, mtu);
+  return std::make_unique<UdpWire>(bind_addr_host, bind_port, mtu);
+}
+
+obs::Counter& wire_syscalls() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("wire.syscalls");
+  return c;
+}
+
+}  // namespace rekey::wire

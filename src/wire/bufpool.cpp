@@ -1,0 +1,69 @@
+#include "wire/bufpool.h"
+
+#include "common/ensure.h"
+#include "common/obs.h"
+
+namespace rekey::wire {
+
+namespace {
+
+obs::Counter& pool_acquires() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("wire.pool_acquires");
+  return c;
+}
+
+obs::Counter& pool_exhausted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("wire.pool_exhausted");
+  return c;
+}
+
+}  // namespace
+
+FrameBufferPool::FrameBufferPool(std::size_t slot_size,
+                                 std::size_t slot_count)
+    : slot_size_(slot_size), slot_count_(slot_count) {
+  REKEY_ENSURE_MSG(slot_size > 0 && slot_count > 0,
+                   "FrameBufferPool needs at least one nonempty slot");
+  arena_.resize(slot_size_ * slot_count_);
+  in_use_.assign(slot_count_, 0);
+  free_.reserve(slot_count_);
+  // Pop order is LIFO off the back; seed the stack in reverse so the
+  // first acquires hand out slots 0, 1, 2, ... (stable, cache-warm).
+  for (std::size_t i = slot_count_; i-- > 0;) free_.push_back(i);
+}
+
+std::size_t FrameBufferPool::acquire() {
+  if (free_.empty()) {
+    ++exhausted_;
+    pool_exhausted().add();
+    return kNone;
+  }
+  const std::size_t index = free_.back();
+  free_.pop_back();
+  in_use_[index] = 1;
+  ++acquired_;
+  pool_acquires().add();
+  if (in_flight() > high_water_) high_water_ = in_flight();
+  return index;
+}
+
+void FrameBufferPool::release(std::size_t index) {
+  REKEY_ENSURE_MSG(index < slot_count_, "buffer pool release out of range");
+  REKEY_ENSURE_MSG(in_use_[index] != 0, "buffer pool double release");
+  in_use_[index] = 0;
+  free_.push_back(index);
+}
+
+std::uint8_t* FrameBufferPool::slot(std::size_t index) {
+  REKEY_ENSURE(index < slot_count_);
+  return arena_.data() + index * slot_size_;
+}
+
+const std::uint8_t* FrameBufferPool::slot(std::size_t index) const {
+  REKEY_ENSURE(index < slot_count_);
+  return arena_.data() + index * slot_size_;
+}
+
+}  // namespace rekey::wire

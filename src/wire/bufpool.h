@@ -1,0 +1,74 @@
+// FrameBufferPool — reusable, pool-owned send buffers for the io_uring
+// wire backend (wire/uring.h).
+//
+// The epoll path pays one heap allocation per control frame (UdpWire::
+// send copies the payload into a temporary so sendmmsg iovecs have
+// stable storage). The io_uring path instead copies into a slot of this
+// pool: one contiguous arena, carved into fixed-size slots, registered
+// with the kernel once (IORING_REGISTER_BUFFERS) so zero-copy sends can
+// reference it by index without per-call page pinning. Slots stay
+// "in flight" from acquire() until the kernel reports it no longer reads
+// the memory (the SEND_ZC notification CQE, or plain send completion),
+// at which point the backend release()s them — the serialize→send path
+// is allocation-free per batch.
+//
+// The pool is intentionally not thread-safe: a SocketWire is owned and
+// driven by exactly one thread (the daemon loop or one fleet thread),
+// which is the same single-threaded discipline the ring itself requires.
+//
+// Exhaustion is not an error: acquire() returns kNone and the backend
+// falls back to a heap-owned buffer for that frame (counted in
+// wire.pool_exhausted), so a burst larger than the pool degrades to the
+// epoll path's allocation behavior instead of dropping frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rekey::wire {
+
+class FrameBufferPool {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // `slot_size` bytes per buffer (channel byte + max payload for a wire),
+  // `slot_count` buffers in the arena.
+  FrameBufferPool(std::size_t slot_size, std::size_t slot_count);
+
+  FrameBufferPool(const FrameBufferPool&) = delete;
+  FrameBufferPool& operator=(const FrameBufferPool&) = delete;
+
+  // Index of a free slot, or kNone when every slot is in flight.
+  std::size_t acquire();
+  // Returns `index` to the free list. Double release is a hard error
+  // (it would let two in-flight sends share kernel-visible memory).
+  void release(std::size_t index);
+
+  std::uint8_t* slot(std::size_t index);
+  const std::uint8_t* slot(std::size_t index) const;
+
+  // The whole arena, for IORING_REGISTER_BUFFERS.
+  std::uint8_t* arena() { return arena_.data(); }
+  std::size_t arena_bytes() const { return arena_.size(); }
+
+  std::size_t slot_size() const { return slot_size_; }
+  std::size_t slot_count() const { return slot_count_; }
+  std::size_t in_flight() const { return slot_count_ - free_.size(); }
+  // Most slots ever simultaneously in flight — sizing feedback.
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t acquired_total() const { return acquired_; }
+  std::uint64_t exhausted_total() const { return exhausted_; }
+
+ private:
+  std::size_t slot_size_;
+  std::size_t slot_count_;
+  std::vector<std::uint8_t> arena_;
+  std::vector<std::size_t> free_;
+  std::vector<std::uint8_t> in_use_;
+  std::size_t high_water_ = 0;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+}  // namespace rekey::wire

@@ -1,0 +1,61 @@
+#include "wire/sockutil.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/ensure.h"
+
+namespace rekey::wire::sockutil {
+
+sockaddr_in to_sockaddr(Endpoint e) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(endpoint_addr(e));
+  sa.sin_port = htons(endpoint_port(e));
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return make_endpoint(ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port));
+}
+
+namespace {
+
+void grow_socket_buffers(int fd) {
+  // A round-1 burst for N=2^15 is tens of MB arriving faster than the
+  // fleet drains it; an 8 MB receive queue rides it out. RCVBUFFORCE
+  // needs CAP_NET_ADMIN — fall back to the rmem_max-clamped plain knob.
+  constexpr int kBytes = 8 << 20;
+  int v = kBytes;
+#ifdef SO_RCVBUFFORCE
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVBUFFORCE, &v, sizeof v) != 0)
+#endif
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &v, sizeof v);
+  v = kBytes;
+  setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof v);
+}
+
+}  // namespace
+
+int open_bound_udp_socket(std::uint32_t bind_addr_host,
+                          std::uint16_t bind_port, Endpoint* local) {
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  REKEY_ENSURE_MSG(fd >= 0, "socket() failed");
+  const int flags = fcntl(fd, F_GETFL, 0);
+  REKEY_ENSURE(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+  grow_socket_buffers(fd);
+
+  sockaddr_in sa = to_sockaddr(make_endpoint(bind_addr_host, bind_port));
+  REKEY_ENSURE_MSG(
+      bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
+      "bind() failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  REKEY_ENSURE(getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+               0);
+  if (local != nullptr) *local = from_sockaddr(bound);
+  return fd;
+}
+
+}  // namespace rekey::wire::sockutil

@@ -1,0 +1,27 @@
+// Shared IPv4/UDP socket plumbing for the kernel wire backends.
+//
+// UdpWire (epoll) and IoUringWire (io_uring) differ only in how they
+// move datagrams through the kernel; the socket itself — nonblocking
+// IPv4 UDP, grown buffers, bind + learned ephemeral port, the
+// Endpoint <-> sockaddr_in packing — is identical and lives here so the
+// two backends cannot drift.
+#pragma once
+
+#include <cstdint>
+
+#include <netinet/in.h>
+
+#include "wire/udp.h"
+
+namespace rekey::wire::sockutil {
+
+sockaddr_in to_sockaddr(Endpoint e);
+Endpoint from_sockaddr(const sockaddr_in& sa);
+
+// Creates a nonblocking UDP socket with grown send/receive buffers,
+// bound to `bind_addr_host`:`bind_port` (0 = ephemeral), and reports the
+// bound address through `local`. Throws EnsureError on failure.
+int open_bound_udp_socket(std::uint32_t bind_addr_host,
+                          std::uint16_t bind_port, Endpoint* local);
+
+}  // namespace rekey::wire::sockutil

@@ -4,7 +4,6 @@
 #include <cstring>
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -15,45 +14,34 @@
 #endif
 
 #include "common/ensure.h"
+#include "common/env.h"
+#include "wire/backend.h"
+#include "wire/sockutil.h"
 
 namespace rekey::wire {
 
 namespace {
 
-// Datagrams per sendmmsg/recvmmsg syscall. 64 keeps the per-call stack
-// arrays small while amortizing the syscall across a round's burst.
-constexpr std::size_t kIoBatch = 64;
-
 // IPv4 + UDP header bytes (matches packet::kUdpIpOverheadBytes).
 constexpr std::size_t kIpUdpOverhead = 28;
 
-sockaddr_in to_sockaddr(Endpoint e) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_addr.s_addr = htonl(endpoint_addr(e));
-  sa.sin_port = htons(endpoint_port(e));
-  return sa;
-}
-
-Endpoint from_sockaddr(const sockaddr_in& sa) {
-  return make_endpoint(ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port));
-}
-
-void grow_socket_buffers(int fd) {
-  // A round-1 burst for N=2^15 is tens of MB arriving faster than the
-  // fleet drains it; an 8 MB receive queue rides it out. RCVBUFFORCE
-  // needs CAP_NET_ADMIN — fall back to the rmem_max-clamped plain knob.
-  constexpr int kBytes = 8 << 20;
-  int v = kBytes;
-#ifdef SO_RCVBUFFORCE
-  if (setsockopt(fd, SOL_SOCKET, SO_RCVBUFFORCE, &v, sizeof v) != 0)
-#endif
-    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &v, sizeof v);
-  v = kBytes;
-  setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof v);
-}
+std::size_t g_io_batch_override = 0;
 
 }  // namespace
+
+std::size_t io_batch() {
+  if (g_io_batch_override != 0) return g_io_batch_override;
+  static const std::size_t cached = [] {
+    if (const auto v = env::int_value("REKEY_IO_BATCH", 1, 1024))
+      return static_cast<std::size_t>(*v);
+    return std::size_t{64};
+  }();
+  return cached;
+}
+
+namespace detail {
+void set_io_batch_for_test(std::size_t n) { g_io_batch_override = n; }
+}  // namespace detail
 
 std::optional<Endpoint> parse_endpoint(const std::string& spec) {
   const auto colon = spec.rfind(':');
@@ -81,22 +69,9 @@ UdpWire::UdpWire(std::uint32_t bind_addr_host, std::uint16_t bind_port,
                  std::size_t mtu) {
   REKEY_ENSURE_MSG(mtu > kIpUdpOverhead + 1, "MTU below IP/UDP header size");
   max_payload_ = mtu - kIpUdpOverhead - 1;
+  batch_ = io_batch();
 
-  fd_ = socket(AF_INET, SOCK_DGRAM, 0);
-  REKEY_ENSURE_MSG(fd_ >= 0, "socket() failed");
-  const int flags = fcntl(fd_, F_GETFL, 0);
-  REKEY_ENSURE(flags >= 0 && fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0);
-  grow_socket_buffers(fd_);
-
-  sockaddr_in sa = to_sockaddr(make_endpoint(bind_addr_host, bind_port));
-  REKEY_ENSURE_MSG(
-      bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
-      "bind() failed");
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  REKEY_ENSURE(getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-               0);
-  local_ = from_sockaddr(bound);
+  fd_ = sockutil::open_bound_udp_socket(bind_addr_host, bind_port, &local_);
 
 #ifdef __linux__
   epoll_fd_ = epoll_create1(0);
@@ -105,6 +80,11 @@ UdpWire::UdpWire(std::uint32_t bind_addr_host, std::uint16_t bind_port,
   ev.events = EPOLLIN;
   ev.data.fd = fd_;
   REKEY_ENSURE(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd_, &ev) == 0);
+
+  msgs_.resize(batch_);
+  iovs_.resize(batch_ * 2);
+  addrs_.resize(batch_);
+  recv_buf_.resize(batch_ * (max_payload_ + 1));
 #endif
 }
 
@@ -115,7 +95,12 @@ UdpWire::~UdpWire() {
 
 bool UdpWire::wait_writable(int timeout_ms) {
   pollfd p{fd_, POLLOUT, 0};
-  return poll(&p, 1, timeout_ms) > 0 && (p.revents & POLLOUT) != 0;
+  for (;;) {
+    wire_syscalls().add();
+    const int rc = poll(&p, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (p.revents & POLLOUT) != 0;
+  }
 }
 
 bool UdpWire::send(Endpoint to, std::uint8_t channel,
@@ -130,36 +115,37 @@ bool UdpWire::send(Endpoint to, std::uint8_t channel,
 
 std::size_t UdpWire::send_frames(Endpoint to, std::uint8_t channel,
                                  std::span<const Bytes* const> frames) {
-  sockaddr_in sa = to_sockaddr(to);
+  sockaddr_in sa = sockutil::to_sockaddr(to);
   std::uint8_t chan = channel;
   std::size_t sent = 0;
   std::size_t i = 0;
   while (i < frames.size()) {
 #ifdef __linux__
-    mmsghdr msgs[kIoBatch];
-    iovec iovs[kIoBatch][2];
     std::size_t n = 0;
     std::size_t scan = i;
-    while (scan < frames.size() && n < kIoBatch) {
+    while (scan < frames.size() && n < batch_) {
       const Bytes& body = *frames[scan];
       ++scan;
       if (body.size() > max_payload_) continue;  // refused, not fragmented
-      iovs[n][0] = {&chan, 1};
-      iovs[n][1] = {const_cast<std::uint8_t*>(body.data()), body.size()};
-      mmsghdr& m = msgs[n];
+      iovs_[n * 2] = {&chan, 1};
+      iovs_[n * 2 + 1] = {const_cast<std::uint8_t*>(body.data()),
+                          body.size()};
+      mmsghdr& m = msgs_[n];
       std::memset(&m, 0, sizeof m);
       m.msg_hdr.msg_name = &sa;
       m.msg_hdr.msg_namelen = sizeof sa;
-      m.msg_hdr.msg_iov = iovs[n];
+      m.msg_hdr.msg_iov = &iovs_[n * 2];
       m.msg_hdr.msg_iovlen = 2;
       ++n;
     }
     if (n == 0) return sent;  // every remaining frame was oversize
     std::size_t done = 0;
     while (done < n) {
-      const int rc = sendmmsg(fd_, msgs + done, static_cast<unsigned>(n - done),
-                              0);
+      wire_syscalls().add();
+      const int rc = sendmmsg(fd_, msgs_.data() + done,
+                              static_cast<unsigned>(n - done), 0);
       if (rc < 0) {
+        if (errno == EINTR) continue;
         if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
             wait_writable(1000))
           continue;
@@ -180,7 +166,10 @@ std::size_t UdpWire::send_frames(Endpoint to, std::uint8_t channel,
     m.msg_namelen = sizeof sa;
     m.msg_iov = iov;
     m.msg_iovlen = 2;
-    while (sendmsg(fd_, &m, 0) < 0) {
+    for (;;) {
+      wire_syscalls().add();
+      if (sendmsg(fd_, &m, 0) >= 0) break;
+      if (errno == EINTR) continue;
       if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
           wait_writable(1000))
         continue;
@@ -198,45 +187,47 @@ std::size_t UdpWire::receive(std::vector<Datagram>& out, int timeout_ms) {
 
   const auto drain = [&]() {
 #ifdef __linux__
-    std::vector<std::uint8_t> buf(kIoBatch * slot);
-    mmsghdr msgs[kIoBatch];
-    iovec iovs[kIoBatch];
-    sockaddr_in addrs[kIoBatch];
     for (;;) {
-      for (std::size_t j = 0; j < kIoBatch; ++j) {
-        iovs[j] = {buf.data() + j * slot, slot};
-        std::memset(&msgs[j], 0, sizeof msgs[j]);
-        msgs[j].msg_hdr.msg_name = &addrs[j];
-        msgs[j].msg_hdr.msg_namelen = sizeof addrs[j];
-        msgs[j].msg_hdr.msg_iov = &iovs[j];
-        msgs[j].msg_hdr.msg_iovlen = 1;
+      for (std::size_t j = 0; j < batch_; ++j) {
+        iovs_[j] = {recv_buf_.data() + j * slot, slot};
+        std::memset(&msgs_[j], 0, sizeof msgs_[j]);
+        msgs_[j].msg_hdr.msg_name = &addrs_[j];
+        msgs_[j].msg_hdr.msg_namelen = sizeof addrs_[j];
+        msgs_[j].msg_hdr.msg_iov = &iovs_[j];
+        msgs_[j].msg_hdr.msg_iovlen = 1;
       }
-      const int rc = recvmmsg(fd_, msgs, kIoBatch, MSG_DONTWAIT, nullptr);
+      wire_syscalls().add();
+      const int rc = recvmmsg(fd_, msgs_.data(),
+                              static_cast<unsigned>(batch_), MSG_DONTWAIT,
+                              nullptr);
+      if (rc < 0 && errno == EINTR) continue;
       if (rc <= 0) return;
       for (int j = 0; j < rc; ++j) {
-        const std::size_t len = msgs[j].msg_len;
+        const std::size_t len = msgs_[j].msg_len;
         if (len == 0) continue;  // no channel byte: not ours
         Datagram d;
-        d.from = from_sockaddr(addrs[j]);
-        const std::uint8_t* base = buf.data() + j * slot;
+        d.from = sockutil::from_sockaddr(addrs_[j]);
+        const std::uint8_t* base = recv_buf_.data() + j * slot;
         d.channel = base[0];
         d.payload.assign(base + 1, base + len);
         out.push_back(std::move(d));
         ++added;
       }
-      if (static_cast<std::size_t>(rc) < kIoBatch) return;
+      if (static_cast<std::size_t>(rc) < batch_) return;
     }
 #else
     std::vector<std::uint8_t> buf(slot);
     for (;;) {
       sockaddr_in from{};
       socklen_t from_len = sizeof from;
+      wire_syscalls().add();
       const ssize_t len =
           recvfrom(fd_, buf.data(), buf.size(), MSG_DONTWAIT,
                    reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (len < 0 && errno == EINTR) continue;
       if (len <= 0) return;
       Datagram d;
-      d.from = from_sockaddr(from);
+      d.from = sockutil::from_sockaddr(from);
       d.channel = buf[0];
       d.payload.assign(buf.begin() + 1, buf.begin() + len);
       out.push_back(std::move(d));
@@ -248,11 +239,23 @@ std::size_t UdpWire::receive(std::vector<Datagram>& out, int timeout_ms) {
   drain();
   if (added == 0 && timeout_ms > 0) {
 #ifdef __linux__
-    epoll_event ev;
-    if (epoll_wait(epoll_fd_, &ev, 1, timeout_ms) > 0) drain();
+    for (;;) {
+      epoll_event ev;
+      wire_syscalls().add();
+      const int rc = epoll_wait(epoll_fd_, &ev, 1, timeout_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc > 0) drain();
+      break;
+    }
 #else
     pollfd p{fd_, POLLIN, 0};
-    if (poll(&p, 1, timeout_ms) > 0) drain();
+    for (;;) {
+      wire_syscalls().add();
+      const int rc = poll(&p, 1, timeout_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc > 0) drain();
+      break;
+    }
 #endif
   }
   return added;

@@ -1,5 +1,5 @@
-// UdpWire — the real-socket WireTransport behind tools/rekeyd and
-// tools/rekey_load.
+// UdpWire — the epoll SocketWire backend behind tools/rekeyd and
+// tools/rekey_load (wire/backend.h selects it or IoUringWire at runtime).
 //
 // One nonblocking IPv4 UDP socket, readiness via epoll, and batched I/O:
 // sends go through sendmmsg with two iovecs per datagram (the 1-byte
@@ -16,8 +16,14 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "wire/wire.h"
+
+#ifdef __linux__
+#include <netinet/in.h>
+#include <sys/socket.h>
+#endif
 
 namespace rekey::wire {
 
@@ -37,7 +43,21 @@ constexpr std::uint16_t endpoint_port(Endpoint e) {
 std::optional<Endpoint> parse_endpoint(const std::string& spec);
 std::string endpoint_to_string(Endpoint e);
 
-class UdpWire : public WireTransport {
+// Datagrams per sendmmsg/recvmmsg syscall: REKEY_IO_BATCH in [1, 1024]
+// (strict-parsed through common/env.h, warn-once and default on
+// nonsense), default 64 — small per-call arrays, syscall amortized
+// across a round's burst. Sampled once per UdpWire construction.
+std::size_t io_batch();
+
+namespace detail {
+// Test hook: force a batch size for subsequently constructed UdpWires
+// (0 restores the REKEY_IO_BATCH / default behavior). The env value is
+// cached per process, so tests can't exercise odd batch sizes through
+// setenv alone.
+void set_io_batch_for_test(std::size_t n);
+}  // namespace detail
+
+class UdpWire : public SocketWire {
  public:
   // Binds to `bind_addr_host`:`bind_port` (port 0 = ephemeral; the bound
   // port is available via local_endpoint()). `mtu` caps every emitted
@@ -57,7 +77,7 @@ class UdpWire : public WireTransport {
   std::size_t receive(std::vector<Datagram>& out, int timeout_ms) override;
   std::size_t max_payload() const override { return max_payload_; }
 
-  Endpoint local_endpoint() const { return local_; }
+  Endpoint local_endpoint() const override { return local_; }
 
  private:
   // Blocks (poll/epoll on POLLOUT) until the socket accepts writes again;
@@ -67,7 +87,17 @@ class UdpWire : public WireTransport {
   int fd_ = -1;
   int epoll_fd_ = -1;
   std::size_t max_payload_ = 0;
+  std::size_t batch_ = 64;
   Endpoint local_{};
+
+#ifdef __linux__
+  // Reusable per-call I/O arrays, sized to batch_ at construction (the
+  // batch became a runtime knob, so these left the stack).
+  std::vector<mmsghdr> msgs_;
+  std::vector<iovec> iovs_;  // send: 2 per message; receive: 1 per message
+  std::vector<sockaddr_in> addrs_;
+  std::vector<std::uint8_t> recv_buf_;
+#endif
 };
 
 }  // namespace rekey::wire

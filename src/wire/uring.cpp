@@ -1,0 +1,809 @@
+#include "wire/uring.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+
+#include "common/ensure.h"
+#include "wire/backend.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "wire/sockutil.h"
+#endif
+
+#if defined(__linux__) && defined(__NR_io_uring_setup) && \
+    defined(__NR_io_uring_enter) && defined(__NR_io_uring_register)
+#define REKEY_HAVE_URING 1
+#else
+#define REKEY_HAVE_URING 0
+#endif
+
+namespace rekey::wire {
+
+#if REKEY_HAVE_URING
+
+namespace {
+
+// Clean-room subset of the io_uring UAPI (include/uapi/linux/io_uring.h).
+// Declared here instead of including <linux/io_uring.h> so the build
+// never depends on the age of the installed kernel headers — the ABI
+// itself is stable; only the header that names it moves.
+namespace abi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+struct SqringOffsets {
+  u32 head, tail, ring_mask, ring_entries, flags, dropped, array, resv1;
+  u64 user_addr;
+};
+
+struct CqringOffsets {
+  u32 head, tail, ring_mask, ring_entries, overflow, cqes, flags, resv1;
+  u64 user_addr;
+};
+
+struct Params {
+  u32 sq_entries, cq_entries, flags, sq_thread_cpu, sq_thread_idle;
+  u32 features, wq_fd;
+  u32 resv[3];
+  SqringOffsets sq_off;
+  CqringOffsets cq_off;
+};
+
+struct Sqe {
+  u8 opcode;
+  u8 flags;
+  u16 ioprio;
+  s32 fd;
+  u64 addr2;  // union with off
+  u64 addr;
+  u32 len;
+  u32 op_flags;  // union: msg_flags / rw_flags / ...
+  u64 user_data;
+  u16 buf_index;  // union with buf_group
+  u16 personality;
+  u16 addr_len;  // union with splice_fd_in / file_index (low half)
+  u16 pad3;
+  u64 addr3;
+  u64 pad2;
+};
+static_assert(sizeof(Sqe) == 64);
+
+struct Cqe {
+  u64 user_data;
+  s32 res;
+  u32 flags;
+};
+static_assert(sizeof(Cqe) == 16);
+
+// Provided-buffer ring entry; the first entry's resv field doubles as
+// the ring tail the producer (us) publishes through.
+struct Buf {
+  u64 addr;
+  u32 len;
+  u16 bid;
+  u16 resv;
+};
+static_assert(sizeof(Buf) == 16);
+
+struct BufReg {
+  u64 ring_addr;
+  u32 ring_entries;
+  u16 bgid;
+  u16 flags;
+  u64 resv[3];
+};
+
+struct ProbeOp {
+  u8 op, resv;
+  u16 flags;
+  u32 resv2;
+};
+
+struct Probe {
+  u8 last_op, ops_len;
+  u16 resv;
+  u32 resv2[3];
+  ProbeOp ops[256];
+};
+
+struct GeteventsArg {
+  u64 sigmask;
+  u32 sigmask_sz;
+  u32 pad;
+  u64 ts;
+};
+static_assert(sizeof(GeteventsArg) == 24);
+
+struct KernelTimespec {
+  s64 tv_sec;
+  s64 tv_nsec;
+};
+
+// The multishot-recvmsg buffer header: name/control/payload areas follow
+// at the sizes *reserved* in the request msghdr, with the actual lengths
+// reported here.
+struct RecvmsgOut {
+  u32 namelen, controllen, payloadlen, flags;
+};
+
+constexpr u64 kOffSqRing = 0;
+constexpr u64 kOffSqes = 0x10000000ULL;
+
+constexpr u32 kFeatSingleMmap = 1u << 0;
+constexpr u32 kFeatExtArg = 1u << 8;
+
+constexpr u32 kSetupCqsize = 1u << 3;
+constexpr u32 kSetupClamp = 1u << 4;
+
+constexpr u32 kEnterGetevents = 1u << 0;
+constexpr u32 kEnterExtArg = 1u << 3;
+
+constexpr u32 kRegisterBuffers = 0;
+constexpr u32 kRegisterProbe = 8;
+constexpr u32 kRegisterPbufRing = 22;
+constexpr u32 kUnregisterPbufRing = 23;
+
+constexpr u8 kOpSendmsg = 9;
+constexpr u8 kOpRecvmsg = 10;
+constexpr u8 kOpSendZc = 47;
+
+constexpr u8 kSqeIoLink = 1u << 2;
+constexpr u8 kSqeBufferSelect = 1u << 5;
+
+constexpr u16 kRecvMultishot = 1u << 1;     // IORING_RECV_MULTISHOT
+constexpr u16 kRecvsendFixedBuf = 1u << 2;  // IORING_RECVSEND_FIXED_BUF
+
+constexpr u32 kCqeFBuffer = 1u << 0;
+constexpr u32 kCqeFMore = 1u << 1;
+constexpr u32 kCqeFNotif = 1u << 3;
+constexpr u32 kCqeBufferShift = 16;
+
+constexpr u16 kOpSupported = 1u << 0;
+
+inline int sys_setup(unsigned entries, Params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+inline long sys_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                      unsigned flags, const void* arg, std::size_t argsz) {
+  return ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete,
+                   flags, arg, argsz);
+}
+
+inline int sys_register(int ring_fd, unsigned opcode, void* arg,
+                        unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
+}  // namespace abi
+
+// The sockaddr_in the kernel reserves space for in every receive buffer.
+constexpr std::size_t kNameReserve = sizeof(sockaddr_in);
+
+// IPv4 + UDP header bytes (matches packet::kUdpIpOverheadBytes).
+constexpr std::size_t kIpUdpOverhead = 28;
+
+// user_data tags: kind in the top byte, slot/index below.
+enum class UdKind : abi::u64 { kRecv = 1, kBurst = 2, kPool = 3, kHeap = 4 };
+
+constexpr abi::u64 make_ud(UdKind kind, abi::u64 index) {
+  return (static_cast<abi::u64>(kind) << 56) | index;
+}
+
+bool probe_supported() {
+  abi::Params p{};
+  p.flags = abi::kSetupClamp;
+  const int fd = abi::sys_setup(8, &p);
+  if (fd < 0) return false;
+  bool ok = (p.features & (abi::kFeatSingleMmap | abi::kFeatExtArg)) ==
+            (abi::kFeatSingleMmap | abi::kFeatExtArg);
+  if (ok) {
+    // Opcode probe: SEND_ZC (kernel 6.0) doubles as the gate for
+    // multishot recvmsg (5.19+) and provided-buffer rings (5.19+).
+    static abi::Probe probe;
+    std::memset(&probe, 0, sizeof probe);
+    ok = abi::sys_register(fd, abi::kRegisterProbe, &probe, 256) == 0;
+    const auto op_ok = [&](abi::u8 op) {
+      return op <= probe.last_op && (probe.ops[op].flags & abi::kOpSupported);
+    };
+    ok = ok && op_ok(abi::kOpSendmsg) && op_ok(abi::kOpRecvmsg) &&
+         op_ok(abi::kOpSendZc);
+  }
+  if (ok) {
+    // A container seccomp policy can pass the probe but reject the
+    // registrations the backend needs; try a real provided-buffer ring.
+    void* mem = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    ok = mem != MAP_FAILED;
+    if (ok) {
+      abi::BufReg reg{};
+      reg.ring_addr = reinterpret_cast<abi::u64>(mem);
+      reg.ring_entries = 8;
+      reg.bgid = 0;
+      ok = abi::sys_register(fd, abi::kRegisterPbufRing, &reg, 1) == 0;
+      if (ok) abi::sys_register(fd, abi::kUnregisterPbufRing, &reg, 1);
+      munmap(mem, 4096);
+    }
+  }
+  close(fd);
+  return ok;
+}
+
+}  // namespace
+
+struct IoUringWire::Impl {
+  // ---- configuration / socket ----
+  std::size_t max_payload = 0;
+  Endpoint local{};
+  int fd = -1;       // the UDP socket
+  int ring_fd = -1;  // the io_uring instance
+
+  // ---- ring mappings ----
+  void* ring_mem = MAP_FAILED;
+  std::size_t ring_bytes = 0;
+  abi::Sqe* sqes = nullptr;
+  std::size_t sqes_bytes = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned sq_entry_count = 0;
+  unsigned sq_mask = 0;
+  unsigned sq_local_tail = 0;  // staged but not yet published
+  unsigned unsubmitted = 0;    // staged but not yet consumed by the kernel
+
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  abi::Cqe* cqes = nullptr;
+  unsigned cq_mask = 0;
+
+  // ---- pooled single-frame sends ----
+  FrameBufferPool pool;
+  bool send_zc_ok = true;         // downgraded on the first -EINVAL
+  bool send_zc_confirmed = false; // one SEND_ZC completed successfully
+  std::vector<sockaddr_in> slot_addr;
+  std::vector<iovec> slot_iov;
+  std::vector<msghdr> slot_msg;
+  bool wait_send_done = false;  // completion flag for the in-flight send
+  int wait_send_res = 0;
+
+  struct HeapSend {
+    Bytes data;
+    sockaddr_in sa{};
+    iovec iov{};
+    msghdr msg{};
+  };
+  std::map<abi::u64, std::unique_ptr<HeapSend>> heap_sends;
+  abi::u64 next_heap_id = 0;
+
+  // ---- linked burst sends ----
+  std::vector<msghdr> burst_msgs;
+  std::vector<std::array<iovec, 2>> burst_iovs;
+  sockaddr_in burst_sa{};
+  std::uint8_t burst_chan = 0;
+  unsigned burst_outstanding = 0;
+  std::size_t burst_ok = 0;
+
+  // ---- multishot receive ----
+  void* buf_ring_mem = MAP_FAILED;
+  std::size_t buf_ring_bytes = 0;
+  abi::Buf* buf_ring = nullptr;
+  abi::u16* buf_ring_tail = nullptr;
+  abi::u16 buf_ring_tail_local = 0;
+  std::vector<std::uint8_t> recv_arena;
+  std::size_t recv_slot = 0;
+  unsigned recv_entries = 0;
+  bool recv_armed = false;
+  msghdr recv_msg{};
+  std::deque<Datagram> pending_rx;
+
+  explicit Impl(std::size_t pool_slot_size, std::size_t pool_slots)
+      : pool(pool_slot_size, pool_slots) {}
+
+  // ---------------------------------------------------------------- ring
+
+  abi::Sqe* get_sqe() {
+    const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    if (sq_local_tail - head >= sq_entry_count) return nullptr;
+    abi::Sqe* e = &sqes[sq_local_tail & sq_mask];
+    std::memset(e, 0, sizeof *e);
+    sq_array[sq_local_tail & sq_mask] = sq_local_tail & sq_mask;
+    ++sq_local_tail;
+    ++unsubmitted;
+    return e;
+  }
+
+  abi::Sqe* need_sqe() {
+    for (;;) {
+      if (abi::Sqe* e = get_sqe()) return e;
+      enter(0, nullptr);  // flush: the kernel consumes SQ slots at submit
+    }
+  }
+
+  // Submits everything staged and (optionally) waits: min_complete > 0
+  // blocks for that many completions, ts != nullptr bounds the wait.
+  void enter(unsigned min_complete, const abi::KernelTimespec* ts) {
+    __atomic_store_n(sq_tail, sq_local_tail, __ATOMIC_RELEASE);
+    for (;;) {
+      unsigned flags = 0;
+      const void* arg = nullptr;
+      std::size_t argsz = 0;
+      abi::GeteventsArg ga{};
+      if (min_complete > 0 || ts != nullptr) flags |= abi::kEnterGetevents;
+      if (ts != nullptr) {
+        flags |= abi::kEnterExtArg;
+        ga.ts = reinterpret_cast<abi::u64>(ts);
+        arg = &ga;
+        argsz = sizeof ga;
+      }
+      wire_syscalls().add();
+      const long rc = abi::sys_enter(ring_fd, unsubmitted, min_complete,
+                                     flags, arg, argsz);
+      if (rc >= 0) {
+        unsubmitted -= std::min<unsigned>(static_cast<unsigned>(rc),
+                                          unsubmitted);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == ETIME) return;  // timed wait expired, nothing submitted
+      if (errno == EBUSY) {        // CQ backpressure: drain and retry
+        harvest();
+        continue;
+      }
+      REKEY_ENSURE_MSG(false, "io_uring_enter failed");
+    }
+  }
+
+  void harvest() {
+    unsigned head = __atomic_load_n(cq_head, __ATOMIC_RELAXED);
+    const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+    if (head == tail) return;
+    while (head != tail) {
+      const abi::Cqe c = cqes[head & cq_mask];
+      ++head;
+      handle_cqe(c);
+    }
+    __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+  }
+
+  void handle_cqe(const abi::Cqe& c) {
+    const auto kind = static_cast<UdKind>(c.user_data >> 56);
+    const abi::u64 index = c.user_data & ((abi::u64{1} << 56) - 1);
+    switch (kind) {
+      case UdKind::kRecv:
+        on_recv_cqe(c);
+        break;
+      case UdKind::kBurst:
+        if (burst_outstanding > 0) --burst_outstanding;
+        if (c.res >= 0) ++burst_ok;
+        break;
+      case UdKind::kPool: {
+        const std::size_t slot = static_cast<std::size_t>(index);
+        if (c.flags & abi::kCqeFNotif) {
+          // The kernel no longer reads the registered slot.
+          pool.release(slot);
+        } else {
+          wait_send_done = true;
+          wait_send_res = c.res;
+          if (!(c.flags & abi::kCqeFMore)) pool.release(slot);
+        }
+        break;
+      }
+      case UdKind::kHeap: {
+        wait_send_done = true;
+        wait_send_res = c.res;
+        heap_sends.erase(c.user_data);
+        break;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- receive
+
+  void buf_ring_add(abi::u16 bid) {
+    abi::Buf& b = buf_ring[buf_ring_tail_local & (recv_entries - 1)];
+    // Never write b.resv: for entry 0 that field *is* the shared tail.
+    b.addr = reinterpret_cast<abi::u64>(recv_arena.data() +
+                                        std::size_t{bid} * recv_slot);
+    b.len = static_cast<abi::u32>(recv_slot);
+    b.bid = bid;
+    ++buf_ring_tail_local;
+    __atomic_store_n(buf_ring_tail, buf_ring_tail_local, __ATOMIC_RELEASE);
+  }
+
+  void arm_recv() {
+    abi::Sqe* e = need_sqe();
+    e->opcode = abi::kOpRecvmsg;
+    e->fd = fd;
+    e->addr = reinterpret_cast<abi::u64>(&recv_msg);
+    e->len = 1;
+    e->ioprio = abi::kRecvMultishot;
+    e->flags = abi::kSqeBufferSelect;
+    e->buf_index = 0;  // buffer group id
+    e->user_data = make_ud(UdKind::kRecv, 0);
+    recv_armed = true;
+  }
+
+  void on_recv_cqe(const abi::Cqe& c) {
+    if (!(c.flags & abi::kCqeFMore)) recv_armed = false;  // rearm later
+    if (c.res < 0) return;  // -ENOBUFS etc.; buffers replenish as we parse
+    if (!(c.flags & abi::kCqeFBuffer)) return;
+    const auto bid =
+        static_cast<abi::u16>(c.flags >> abi::kCqeBufferShift);
+    const std::uint8_t* base =
+        recv_arena.data() + std::size_t{bid} * recv_slot;
+    abi::RecvmsgOut oh;
+    std::memcpy(&oh, base, sizeof oh);
+    // MSG_TRUNC = datagram larger than the buffer; the epoll path would
+    // deliver the truncated prefix and let frame parsing reject it, so
+    // dropping here is behavior-equivalent.
+    if (oh.payloadlen >= 1 && !(oh.flags & MSG_TRUNC) &&
+        oh.namelen >= sizeof(sockaddr_in)) {
+      sockaddr_in sa;
+      std::memcpy(&sa, base + sizeof(abi::RecvmsgOut), sizeof sa);
+      const std::uint8_t* payload =
+          base + sizeof(abi::RecvmsgOut) + kNameReserve;  // controllen = 0
+      Datagram d;
+      d.from = sockutil::from_sockaddr(sa);
+      d.channel = payload[0];
+      d.payload.assign(payload + 1, payload + oh.payloadlen);
+      pending_rx.push_back(std::move(d));
+    }
+    buf_ring_add(bid);
+  }
+
+  // --------------------------------------------------------------- sends
+
+  // Blocks until the in-flight single-frame send reports its completion
+  // CQE; receive CQEs harvested along the way queue in pending_rx.
+  int wait_for_send() {
+    wait_send_done = false;
+    while (true) {
+      harvest();
+      if (wait_send_done) return wait_send_res;
+      enter(1, nullptr);
+    }
+  }
+
+  bool pooled_send(Endpoint to, std::uint8_t channel,
+                   std::span<const std::uint8_t> payload) {
+    const std::size_t slot = pool.acquire();
+    if (slot == FrameBufferPool::kNone)
+      return heap_send(to, channel, payload);
+    std::uint8_t* buf = pool.slot(slot);
+    buf[0] = channel;
+    std::memcpy(buf + 1, payload.data(), payload.size());
+    const std::size_t len = payload.size() + 1;
+    slot_addr[slot] = sockutil::to_sockaddr(to);
+
+    const bool zc = send_zc_ok;
+    abi::Sqe* e = need_sqe();
+    if (zc) {
+      e->opcode = abi::kOpSendZc;
+      e->fd = fd;
+      e->addr = reinterpret_cast<abi::u64>(buf);
+      e->len = static_cast<abi::u32>(len);
+      e->ioprio = abi::kRecvsendFixedBuf;
+      e->buf_index = 0;  // the pool arena is registered buffer 0
+      e->addr2 = reinterpret_cast<abi::u64>(&slot_addr[slot]);
+      e->addr_len = sizeof(sockaddr_in);
+    } else {
+      slot_iov[slot] = {buf, len};
+      msghdr& m = slot_msg[slot];
+      std::memset(&m, 0, sizeof m);
+      m.msg_name = &slot_addr[slot];
+      m.msg_namelen = sizeof(sockaddr_in);
+      m.msg_iov = &slot_iov[slot];
+      m.msg_iovlen = 1;
+      e->opcode = abi::kOpSendmsg;
+      e->fd = fd;
+      e->addr = reinterpret_cast<abi::u64>(&m);
+      e->len = 1;
+    }
+    e->user_data = make_ud(UdKind::kPool, slot);
+
+    const int res = wait_for_send();
+    if (res == -EINVAL && zc && !send_zc_confirmed) {
+      // This kernel parses the ring but rejects SEND_ZC with a fixed
+      // buffer + address; downgrade once, permanently, and retry via
+      // SENDMSG (the failed CQE already released the slot).
+      send_zc_ok = false;
+      return pooled_send(to, channel, payload);
+    }
+    if (res >= 0 && zc) send_zc_confirmed = true;
+    return res >= 0;
+  }
+
+  bool heap_send(Endpoint to, std::uint8_t channel,
+                 std::span<const std::uint8_t> payload) {
+    auto hs = std::make_unique<HeapSend>();
+    hs->data.reserve(payload.size() + 1);
+    hs->data.push_back(channel);
+    hs->data.insert(hs->data.end(), payload.begin(), payload.end());
+    hs->sa = sockutil::to_sockaddr(to);
+    hs->iov = {hs->data.data(), hs->data.size()};
+    std::memset(&hs->msg, 0, sizeof hs->msg);
+    hs->msg.msg_name = &hs->sa;
+    hs->msg.msg_namelen = sizeof(sockaddr_in);
+    hs->msg.msg_iov = &hs->iov;
+    hs->msg.msg_iovlen = 1;
+
+    const abi::u64 ud =
+        make_ud(UdKind::kHeap, next_heap_id++ & ((abi::u64{1} << 56) - 1));
+    abi::Sqe* e = need_sqe();
+    e->opcode = abi::kOpSendmsg;
+    e->fd = fd;
+    e->addr = reinterpret_cast<abi::u64>(&hs->msg);
+    e->len = 1;
+    e->user_data = ud;
+    heap_sends[ud] = std::move(hs);
+    return wait_for_send() >= 0;
+  }
+};
+
+IoUringWire::IoUringWire(std::uint32_t bind_addr_host,
+                         std::uint16_t bind_port, std::size_t mtu,
+                         Options options) {
+  REKEY_ENSURE_MSG(supported(),
+                   "io_uring backend constructed on a kernel without "
+                   "io_uring support (check IoUringWire::supported())");
+  REKEY_ENSURE_MSG(mtu > kIpUdpOverhead + 1, "MTU below IP/UDP header size");
+  REKEY_ENSURE_MSG(options.pool_slots > 0 && options.sq_entries > 0 &&
+                       options.recv_buffers > 0 &&
+                       (options.recv_buffers &
+                        (options.recv_buffers - 1)) == 0,
+                   "bad IoUringWire options (recv_buffers must be 2^k)");
+  const std::size_t max_payload = mtu - kIpUdpOverhead - 1;
+  impl_ = std::make_unique<Impl>(max_payload + 1, options.pool_slots);
+  Impl& im = *impl_;
+  im.max_payload = max_payload;
+
+  im.fd = sockutil::open_bound_udp_socket(bind_addr_host, bind_port,
+                                          &im.local);
+
+  // Ring setup. CQ is 4x SQ so a full linked burst plus recv completions
+  // and SEND_ZC notifications never overflow between harvests.
+  abi::Params p{};
+  p.flags = abi::kSetupClamp | abi::kSetupCqsize;
+  p.cq_entries = options.sq_entries * 4;
+  im.ring_fd = abi::sys_setup(options.sq_entries, &p);
+  REKEY_ENSURE_MSG(im.ring_fd >= 0, "io_uring_setup failed");
+  REKEY_ENSURE((p.features & (abi::kFeatSingleMmap | abi::kFeatExtArg)) ==
+               (abi::kFeatSingleMmap | abi::kFeatExtArg));
+
+  const std::size_t sq_bytes = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  const std::size_t cq_bytes = p.cq_off.cqes + p.cq_entries * sizeof(abi::Cqe);
+  im.ring_bytes = std::max(sq_bytes, cq_bytes);
+  im.ring_mem = mmap(nullptr, im.ring_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, im.ring_fd, abi::kOffSqRing);
+  REKEY_ENSURE_MSG(im.ring_mem != MAP_FAILED, "io_uring ring mmap failed");
+  im.sqes_bytes = p.sq_entries * sizeof(abi::Sqe);
+  void* sqes_mem = mmap(nullptr, im.sqes_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, im.ring_fd, abi::kOffSqes);
+  REKEY_ENSURE_MSG(sqes_mem != MAP_FAILED, "io_uring sqe mmap failed");
+  im.sqes = static_cast<abi::Sqe*>(sqes_mem);
+
+  auto* ring = static_cast<std::uint8_t*>(im.ring_mem);
+  im.sq_head = reinterpret_cast<unsigned*>(ring + p.sq_off.head);
+  im.sq_tail = reinterpret_cast<unsigned*>(ring + p.sq_off.tail);
+  im.sq_array = reinterpret_cast<unsigned*>(ring + p.sq_off.array);
+  im.sq_entry_count = p.sq_entries;
+  im.sq_mask = *reinterpret_cast<unsigned*>(ring + p.sq_off.ring_mask);
+  im.sq_local_tail = *im.sq_tail;
+  im.cq_head = reinterpret_cast<unsigned*>(ring + p.cq_off.head);
+  im.cq_tail = reinterpret_cast<unsigned*>(ring + p.cq_off.tail);
+  im.cqes = reinterpret_cast<abi::Cqe*>(ring + p.cq_off.cqes);
+  im.cq_mask = *reinterpret_cast<unsigned*>(ring + p.cq_off.ring_mask);
+
+  // Register the send pool arena as fixed buffer 0 for SEND_ZC.
+  iovec reg_iov{im.pool.arena(), im.pool.arena_bytes()};
+  REKEY_ENSURE_MSG(abi::sys_register(im.ring_fd, abi::kRegisterBuffers,
+                                     &reg_iov, 1) == 0,
+                   "io_uring buffer registration failed");
+  im.slot_addr.resize(im.pool.slot_count());
+  im.slot_iov.resize(im.pool.slot_count());
+  im.slot_msg.resize(im.pool.slot_count());
+
+  im.burst_msgs.resize(p.sq_entries);
+  im.burst_iovs.resize(p.sq_entries);
+
+  // Provided-buffer ring + receive arena. Each slot holds the recvmsg
+  // header, the reserved sockaddr, and channel byte + max payload.
+  im.recv_entries = options.recv_buffers;
+  im.recv_slot =
+      (sizeof(abi::RecvmsgOut) + kNameReserve + 1 + max_payload + 7) &
+      ~std::size_t{7};
+  im.recv_arena.resize(im.recv_slot * im.recv_entries);
+  im.buf_ring_bytes =
+      (im.recv_entries * sizeof(abi::Buf) + 4095) & ~std::size_t{4095};
+  im.buf_ring_mem = mmap(nullptr, im.buf_ring_bytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  REKEY_ENSURE_MSG(im.buf_ring_mem != MAP_FAILED, "buffer ring mmap failed");
+  im.buf_ring = static_cast<abi::Buf*>(im.buf_ring_mem);
+  im.buf_ring_tail = &im.buf_ring[0].resv;
+  abi::BufReg reg{};
+  reg.ring_addr = reinterpret_cast<abi::u64>(im.buf_ring_mem);
+  reg.ring_entries = im.recv_entries;
+  reg.bgid = 0;
+  REKEY_ENSURE_MSG(abi::sys_register(im.ring_fd, abi::kRegisterPbufRing,
+                                     &reg, 1) == 0,
+                   "provided-buffer ring registration failed");
+  for (unsigned bid = 0; bid < im.recv_entries; ++bid)
+    im.buf_ring_add(static_cast<abi::u16>(bid));
+
+  std::memset(&im.recv_msg, 0, sizeof im.recv_msg);
+  im.recv_msg.msg_namelen = kNameReserve;  // reserve per-datagram name space
+  im.arm_recv();
+  im.enter(0, nullptr);
+}
+
+IoUringWire::~IoUringWire() {
+  if (impl_ == nullptr) return;
+  Impl& im = *impl_;
+  if (im.ring_fd >= 0) close(im.ring_fd);
+  if (im.ring_mem != MAP_FAILED) munmap(im.ring_mem, im.ring_bytes);
+  if (im.sqes != nullptr) munmap(im.sqes, im.sqes_bytes);
+  if (im.buf_ring_mem != MAP_FAILED) munmap(im.buf_ring_mem, im.buf_ring_bytes);
+  if (im.fd >= 0) close(im.fd);
+}
+
+bool IoUringWire::send(Endpoint to, std::uint8_t channel,
+                       std::span<const std::uint8_t> payload) {
+  Impl& im = *impl_;
+  if (payload.size() > im.max_payload) return false;
+  if (!im.recv_armed) im.arm_recv();
+  return im.pooled_send(to, channel, payload);
+}
+
+std::size_t IoUringWire::send_frames(Endpoint to, std::uint8_t channel,
+                                     std::span<const Bytes* const> frames) {
+  Impl& im = *impl_;
+  if (!im.recv_armed) im.arm_recv();
+  im.burst_sa = sockutil::to_sockaddr(to);
+  im.burst_chan = channel;
+  std::size_t sent_total = 0;
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    // Stage one linked chain of SENDMSG SQEs: the link flags force the
+    // kernel to complete them in submission order, so the datagram
+    // stream matches the epoll path byte for byte, while the whole
+    // chain costs a single io_uring_enter.
+    unsigned n = 0;
+    abi::Sqe* last = nullptr;
+    while (i < frames.size() && n < im.sq_entry_count) {
+      const Bytes& body = *frames[i];
+      if (body.size() > im.max_payload) {  // refused, not fragmented
+        ++i;
+        continue;
+      }
+      abi::Sqe* e = im.get_sqe();
+      if (e == nullptr) break;
+      auto& iov = im.burst_iovs[n];
+      iov[0] = {&im.burst_chan, 1};
+      iov[1] = {const_cast<std::uint8_t*>(body.data()), body.size()};
+      msghdr& m = im.burst_msgs[n];
+      std::memset(&m, 0, sizeof m);
+      m.msg_name = &im.burst_sa;
+      m.msg_namelen = sizeof im.burst_sa;
+      m.msg_iov = iov.data();
+      m.msg_iovlen = 2;
+      e->opcode = abi::kOpSendmsg;
+      e->fd = im.fd;
+      e->addr = reinterpret_cast<abi::u64>(&m);
+      e->len = 1;
+      e->flags = abi::kSqeIoLink;
+      e->user_data = make_ud(UdKind::kBurst, n);
+      last = e;
+      ++n;
+      ++i;
+    }
+    if (n == 0) continue;       // only oversize frames remained
+    last->flags &= ~abi::kSqeIoLink;  // terminate the chain
+    // Submit the chain and wait for every completion: frame bodies live
+    // in the caller's arena (zero copy), so they must stay referenced
+    // only while this call is on the stack.
+    im.burst_outstanding = n;
+    im.burst_ok = 0;
+    while (im.burst_outstanding > 0) {
+      im.enter(1, nullptr);
+      im.harvest();
+    }
+    sent_total += im.burst_ok;
+  }
+  return sent_total;
+}
+
+std::size_t IoUringWire::receive(std::vector<Datagram>& out, int timeout_ms) {
+  Impl& im = *impl_;
+  if (!im.recv_armed) im.arm_recv();
+  im.harvest();
+  if (!im.recv_armed) im.arm_recv();
+  if (im.pending_rx.empty() && timeout_ms > 0) {
+    const abi::KernelTimespec ts{timeout_ms / 1000,
+                                 (timeout_ms % 1000) * 1'000'000LL};
+    im.enter(1, &ts);
+    im.harvest();
+    if (!im.recv_armed) im.arm_recv();
+  }
+  // Keep the multishot armed (and notifs flowing) even when we return
+  // with data: flush any staged SQEs without waiting.
+  if (im.unsubmitted > 0) im.enter(0, nullptr);
+  const std::size_t added = im.pending_rx.size();
+  for (Datagram& d : im.pending_rx) out.push_back(std::move(d));
+  im.pending_rx.clear();
+  return added;
+}
+
+std::size_t IoUringWire::max_payload() const { return impl_->max_payload; }
+
+Endpoint IoUringWire::local_endpoint() const { return impl_->local; }
+
+bool IoUringWire::supported() {
+  static const bool ok = probe_supported();
+  return ok;
+}
+
+const FrameBufferPool& IoUringWire::pool() const { return impl_->pool; }
+
+FrameBufferPool& IoUringWire::pool_for_test() { return impl_->pool; }
+
+bool IoUringWire::using_send_zc() const { return impl_->send_zc_ok; }
+
+#else  // !REKEY_HAVE_URING
+
+struct IoUringWire::Impl {};
+
+IoUringWire::IoUringWire(std::uint32_t, std::uint16_t, std::size_t, Options) {
+  REKEY_ENSURE_MSG(false, "io_uring backend is Linux-only");
+}
+
+IoUringWire::~IoUringWire() = default;
+
+bool IoUringWire::send(Endpoint, std::uint8_t,
+                       std::span<const std::uint8_t>) {
+  return false;
+}
+
+std::size_t IoUringWire::send_frames(Endpoint, std::uint8_t,
+                                     std::span<const Bytes* const>) {
+  return 0;
+}
+
+std::size_t IoUringWire::receive(std::vector<Datagram>&, int) { return 0; }
+
+std::size_t IoUringWire::max_payload() const { return 0; }
+
+Endpoint IoUringWire::local_endpoint() const { return {}; }
+
+bool IoUringWire::supported() { return false; }
+
+const FrameBufferPool& IoUringWire::pool() const {
+  static FrameBufferPool p(1, 1);
+  return p;
+}
+
+FrameBufferPool& IoUringWire::pool_for_test() {
+  static FrameBufferPool p(1, 1);
+  return p;
+}
+
+bool IoUringWire::using_send_zc() const { return false; }
+
+#endif  // REKEY_HAVE_URING
+
+}  // namespace rekey::wire

@@ -1,0 +1,90 @@
+// IoUringWire — the io_uring SocketWire backend (ROADMAP item 1's
+// "remaining headroom").
+//
+// Same socket, same wire bytes, different syscall shape than UdpWire:
+//
+//   * Sends: a whole round's ENC/slot-map burst is staged as a chain of
+//     linked SENDMSG SQEs (two iovecs each — channel byte + frame body,
+//     bodies referenced in place in the transport arena, never copied)
+//     and pushed to the kernel with one io_uring_enter per <= SQ-depth
+//     chunk, instead of one sendmmsg per 64 datagrams. The link flags
+//     keep datagram order identical to the epoll path, so the fleet's
+//     seeded loss-shaping draws — which index arrivals — see the same
+//     stream and every deterministic protocol counter stays equal.
+//   * Control frames: copied into a FrameBufferPool slot (wire/bufpool.h)
+//     registered with the kernel once; sent with SEND_ZC + fixed buffers
+//     when the kernel accepts it (single-frame true zero copy), SENDMSG
+//     otherwise. The slot stays owned by the kernel until its completion
+//     (and, for SEND_ZC, its notification CQE) arrives; pool exhaustion
+//     falls back to a heap-owned frame, never drops.
+//   * Receives: one multishot RECVMSG armed against a provided-buffer
+//     ring; every arriving datagram posts a CQE naming a buffer — zero
+//     syscalls while traffic flows, one timed io_uring_enter when idle.
+//
+// Everything is raw syscalls against the stable io_uring ABI (no liburing
+// dependency); supported() probes the running kernel once — ring setup,
+// the opcodes above, provided-buffer rings — and wire/backend.h falls
+// back to UdpWire when any of it is missing (pre-6.0 kernels, seccomp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "wire/bufpool.h"
+#include "wire/wire.h"
+
+namespace rekey::wire {
+
+struct IoUringOptions {
+  // Send-pool slots (control-plane frames in flight). A slot is
+  // 1 + max_payload bytes.
+  std::size_t pool_slots = 256;
+  // Submission-queue depth = longest linked send chain per enter.
+  unsigned sq_entries = 1024;
+  // Provided receive buffers (power of two).
+  unsigned recv_buffers = 256;
+};
+
+class IoUringWire : public SocketWire {
+ public:
+  using Options = IoUringOptions;
+
+  // Same bind semantics as UdpWire: `bind_port` 0 = ephemeral, bound
+  // address via local_endpoint(); max_payload() = mtu - 28 - 1. Throws
+  // EnsureError when the socket or the ring cannot be set up — callers
+  // are expected to check supported() first (wire/backend.h does).
+  IoUringWire(std::uint32_t bind_addr_host, std::uint16_t bind_port,
+              std::size_t mtu = 1500, Options options = Options());
+  ~IoUringWire() override;
+
+  IoUringWire(const IoUringWire&) = delete;
+  IoUringWire& operator=(const IoUringWire&) = delete;
+
+  bool send(Endpoint to, std::uint8_t channel,
+            std::span<const std::uint8_t> payload) override;
+  std::size_t send_frames(Endpoint to, std::uint8_t channel,
+                          std::span<const Bytes* const> frames) override;
+  std::size_t receive(std::vector<Datagram>& out, int timeout_ms) override;
+  std::size_t max_payload() const override;
+
+  Endpoint local_endpoint() const override;
+
+  // True when the running kernel can drive this backend: io_uring_setup
+  // succeeds, the ring features and opcodes we need (SENDMSG, RECVMSG
+  // multishot, SEND_ZC) are present, and a provided-buffer ring
+  // registers. Probed once per process and cached.
+  static bool supported();
+
+  // Introspection for tests and the W1 bench.
+  const FrameBufferPool& pool() const;
+  FrameBufferPool& pool_for_test();
+  // Whether single-frame sends are currently using SEND_ZC fixed buffers
+  // (false after a runtime -EINVAL downgrade to SENDMSG).
+  bool using_send_zc() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rekey::wire

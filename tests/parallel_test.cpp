@@ -1,8 +1,9 @@
 // Work-stealing thread pool tests: full index coverage for serial and
-// parallel configurations, exception propagation, and the REKEY_THREADS
-// environment override.
+// parallel configurations, exception propagation, the REKEY_THREADS
+// environment override, and worker CPU pinning (REKEY_PIN).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
@@ -71,6 +72,58 @@ TEST(ThreadPool, ResultsIndependentOfThreadCount) {
   const auto serial = compute(1);
   EXPECT_EQ(serial, compute(2));
   EXPECT_EQ(serial, compute(7));
+}
+
+TEST(ThreadPoolPinning, CpuOrderCoversAllowedCpusOnce) {
+  const std::vector<int> order = pinning_cpu_order();
+#ifdef __linux__
+  ASSERT_FALSE(order.empty());
+  // Every allowed CPU exactly once, whatever the topology interleave.
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  for (const int c : order) EXPECT_GE(c, 0);
+#else
+  EXPECT_TRUE(order.empty());
+#endif
+}
+
+TEST(ThreadPoolPinning, ExplicitPinAppliesToEveryWorker) {
+  ::unsetenv("REKEY_PIN");
+  ThreadPool unpinned(4, 0);
+  EXPECT_EQ(unpinned.pinned_workers(), 0u);
+
+  ThreadPool pinned(4, 1);
+#ifdef __linux__
+  EXPECT_EQ(pinned.pinned_workers(), 4u);
+#else
+  EXPECT_EQ(pinned.pinned_workers(), 0u);
+#endif
+  // A pinned pool still runs every index exactly once.
+  std::vector<std::atomic<int>> hits(100);
+  pinned.for_each_index(hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Inline single-thread pools have no workers to pin.
+  ThreadPool inline_pool(1, 1);
+  EXPECT_EQ(inline_pool.pinned_workers(), 0u);
+}
+
+TEST(ThreadPoolPinning, HonoursEnvironmentDefault) {
+  ::unsetenv("REKEY_PIN");
+  EXPECT_FALSE(pin_by_default());
+  ::setenv("REKEY_PIN", "1", 1);
+  EXPECT_TRUE(pin_by_default());
+#ifdef __linux__
+  ThreadPool pool(2);  // pin = -1: consult REKEY_PIN
+  EXPECT_EQ(pool.pinned_workers(), 2u);
+#endif
+  ::setenv("REKEY_PIN", "0", 1);
+  EXPECT_FALSE(pin_by_default());
+  ::unsetenv("REKEY_PIN");
+  env::reset_warnings_for_test();
 }
 
 TEST(DefaultThreadCount, HonoursEnvironmentOverride) {
